@@ -1,0 +1,174 @@
+// Package repro holds the top-level benchmark harness: one testing.B
+// benchmark per figure/table-equivalent of the paper (see DESIGN.md §4
+// and EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// The F/E/T benchmarks wrap the experiment runners (which also verify
+// the paper-shape assertions on every iteration); the Micro benchmarks
+// isolate the kernel primitives the experiments are built from.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/links"
+	"repro/internal/sim"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	reg, _ := experiments.All()
+	run, ok := reg[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure-equivalents (paper Figs. 1-4).
+func BenchmarkF1_LayeredInvocation(b *testing.B) { benchExperiment(b, "F1") }
+func BenchmarkF2_LayerOverhead(b *testing.B)     { benchExperiment(b, "F2") }
+func BenchmarkF3_DirectoryOps(b *testing.B)      { benchExperiment(b, "F3") }
+func BenchmarkF4_NegotiationOr(b *testing.B)     { benchExperiment(b, "F4") }
+
+// Scenario-equivalents (paper §4.4 and §5).
+func BenchmarkE1_CancelCascade(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2_TentativeConfirm(b *testing.B)   { benchExperiment(b, "E2") }
+func BenchmarkE3_VetoAndBump(b *testing.B)        { benchExperiment(b, "E3") }
+func BenchmarkE4_Supervisor(b *testing.B)         { benchExperiment(b, "E4") }
+func BenchmarkE5_Quorum(b *testing.B)             { benchExperiment(b, "E5") }
+func BenchmarkE6_CommitteeAppObject(b *testing.B) { benchExperiment(b, "E6") }
+
+// Table-equivalents (paper §6 comparison + implied performance).
+func BenchmarkT1_SyDvsBaseline(b *testing.B)     { benchExperiment(b, "T1") }
+func BenchmarkT2_PerformanceSweeps(b *testing.B) { benchExperiment(b, "T2") }
+
+// Ablations (DESIGN.md §5).
+func BenchmarkA1_LockStrategy(b *testing.B)     { benchExperiment(b, "A1") }
+func BenchmarkA2_TriggerPlacement(b *testing.B) { benchExperiment(b, "A2") }
+
+// --- micro benchmarks of the kernel primitives -----------------------------
+
+// BenchmarkMicro_EngineInvoke measures one directory-resolved remote
+// invocation on an ideal network.
+func BenchmarkMicro_EngineInvoke(b *testing.B) {
+	ctx := context.Background()
+	w, err := experiments.NewWorld(workload.Users(2), sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := w.Nodes["u00"].Engine
+	svc := calendar.ServiceFor("u01")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Invoke(ctx, svc, "ListMeetings", nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicro_GroupInvoke measures a fan-out over 8 members.
+func BenchmarkMicro_GroupInvoke(b *testing.B) {
+	ctx := context.Background()
+	users := workload.Users(9)
+	w, err := experiments.NewWorld(users, sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	services := make([]string, 8)
+	for i, u := range users[1:] {
+		services[i] = calendar.ServiceFor(u)
+	}
+	eng := w.Nodes[users[0]].Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := eng.GroupInvoke(ctx, services, "ListMeetings", nil)
+		if !engine.AllOK(results) {
+			b.Fatal(engine.FirstError(results))
+		}
+	}
+}
+
+// BenchmarkMicro_NegotiationAnd measures a full two-phase
+// negotiation-and over three remote entities (reserve + release).
+func BenchmarkMicro_NegotiationAnd(b *testing.B) {
+	ctx := context.Background()
+	users := workload.Users(4)
+	w, err := experiments.NewWorld(users, sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	slot := calendar.Slot{Day: "2003-04-21", Hour: 9}
+	targets := []links.EntityRef{
+		{User: "u01", Entity: slot.Entity()},
+		{User: "u02", Entity: slot.Entity()},
+		{User: "u03", Entity: slot.Entity()},
+	}
+	lm := w.Cals["u00"].Links()
+	eng := w.Nodes["u00"].Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meeting := fmt.Sprintf("bench-%d", i)
+		if _, err := lm.Negotiate(ctx, links.Spec{
+			Action:     calendar.ActionReserve,
+			Args:       wire.Args{"meeting": meeting, "priority": 0},
+			Targets:    targets,
+			Constraint: links.And,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for _, tgt := range targets {
+			if err := eng.Invoke(ctx, links.ServiceFor(tgt.User), "Apply", wire.Args{
+				"entity": tgt.Entity, "action": calendar.ActionRelease,
+				"args": map[string]any{"meeting": meeting},
+			}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMicro_MeetingLifecycle measures setup + cancel of a
+// three-party meeting (the full link topology install and cascade).
+func BenchmarkMicro_MeetingLifecycle(b *testing.B) {
+	ctx := context.Background()
+	users := workload.Users(3)
+	w, err := experiments.NewWorld(users, sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := time.Date(2003, 4, 21, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := day.AddDate(0, 0, i%30).Format("2006-01-02")
+		m, err := w.Cals["u00"].SetupMeeting(ctx, calendar.Request{
+			Title: "bench", Day: d, Hour: 9 + i%8, PinSlot: true,
+			Must: users[1:],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Cals["u00"].CancelMeeting(ctx, m.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command sydbench runs the experiment harness that regenerates every
+// figure- and table-equivalent of the paper (DESIGN.md §4):
+//
+//	sydbench            # run everything
+//	sydbench -run F4    # run one experiment
+//	sydbench -run E     # run every experiment whose id has the prefix
+//	sydbench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runFilter := flag.String("run", "", "experiment id or id prefix to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	reg, ids := experiments.All()
+	if *list {
+		for _, id := range ids {
+			fmt.Printf("%s\n", id)
+		}
+		return
+	}
+
+	ran := 0
+	failed := 0
+	for _, id := range ids {
+		if *runFilter != "" && !strings.HasPrefix(id, *runFilter) {
+			continue
+		}
+		ran++
+		res, err := reg[id]()
+		if res != nil {
+			fmt.Println(res.Render())
+		}
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "experiment %s FAILED: %v\n", id, err)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -run %q (use -list)\n", *runFilter)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,107 @@
+// Command syddirectory runs a standalone SyDDirectory name server
+// over real TCP — the deployment role the paper's "Name Server" plays
+// (§5.2): user/service/group registry and proxy bindings for a SyD
+// deployment.
+//
+//	syddirectory -addr 127.0.0.1:7000 [-state /var/lib/syd/dir.json]
+//
+// With -state, the registry is loaded at startup (if the file exists)
+// and saved on shutdown and periodically, so a directory restart does
+// not force every device to re-register.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7000", "address to bind")
+	ttl := flag.Duration("ttl", directory.DefaultHeartbeatTTL, "heartbeat TTL before a silent device counts as offline")
+	statePath := flag.String("state", "", "optional path to persist the registry across restarts")
+	saveEvery := flag.Duration("save-every", 30*time.Second, "periodic save interval when -state is set")
+	flag.Parse()
+
+	srv := loadOrNew(*statePath, *ttl)
+	net := transport.NewTCP()
+	ln, err := net.Listen(*addr, srv.Handler())
+	if err != nil {
+		log.Fatalf("syddirectory: %v", err)
+	}
+	log.Printf("syddirectory: serving on %s (heartbeat TTL %v)", ln.Addr(), *ttl)
+
+	stopSave := make(chan struct{})
+	if *statePath != "" {
+		go func() {
+			t := time.NewTicker(*saveEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					save(srv, *statePath)
+				case <-stopSave:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("syddirectory: shutting down")
+	close(stopSave)
+	if *statePath != "" {
+		save(srv, *statePath)
+	}
+	if err := ln.Close(); err != nil {
+		log.Printf("syddirectory: close: %v", err)
+	}
+}
+
+// loadOrNew restores the registry from statePath when possible.
+func loadOrNew(statePath string, ttl time.Duration) *directory.Server {
+	if statePath != "" {
+		if f, err := os.Open(statePath); err == nil {
+			defer f.Close()
+			srv, rerr := directory.RestoreServer(f, directory.WithTTL(ttl))
+			if rerr == nil {
+				log.Printf("syddirectory: restored registry from %s", statePath)
+				return srv
+			}
+			log.Printf("syddirectory: restore %s failed (%v); starting fresh", statePath, rerr)
+		}
+	}
+	return directory.NewServer(directory.WithTTL(ttl))
+}
+
+// save snapshots the registry atomically.
+func save(srv *directory.Server, path string) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Printf("syddirectory: save: %v", err)
+		return
+	}
+	if err := srv.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		log.Printf("syddirectory: save: %v", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		log.Printf("syddirectory: save: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		log.Printf("syddirectory: save: %v", err)
+	}
+}

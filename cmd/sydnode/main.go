@@ -1,0 +1,84 @@
+// Command sydnode runs one SyD device node over real TCP: the kernel
+// (listener, engine, events, links) plus the calendar application —
+// the role an iPAQ played in the paper's prototype.
+//
+//	sydnode -user phil -dir 127.0.0.1:7000 -addr 127.0.0.1:7101
+//
+// Notifications (the §5.1 meeting e-mails) are printed to stdout.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/core"
+	"repro/internal/notify"
+	"repro/internal/transport"
+)
+
+func main() {
+	user := flag.String("user", "", "SyD user id (required)")
+	dirAddr := flag.String("dir", "127.0.0.1:7000", "directory server address")
+	addr := flag.String("addr", "127.0.0.1:0", "address to bind")
+	priority := flag.Int("priority", 0, "user priority (§6)")
+	statePath := flag.String("state", "", "optional path to persist the device database across restarts")
+	flag.Parse()
+	if *user == "" {
+		log.Fatal("sydnode: -user is required")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	node, err := core.Start(ctx, core.Config{
+		User:           *user,
+		Priority:       *priority,
+		Net:            transport.NewTCP(),
+		DirAddr:        *dirAddr,
+		ListenAddr:     *addr,
+		HeartbeatEvery: 5 * time.Second,
+		ExpireEvery:    30 * time.Second,
+		DirCacheTTL:    2 * time.Second,
+	})
+	cancel()
+	if err != nil {
+		log.Fatalf("sydnode: %v", err)
+	}
+	cal, err := calendar.New(context.Background(), node, calendar.WithNotifier(notify.NewWriter(os.Stdout)))
+	if err != nil {
+		log.Fatalf("sydnode: calendar: %v", err)
+	}
+	if *statePath != "" {
+		if data, rerr := os.ReadFile(*statePath); rerr == nil {
+			if err := cal.Restore(data); err != nil {
+				log.Printf("sydnode: restore %s failed (%v); starting fresh", *statePath, err)
+			} else {
+				log.Printf("sydnode: restored device state from %s", *statePath)
+			}
+		}
+	}
+	log.Printf("sydnode: %s serving on %s (directory %s)", *user, node.Addr(), *dirAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("sydnode: %s shutting down", *user)
+	if *statePath != "" {
+		if snap, serr := cal.Checkpoint(); serr == nil {
+			if werr := os.WriteFile(*statePath, snap, 0o644); werr != nil {
+				log.Printf("sydnode: save state: %v", werr)
+			}
+		} else {
+			log.Printf("sydnode: checkpoint: %v", serr)
+		}
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := node.Close(shutCtx); err != nil {
+		log.Printf("sydnode: close: %v", err)
+	}
+}

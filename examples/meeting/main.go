@@ -1,0 +1,113 @@
+// Meeting lifecycle walkthrough — the paper's §5 scenario end to end:
+//
+//  1. A sets up a meeting with B, C, D; C is busy, so the meeting is
+//     tentative with a tentative back link queued at C.
+//
+//  2. C's conflict clears -> the link fires -> the meeting confirms.
+//
+//  3. D tries to change unilaterally -> vetoed by the back link.
+//
+//  4. A higher-priority meeting bumps B -> the meeting goes tentative.
+//
+//  5. The high-priority meeting is cancelled -> automatic rescheduling.
+//
+//  6. A cancels -> the cascade releases every slot.
+//
+//     go run ./examples/meeting
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/notify"
+	"repro/internal/sim"
+)
+
+func main() {
+	ctx := context.Background()
+	net := sim.New(sim.Config{})
+	clk := clock.NewFake(time.Date(2003, 4, 21, 8, 0, 0, 0, time.UTC))
+	dirSrv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(time.Hour))
+	if _, err := net.Listen("dir", dirSrv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+	mail := notify.NewMailbox()
+	cals := map[string]*calendar.Calendar{}
+	for _, user := range []string{"a", "b", "c", "d", "boss"} {
+		node, err := core.Start(ctx, core.Config{User: user, Net: net, DirAddr: "dir", Clock: clk})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := calendar.New(ctx, node, calendar.WithNotifier(mail))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cals[user] = c
+	}
+
+	slot := calendar.Slot{Day: "2003-04-22", Hour: 14}
+	step := func(n int, what string) { fmt.Printf("\n[%d] %s\n", n, what) }
+	show := func(c *calendar.Calendar, id string) {
+		m, _ := c.Meeting(id)
+		fmt.Printf("    meeting %s: %s, reserved=%v missing=%v\n", m.ID, m.Status, m.Reserved, m.Missing)
+	}
+
+	step(1, "C is busy; A sets up a meeting with B, C, D at "+slot.String())
+	if err := cals["c"].MarkBusy(slot, "lecture", 0); err != nil {
+		log.Fatal(err)
+	}
+	m, err := cals["a"].SetupMeeting(ctx, calendar.Request{
+		Title: "project sync", Day: slot.Day, Hour: slot.Hour, PinSlot: true,
+		Must: []string{"b", "c", "d"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(cals["a"], m.ID)
+
+	step(2, "C's lecture is cancelled -> tentative link fires -> auto-confirm")
+	if err := cals["c"].ReleaseSlot(ctx, slot); err != nil {
+		log.Fatal(err)
+	}
+	show(cals["a"], m.ID)
+
+	step(3, "D attempts a unilateral change -> back link vetoes")
+	if _, err := cals["d"].Links().TriggerEntity(ctx, slot.Entity(), "change", nil); err != nil {
+		fmt.Printf("    vetoed: %v\n", err)
+	} else {
+		log.Fatal("expected a veto")
+	}
+
+	step(4, "boss bumps B with a priority-9 meeting on the same slot")
+	high, err := cals["boss"].SetupMeeting(ctx, calendar.Request{
+		Title: "board call", Day: slot.Day, Hour: slot.Hour, PinSlot: true,
+		Must: []string{"b"}, Priority: 9, AllowBump: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    board call: %s\n", high.Status)
+	show(cals["a"], m.ID)
+
+	step(5, "the board call is cancelled -> bumped meeting auto-reschedules")
+	if err := cals["boss"].CancelMeeting(ctx, high.ID); err != nil {
+		log.Fatal(err)
+	}
+	show(cals["a"], m.ID)
+
+	step(6, "A cancels -> §4.4 cascade releases every slot")
+	if err := cals["a"].CancelMeeting(ctx, m.ID); err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range []string{"a", "b", "c", "d"} {
+		fmt.Printf("    %s slot now: %q\n", u, cals[u].Slot(slot).Meeting)
+	}
+	fmt.Printf("\nnotifications delivered: %d\n", mail.Total())
+}

@@ -1,0 +1,89 @@
+// Quorum scheduling — the paper's §5 departmental example: "a quorum
+// of 50% among the faculty of Biology and at least two faculties from
+// Physics and, in addition, B and C are must attendees", realized with
+// negotiation-or (k-of-n) links.
+//
+//	go run ./examples/quorum
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/sim"
+)
+
+func main() {
+	ctx := context.Background()
+	net := sim.New(sim.Config{})
+	clk := clock.NewFake(time.Date(2003, 4, 21, 8, 0, 0, 0, time.UTC))
+	dirSrv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(time.Hour))
+	if _, err := net.Listen("dir", dirSrv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+
+	biology := []string{"bio1", "bio2", "bio3", "bio4"}
+	physics := []string{"phy1", "phy2", "phy3"}
+	users := append([]string{"a", "b", "c"}, append(biology, physics...)...)
+	cals := map[string]*calendar.Calendar{}
+	for _, user := range users {
+		node, err := core.Start(ctx, core.Config{User: user, Net: net, DirAddr: "dir", Clock: clk})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := calendar.New(ctx, node)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cals[user] = c
+	}
+
+	// Two biologists have lab duty at 13:00.
+	slot := calendar.Slot{Day: "2003-04-22", Hour: 13}
+	for _, u := range biology[:2] {
+		if err := cals[u].MarkBusy(slot, "lab", 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	m, err := cals["a"].SetupMeeting(ctx, calendar.Request{
+		Title: "faculty meeting",
+		Day:   slot.Day, Hour: slot.Hour, PinSlot: true,
+		Must: []string{"b", "c"},
+		OrGroups: []calendar.OrGroup{
+			{Name: "biology (50%)", Members: biology, K: len(biology) / 2},
+			{Name: "physics (>=2)", Members: physics, K: 2},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("meeting %s: %s at %s\n", m.ID, m.Status, m.Slot)
+	fmt.Printf("reserved: %v\n", m.Reserved)
+	var bio, phy []string
+	for _, u := range m.Reserved {
+		if strings.HasPrefix(u, "bio") {
+			bio = append(bio, u)
+		}
+		if strings.HasPrefix(u, "phy") {
+			phy = append(phy, u)
+		}
+	}
+	fmt.Printf("biology quorum: %d/%d needed %d -> %v\n", len(bio), len(biology), len(biology)/2, bio)
+	fmt.Printf("physics quorum: %d/%d needed 2 -> %v\n", len(phy), len(physics), phy)
+
+	// Non-reserved faculty hold tentative back links: they can join
+	// later if they free up (§5).
+	for _, u := range append(biology, physics...) {
+		if l, ok := cals[u].Links().GetLink(m.LinkID); ok {
+			fmt.Printf("  %s link: %s/%s\n", u, l.Type, l.Subtype)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package auth implements the calendar prototype's authentication
+// scheme (paper §5.4): every user has a unique user id and password;
+// each device keeps a table of authorized users; the client seals
+// "userid:password" with TEA and sends it along with every request;
+// the server unseals it and checks it against its authorized-user
+// table before processing.
+package auth
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/tea"
+)
+
+// Errors returned by the authenticator.
+var (
+	ErrBadCredential = errors.New("auth: malformed credential")
+	ErrUnauthorized  = errors.New("auth: unknown user or wrong password")
+)
+
+// Sealer seals credentials for transmission. Both ends of a SyD
+// deployment share the TEA key (the prototype's model).
+type Sealer struct {
+	cipher *tea.Cipher
+}
+
+// NewSealer builds a Sealer from a shared passphrase.
+func NewSealer(passphrase string) *Sealer {
+	c, err := tea.NewCipher(tea.KeyFromPassphrase(passphrase))
+	if err != nil {
+		// KeyFromPassphrase always yields a 16-byte key.
+		panic(fmt.Sprintf("auth: %v", err))
+	}
+	return &Sealer{cipher: c}
+}
+
+// Seal produces the hex-encoded TEA-sealed "user:password" blob that
+// rides in wire.Request.Credential.
+func (s *Sealer) Seal(user, password string) (string, error) {
+	if strings.ContainsRune(user, ':') {
+		return "", fmt.Errorf("%w: user id must not contain ':'", ErrBadCredential)
+	}
+	sealed, err := s.cipher.Seal([]byte(user + ":" + password))
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(sealed), nil
+}
+
+// Unseal reverses Seal, returning the user id and password.
+func (s *Sealer) Unseal(credential string) (user, password string, err error) {
+	raw, err := hex.DecodeString(credential)
+	if err != nil {
+		return "", "", fmt.Errorf("%w: %v", ErrBadCredential, err)
+	}
+	plain, err := s.cipher.Open(raw)
+	if err != nil {
+		return "", "", fmt.Errorf("%w: %v", ErrBadCredential, err)
+	}
+	user, password, ok := strings.Cut(string(plain), ":")
+	if !ok {
+		return "", "", ErrBadCredential
+	}
+	return user, password, nil
+}
+
+// Table is a device-local table of authorized users (§5.4: "each
+// user's database also has a table containing the user id and password
+// of authorized users"). It is safe for concurrent use.
+type Table struct {
+	mu    sync.RWMutex
+	users map[string]string // user id -> password
+}
+
+// NewTable returns an empty authorized-user table.
+func NewTable() *Table {
+	return &Table{users: make(map[string]string)}
+}
+
+// Add authorizes (or updates) a user.
+func (t *Table) Add(user, password string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.users[user] = password
+}
+
+// Remove revokes a user's access.
+func (t *Table) Remove(user string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.users, user)
+}
+
+// Check validates a user/password pair.
+func (t *Table) Check(user, password string) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	want, ok := t.users[user]
+	if !ok || want != password {
+		return ErrUnauthorized
+	}
+	return nil
+}
+
+// Len reports the number of authorized users.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.users)
+}
+
+// Authenticator combines a Sealer and a Table: the server-side check
+// performed "before processing the request".
+type Authenticator struct {
+	Sealer *Sealer
+	Table  *Table
+}
+
+// NewAuthenticator builds an Authenticator with an empty table.
+func NewAuthenticator(passphrase string) *Authenticator {
+	return &Authenticator{Sealer: NewSealer(passphrase), Table: NewTable()}
+}
+
+// Verify unseals the credential and checks the table, returning the
+// authenticated user id.
+func (a *Authenticator) Verify(credential string) (string, error) {
+	user, password, err := a.Sealer.Unseal(credential)
+	if err != nil {
+		return "", err
+	}
+	if err := a.Table.Check(user, password); err != nil {
+		return "", err
+	}
+	return user, nil
+}

@@ -1,0 +1,182 @@
+package auth
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	s := NewSealer("shared-secret")
+	cred, err := s.Seal("phil", "hunter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, pass, err := s.Unseal(cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if user != "phil" || pass != "hunter2" {
+		t.Fatalf("unsealed %q/%q", user, pass)
+	}
+}
+
+func TestSealRejectsColonInUser(t *testing.T) {
+	s := NewSealer("shared-secret")
+	if _, err := s.Seal("ph:il", "pw"); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPasswordMayContainColon(t *testing.T) {
+	s := NewSealer("shared-secret")
+	cred, err := s.Seal("phil", "a:b:c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, pass, err := s.Unseal(cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if user != "phil" || pass != "a:b:c" {
+		t.Fatalf("unsealed %q/%q", user, pass)
+	}
+}
+
+func TestUnsealGarbage(t *testing.T) {
+	s := NewSealer("shared-secret")
+	for _, bad := range []string{"", "zz-not-hex", "deadbeef"} {
+		if _, _, err := s.Unseal(bad); !errors.Is(err, ErrBadCredential) {
+			t.Fatalf("Unseal(%q) err = %v", bad, err)
+		}
+	}
+}
+
+func TestUnsealWrongPassphrase(t *testing.T) {
+	a := NewSealer("secret-a")
+	b := NewSealer("secret-b")
+	cred, err := a.Seal("phil", "hunter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, pass, err := b.Unseal(cred)
+	if err == nil && user == "phil" && pass == "hunter2" {
+		t.Fatal("wrong passphrase recovered the credential")
+	}
+}
+
+func TestTableCheck(t *testing.T) {
+	tab := NewTable()
+	tab.Add("phil", "hunter2")
+	tab.Add("andy", "pw")
+	if err := tab.Check("phil", "hunter2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Check("phil", "wrong"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("wrong password: %v", err)
+	}
+	if err := tab.Check("suzy", "pw"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("unknown user: %v", err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	tab.Remove("andy")
+	if err := tab.Check("andy", "pw"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatal("removed user still authorized")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len after remove = %d", tab.Len())
+	}
+}
+
+func TestTableUpdatePassword(t *testing.T) {
+	tab := NewTable()
+	tab.Add("phil", "old")
+	tab.Add("phil", "new")
+	if err := tab.Check("phil", "old"); err == nil {
+		t.Fatal("old password still valid after update")
+	}
+	if err := tab.Check("phil", "new"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthenticatorVerify(t *testing.T) {
+	a := NewAuthenticator("deployment-key")
+	a.Table.Add("phil", "hunter2")
+	cred, err := a.Sealer.Seal("phil", "hunter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := a.Verify(cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if user != "phil" {
+		t.Fatalf("user = %q", user)
+	}
+
+	badCred, err := a.Sealer.Seal("phil", "wrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(badCred); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("wrong password verify: %v", err)
+	}
+	if _, err := a.Verify("nothex!"); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("garbage verify: %v", err)
+	}
+}
+
+// TestSealUnsealProperty: any user (without ':') and password survive a
+// seal/unseal round trip.
+func TestSealUnsealProperty(t *testing.T) {
+	s := NewSealer("prop-key")
+	f := func(user, pass string) bool {
+		user = strings.ReplaceAll(user, ":", "_")
+		cred, err := s.Seal(user, pass)
+		if err != nil {
+			return false
+		}
+		u, p, err := s.Unseal(cred)
+		return err == nil && u == user && p == pass
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableConcurrentAccess(t *testing.T) {
+	tab := NewTable()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			tab.Add("u", "p")
+			tab.Remove("u")
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = tab.Check("u", "p")
+	}
+	<-done
+}
+
+func BenchmarkVerify(b *testing.B) {
+	a := NewAuthenticator("bench-key")
+	a.Table.Add("phil", "hunter2")
+	cred, err := a.Sealer.Seal("phil", "hunter2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Verify(cred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package baseline models the "existing calendar applications" of the
+// paper's §6 comparison (Outlook / GroupWise / Lotus Notes as the
+// paper describes them):
+//
+//   - "each user stores a copy of every member's folder on his local
+//     machine" — full folder replication;
+//   - "each time a meeting needs to be set up, the initiator sends an
+//     email to the required participants. The recipients then manually
+//     have to accept this meeting" — e-mail invitations and manual
+//     accepts;
+//   - "there is no concept of priority ... only the initiator of a
+//     meeting can cancel ... no option of automatic rescheduling of
+//     meetings cancelled due to attendee unavailability" — every
+//     repair is a human action;
+//   - "there is also no authentication of users".
+//
+// The model counts exactly what the T1 experiment compares against
+// SyD: replicated storage bytes, messages exchanged, and human
+// interventions per scheduled / cancelled / rescheduled meeting.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Slot mirrors calendar.Slot without importing it (the baseline is an
+// independent system).
+type Slot struct {
+	Day  string
+	Hour int
+}
+
+// entry is one slot occupancy inside a folder.
+type entry struct {
+	Meeting string
+}
+
+// folder is one user's calendar: slot -> entry.
+type folder map[Slot]entry
+
+// Meeting is a scheduled baseline meeting.
+type Meeting struct {
+	ID           string
+	Initiator    string
+	Participants []string
+	Slot         Slot
+	Confirmed    bool
+}
+
+// Stats aggregates the §6 cost counters.
+type Stats struct {
+	// Messages counts e-mails and replication updates sent.
+	Messages int
+	// Interventions counts manual human actions (accepts, declines,
+	// manual reschedules, manual removals).
+	Interventions int
+	// Retries counts scheduling rounds beyond the first, caused by
+	// stale replicas.
+	Retries int
+}
+
+// System is a deployment of the baseline calendar for a fixed user
+// population.
+type System struct {
+	users []string
+	// replicas[holder][owner] is holder's copy of owner's folder.
+	replicas map[string]map[string]folder
+	// truth[owner] is the owner's real folder (what accepts mutate).
+	truth map[string]folder
+	// lag, when true, stops automatic replication: replicas go stale
+	// until PropagateAll, producing the decline/re-schedule cycles
+	// real deployments see.
+	lag bool
+
+	meetings map[string]*Meeting
+	nextID   int
+	stats    Stats
+}
+
+// New creates a baseline system for users; every user immediately
+// replicates every other user's (empty) folder.
+func New(users []string, replicationLag bool) *System {
+	s := &System{
+		users:    append([]string(nil), users...),
+		replicas: make(map[string]map[string]folder),
+		truth:    make(map[string]folder),
+		lag:      replicationLag,
+		meetings: make(map[string]*Meeting),
+	}
+	for _, u := range users {
+		s.truth[u] = make(folder)
+		s.replicas[u] = make(map[string]folder)
+		for _, o := range users {
+			s.replicas[u][o] = make(folder)
+		}
+	}
+	return s
+}
+
+// Stats returns the accumulated counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters (storage is recomputed on demand).
+func (s *System) ResetStats() { s.stats = Stats{} }
+
+// MarkBusy sets a personal appointment in the owner's real folder and
+// replicates it.
+func (s *System) MarkBusy(user string, slot Slot, label string) {
+	s.truth[user][slot] = entry{Meeting: "personal:" + label}
+	s.replicate(user)
+}
+
+// replicate pushes owner's folder to every other user's replica
+// (N-1 messages), unless lag is enabled.
+func (s *System) replicate(owner string) {
+	if s.lag {
+		return
+	}
+	s.forceReplicate(owner)
+}
+
+func (s *System) forceReplicate(owner string) {
+	for _, holder := range s.users {
+		if holder == owner {
+			continue
+		}
+		cp := make(folder, len(s.truth[owner]))
+		for k, v := range s.truth[owner] {
+			cp[k] = v
+		}
+		s.replicas[holder][owner] = cp
+		s.stats.Messages++
+	}
+}
+
+// PropagateAll flushes every folder to every replica (the overnight
+// sync of a lagged deployment).
+func (s *System) PropagateAll() {
+	for _, u := range s.users {
+		s.forceReplicate(u)
+	}
+}
+
+// freeInReplica reports whether, according to initiator's replicas,
+// the slot is free for all participants.
+func (s *System) freeInReplica(initiator string, participants []string, slot Slot) bool {
+	for _, p := range participants {
+		var f folder
+		if p == initiator {
+			f = s.truth[p]
+		} else {
+			f = s.replicas[initiator][p]
+		}
+		if _, busy := f[slot]; busy {
+			return false
+		}
+	}
+	return true
+}
+
+// freeInTruth is the ground truth check used when a participant
+// decides whether to accept.
+func (s *System) freeInTruth(user string, slot Slot) bool {
+	_, busy := s.truth[user][slot]
+	return !busy
+}
+
+// ScheduleMeeting runs the §6 manual workflow: the initiator picks the
+// first slot that looks free in their replicas, e-mails everyone, and
+// each participant manually accepts or declines against their real
+// calendar; any decline forces the initiator to manually pick another
+// slot and start over. Returns the meeting (nil if the window is
+// exhausted) and the number of rounds it took.
+func (s *System) ScheduleMeeting(initiator string, participants []string, candidates []Slot) (*Meeting, int) {
+	all := append([]string{initiator}, participants...)
+	rounds := 0
+	for _, slot := range candidates {
+		if !s.freeInReplica(initiator, all, slot) {
+			continue
+		}
+		rounds++
+		if rounds > 1 {
+			// Picking a new slot after declines is a manual act.
+			s.stats.Interventions++
+			s.stats.Retries++
+		}
+		// Invitation e-mails.
+		s.stats.Messages += len(participants)
+		accepted := true
+		for _, p := range participants {
+			// Reading and answering the invite is manual.
+			s.stats.Interventions++
+			if !s.freeInTruth(p, slot) {
+				// Decline e-mail back to the initiator.
+				s.stats.Messages++
+				accepted = false
+				break
+			}
+			// Accept e-mail back.
+			s.stats.Messages++
+		}
+		if !accepted {
+			continue
+		}
+		s.nextID++
+		m := &Meeting{
+			ID:           fmt.Sprintf("BM-%d", s.nextID),
+			Initiator:    initiator,
+			Participants: append([]string(nil), all...),
+			Slot:         slot,
+			Confirmed:    true,
+		}
+		for _, p := range all {
+			s.truth[p][slot] = entry{Meeting: m.ID}
+			s.replicate(p)
+		}
+		s.meetings[m.ID] = m
+		return m, rounds
+	}
+	return nil, rounds
+}
+
+// CancelMeeting runs the manual cancellation: cancellation e-mails go
+// out and every participant manually removes the entry. Nothing is
+// auto-rescheduled — any meeting that wanted this slot must be
+// re-scheduled by a human from scratch (counted by the caller running
+// ScheduleMeeting again).
+func (s *System) CancelMeeting(id string) bool {
+	m, ok := s.meetings[id]
+	if !ok || !m.Confirmed {
+		return false
+	}
+	m.Confirmed = false
+	s.stats.Messages += len(m.Participants) - 1 // cancellation e-mails
+	for _, p := range m.Participants {
+		if p != m.Initiator {
+			s.stats.Interventions++ // manual removal
+		}
+		delete(s.truth[p], m.Slot)
+		s.replicate(p)
+	}
+	return true
+}
+
+// Meeting fetches a baseline meeting.
+func (s *System) Meeting(id string) (*Meeting, bool) {
+	m, ok := s.meetings[id]
+	return m, ok
+}
+
+// StorageBytes estimates per-user storage: every slot entry in every
+// replica (and the user's own folder) costs entrySize bytes. The §6
+// point is the shape: baseline storage grows with the sum of all
+// users' calendars, SyD storage only with the user's own.
+func (s *System) StorageBytes(user string, entrySize int) int {
+	total := len(s.truth[user]) * entrySize
+	for _, f := range s.replicas[user] {
+		total += len(f) * entrySize
+	}
+	return total
+}
+
+// TotalStorageBytes sums StorageBytes over all users.
+func (s *System) TotalStorageBytes(entrySize int) int {
+	total := 0
+	for _, u := range s.users {
+		total += s.StorageBytes(u, entrySize)
+	}
+	return total
+}
+
+// Users returns the population, sorted.
+func (s *System) Users() []string {
+	out := append([]string(nil), s.users...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"testing"
+)
+
+func users(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a' + i))
+	}
+	return out
+}
+
+func candidates(day string, hours ...int) []Slot {
+	out := make([]Slot, len(hours))
+	for i, h := range hours {
+		out[i] = Slot{Day: day, Hour: h}
+	}
+	return out
+}
+
+func TestScheduleHappyPath(t *testing.T) {
+	s := New(users(4), false) // a,b,c,d
+	m, rounds := s.ScheduleMeeting("a", []string{"b", "c", "d"}, candidates("d1", 9, 10))
+	if m == nil || !m.Confirmed || rounds != 1 {
+		t.Fatalf("m=%+v rounds=%d", m, rounds)
+	}
+	st := s.Stats()
+	// 3 invites + 3 accepts + replication: 4 users each replicate to
+	// 3 others = 12. Total 18.
+	if st.Messages != 18 {
+		t.Fatalf("messages = %d", st.Messages)
+	}
+	// Every participant manually accepted.
+	if st.Interventions != 3 {
+		t.Fatalf("interventions = %d", st.Interventions)
+	}
+	// Everyone's truth folder holds the slot.
+	for _, u := range []string{"a", "b", "c", "d"} {
+		if s.freeInTruth(u, m.Slot) {
+			t.Fatalf("%s slot not reserved", u)
+		}
+	}
+}
+
+func TestScheduleSkipsBusyReplica(t *testing.T) {
+	s := New(users(2), false)
+	s.MarkBusy("b", Slot{Day: "d1", Hour: 9}, "gym")
+	m, _ := s.ScheduleMeeting("a", []string{"b"}, candidates("d1", 9, 10))
+	if m == nil || m.Slot.Hour != 10 {
+		t.Fatalf("m = %+v", m)
+	}
+}
+
+func TestStaleReplicaCausesDeclineAndRetry(t *testing.T) {
+	s := New(users(2), true) // replication lag on
+	// b gets busy at 9 but the update never reaches a's replica.
+	s.MarkBusy("b", Slot{Day: "d1", Hour: 9}, "gym")
+	s.ResetStats()
+	m, rounds := s.ScheduleMeeting("a", []string{"b"}, candidates("d1", 9, 10))
+	if m == nil || m.Slot.Hour != 10 {
+		t.Fatalf("m = %+v", m)
+	}
+	if rounds != 2 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	st := s.Stats()
+	if st.Retries != 1 {
+		t.Fatalf("retries = %d", st.Retries)
+	}
+	// Interventions: b's decline (1) + a's manual re-pick (1) + b's
+	// accept (1) = 3.
+	if st.Interventions != 3 {
+		t.Fatalf("interventions = %d", st.Interventions)
+	}
+}
+
+func TestScheduleExhaustsWindow(t *testing.T) {
+	s := New(users(2), false)
+	s.MarkBusy("b", Slot{Day: "d1", Hour: 9}, "x")
+	s.MarkBusy("b", Slot{Day: "d1", Hour: 10}, "y")
+	m, _ := s.ScheduleMeeting("a", []string{"b"}, candidates("d1", 9, 10))
+	if m != nil {
+		t.Fatalf("m = %+v", m)
+	}
+}
+
+func TestCancelIsManualEverywhere(t *testing.T) {
+	s := New(users(3), false)
+	m, _ := s.ScheduleMeeting("a", []string{"b", "c"}, candidates("d1", 9))
+	if m == nil {
+		t.Fatal("schedule failed")
+	}
+	s.ResetStats()
+	if !s.CancelMeeting(m.ID) {
+		t.Fatal("cancel failed")
+	}
+	st := s.Stats()
+	// 2 cancellation e-mails + 2 manual removals (+ replication).
+	if st.Interventions != 2 {
+		t.Fatalf("interventions = %d", st.Interventions)
+	}
+	if st.Messages < 2 {
+		t.Fatalf("messages = %d", st.Messages)
+	}
+	for _, u := range []string{"a", "b", "c"} {
+		if !s.freeInTruth(u, m.Slot) {
+			t.Fatalf("%s slot not released", u)
+		}
+	}
+	if s.CancelMeeting(m.ID) {
+		t.Fatal("double cancel succeeded")
+	}
+	if s.CancelMeeting("nope") {
+		t.Fatal("cancel of unknown meeting succeeded")
+	}
+}
+
+func TestStorageGrowsWithPopulation(t *testing.T) {
+	// §6's storage claim: baseline per-user storage ~ sum of ALL
+	// calendars; doubling the population (with the same per-user
+	// load) roughly doubles per-user storage.
+	perUser := func(n int) int {
+		s := New(users(n), false)
+		for _, u := range s.Users() {
+			for h := 9; h < 14; h++ {
+				s.MarkBusy(u, Slot{Day: "d1", Hour: h}, "x")
+			}
+		}
+		return s.StorageBytes(s.Users()[0], 64)
+	}
+	small, large := perUser(4), perUser(8)
+	if large < small*18/10 {
+		t.Fatalf("storage did not scale with population: %d -> %d", small, large)
+	}
+}
+
+func TestPropagateAllHealsStaleness(t *testing.T) {
+	s := New(users(2), true)
+	s.MarkBusy("b", Slot{Day: "d1", Hour: 9}, "gym")
+	s.PropagateAll()
+	// Now a's replica knows; scheduling goes straight to 10.
+	m, rounds := s.ScheduleMeeting("a", []string{"b"}, candidates("d1", 9, 10))
+	if m == nil || m.Slot.Hour != 10 || rounds != 1 {
+		t.Fatalf("m=%+v rounds=%d", m, rounds)
+	}
+}

@@ -1,0 +1,701 @@
+package calendar_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/links"
+	"repro/internal/notify"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+const (
+	day1 = "2003-04-22"
+	day2 = "2003-04-23"
+)
+
+type world struct {
+	t     *testing.T
+	net   *sim.Net
+	clk   *clock.Fake
+	mail  *notify.Mailbox
+	cals  map[string]*calendar.Calendar
+	nodes map[string]*core.Node
+}
+
+func newWorld(t *testing.T, users ...string) *world {
+	t.Helper()
+	net := sim.New(sim.Config{})
+	clk := clock.NewFake(time.Date(2003, 4, 21, 8, 0, 0, 0, time.UTC))
+	srv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(time.Hour))
+	if _, err := net.Listen("dir", srv.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	w := &world{
+		t: t, net: net, clk: clk, mail: notify.NewMailbox(),
+		cals:  map[string]*calendar.Calendar{},
+		nodes: map[string]*core.Node{},
+	}
+	for _, u := range users {
+		w.addUser(u, 0)
+	}
+	return w
+}
+
+func (w *world) addUser(user string, priority int) *calendar.Calendar {
+	w.t.Helper()
+	ctx := context.Background()
+	n, err := core.Start(ctx, core.Config{
+		User: user, Net: w.net, DirAddr: "dir", Clock: w.clk, Priority: priority,
+	})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	c, err := calendar.New(ctx, n, calendar.WithNotifier(w.mail))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.cals[user] = c
+	w.nodes[user] = n
+	return c
+}
+
+func (w *world) slotMeeting(user string, s calendar.Slot) string {
+	return w.cals[user].Slot(s).Meeting
+}
+
+func ctxBg() context.Context { return context.Background() }
+
+func slot(day string, hour int) calendar.Slot { return calendar.Slot{Day: day, Hour: hour} }
+
+// --- basic slot management -----------------------------------------------------
+
+func TestFreeSlotsDefaults(t *testing.T) {
+	w := newWorld(t, "phil")
+	c := w.cals["phil"]
+	free := c.FreeSlots(day1, day1, nil)
+	if len(free) != len(calendar.DefaultHours) {
+		t.Fatalf("free = %d", len(free))
+	}
+	if err := c.MarkBusy(slot(day1, 9), "dentist", 0); err != nil {
+		t.Fatal(err)
+	}
+	free = c.FreeSlots(day1, day1, nil)
+	if len(free) != len(calendar.DefaultHours)-1 {
+		t.Fatalf("free after busy = %d", len(free))
+	}
+	if err := c.MarkBusy(slot(day1, 9), "double", 0); wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("double busy: %v", err)
+	}
+}
+
+func TestReleaseSlotRules(t *testing.T) {
+	w := newWorld(t, "phil", "andy")
+	c := w.cals["phil"]
+	// Releasing a free slot is a no-op.
+	if err := c.ReleaseSlot(ctxBg(), slot(day1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkBusy(slot(day1, 9), "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReleaseSlot(ctxBg(), slot(day1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Slot(slot(day1, 9)).Meeting; got != "" {
+		t.Fatalf("slot = %q", got)
+	}
+	// A coordinated meeting slot refuses ReleaseSlot.
+	m, err := c.SetupMeeting(ctxBg(), calendar.Request{
+		Title: "standup", FromDay: day1, ToDay: day1, Must: []string{"andy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReleaseSlot(ctxBg(), m.Slot); wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("release of meeting slot: %v", err)
+	}
+}
+
+// --- meeting setup ---------------------------------------------------------------
+
+func TestSetupMeetingAllAvailableConfirms(t *testing.T) {
+	w := newWorld(t, "a", "b", "c", "d")
+	m, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "review", FromDay: day1, ToDay: day2, Must: []string{"b", "c", "d"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != calendar.StatusConfirmed {
+		t.Fatalf("status = %s (missing %v)", m.Status, m.Missing)
+	}
+	if len(m.Reserved) != 4 || len(m.Missing) != 0 {
+		t.Fatalf("reserved=%v missing=%v", m.Reserved, m.Missing)
+	}
+	for _, u := range []string{"a", "b", "c", "d"} {
+		if got := w.slotMeeting(u, m.Slot); got != m.ID {
+			t.Fatalf("%s slot holds %q", u, got)
+		}
+		// Everyone has a link row for the meeting.
+		if _, ok := w.cals[u].Links().GetLink(m.LinkID); !ok {
+			t.Fatalf("%s has no link row", u)
+		}
+		// Everyone got the meeting record.
+		if mm, ok := w.cals[u].Meeting(m.ID); !ok || mm.Status != calendar.StatusConfirmed {
+			t.Fatalf("%s meeting record: %+v ok=%v", u, mm, ok)
+		}
+		// Everyone got an e-mail.
+		if w.mail.Count(u) == 0 {
+			t.Fatalf("%s got no notification", u)
+		}
+	}
+}
+
+func TestSetupMeetingSkipsBusySlots(t *testing.T) {
+	w := newWorld(t, "a", "b")
+	// b is busy the whole first day.
+	for _, h := range calendar.DefaultHours {
+		if err := w.cals["b"].MarkBusy(slot(day1, h), "x", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "sync", FromDay: day1, ToDay: day2, Must: []string{"b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slot.Day != day2 {
+		t.Fatalf("chose %v despite b busy on %s", m.Slot, day1)
+	}
+	if m.Status != calendar.StatusConfirmed {
+		t.Fatalf("status = %s", m.Status)
+	}
+}
+
+func TestSetupMeetingNoCommonSlot(t *testing.T) {
+	w := newWorld(t, "a", "b")
+	for _, h := range calendar.DefaultHours {
+		if err := w.cals["b"].MarkBusy(slot(day1, h), "x", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "sync", FromDay: day1, ToDay: day1, Must: []string{"b"},
+	})
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestE2TentativeThenAutoConfirm reproduces the §5 scenario: C is
+// unavailable, the meeting is created tentative with a tentative back
+// link at C; when C frees the slot, the meeting auto-confirms.
+func TestE2TentativeThenAutoConfirm(t *testing.T) {
+	w := newWorld(t, "a", "b", "c", "d")
+	// C has a personal appointment at every slot of day1.
+	for _, h := range calendar.DefaultHours {
+		if err := w.cals["c"].MarkBusy(slot(day1, h), "class", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pin the slot so the search cannot route around C.
+	m, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "urgent", Day: day1, Hour: 14, PinSlot: true,
+		Must: []string{"b", "c", "d"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != calendar.StatusTentative {
+		t.Fatalf("status = %s", m.Status)
+	}
+	if len(m.Missing) != 1 || m.Missing[0] != "c" {
+		t.Fatalf("missing = %v", m.Missing)
+	}
+	// A, B, D hold the slot; C holds the class.
+	for _, u := range []string{"a", "b", "d"} {
+		if got := w.slotMeeting(u, m.Slot); got != m.ID {
+			t.Fatalf("%s slot = %q", u, got)
+		}
+	}
+	if got := w.slotMeeting("c", m.Slot); got != "personal:class" {
+		t.Fatalf("c slot = %q", got)
+	}
+	// C has a tentative back link queued at the slot.
+	cl, ok := w.cals["c"].Links().GetLink(m.LinkID)
+	if !ok || cl.Subtype != links.Tentative {
+		t.Fatalf("c link: %+v ok=%v", cl, ok)
+	}
+
+	// C's class is cancelled: the slot frees, the tentative link
+	// fires SlotAvailable at A, and the meeting confirms.
+	if err := w.cals["c"].ReleaseSlot(ctxBg(), m.Slot); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w.cals["a"].Meeting(m.ID)
+	if !ok || got.Status != calendar.StatusConfirmed {
+		t.Fatalf("meeting after release: %+v", got)
+	}
+	if w.slotMeeting("c", m.Slot) != m.ID {
+		t.Fatalf("c slot = %q", w.slotMeeting("c", m.Slot))
+	}
+}
+
+// TestE1CancelPromotesTentativeMeeting reproduces §4.4: cancelling a
+// meeting triggers the cascade that converts the highest-priority
+// tentative meeting on the freed slots to confirmed.
+func TestE1CancelPromotesTentativeMeeting(t *testing.T) {
+	w := newWorld(t, "a", "b", "c", "x")
+	// Meeting M1 (a,b,c) confirmed at a pinned slot.
+	m1, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "m1", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b", "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Status != calendar.StatusConfirmed {
+		t.Fatalf("m1 = %s", m1.Status)
+	}
+	// Meeting M2 (x,b,c) wants the same slot -> tentative, waiting.
+	m2, err := w.cals["x"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "m2", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b", "c"}, Priority: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Status != calendar.StatusTentative {
+		t.Fatalf("m2 = %s", m2.Status)
+	}
+	// b and c carry tentative links for m2 waiting on m1's link.
+	for _, u := range []string{"b", "c"} {
+		l, ok := w.cals[u].Links().GetLink(m2.LinkID)
+		if !ok || l.Subtype != links.Tentative || l.WaitingOn != m1.LinkID {
+			t.Fatalf("%s m2 link: %+v ok=%v", u, l, ok)
+		}
+	}
+
+	// Cancel M1: slots free, m2's waiting links promote, m2 confirms.
+	if err := w.cals["a"].CancelMeeting(ctxBg(), m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	gotM1, _ := w.cals["a"].Meeting(m1.ID)
+	if gotM1.Status != calendar.StatusCancelled {
+		t.Fatalf("m1 = %s", gotM1.Status)
+	}
+	gotM2, _ := w.cals["x"].Meeting(m2.ID)
+	if gotM2.Status != calendar.StatusConfirmed {
+		t.Fatalf("m2 after cancel = %s (missing %v)", gotM2.Status, gotM2.Missing)
+	}
+	for _, u := range []string{"b", "c", "x"} {
+		if got := w.slotMeeting(u, slot(day1, 10)); got != m2.ID {
+			t.Fatalf("%s slot = %q", u, got)
+		}
+	}
+	// a's slot is free again.
+	if got := w.slotMeeting("a", slot(day1, 10)); got != "" {
+		t.Fatalf("a slot = %q", got)
+	}
+}
+
+// TestCancelPicksHighestPriorityWaiter: two tentative meetings wait on
+// the same slot; the higher-priority one wins when it frees (§4.2 op 3).
+func TestCancelPicksHighestPriorityWaiter(t *testing.T) {
+	w := newWorld(t, "a", "b", "x", "y")
+	m1, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "m1", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLow, err := w.cals["x"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "low", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b"}, Priority: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHigh, err := w.cals["y"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "high", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b"}, Priority: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.cals["a"].CancelMeeting(ctxBg(), m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	gotHigh, _ := w.cals["y"].Meeting(mHigh.ID)
+	if gotHigh.Status != calendar.StatusConfirmed {
+		t.Fatalf("high-priority waiter = %s", gotHigh.Status)
+	}
+	gotLow, _ := w.cals["x"].Meeting(mLow.ID)
+	if gotLow.Status != calendar.StatusTentative {
+		t.Fatalf("low-priority waiter = %s", gotLow.Status)
+	}
+	if got := w.slotMeeting("b", slot(day1, 10)); got != mHigh.ID {
+		t.Fatalf("b slot = %q", got)
+	}
+}
+
+// TestE5Quorum reproduces the §5 quorum scenario: must-attendees plus
+// "50% of Biology" and "at least 2 from Physics".
+func TestE5Quorum(t *testing.T) {
+	users := []string{"a", "b", "c", "bio1", "bio2", "bio3", "bio4", "phy1", "phy2", "phy3"}
+	w := newWorld(t, users...)
+	req := calendar.Request{
+		Title: "faculty", Day: day1, Hour: 11, PinSlot: true,
+		Must: []string{"b", "c"},
+		OrGroups: []calendar.OrGroup{
+			{Name: "biology", Members: []string{"bio1", "bio2", "bio3", "bio4"}, K: 2},
+			{Name: "physics", Members: []string{"phy1", "phy2", "phy3"}, K: 2},
+		},
+	}
+	m, err := w.cals["a"].SetupMeeting(ctxBg(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != calendar.StatusConfirmed {
+		t.Fatalf("status = %s missing=%v", m.Status, m.Missing)
+	}
+	bio := 0
+	phy := 0
+	for _, u := range m.Reserved {
+		if strings.HasPrefix(u, "bio") {
+			bio++
+		} else if strings.HasPrefix(u, "phy") {
+			phy++
+		}
+	}
+	if bio < 2 || phy < 2 {
+		t.Fatalf("quorum not met: bio=%d phy=%d", bio, phy)
+	}
+
+	// A biology quorum failure: only 1 of 4 biologists free.
+	w2 := newWorld(t, users...)
+	for _, u := range []string{"bio1", "bio2", "bio3"} {
+		if err := w2.cals[u].MarkBusy(slot(day1, 11), "lab", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2, err := w2.cals["a"].SetupMeeting(ctxBg(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Status != calendar.StatusTentative {
+		t.Fatalf("status = %s", m2.Status)
+	}
+	// The atomic k-of-n abort means no biologist holds the slot.
+	for _, u := range []string{"bio1", "bio2", "bio3", "bio4"} {
+		if got := w2.slotMeeting(u, slot(day1, 11)); got == m2.ID {
+			t.Fatalf("%s reserved despite quorum failure", u)
+		}
+	}
+	// Physics quorum unaffected.
+	phy = 0
+	for _, u := range m2.Reserved {
+		if strings.HasPrefix(u, "phy") {
+			phy++
+		}
+	}
+	if phy < 2 {
+		t.Fatalf("physics quorum = %d", phy)
+	}
+
+	// One biologist frees up -> still short (need 2, bio4 already
+	// free but was never reserved because the group aborted).
+	if err := w2.cals["bio1"].ReleaseSlot(ctxBg(), slot(day1, 11)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := w2.cals["a"].Meeting(m2.ID)
+	if got.Status != calendar.StatusConfirmed {
+		// bio1 freeing re-runs TryConfirm which can now reserve
+		// bio1 AND bio4 (both free) -> confirmed.
+		t.Fatalf("after bio1 release: %s (reserved %v)", got.Status, got.Reserved)
+	}
+}
+
+// TestE3DropOutAndVeto reproduces the §5 "D wants to change" scenario:
+// a must-attendee cannot unilaterally change a confirmed meeting, but
+// can drop out; dropping out makes the meeting tentative and frees the
+// slot for waiting meetings.
+func TestE3DropOutAndVeto(t *testing.T) {
+	w := newWorld(t, "a", "b", "c", "d")
+	m, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "m", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b", "c", "d"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D attempts a unilateral change: the back link vetoes.
+	_, err = w.cals["d"].Links().TriggerEntity(ctxBg(), m.Slot.Entity(), "change", nil)
+	if err == nil {
+		t.Fatal("unilateral change of a confirmed meeting was not vetoed")
+	}
+
+	// D drops out properly.
+	if err := w.cals["d"].DropOut(ctxBg(), m.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := w.cals["a"].Meeting(m.ID)
+	if got.Status != calendar.StatusTentative {
+		t.Fatalf("status after dropout = %s", got.Status)
+	}
+	if !containsStr(got.Missing, "d") || containsStr(got.Reserved, "d") {
+		t.Fatalf("reserved=%v missing=%v", got.Reserved, got.Missing)
+	}
+	if w.slotMeeting("d", m.Slot) != "" {
+		t.Fatalf("d slot = %q", w.slotMeeting("d", m.Slot))
+	}
+	// D frees up again (already free) -> a TryConfirm re-reserves.
+	if _, err := w.cals["a"].TryConfirm(ctxBg(), m.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = w.cals["a"].Meeting(m.ID)
+	if got.Status != calendar.StatusConfirmed {
+		t.Fatalf("status after re-confirm = %s", got.Status)
+	}
+	// The initiator cannot drop out.
+	if err := w.cals["a"].DropOut(ctxBg(), m.ID); wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("initiator dropout: %v", err)
+	}
+}
+
+// TestE4SupervisorSubscriptionLink reproduces the §5 supervisor
+// scenario: B is a supervisor with only a subscription back link — B's
+// change is never vetoed, the meeting goes tentative and heals when it
+// can.
+func TestE4SupervisorSubscriptionLink(t *testing.T) {
+	w := newWorld(t, "a", "b", "c")
+	m, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "m", Day: day1, Hour: 10, PinSlot: true,
+		Must: []string{"c"}, Supervisors: []string{"b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != calendar.StatusConfirmed {
+		t.Fatalf("status = %s missing=%v", m.Status, m.Missing)
+	}
+	// B's back link is subscription type.
+	bl, ok := w.cals["b"].Links().GetLink(m.LinkID)
+	if !ok || bl.Type != links.Subscription {
+		t.Fatalf("b link: %+v", bl)
+	}
+	// B changes his schedule at will: no veto, A is informed, and the
+	// meeting immediately renegotiates. B stayed free at that hour so
+	// the re-confirmation wins instantly.
+	_, err = w.cals["b"].Links().TriggerEntity(ctxBg(), m.Slot.Entity(), "change", nil)
+	if err != nil {
+		t.Fatalf("supervisor change was vetoed: %v", err)
+	}
+	got, _ := w.cals["a"].Meeting(m.ID)
+	if got.Status != calendar.StatusConfirmed {
+		t.Fatalf("status after supervisor change = %s", got.Status)
+	}
+}
+
+// TestBumping reproduces §6: a higher-priority meeting bumps a
+// lower-priority one off its slot; the bumped meeting turns tentative
+// and auto-reschedules when the slot frees again.
+func TestBumping(t *testing.T) {
+	w := newWorld(t, "a", "b", "x")
+	mLow, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "low", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b"}, Priority: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x sets up a high-priority meeting with b on the same slot.
+	mHigh, err := w.cals["x"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "high", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b"},
+		Priority: 9, AllowBump: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mHigh.Status != calendar.StatusConfirmed {
+		t.Fatalf("high = %s (missing %v)", mHigh.Status, mHigh.Missing)
+	}
+	if got := w.slotMeeting("b", slot(day1, 10)); got != mHigh.ID {
+		t.Fatalf("b slot = %q", got)
+	}
+	// The bumped meeting is tentative at its initiator.
+	gotLow, _ := w.cals["a"].Meeting(mLow.ID)
+	if gotLow.Status != calendar.StatusTentative {
+		t.Fatalf("low = %s", gotLow.Status)
+	}
+	// When the high-priority meeting is cancelled, the bumped one
+	// auto-reschedules (its tentative link waits on mHigh's link).
+	if err := w.cals["x"].CancelMeeting(ctxBg(), mHigh.ID); err != nil {
+		t.Fatal(err)
+	}
+	gotLow, _ = w.cals["a"].Meeting(mLow.ID)
+	if gotLow.Status != calendar.StatusConfirmed {
+		t.Fatalf("low after high cancel = %s (reserved %v missing %v)", gotLow.Status, gotLow.Reserved, gotLow.Missing)
+	}
+	if got := w.slotMeeting("b", slot(day1, 10)); got != mLow.ID {
+		t.Fatalf("b slot after cancel = %q", got)
+	}
+}
+
+// TestLowPriorityCannotBump: without the priority edge the reservation
+// conflicts normally.
+func TestLowPriorityCannotBump(t *testing.T) {
+	w := newWorld(t, "a", "b", "x")
+	mHigh, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "high", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b"}, Priority: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLow, err := w.cals["x"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "low", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b"},
+		Priority: 1, AllowBump: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mLow.Status != calendar.StatusTentative {
+		t.Fatalf("low = %s", mLow.Status)
+	}
+	if got := w.slotMeeting("b", slot(day1, 10)); got != mHigh.ID {
+		t.Fatalf("b slot = %q", got)
+	}
+}
+
+func TestChangeMeetingSlot(t *testing.T) {
+	w := newWorld(t, "a", "b", "c")
+	m, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "m", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b", "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move to 14:00 — everyone free, should succeed.
+	if err := w.cals["a"].ChangeMeetingSlot(ctxBg(), m.ID, slot(day1, 14)); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"a", "b", "c"} {
+		if got := w.slotMeeting(u, slot(day1, 14)); got != m.ID {
+			t.Fatalf("%s new slot = %q", u, got)
+		}
+		if got := w.slotMeeting(u, slot(day1, 10)); got != "" {
+			t.Fatalf("%s old slot = %q", u, got)
+		}
+	}
+	got, _ := w.cals["a"].Meeting(m.ID)
+	if got.Status != calendar.StatusConfirmed || got.Slot.Hour != 14 {
+		t.Fatalf("meeting = %+v", got)
+	}
+
+	// Move to a slot where c is busy: rejected, nothing changes.
+	if err := w.cals["c"].MarkBusy(slot(day1, 16), "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.cals["a"].ChangeMeetingSlot(ctxBg(), m.ID, slot(day1, 16)); err == nil {
+		t.Fatal("change to busy slot accepted")
+	}
+	if got := w.slotMeeting("b", slot(day1, 14)); got != m.ID {
+		t.Fatalf("b slot after failed change = %q", got)
+	}
+}
+
+func TestCancelAuthorization(t *testing.T) {
+	w := newWorld(t, "a", "b", "c")
+	m, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "m", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b", "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b (non-initiator) cannot cancel remotely.
+	err = w.cals["b"].Engine().Invoke(ctxBg(), calendar.ServiceFor("a"), "CancelMeeting",
+		wire.Args{"meeting": m.ID}, nil)
+	if wire.CodeOf(err) != wire.CodeAuth {
+		t.Fatalf("unauthorized cancel: %v", err)
+	}
+	// Delegation transfers the authority (§5's executive/staff).
+	if err := w.cals["a"].Delegate(ctxBg(), m.ID, "b"); err != nil {
+		t.Fatal(err)
+	}
+	err = w.cals["b"].Engine().Invoke(ctxBg(), calendar.ServiceFor("a"), "CancelMeeting",
+		wire.Args{"meeting": m.ID}, nil)
+	if err != nil {
+		t.Fatalf("delegated cancel failed: %v", err)
+	}
+	got, _ := w.cals["a"].Meeting(m.ID)
+	if got.Status != calendar.StatusCancelled {
+		t.Fatalf("status = %s", got.Status)
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	w := newWorld(t, "a", "b")
+	m, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "m", Day: day1, Hour: 10, PinSlot: true, Must: []string{"b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.cals["a"].CancelMeeting(ctxBg(), m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.cals["a"].CancelMeeting(ctxBg(), m.ID); err != nil {
+		t.Fatalf("second cancel: %v", err)
+	}
+}
+
+// TestCancelReachesLateJoiner: a participant who confirmed *after*
+// setup (via a tentative link) must still be released by the cancel
+// cascade — the forward link targets all participants, not just the
+// ones reserved at setup time.
+func TestCancelReachesLateJoiner(t *testing.T) {
+	w := newWorld(t, "a", "b", "c")
+	s := slot(day1, 14)
+	if err := w.cals["c"].MarkBusy(s, "class", 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := w.cals["a"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "m", Day: s.Day, Hour: s.Hour, PinSlot: true, Must: []string{"b", "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != calendar.StatusTentative {
+		t.Fatalf("status = %s", m.Status)
+	}
+	// c joins late.
+	if err := w.cals["c"].ReleaseSlot(ctxBg(), s); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := w.cals["a"].Meeting(m.ID)
+	if got.Status != calendar.StatusConfirmed {
+		t.Fatalf("status after join = %s", got.Status)
+	}
+	// Cancel must clear c's slot and link too.
+	if err := w.cals["a"].CancelMeeting(ctxBg(), m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.slotMeeting("c", s); got != "" {
+		t.Fatalf("late joiner slot = %q after cancel", got)
+	}
+	if _, ok := w.cals["c"].Links().GetLink(m.LinkID); ok {
+		t.Fatal("late joiner link survived cancel")
+	}
+}
+
+func containsStr(list []string, v string) bool {
+	for _, s := range list {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package calendar
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Committee is the SyD application object of the paper's §3.2: the
+// class it calls Calendars_of_committee_SyDAppC, instantiated as e.g.
+// Calendars_of_phil+andy+suzy_SyDAppO. It aggregates the calendar
+// device objects of a member set and offers the composite methods the
+// paper names — Find_earliest_meeting_time() and
+// Change_meeting_time_to_next_available() — implemented purely on top
+// of the groupware (no member-local code).
+//
+// A Committee is bound to one local Calendar (the coordinator, whose
+// engine and links are used) plus the remote members.
+type Committee struct {
+	cal     *Calendar
+	members []string // always includes the coordinator
+}
+
+// NewCommittee builds the app object for the coordinator's calendar
+// plus the other members. Member order is preserved (minus
+// duplicates); the coordinator is always included.
+func NewCommittee(cal *Calendar, others ...string) *Committee {
+	seen := map[string]bool{cal.User(): true}
+	members := []string{cal.User()}
+	for _, m := range others {
+		if !seen[m] {
+			seen[m] = true
+			members = append(members, m)
+		}
+	}
+	return &Committee{cal: cal, members: members}
+}
+
+// NewCommitteeFromGroup resolves a SyDDirectory group into a Committee
+// (the "formation and maintenance of dynamic groups" of the abstract).
+func NewCommitteeFromGroup(ctx context.Context, cal *Calendar, group string) (*Committee, error) {
+	members, err := cal.Engine().Directory().GroupMembers(ctx, group)
+	if err != nil {
+		return nil, err
+	}
+	if len(members) == 0 {
+		return nil, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("calendar: group %q is empty or unknown", group)}
+	}
+	return NewCommittee(cal, members...), nil
+}
+
+// Members returns the committee membership (coordinator first).
+func (cc *Committee) Members() []string {
+	return append([]string(nil), cc.members...)
+}
+
+// Name renders the paper's SyDAppO naming convention, e.g.
+// "Calendars_of_phil+andy+suzy_SyDAppO".
+func (cc *Committee) Name() string {
+	joined := ""
+	for i, m := range cc.members {
+		if i > 0 {
+			joined += "+"
+		}
+		joined += m
+	}
+	return "Calendars_of_" + joined + "_SyDAppO"
+}
+
+// others returns the non-coordinator members.
+func (cc *Committee) others() []string {
+	var out []string
+	for _, m := range cc.members {
+		if m != cc.cal.User() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FindEarliestMeetingTime is the paper's
+// Find_earliest_meeting_time(): the first slot in the window at which
+// every committee member is free.
+func (cc *Committee) FindEarliestMeetingTime(ctx context.Context, fromDay, toDay string, hours []int) (Slot, error) {
+	slots, err := cc.cal.FindCommonSlots(ctx, Request{
+		FromDay: fromDay, ToDay: toDay, Hours: hours, Must: cc.others(),
+	})
+	if err != nil {
+		return Slot{}, err
+	}
+	if len(slots) == 0 {
+		return Slot{}, &wire.RemoteError{Code: wire.CodeConflict, Msg: "calendar: committee has no common free slot in the window"}
+	}
+	return slots[0], nil
+}
+
+// ScheduleEarliest sets up a committee meeting at the earliest common
+// slot.
+func (cc *Committee) ScheduleEarliest(ctx context.Context, title, fromDay, toDay string, priority int) (*Meeting, error) {
+	return cc.cal.SetupMeeting(ctx, Request{
+		Title: title, FromDay: fromDay, ToDay: toDay,
+		Must: cc.others(), Priority: priority,
+	})
+}
+
+// ChangeMeetingTimeToNextAvailable is the paper's
+// Change_meeting_time_to_next_available(): move an existing committee
+// meeting to the next slot (strictly after the current one, within
+// horizonDays) at which every current participant is free. The move
+// itself is the atomic negotiation of ChangeMeetingSlot — if anyone's
+// status changed since the search, the change is rejected and the
+// meeting stays where it was.
+func (cc *Committee) ChangeMeetingTimeToNextAvailable(ctx context.Context, meetingID string, horizonDays int) (Slot, error) {
+	m, ok := cc.cal.Meeting(meetingID)
+	if !ok {
+		return Slot{}, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("calendar: unknown meeting %s", meetingID)}
+	}
+	if horizonDays <= 0 {
+		horizonDays = 7
+	}
+	toDay := addDays(m.Slot.Day, horizonDays)
+	candidates, err := cc.cal.FindCommonSlots(ctx, Request{
+		FromDay: m.Slot.Day, ToDay: toDay, Must: cc.others(),
+	})
+	if err != nil {
+		return Slot{}, err
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Day != candidates[j].Day {
+			return candidates[i].Day < candidates[j].Day
+		}
+		return candidates[i].Hour < candidates[j].Hour
+	})
+	for _, s := range candidates {
+		if s.Day == m.Slot.Day && s.Hour <= m.Slot.Hour {
+			continue // only strictly later slots
+		}
+		if err := cc.cal.ChangeMeetingSlot(ctx, meetingID, s); err != nil {
+			continue // raced with a change; try the next slot
+		}
+		return s, nil
+	}
+	return Slot{}, &wire.RemoteError{Code: wire.CodeConflict, Msg: "calendar: no later common slot within the horizon"}
+}
+
+// FreeBusyMatrix returns, per member, the free slots in the window —
+// the aggregated committee view a GUI would render (§5's "a list of
+// open slots common to all the participants appears").
+func (cc *Committee) FreeBusyMatrix(ctx context.Context, fromDay, toDay string, hours []int) (map[string][]Slot, error) {
+	out := make(map[string][]Slot, len(cc.members))
+	for _, u := range cc.members {
+		if u == cc.cal.User() {
+			out[u] = cc.cal.FreeSlots(fromDay, toDay, hours)
+			continue
+		}
+		var slots []Slot
+		err := cc.cal.Engine().Invoke(ctx, ServiceFor(u), "GetFreeSlots", wire.Args{
+			"from": fromDay, "to": toDay, "hours": hours,
+		}, &slots)
+		if err != nil {
+			return nil, fmt.Errorf("calendar: free/busy of %s: %w", u, err)
+		}
+		out[u] = slots
+	}
+	return out, nil
+}
+
+// addDays shifts a YYYY-MM-DD day string by n days (returns the input
+// unchanged if it does not parse).
+func addDays(day string, n int) string {
+	t, err := time.Parse("2006-01-02", day)
+	if err != nil {
+		return day
+	}
+	return t.AddDate(0, 0, n).Format("2006-01-02")
+}

@@ -1,0 +1,724 @@
+package calendar
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/links"
+	"repro/internal/wire"
+)
+
+// reserveArgs builds the negotiation arguments for a meeting's slot
+// reservation.
+func reserveArgs(m *Meeting, allowBump bool) wire.Args {
+	return wire.Args{
+		"meeting":   m.ID,
+		"priority":  m.Priority,
+		"allowBump": allowBump,
+		"day":       m.Slot.Day,
+		"hour":      m.Slot.Hour,
+	}
+}
+
+// backLinkTriggers are the ECA rules on a reserved participant's back
+// link: any change attempt at their slot consults the initiator (§5:
+// "this attempt by D would trigger its back link to A").
+func backLinkTriggers(meetingID, user string) []links.Trigger {
+	return []links.Trigger{{
+		Event: "change", Service: ServicePrefix + "%s", Method: "ParticipantChange",
+		Args: wire.Args{"meeting": meetingID, "user": user},
+	}}
+}
+
+// supervisorTriggers are the rules on a supervisor's subscription back
+// link: the supervisor may change at will, A is merely informed (§5).
+func supervisorTriggers(meetingID, user string) []links.Trigger {
+	return []links.Trigger{{
+		Event: "change", Service: ServicePrefix + "%s", Method: "SupervisorChanged",
+		Args: wire.Args{"meeting": meetingID, "user": user},
+	}}
+}
+
+// tentativeTriggers are the rules on a tentative back link queued at an
+// unavailable participant: when the link is promoted (blocking link
+// deleted) or the slot becomes available, tell the initiator (§5:
+// "whenever C becomes available ... informing A of C's availability").
+func tentativeTriggers(meetingID, user string) []links.Trigger {
+	args := wire.Args{"meeting": meetingID, "user": user}
+	return []links.Trigger{
+		{Event: "promote", Service: ServicePrefix + "%s", Method: "SlotAvailable", Args: args},
+		{Event: "avail", Service: ServicePrefix + "%s", Method: "SlotAvailable", Args: args},
+	}
+}
+
+// FindCommonSlots implements the §5 slot search: query every
+// participant's calendar for free slots in the window, intersect the
+// musts' and supervisors' availability, and keep slots where every
+// or-group can still meet its quorum.
+func (c *Calendar) FindCommonSlots(ctx context.Context, req Request) ([]Slot, error) {
+	hours := req.Hours
+	if hours == nil {
+		hours = DefaultHours
+	}
+	required := append([]string{}, req.Must...)
+	required = append(required, req.Supervisors...)
+
+	freeOf := make(map[string]map[Slot]bool)
+	collect := func(user string) error {
+		if _, done := freeOf[user]; done {
+			return nil
+		}
+		set := make(map[Slot]bool)
+		if user == c.user {
+			for _, s := range c.FreeSlots(req.FromDay, req.ToDay, hours) {
+				set[s] = true
+			}
+			freeOf[user] = set
+			return nil
+		}
+		var slots []Slot
+		err := c.eng.Invoke(ctx, ServiceFor(user), "GetFreeSlots", wire.Args{
+			"from": req.FromDay, "to": req.ToDay, "hours": hours,
+		}, &slots)
+		if err != nil {
+			return fmt.Errorf("calendar: free slots of %s: %w", user, err)
+		}
+		for _, s := range slots {
+			set[s] = true
+		}
+		freeOf[user] = set
+		return nil
+	}
+
+	if err := collect(c.user); err != nil {
+		return nil, err
+	}
+	for _, u := range required {
+		if err := collect(u); err != nil {
+			return nil, err
+		}
+	}
+	// Or-group members are optional per-member; a member we cannot
+	// reach simply counts as unavailable.
+	for _, g := range req.OrGroups {
+		for _, u := range g.Members {
+			_ = collect(u)
+		}
+	}
+
+	var out []Slot
+	for _, day := range DaysBetween(req.FromDay, req.ToDay) {
+		for _, h := range hours {
+			s := Slot{Day: day, Hour: h}
+			ok := freeOf[c.user][s]
+			for _, u := range required {
+				ok = ok && freeOf[u][s]
+			}
+			if !ok {
+				continue
+			}
+			for _, g := range req.OrGroups {
+				free := 0
+				for _, u := range g.Members {
+					if freeOf[u][s] {
+						free++
+					}
+				}
+				if free < g.K {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SetupMeeting implements the §5 meeting setup: find (or take) a slot,
+// reserve it across participants under the appropriate negotiation
+// constraints, install the coordination links, and notify everyone.
+// A meeting that cannot reserve all required participants is created
+// tentative with tentative back links queued at the unavailable
+// participants.
+func (c *Calendar) SetupMeeting(ctx context.Context, req Request) (*Meeting, error) {
+	m := &Meeting{
+		ID:          newMeetingID(),
+		Title:       req.Title,
+		Initiator:   c.user,
+		Priority:    req.Priority,
+		Must:        append([]string(nil), req.Must...),
+		Supervisors: append([]string(nil), req.Supervisors...),
+		OrGroups:    append([]OrGroup(nil), req.OrGroups...),
+		LinkID:      links.NewLinkID(),
+	}
+	// Pick the slot.
+	if req.PinSlot || req.Day != "" {
+		m.Slot = Slot{Day: req.Day, Hour: req.Hour}
+		if !m.Slot.Valid() {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: fmt.Sprintf("calendar: bad slot %v", m.Slot)}
+		}
+	} else {
+		candidates, err := c.FindCommonSlots(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if len(candidates) == 0 {
+			return nil, &wire.RemoteError{Code: wire.CodeConflict, Msg: "calendar: no common free slot in the window"}
+		}
+		m.Slot = candidates[0]
+	}
+	args := reserveArgs(m, req.AllowBump)
+
+	// Reserve the initiator's own slot first ("Mark A for change and
+	// Lock A"): without it there is no meeting at all.
+	_, err := c.lm.Negotiate(ctx, links.Spec{
+		Action: ActionReserve, Args: args, Constraint: links.And,
+		Local: &links.LocalChange{Entity: m.Slot.Entity(), Action: ActionReserve, Args: args},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("calendar: initiator slot: %w", err)
+	}
+	m.Reserved = []string{c.user}
+
+	// Reserve musts and supervisors: try them all, keep whoever can
+	// be reserved (failures make the meeting tentative, §5).
+	others := append(append([]string{}, m.Must...), m.Supervisors...)
+	if len(others) > 0 {
+		res, nerr := c.lm.Negotiate(ctx, links.Spec{
+			Action: ActionReserve, Args: args,
+			Targets:    slotRefs(others, m.Slot),
+			Constraint: links.Or, K: 1,
+		})
+		if nerr == nil {
+			for _, ref := range res.Accepted {
+				m.Reserved = append(m.Reserved, ref.User)
+			}
+		}
+		for _, u := range others {
+			if !m.isReserved(u) {
+				m.Missing = append(m.Missing, u)
+			}
+		}
+	}
+
+	// Reserve each or-group under its quorum; a group that cannot
+	// meet its quorum reserves nobody (atomic k-of-n, §4.3).
+	for _, g := range m.OrGroups {
+		members := excludeReserved(g.Members, m)
+		if len(members) == 0 {
+			continue
+		}
+		res, gerr := c.lm.Negotiate(ctx, links.Spec{
+			Action: ActionReserve, Args: args,
+			Targets:    slotRefs(members, m.Slot),
+			Constraint: links.Or, K: g.K,
+		})
+		if gerr == nil {
+			for _, ref := range res.Accepted {
+				m.Reserved = append(m.Reserved, ref.User)
+			}
+		}
+	}
+
+	if m.satisfied() {
+		m.Status = StatusConfirmed
+	} else {
+		m.Status = StatusTentative
+	}
+
+	if err := c.installMeetingLinks(ctx, m, req); err != nil {
+		return nil, err
+	}
+	if err := c.putMeeting(m); err != nil {
+		return nil, err
+	}
+	c.pushMeetingUpdate(ctx, m)
+	c.notifyParticipants(ctx, m,
+		fmt.Sprintf("Meeting %s (%s) %s", m.ID, m.Title, m.Status),
+		fmt.Sprintf("%s at %s, initiated by %s.", m.Title, m.Slot, m.Initiator))
+	return m, nil
+}
+
+// slotRefs maps users to their slot entity refs.
+func slotRefs(users []string, s Slot) []links.EntityRef {
+	out := make([]links.EntityRef, len(users))
+	for i, u := range users {
+		out[i] = links.EntityRef{User: u, Entity: s.Entity()}
+	}
+	return out
+}
+
+// excludeReserved filters out users already reserved (a member may be
+// in several groups or also a must).
+func excludeReserved(users []string, m *Meeting) []string {
+	var out []string
+	for _, u := range users {
+		if !m.isReserved(u) && u != m.Initiator {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// installMeetingLinks installs the link topology of §5:
+//
+//   - a forward negotiation-and link at the initiator over every
+//     reserved participant's slot;
+//   - negotiation back links at reserved musts / or-members;
+//   - subscription back links at supervisors;
+//   - tentative back links (waiting on whatever blocks the slot) at
+//     unreserved participants.
+func (c *Calendar) installMeetingLinks(ctx context.Context, m *Meeting, req Request) error {
+	aRef := links.EntityRef{User: m.Initiator, Entity: m.Slot.Entity()}
+	common := links.Link{
+		ID:       m.LinkID,
+		Group:    m.ID,
+		Priority: m.Priority,
+		Expires:  req.Expires,
+	}
+
+	// Forward link at the initiator. It targets *every* participant
+	// (reserved or still missing) so the §4.4 cancel cascade reaches
+	// users who joined after setup (a tentative participant who
+	// confirmed later) and clears queued tentative links.
+	fwd := common
+	fwd.Type = links.Negotiation
+	fwd.Subtype = links.Permanent
+	fwd.Constraint = links.And
+	fwd.Owner = aRef
+	for _, u := range m.Participants() {
+		if u != m.Initiator {
+			fwd.Targets = append(fwd.Targets, links.EntityRef{User: u, Entity: m.Slot.Entity()})
+		}
+	}
+	fwd.Triggers = []links.Trigger{{Event: "change", Action: ActionReserve, Args: reserveArgs(m, false)}}
+	if err := c.lm.AddLink(&fwd); err != nil {
+		return err
+	}
+
+	// Back links at reserved participants.
+	for _, u := range m.Reserved {
+		if u == m.Initiator {
+			continue
+		}
+		back := common
+		back.Owner = links.EntityRef{User: u, Entity: m.Slot.Entity()}
+		back.Targets = []links.EntityRef{aRef}
+		if containsString(m.Supervisors, u) {
+			back.Type = links.Subscription
+			back.Subtype = links.Permanent
+			back.Triggers = supervisorTriggers(m.ID, u)
+		} else {
+			back.Type = links.Negotiation
+			back.Subtype = links.Permanent
+			back.Constraint = links.And
+			back.Triggers = backLinkTriggers(m.ID, u)
+		}
+		if err := c.lm.InstallAt(ctx, u, &back); err != nil {
+			return fmt.Errorf("calendar: back link at %s: %w", u, err)
+		}
+	}
+
+	// Tentative back links at everyone not reserved.
+	for _, u := range m.Participants() {
+		if m.isReserved(u) {
+			continue
+		}
+		if err := c.installTentativeBackLink(ctx, m, u); err != nil {
+			return fmt.Errorf("calendar: tentative link at %s: %w", u, err)
+		}
+	}
+	return nil
+}
+
+// installTentativeBackLink queues a tentative back link at an
+// unavailable participant, waiting on whatever permanent link holds
+// their slot (or queued at the slot when the conflict is not
+// link-managed).
+func (c *Calendar) installTentativeBackLink(ctx context.Context, m *Meeting, user string) error {
+	aRef := links.EntityRef{User: m.Initiator, Entity: m.Slot.Entity()}
+	blocker := c.findBlockingLink(ctx, user, m.Slot.Entity(), m.ID)
+	l := links.Link{
+		ID:         m.LinkID,
+		Group:      m.ID,
+		Priority:   m.Priority,
+		Type:       links.Negotiation,
+		Subtype:    links.Tentative,
+		Constraint: links.And,
+		Owner:      links.EntityRef{User: user, Entity: m.Slot.Entity()},
+		Targets:    []links.EntityRef{aRef},
+		WaitingOn:  blocker,
+		Triggers:   tentativeTriggers(m.ID, user),
+	}
+	return c.lm.InstallAt(ctx, user, &l)
+}
+
+// findBlockingLink asks user's link manager for a permanent link of a
+// different meeting occupying entity; returns "" when none.
+func (c *Calendar) findBlockingLink(ctx context.Context, user, entity, excludeGroup string) string {
+	var ls []*links.Link
+	if user == c.user {
+		ls = c.lm.LinksOn(entity)
+	} else {
+		if err := c.eng.Invoke(ctx, links.ServiceFor(user), "LinksOn", wire.Args{"entity": entity}, &ls); err != nil {
+			return ""
+		}
+	}
+	for _, l := range ls {
+		if l.Subtype == links.Permanent && l.Group != excludeGroup && l.Group != "" {
+			return l.ID
+		}
+	}
+	return ""
+}
+
+// pushMeetingUpdate best-effort distributes the meeting record to all
+// participants so each device can display it.
+func (c *Calendar) pushMeetingUpdate(ctx context.Context, m *Meeting) {
+	doc := meetingDoc(m)
+	for _, u := range m.Participants() {
+		if u == c.user {
+			continue
+		}
+		_ = c.eng.Invoke(ctx, ServiceFor(u), "MeetingUpdate", wire.Args{"meeting": doc}, nil)
+	}
+}
+
+func meetingDoc(m *Meeting) map[string]any {
+	// Round-trip through JSON to get a plain map for wire.Args.
+	raw, _ := wireMarshalMeeting(m)
+	return raw
+}
+
+func wireMarshalMeeting(m *Meeting) (map[string]any, error) {
+	b, err := wire.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := wire.Unmarshal(b, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CancelMeeting cancels a meeting this user administers (§4.4): the
+// link cascade releases every participant's slot and promotes the
+// highest-priority tentative meetings waiting on those slots.
+func (c *Calendar) CancelMeeting(ctx context.Context, meetingID string) error {
+	m, ok := c.Meeting(meetingID)
+	if !ok {
+		return &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("calendar: unknown meeting %s", meetingID)}
+	}
+	return c.cancelMeetingAs(ctx, m, c.user)
+}
+
+func (c *Calendar) cancelMeetingAs(ctx context.Context, m *Meeting, byUser string) error {
+	defer c.lockMeeting(m.ID)()
+	if cur, ok := c.Meeting(m.ID); ok {
+		m = cur // re-read under the lock
+	}
+	if !m.canAdminister(byUser) {
+		return &wire.RemoteError{Code: wire.CodeAuth,
+			Msg: fmt.Sprintf("calendar: %s may not cancel %s (initiator %s)", byUser, m.ID, m.Initiator)}
+	}
+	if m.Status == StatusCancelled {
+		return nil
+	}
+	if _, err := c.lm.DeleteLink(ctx, m.LinkID, nil); err != nil {
+		return err
+	}
+	m.Status = StatusCancelled
+	m.Reserved = nil
+	if err := c.putMeeting(m); err != nil {
+		return err
+	}
+	c.pushMeetingUpdate(ctx, m)
+	c.notifyParticipants(ctx, m,
+		fmt.Sprintf("Meeting %s (%s) cancelled", m.ID, m.Title),
+		fmt.Sprintf("%s at %s was cancelled by %s.", m.Title, m.Slot, byUser))
+	return nil
+}
+
+// TryConfirm attempts to convert a tentative meeting to confirmed by
+// reserving the still-missing participants and or-group shortfalls
+// (§5's "another round of negotiations"). Safe to call repeatedly; it
+// runs at the initiator.
+func (c *Calendar) TryConfirm(ctx context.Context, meetingID string) (*Meeting, error) {
+	defer c.lockMeeting(meetingID)()
+	m, ok := c.Meeting(meetingID)
+	if !ok {
+		return nil, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("calendar: unknown meeting %s", meetingID)}
+	}
+	if m.Status == StatusCancelled {
+		return m, &wire.RemoteError{Code: wire.CodeConflict, Msg: "calendar: meeting is cancelled"}
+	}
+	if m.Status == StatusConfirmed && m.satisfied() {
+		return m, nil
+	}
+	args := reserveArgs(m, false)
+
+	// Missing musts/supervisors one by one (each independently
+	// useful even if others stay missing).
+	still := append([]string(nil), m.Missing...)
+	for _, u := range still {
+		res, err := c.lm.Negotiate(ctx, links.Spec{
+			Action: ActionReserve, Args: args,
+			Targets:    slotRefs([]string{u}, m.Slot),
+			Constraint: links.And,
+		})
+		if err != nil || !res.OK {
+			continue
+		}
+		m.Missing = removeString(m.Missing, u)
+		m.Reserved = append(m.Reserved, u)
+		c.solidifyBackLink(ctx, m, u)
+	}
+
+	// Or-group shortfalls.
+	for gi, short := range m.quorumShortfall() {
+		if short == 0 {
+			continue
+		}
+		members := excludeReserved(m.OrGroups[gi].Members, m)
+		if len(members) < short {
+			continue
+		}
+		res, err := c.lm.Negotiate(ctx, links.Spec{
+			Action: ActionReserve, Args: args,
+			Targets:    slotRefs(members, m.Slot),
+			Constraint: links.Or, K: short,
+		})
+		if err != nil {
+			continue
+		}
+		for _, ref := range res.Accepted {
+			m.Reserved = append(m.Reserved, ref.User)
+			c.solidifyBackLink(ctx, m, ref.User)
+		}
+	}
+
+	prev := m.Status
+	if m.satisfied() {
+		m.Status = StatusConfirmed
+	} else {
+		m.Status = StatusTentative
+	}
+	if err := c.putMeeting(m); err != nil {
+		return m, err
+	}
+	c.pushMeetingUpdate(ctx, m)
+	if prev != m.Status && m.Status == StatusConfirmed {
+		c.notifyParticipants(ctx, m,
+			fmt.Sprintf("Meeting %s (%s) confirmed", m.ID, m.Title),
+			fmt.Sprintf("%s at %s is now confirmed.", m.Title, m.Slot))
+	}
+	return m, nil
+}
+
+// solidifyBackLink converts a participant's tentative back link to a
+// permanent negotiation back link after their slot was reserved.
+func (c *Calendar) solidifyBackLink(ctx context.Context, m *Meeting, user string) {
+	if user == c.user {
+		_ = c.lm.PromoteLink(m.LinkID)
+		return
+	}
+	_ = c.eng.Invoke(ctx, links.ServiceFor(user), "PromoteLink", wire.Args{"id": m.LinkID}, nil)
+}
+
+// DropOut removes this user from a meeting they participate in: the
+// initiator is informed, the slot is released, and tentative meetings
+// waiting on the slot promote automatically (§1: "remove oneself from
+// a meeting ... resulting in automatic triggers being executed that
+// may possibly convert tentative meetings into confirmed ones").
+func (c *Calendar) DropOut(ctx context.Context, meetingID string) error {
+	m, ok := c.Meeting(meetingID)
+	if !ok {
+		return &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("calendar: unknown meeting %s", meetingID)}
+	}
+	if m.Initiator == c.user {
+		return &wire.RemoteError{Code: wire.CodeConflict, Msg: "calendar: the initiator cancels, not drops out"}
+	}
+	return c.eng.Invoke(ctx, ServiceFor(m.Initiator), "DropOut", wire.Args{
+		"meeting": meetingID, "user": c.user,
+	}, nil)
+}
+
+// dropParticipant runs at the initiator: release user's slot, remove
+// their link row (promoting whatever waits on it), and downgrade the
+// meeting if constraints no longer hold.
+func (c *Calendar) dropParticipant(ctx context.Context, meetingID, user string) error {
+	defer c.lockMeeting(meetingID)()
+	m, ok := c.Meeting(meetingID)
+	if !ok {
+		return &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("calendar: unknown meeting %s", meetingID)}
+	}
+	if !m.isReserved(user) || user == m.Initiator {
+		return &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("calendar: %s is not a droppable participant of %s", user, meetingID)}
+	}
+
+	// Release the slot first so promoted waiters find it free, then
+	// remove the participant's link row locally (no cascade).
+	relArgs := wire.Args{"meeting": meetingID}
+	_ = c.applyAt(ctx, user, m.Slot.Entity(), ActionRelease, relArgs)
+	if user == c.user {
+		_, _ = c.lm.DeleteLinkLocal(ctx, m.LinkID)
+	} else {
+		_ = c.eng.Invoke(ctx, links.ServiceFor(user), "DeleteLinkLocal", wire.Args{"id": m.LinkID}, nil)
+	}
+
+	m.Reserved = removeString(m.Reserved, user)
+	if containsString(m.Must, user) || containsString(m.Supervisors, user) {
+		if !containsString(m.Missing, user) {
+			m.Missing = append(m.Missing, user)
+		}
+	}
+	prev := m.Status
+	if !m.satisfied() {
+		m.Status = StatusTentative
+		// Queue a tentative back link so the meeting can heal if the
+		// dropped participant frees up again.
+		_ = c.installTentativeBackLink(ctx, m, user)
+	}
+	if err := c.putMeeting(m); err != nil {
+		return err
+	}
+	c.pushMeetingUpdate(ctx, m)
+	if prev != m.Status {
+		c.notifyParticipants(ctx, m,
+			fmt.Sprintf("Meeting %s (%s) now tentative", m.ID, m.Title),
+			fmt.Sprintf("%s dropped out of %s at %s.", user, m.Title, m.Slot))
+	}
+	return nil
+}
+
+// applyAt runs an unlocked entity action at a (possibly remote) user.
+func (c *Calendar) applyAt(ctx context.Context, user, entity, action string, args wire.Args) error {
+	if user == c.user {
+		// Local: reuse the links service surface for symmetry.
+		_, err := c.lm.Negotiate(ctx, links.Spec{
+			Action: action, Args: args, Constraint: links.And,
+			Local: &links.LocalChange{Entity: entity, Action: action, Args: args},
+		})
+		return err
+	}
+	return c.eng.Invoke(ctx, links.ServiceFor(user), "Apply", wire.Args{
+		"entity": entity, "action": action, "args": map[string]any(args),
+	}, nil)
+}
+
+// ChangeMeetingSlot moves a meeting to a new slot: the new slot is
+// negotiated with every current participant first; only if all agree
+// is the old slot released (§5: "if not all can agree, then D would be
+// unable to change the schedule of the meeting").
+func (c *Calendar) ChangeMeetingSlot(ctx context.Context, meetingID string, newSlot Slot) error {
+	defer c.lockMeeting(meetingID)()
+	m, ok := c.Meeting(meetingID)
+	if !ok {
+		return &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("calendar: unknown meeting %s", meetingID)}
+	}
+	if !m.canAdminister(c.user) {
+		return &wire.RemoteError{Code: wire.CodeAuth, Msg: fmt.Sprintf("calendar: %s may not change %s", c.user, m.ID)}
+	}
+	if !newSlot.Valid() {
+		return &wire.RemoteError{Code: wire.CodeBadArgs, Msg: fmt.Sprintf("calendar: bad slot %v", newSlot)}
+	}
+	old := *m
+	m.Slot = newSlot
+	args := reserveArgs(m, false)
+
+	var others []string
+	for _, u := range old.Reserved {
+		if u != m.Initiator {
+			others = append(others, u)
+		}
+	}
+	sort.Strings(others)
+	_, err := c.lm.Negotiate(ctx, links.Spec{
+		Action: ActionReserve, Args: args,
+		Targets:    slotRefs(others, newSlot),
+		Constraint: links.And,
+		Local:      &links.LocalChange{Entity: newSlot.Entity(), Action: ActionReserve, Args: args},
+	})
+	if err != nil {
+		return fmt.Errorf("calendar: change to %s rejected: %w", newSlot, err)
+	}
+
+	// All agreed: tear down the old link graph (releasing old slots
+	// and promoting their waiters) and rebuild on the new slot.
+	oldLinkID := m.LinkID
+	m.LinkID = links.NewLinkID()
+	if _, err := c.lm.DeleteLink(ctx, oldLinkID, nil); err != nil {
+		return err
+	}
+	if err := c.installMeetingLinks(ctx, m, Request{}); err != nil {
+		return err
+	}
+	if m.satisfied() {
+		m.Status = StatusConfirmed
+	} else {
+		m.Status = StatusTentative
+	}
+	if err := c.putMeeting(m); err != nil {
+		return err
+	}
+	c.pushMeetingUpdate(ctx, m)
+	c.notifyParticipants(ctx, m,
+		fmt.Sprintf("Meeting %s (%s) moved", m.ID, m.Title),
+		fmt.Sprintf("%s moved from %s to %s.", m.Title, old.Slot, newSlot))
+	return nil
+}
+
+// meetingBumpedLocally records a bump at the initiator: the bumped
+// user moves to missing, the meeting turns tentative, everyone is
+// told (§6: automatic rescheduling follows when the slot frees up via
+// the tentative link queued by the bumping device).
+func (c *Calendar) meetingBumpedLocally(ctx context.Context, meetingID, user string) {
+	defer c.lockMeeting(meetingID)()
+	m, ok := c.Meeting(meetingID)
+	if !ok {
+		return
+	}
+	if m.isReserved(user) {
+		m.Reserved = removeString(m.Reserved, user)
+	}
+	if (containsString(m.Must, user) || containsString(m.Supervisors, user) || user == m.Initiator) &&
+		!containsString(m.Missing, user) {
+		m.Missing = append(m.Missing, user)
+	}
+	m.Status = StatusTentative
+	_ = c.putMeeting(m)
+	c.pushMeetingUpdate(ctx, m)
+	c.notifyParticipants(ctx, m,
+		fmt.Sprintf("Meeting %s (%s) bumped", m.ID, m.Title),
+		fmt.Sprintf("%s was bumped off %s by a higher-priority meeting; %s is now tentative.", user, m.Slot, m.Title))
+}
+
+// Delegate grants user the right to cancel/change the meeting (§5's
+// scheduling-authority transfer).
+func (c *Calendar) Delegate(ctx context.Context, meetingID, user string) error {
+	defer c.lockMeeting(meetingID)()
+	m, ok := c.Meeting(meetingID)
+	if !ok {
+		return &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("calendar: unknown meeting %s", meetingID)}
+	}
+	if m.Initiator != c.user {
+		return &wire.RemoteError{Code: wire.CodeAuth, Msg: "calendar: only the initiator delegates"}
+	}
+	if !containsString(m.Delegates, user) {
+		m.Delegates = append(m.Delegates, user)
+	}
+	if err := c.putMeeting(m); err != nil {
+		return err
+	}
+	c.pushMeetingUpdate(ctx, m)
+	return nil
+}
+
+// Engine exposes the node engine (experiments).
+func (c *Calendar) Engine() *engine.Engine { return c.eng }

@@ -1,0 +1,158 @@
+package calendar_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/calendar"
+)
+
+// TestFindCommonSlotsProperty checks the §5 slot search against a
+// brute-force oracle for random busy patterns: a slot is returned iff
+// the initiator and every must-attendee are free AND every or-group
+// has at least K free members.
+func TestFindCommonSlotsProperty(t *testing.T) {
+	users := []string{"a", "b", "c", "g1", "g2", "g3"}
+	f := func(busyBits uint32, k uint8) bool {
+		w := newWorld(t, users...)
+		hours := []int{9, 10, 11, 12}
+		// Assign one bit per (user, hour).
+		busy := map[string]map[int]bool{}
+		bit := 0
+		for _, u := range users {
+			busy[u] = map[int]bool{}
+			for _, h := range hours {
+				if busyBits&(1<<bit) != 0 {
+					busy[u][h] = true
+					if err := w.cals[u].MarkBusy(slot(day1, h), "x", 0); err != nil {
+						return false
+					}
+				}
+				bit++
+			}
+		}
+		kk := int(k%3) + 1 // 1..3
+		req := calendar.Request{
+			FromDay: day1, ToDay: day1, Hours: hours,
+			Must: []string{"b", "c"},
+			OrGroups: []calendar.OrGroup{
+				{Members: []string{"g1", "g2", "g3"}, K: kk},
+			},
+		}
+		got, err := w.cals["a"].FindCommonSlots(ctxBg(), req)
+		if err != nil {
+			return false
+		}
+		gotSet := map[calendar.Slot]bool{}
+		for _, s := range got {
+			gotSet[s] = true
+		}
+		// Oracle.
+		for _, h := range hours {
+			want := !busy["a"][h] && !busy["b"][h] && !busy["c"][h]
+			free := 0
+			for _, g := range []string{"g1", "g2", "g3"} {
+				if !busy[g][h] {
+					free++
+				}
+			}
+			want = want && free >= kk
+			if gotSet[slot(day1, h)] != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(53))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFindCommonSlotsUnreachableMust: a must-attendee that cannot be
+// reached fails the search (rather than silently scheduling without
+// them); an unreachable or-group member merely counts as busy.
+func TestFindCommonSlotsUnreachableMust(t *testing.T) {
+	w := newWorld(t, "a", "b", "g1", "g2")
+	w.net.SetDown("node-b", true)
+	_, err := w.cals["a"].FindCommonSlots(ctxBg(), calendar.Request{
+		FromDay: day1, ToDay: day1, Must: []string{"b"},
+	})
+	if err == nil {
+		t.Fatal("unreachable must-attendee did not fail the search")
+	}
+
+	w.net.SetDown("node-b", false)
+	w.net.SetDown("node-g2", true)
+	got, err := w.cals["a"].FindCommonSlots(ctxBg(), calendar.Request{
+		FromDay: day1, ToDay: day1, Must: []string{"b"},
+		OrGroups: []calendar.OrGroup{{Members: []string{"g1", "g2"}, K: 1}},
+	})
+	if err != nil {
+		t.Fatalf("unreachable group member failed the search: %v", err)
+	}
+	if len(got) != len(calendar.DefaultHours) {
+		t.Fatalf("slots = %d", len(got))
+	}
+	// But if the group needs both members, no slot qualifies.
+	got, err = w.cals["a"].FindCommonSlots(ctxBg(), calendar.Request{
+		FromDay: day1, ToDay: day1, Must: []string{"b"},
+		OrGroups: []calendar.OrGroup{{Members: []string{"g1", "g2"}, K: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("slots with unreachable quorum member = %d", len(got))
+	}
+}
+
+func TestSlotHelpers(t *testing.T) {
+	s := calendar.Slot{Day: "2003-04-22", Hour: 14}
+	if s.Entity() != "slot:2003-04-22:14" {
+		t.Fatalf("entity = %q", s.Entity())
+	}
+	back, err := calendar.SlotFromEntity(s.Entity())
+	if err != nil || back != s {
+		t.Fatalf("round trip: %v %v", back, err)
+	}
+	for _, bad := range []string{"", "slot:x", "slot:2003-04-22:notanhour", "other:2003-04-22:9"} {
+		if _, err := calendar.SlotFromEntity(bad); err == nil {
+			t.Errorf("SlotFromEntity(%q) succeeded", bad)
+		}
+	}
+	if !s.Valid() {
+		t.Fatal("valid slot rejected")
+	}
+	for _, bad := range []calendar.Slot{
+		{Day: "2003-04-22", Hour: -1},
+		{Day: "2003-04-22", Hour: 24},
+		{Day: "not-a-day", Hour: 9},
+		{Day: "", Hour: 9},
+	} {
+		if bad.Valid() {
+			t.Errorf("invalid slot %v accepted", bad)
+		}
+	}
+	if s.String() != "2003-04-22 14:00" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestDaysBetween(t *testing.T) {
+	got := calendar.DaysBetween("2003-04-30", "2003-05-02")
+	want := []string{"2003-04-30", "2003-05-01", "2003-05-02"}
+	if len(got) != 3 || got[0] != want[0] || got[2] != want[2] {
+		t.Fatalf("days = %v", got)
+	}
+	if calendar.DaysBetween("2003-05-02", "2003-04-30") != nil {
+		t.Fatal("inverted range returned days")
+	}
+	if calendar.DaysBetween("garbage", "2003-05-02") != nil {
+		t.Fatal("garbage range returned days")
+	}
+	if got := calendar.DaysBetween("2003-04-22", "2003-04-22"); len(got) != 1 {
+		t.Fatalf("single day = %v", got)
+	}
+}

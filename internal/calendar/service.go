@@ -1,0 +1,186 @@
+package calendar
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/listener"
+	"repro/internal/wire"
+)
+
+// ServiceObject returns the cal.<user> device object: the calendar's
+// remote surface, covering both the data queries of §5 ("query each
+// table for free slots") and the coordination callbacks the link
+// triggers invoke.
+func (c *Calendar) ServiceObject() *listener.Object {
+	obj := listener.NewObject()
+
+	obj.Handle("GetFreeSlots", func(ctx context.Context, call *listener.Call) (any, error) {
+		var hours []int
+		if raw, ok := call.Args["hours"]; ok && raw != nil {
+			if err := call.Args.Decode("hours", &hours); err != nil {
+				return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "bad hours"}
+			}
+		}
+		return c.FreeSlots(call.Args.String("from"), call.Args.String("to"), hours), nil
+	})
+
+	obj.Handle("SlotInfo", func(ctx context.Context, call *listener.Call) (any, error) {
+		s := Slot{Day: call.Args.String("day"), Hour: call.Args.Int("hour")}
+		if !s.Valid() {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: fmt.Sprintf("bad slot %v", s)}
+		}
+		return c.slotInfo(s), nil
+	})
+
+	obj.Handle("ListMeetings", func(ctx context.Context, call *listener.Call) (any, error) {
+		return c.Meetings(), nil
+	})
+
+	obj.Handle("GetMeeting", func(ctx context.Context, call *listener.Call) (any, error) {
+		m, ok := c.Meeting(call.Args.String("meeting"))
+		if !ok {
+			return nil, &wire.RemoteError{Code: wire.CodeNoService, Msg: "unknown meeting"}
+		}
+		return m, nil
+	})
+
+	// Schedule: set up a meeting with this node's user as initiator —
+	// the remote surface behind the sydcal CLI (the paper's split of
+	// client interface vs server application, §3.1).
+	obj.Handle("Schedule", func(ctx context.Context, call *listener.Call) (any, error) {
+		var req Request
+		if raw, ok := call.Args["request"]; ok && raw != nil {
+			if err := call.Args.Decode("request", &req); err != nil {
+				return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: fmt.Sprintf("bad request: %v", err)}
+			}
+		} else {
+			req = Request{
+				Title:   call.Args.String("title"),
+				FromDay: call.Args.String("from"),
+				ToDay:   call.Args.String("to"),
+				Must:    call.Args.Strings("must"),
+			}
+		}
+		m, err := c.SetupMeeting(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+
+	// MeetingUpdate: the initiator pushes the authoritative meeting
+	// record to participants.
+	obj.Handle("MeetingUpdate", func(ctx context.Context, call *listener.Call) (any, error) {
+		raw, err := json.Marshal(call.Args["meeting"])
+		if err != nil {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "bad meeting"}
+		}
+		var m Meeting
+		if err := json.Unmarshal(raw, &m); err != nil || m.ID == "" {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "bad meeting"}
+		}
+		if err := c.putMeeting(&m); err != nil {
+			return nil, err
+		}
+		return true, nil
+	})
+
+	// SlotAvailable: a tentative participant's slot freed up — try to
+	// confirm the meeting (fired by tentative back-link triggers).
+	obj.Handle("SlotAvailable", func(ctx context.Context, call *listener.Call) (any, error) {
+		meetingID := call.Args.String("meeting")
+		m, err := c.TryConfirm(ctx, meetingID)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{"status": m.Status}, nil
+	})
+
+	// ParticipantChange: a reserved must-attendee attempts to change
+	// their slot. A confirmed meeting vetoes unilateral changes (§5:
+	// "D would be unable to change the schedule of the meeting").
+	obj.Handle("ParticipantChange", func(ctx context.Context, call *listener.Call) (any, error) {
+		meetingID := call.Args.String("meeting")
+		user := call.Args.String("user")
+		m, ok := c.Meeting(meetingID)
+		if !ok {
+			return nil, &wire.RemoteError{Code: wire.CodeNoService, Msg: "unknown meeting"}
+		}
+		if m.Status == StatusConfirmed && (containsString(m.Must, user) || user == m.Initiator) {
+			return nil, &wire.RemoteError{Code: wire.CodeConflict,
+				Msg: fmt.Sprintf("calendar: %s is a must-attendee of confirmed meeting %s", user, meetingID)}
+		}
+		return true, nil
+	})
+
+	// SupervisorChanged: a supervisor changed their schedule at will;
+	// the meeting loses them and goes tentative until renegotiated
+	// (§5's supervisor scenario).
+	obj.Handle("SupervisorChanged", func(ctx context.Context, call *listener.Call) (any, error) {
+		meetingID := call.Args.String("meeting")
+		user := call.Args.String("user")
+		// Mutate under the meeting lock, release, then re-confirm
+		// (TryConfirm takes the same lock).
+		err := func() error {
+			defer c.lockMeeting(meetingID)()
+			m, ok := c.Meeting(meetingID)
+			if !ok {
+				return &wire.RemoteError{Code: wire.CodeNoService, Msg: "unknown meeting"}
+			}
+			if m.isReserved(user) {
+				m.Reserved = removeString(m.Reserved, user)
+			}
+			if !containsString(m.Missing, user) {
+				m.Missing = append(m.Missing, user)
+			}
+			m.Status = StatusTentative
+			if err := c.putMeeting(m); err != nil {
+				return err
+			}
+			c.pushMeetingUpdate(ctx, m)
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+		// Immediately try to re-confirm (the supervisor may only
+		// have moved within the same free window).
+		if _, err := c.TryConfirm(ctx, meetingID); err != nil {
+			return nil, err
+		}
+		return true, nil
+	})
+
+	// MeetingBumped: a participant's device reports its slot was
+	// taken by a higher-priority meeting.
+	obj.Handle("MeetingBumped", func(ctx context.Context, call *listener.Call) (any, error) {
+		c.meetingBumpedLocally(ctx, call.Args.String("meeting"), call.Args.String("user"))
+		return true, nil
+	})
+
+	// DropOut: a participant leaves the meeting.
+	obj.Handle("DropOut", func(ctx context.Context, call *listener.Call) (any, error) {
+		if err := c.dropParticipant(ctx, call.Args.String("meeting"), call.Args.String("user")); err != nil {
+			return nil, err
+		}
+		return true, nil
+	})
+
+	// CancelMeeting: remote cancellation by the initiator or a
+	// delegate (checked against the claimed caller identity; with
+	// RequireAuth the listener substitutes the authenticated one).
+	obj.Handle("CancelMeeting", func(ctx context.Context, call *listener.Call) (any, error) {
+		m, ok := c.Meeting(call.Args.String("meeting"))
+		if !ok {
+			return nil, &wire.RemoteError{Code: wire.CodeNoService, Msg: "unknown meeting"}
+		}
+		if err := c.cancelMeetingAs(ctx, m, call.Caller); err != nil {
+			return nil, err
+		}
+		return true, nil
+	})
+
+	return obj
+}

@@ -1,0 +1,140 @@
+package calendar_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/calendar"
+	"repro/internal/wire"
+)
+
+// invoke is a helper that calls a calendar service method from another
+// user's engine.
+func invoke(w *world, caller, target, method string, args wire.Args, out any) error {
+	return w.cals[caller].Engine().Invoke(ctxBg(), calendar.ServiceFor(target), method, args, out)
+}
+
+func TestServiceGetFreeSlotsAndSlotInfo(t *testing.T) {
+	w := newWorld(t, "phil", "andy")
+	if err := w.cals["phil"].MarkBusy(slot(day1, 9), "x", 3); err != nil {
+		t.Fatal(err)
+	}
+	var slots []calendar.Slot
+	if err := invoke(w, "andy", "phil", "GetFreeSlots", wire.Args{"from": day1, "to": day1}, &slots); err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != len(calendar.DefaultHours)-1 {
+		t.Fatalf("slots = %d", len(slots))
+	}
+	// Restricted hours.
+	if err := invoke(w, "andy", "phil", "GetFreeSlots", wire.Args{"from": day1, "to": day1, "hours": []int{9, 10}}, &slots); err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 1 || slots[0].Hour != 10 {
+		t.Fatalf("restricted slots = %v", slots)
+	}
+	var info calendar.SlotInfo
+	if err := invoke(w, "andy", "phil", "SlotInfo", wire.Args{"day": day1, "hour": 9}, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Meeting != "personal:x" || info.Priority != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	// Bad slot args.
+	err := invoke(w, "andy", "phil", "SlotInfo", wire.Args{"day": "garbage", "hour": 9}, nil)
+	if wire.CodeOf(err) != wire.CodeBadArgs {
+		t.Fatalf("bad slot: %v", err)
+	}
+}
+
+func TestServiceScheduleRemote(t *testing.T) {
+	w := newWorld(t, "phil", "andy", "suzy")
+	var m calendar.Meeting
+	err := invoke(w, "suzy", "phil", "Schedule", wire.Args{
+		"title": "remote", "from": day1, "to": day1, "must": []string{"andy"},
+	}, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The meeting is initiated by the node's owner, not the caller.
+	if m.Initiator != "phil" || m.Status != calendar.StatusConfirmed {
+		t.Fatalf("m = %+v", m)
+	}
+	if got := w.slotMeeting("andy", m.Slot); got != m.ID {
+		t.Fatalf("andy slot = %q", got)
+	}
+	// Structured request form with priority.
+	err = invoke(w, "suzy", "phil", "Schedule", wire.Args{
+		"request": map[string]any{
+			"title": "structured", "day": day1, "hour": 16, "pinSlot": true,
+			"must": []string{"suzy"}, "priority": 5,
+		},
+	}, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Priority != 5 || m.Slot.Hour != 16 {
+		t.Fatalf("structured m = %+v", m)
+	}
+}
+
+func TestServiceGetMeetingAndUpdateValidation(t *testing.T) {
+	w := newWorld(t, "phil", "andy")
+	m, err := w.cals["phil"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "m", Day: day1, Hour: 10, PinSlot: true, Must: []string{"andy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got calendar.Meeting
+	if err := invoke(w, "andy", "phil", "GetMeeting", wire.Args{"meeting": m.ID}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != m.ID || got.Title != "m" {
+		t.Fatalf("got = %+v", got)
+	}
+	err = invoke(w, "andy", "phil", "GetMeeting", wire.Args{"meeting": "nope"}, nil)
+	if wire.CodeOf(err) != wire.CodeNoService {
+		t.Fatalf("unknown meeting: %v", err)
+	}
+	// MeetingUpdate rejects garbage.
+	err = invoke(w, "andy", "phil", "MeetingUpdate", wire.Args{"meeting": "not-an-object"}, nil)
+	if wire.CodeOf(err) != wire.CodeBadArgs {
+		t.Fatalf("garbage update: %v", err)
+	}
+	err = invoke(w, "andy", "phil", "MeetingUpdate", wire.Args{"meeting": map[string]any{"title": "no id"}}, nil)
+	if wire.CodeOf(err) != wire.CodeBadArgs {
+		t.Fatalf("update without id: %v", err)
+	}
+}
+
+func TestServiceNotificationContents(t *testing.T) {
+	w := newWorld(t, "phil", "andy")
+	m, err := w.cals["phil"].SetupMeeting(ctxBg(), calendar.Request{
+		Title: "design review", Day: day1, Hour: 10, PinSlot: true, Must: []string{"andy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inbox := w.mail.Inbox("andy")
+	if len(inbox) != 1 {
+		t.Fatalf("inbox = %d", len(inbox))
+	}
+	msg := inbox[0]
+	for _, want := range []string{m.ID, "design review", "confirmed"} {
+		if !containsSub(msg.Subject, want) && !containsSub(msg.Body, want) {
+			t.Fatalf("notification missing %q: subject=%q body=%q", want, msg.Subject, msg.Body)
+		}
+	}
+	if err := w.cals["phil"].CancelMeeting(ctxBg(), m.ID); err != nil {
+		t.Fatal(err)
+	}
+	inbox = w.mail.Inbox("andy")
+	if len(inbox) != 2 || !containsSub(inbox[1].Subject, "cancelled") {
+		t.Fatalf("cancel notification: %+v", inbox)
+	}
+}
+
+func containsSub(haystack, needle string) bool {
+	return strings.Contains(haystack, needle)
+}

@@ -1,0 +1,248 @@
+// Package calendar implements the SyD calendar-of-meetings application
+// (paper §3.2, §4.4, §5): independent per-device calendars coordinated
+// purely through SyD links — meeting setup over common free slots,
+// tentative meetings with automatic confirmation on cancellations,
+// priority bumping, supervisor (subscription-only) participants,
+// multiple OR-groups with quorums, dropouts, and cancellation cascades.
+package calendar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Meeting status values.
+const (
+	StatusConfirmed = "confirmed"
+	StatusTentative = "tentative"
+	StatusCancelled = "cancelled"
+)
+
+// Slot identifies one calendar slot: a day (YYYY-MM-DD) and an hour.
+type Slot struct {
+	Day  string `json:"day"`
+	Hour int    `json:"hour"`
+}
+
+// String implements fmt.Stringer.
+func (s Slot) String() string { return fmt.Sprintf("%s %02d:00", s.Day, s.Hour) }
+
+// Entity returns the SyD entity id for the slot (the unit the
+// coordination links attach to).
+func (s Slot) Entity() string { return fmt.Sprintf("slot:%s:%d", s.Day, s.Hour) }
+
+// SlotFromEntity parses a slot entity id.
+func SlotFromEntity(entity string) (Slot, error) {
+	parts := strings.Split(entity, ":")
+	if len(parts) != 3 || parts[0] != "slot" {
+		return Slot{}, fmt.Errorf("calendar: bad slot entity %q", entity)
+	}
+	h, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return Slot{}, fmt.Errorf("calendar: bad slot hour in %q", entity)
+	}
+	return Slot{Day: parts[1], Hour: h}, nil
+}
+
+// Valid reports whether the slot has a parseable day and a sane hour.
+func (s Slot) Valid() bool {
+	if s.Hour < 0 || s.Hour > 23 {
+		return false
+	}
+	_, err := time.Parse("2006-01-02", s.Day)
+	return err == nil
+}
+
+// DaysBetween enumerates the days from fromDay to toDay inclusive
+// (both YYYY-MM-DD). Returns nil if the range is malformed or inverted.
+func DaysBetween(fromDay, toDay string) []string {
+	from, err1 := time.Parse("2006-01-02", fromDay)
+	to, err2 := time.Parse("2006-01-02", toDay)
+	if err1 != nil || err2 != nil || to.Before(from) {
+		return nil
+	}
+	var out []string
+	for d := from; !d.After(to); d = d.AddDate(0, 0, 1) {
+		out = append(out, d.Format("2006-01-02"))
+	}
+	return out
+}
+
+// OrGroup is a quorum group: at least K of Members must attend (§5's
+// "a quorum of 50% among the faculty of Biology and at least two
+// faculties from Physics").
+type OrGroup struct {
+	Name    string   `json:"name,omitempty"`
+	Members []string `json:"members"`
+	K       int      `json:"k"`
+}
+
+// Request describes a meeting to set up (§5's GUI form: dates, people,
+// and design criteria such as "A and B are must-attendees, but one of
+// C, D, E would suffice").
+type Request struct {
+	Title string `json:"title"`
+
+	// Search window used when Day/Hour are not pinned.
+	FromDay string `json:"fromDay"`
+	ToDay   string `json:"toDay"`
+	// Hours restricts candidate hours (nil = 9..17).
+	Hours []int `json:"hours,omitempty"`
+
+	// Day/Hour pin an explicit slot, skipping the search.
+	Day  string `json:"day,omitempty"`
+	Hour int    `json:"hour,omitempty"`
+	// PinSlot distinguishes an explicit Hour 0 from "not set".
+	PinSlot bool `json:"pinSlot,omitempty"`
+
+	// Must lists required attendees besides the initiator.
+	Must []string `json:"must,omitempty"`
+	// Supervisors attend but retain the right to change their
+	// schedule at will (subscription back links only, §5).
+	Supervisors []string `json:"supervisors,omitempty"`
+	// OrGroups are quorum groups.
+	OrGroups []OrGroup `json:"orGroups,omitempty"`
+
+	// Priority orders meetings; a higher-priority meeting may bump a
+	// lower-priority one when AllowBump is set (§6).
+	Priority  int  `json:"priority"`
+	AllowBump bool `json:"allowBump,omitempty"`
+
+	// Expires optionally bounds the meeting's links (§4.2 op 6).
+	Expires time.Time `json:"expires,omitempty"`
+}
+
+// Meeting is the meeting record (stored at the initiator; pushed to
+// participants for visibility).
+type Meeting struct {
+	ID        string `json:"id"`
+	Title     string `json:"title"`
+	Initiator string `json:"initiator"`
+	Slot      Slot   `json:"slot"`
+	Status    string `json:"status"`
+	Priority  int    `json:"priority"`
+
+	Must        []string  `json:"must,omitempty"`
+	Supervisors []string  `json:"supervisors,omitempty"`
+	OrGroups    []OrGroup `json:"orGroups,omitempty"`
+	// Delegates may cancel/change on the initiator's behalf (§5's
+	// "an executive may want to delegate the task of scheduling").
+	Delegates []string `json:"delegates,omitempty"`
+
+	// Reserved lists participants currently holding the slot;
+	// Missing lists must-attendees not yet reserved.
+	Reserved []string `json:"reserved,omitempty"`
+	Missing  []string `json:"missing,omitempty"`
+
+	// LinkID is the shared coordination-link id across participants.
+	LinkID string `json:"linkID,omitempty"`
+}
+
+// Participants returns every user involved (initiator, musts,
+// supervisors, or-group members), deduplicated, in first-seen order.
+func (m *Meeting) Participants() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(u string) {
+		if u != "" && !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	add(m.Initiator)
+	for _, u := range m.Must {
+		add(u)
+	}
+	for _, u := range m.Supervisors {
+		add(u)
+	}
+	for _, g := range m.OrGroups {
+		for _, u := range g.Members {
+			add(u)
+		}
+	}
+	return out
+}
+
+// isReserved reports whether user currently holds the meeting slot.
+func (m *Meeting) isReserved(user string) bool {
+	for _, u := range m.Reserved {
+		if u == user {
+			return true
+		}
+	}
+	return false
+}
+
+// quorumShortfall returns, per or-group, how many more members need to
+// be reserved to meet K (0 when satisfied).
+func (m *Meeting) quorumShortfall() []int {
+	out := make([]int, len(m.OrGroups))
+	for i, g := range m.OrGroups {
+		have := 0
+		for _, u := range g.Members {
+			if m.isReserved(u) {
+				have++
+			}
+		}
+		if g.K > have {
+			out[i] = g.K - have
+		}
+	}
+	return out
+}
+
+// satisfied reports whether all musts are reserved and every or-group
+// meets its quorum.
+func (m *Meeting) satisfied() bool {
+	if len(m.Missing) > 0 {
+		return false
+	}
+	for _, short := range m.quorumShortfall() {
+		if short > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfied reports whether the meeting's constraints are all met —
+// every must-attendee reserved and every or-group at quorum.
+func (m *Meeting) Satisfied() bool { return m.satisfied() }
+
+// canAdminister reports whether user may cancel/change the meeting:
+// the initiator or a delegate (§6: "only the initiator of a meeting
+// can cancel that meeting", extended by §5's delegation).
+func (m *Meeting) canAdminister(user string) bool {
+	if user == m.Initiator {
+		return true
+	}
+	for _, d := range m.Delegates {
+		if d == user {
+			return true
+		}
+	}
+	return false
+}
+
+// removeString removes the first occurrence of v from list.
+func removeString(list []string, v string) []string {
+	for i, s := range list {
+		if s == v {
+			return append(append([]string(nil), list[:i]...), list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// containsString reports membership.
+func containsString(list []string, v string) bool {
+	for _, s := range list {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

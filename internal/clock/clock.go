@@ -1,0 +1,127 @@
+// Package clock abstracts time so that link expiry, heartbeats, and the
+// benchmark harness can run against either the wall clock or a
+// deterministic fake clock.
+//
+// The SyD event handler (paper §4.2, operation 6) periodically sweeps
+// expired links; reproducing that behaviour in tests requires a clock
+// that can be advanced manually, which is what Fake provides.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time surface the SyD kernel needs.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the (then-current) time
+	// after d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks the calling goroutine for d.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// System is the shared real clock used by default throughout the kernel.
+var System Clock = Real{}
+
+// Fake is a manually advanced Clock. The zero value is not usable; call
+// NewFake. Fake is safe for concurrent use.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewFake returns a Fake clock starting at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Clock. The returned channel fires when Advance moves
+// the clock to or past the deadline.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	w := &fakeWaiter{deadline: f.now.Add(d), ch: ch}
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, w)
+	return ch
+}
+
+// Sleep implements Clock; it blocks until Advance passes the deadline.
+func (f *Fake) Sleep(d time.Duration) {
+	<-f.After(d)
+}
+
+// Advance moves the fake clock forward by d, firing any waiters whose
+// deadlines are reached, in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	var due, rest []*fakeWaiter
+	for _, w := range f.waiters {
+		if !w.deadline.After(now) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	f.waiters = rest
+	f.mu.Unlock()
+
+	sort.Slice(due, func(i, j int) bool { return due[i].deadline.Before(due[j].deadline) })
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Set jumps the fake clock to t (which must not be earlier than the
+// current fake time) and fires due waiters.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	d := t.Sub(f.now)
+	f.mu.Unlock()
+	if d < 0 {
+		panic("clock: Set would move the fake clock backwards")
+	}
+	f.Advance(d)
+}
+
+// PendingWaiters reports how many After/Sleep callers are still blocked.
+func (f *Fake) PendingWaiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}

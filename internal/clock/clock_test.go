@@ -1,0 +1,155 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := Real{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	c := Real{}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestFakeNowStable(t *testing.T) {
+	start := time.Date(2003, 4, 22, 9, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	if !f.Now().Equal(start) {
+		t.Fatal("Now drifted without Advance")
+	}
+}
+
+func TestFakeAdvanceMovesNow(t *testing.T) {
+	start := time.Date(2003, 4, 22, 9, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	f.Advance(90 * time.Minute)
+	want := start.Add(90 * time.Minute)
+	if !f.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeAfterFiresOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(time.Hour)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	f.Advance(59 * time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	f.Advance(time.Minute)
+	select {
+	case got := <-ch:
+		if !got.Equal(time.Unix(0, 0).Add(time.Hour)) {
+			t.Fatalf("fired with %v", got)
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(negative) should fire immediately")
+	}
+}
+
+func TestFakeSleepUnblocks(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.Sleep(time.Minute)
+		close(done)
+	}()
+	// Wait until the sleeper has registered.
+	for i := 0; i < 1000 && f.PendingWaiters() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if f.PendingWaiters() != 1 {
+		t.Fatal("sleeper never registered")
+	}
+	f.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep never returned after Advance")
+	}
+	wg.Wait()
+}
+
+func TestFakeMultipleWaitersFireInOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	a := f.After(time.Second)
+	b := f.After(2 * time.Second)
+	c := f.After(3 * time.Second)
+	f.Advance(10 * time.Second)
+	for name, ch := range map[string]<-chan time.Time{"a": a, "b": b, "c": c} {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("waiter %s did not fire", name)
+		}
+	}
+	if f.PendingWaiters() != 0 {
+		t.Fatalf("PendingWaiters = %d, want 0", f.PendingWaiters())
+	}
+}
+
+func TestFakeSetForwards(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	target := time.Unix(3600, 0)
+	ch := f.After(30 * time.Minute)
+	f.Set(target)
+	if !f.Now().Equal(target) {
+		t.Fatalf("Now = %v, want %v", f.Now(), target)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Set did not fire due waiter")
+	}
+}
+
+func TestFakeSetBackwardsPanics(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set backwards did not panic")
+		}
+	}()
+	f.Set(time.Unix(0, 0))
+}

@@ -1,0 +1,182 @@
+// Package core assembles the SyD kernel for one device: the listener,
+// engine, event handler, and links manager of Fig. 3, wired to the
+// shared directory and a transport.
+//
+// A Node is what the paper calls a "SyD device object host": it owns
+// the device's embedded database, publishes its services (links.<user>
+// and events.<user> are published automatically), heartbeats the
+// directory, and runs the periodic link-expiry sweep that the paper
+// assigns to the event handler (§4.2 op 6).
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/directory"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/links"
+	"repro/internal/listener"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// Config describes a node to start.
+type Config struct {
+	// User is the device owner's SyD user id (required).
+	User string
+	// Priority is the user's scheduling priority (§6: "each user is
+	// assigned a priority").
+	Priority int
+	// Net is the transport (TCP or sim) shared by the deployment.
+	Net transport.Network
+	// DirAddr is the directory server's address.
+	DirAddr string
+	// ListenAddr is the address to bind; empty lets the transport
+	// pick ("sim-N" on the simulated network, a free port on TCP).
+	ListenAddr string
+	// Clock drives heartbeats and expiry sweeps; nil = system clock.
+	Clock clock.Clock
+	// Auth, when set, enables server-side credential checks for
+	// objects that set RequireAuth.
+	Auth *auth.Authenticator
+	// HeartbeatEvery enables periodic directory heartbeats when > 0.
+	HeartbeatEvery time.Duration
+	// ExpireEvery enables the periodic link-expiry sweep when > 0.
+	ExpireEvery time.Duration
+	// DirCacheTTL enables directory lookup caching when > 0.
+	DirCacheTTL time.Duration
+}
+
+// Node is a running SyD device node.
+type Node struct {
+	User string
+
+	DB       *store.DB
+	Listener *listener.Listener
+	Engine   *engine.Engine
+	Events   *event.Handler
+	Links    *links.Manager
+	Dir      *directory.Client
+	Clock    clock.Clock
+
+	cfg Config
+	ln  transport.Listener
+}
+
+// Start boots a node: creates its database and kernel modules, binds
+// the listener, registers the user with the directory, and publishes
+// the kernel services.
+func Start(ctx context.Context, cfg Config) (*Node, error) {
+	if cfg.User == "" {
+		return nil, fmt.Errorf("core: Config.User is required")
+	}
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("core: Config.Net is required")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+
+	db := store.NewDB()
+	lis := listener.New(cfg.User, cfg.Auth)
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = "node-" + cfg.User
+	}
+	ln, err := cfg.Net.Listen(addr, lis)
+	if err != nil {
+		// Fall back to an auto-assigned address (TCP: ephemeral
+		// port; sim: unique name).
+		ln, err = cfg.Net.Listen(":0", lis)
+		if err != nil {
+			return nil, fmt.Errorf("core: listen: %w", err)
+		}
+	}
+
+	var dirOpts []directory.ClientOption
+	if cfg.DirCacheTTL > 0 {
+		dirOpts = append(dirOpts, directory.WithCacheTTL(cfg.DirCacheTTL))
+	}
+	dir := directory.NewClient(cfg.Net, cfg.DirAddr, dirOpts...)
+	eng := engine.New(cfg.Net, dir, cfg.User)
+	events := event.New(cfg.User, cfg.Net, clk)
+	lis.SetEventSink(events.Dispatch)
+
+	lm, err := links.NewManager(cfg.User, db, eng, clk)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+
+	n := &Node{
+		User:     cfg.User,
+		DB:       db,
+		Listener: lis,
+		Engine:   eng,
+		Events:   events,
+		Links:    lm,
+		Dir:      dir,
+		Clock:    clk,
+		cfg:      cfg,
+		ln:       ln,
+	}
+
+	if err := dir.RegisterUser(ctx, cfg.User, ln.Addr(), cfg.Priority); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("core: register user: %w", err)
+	}
+	// Publish the kernel services every node exposes.
+	if err := n.RegisterService(ctx, links.ServiceFor(cfg.User), lm.Object()); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if err := n.RegisterService(ctx, event.ServiceFor(cfg.User), events.Object()); err != nil {
+		ln.Close()
+		return nil, err
+	}
+
+	if cfg.HeartbeatEvery > 0 {
+		events.Every(cfg.HeartbeatEvery, func(time.Time) {
+			hbCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = dir.Heartbeat(hbCtx, cfg.User)
+		})
+	}
+	if cfg.ExpireEvery > 0 {
+		events.Every(cfg.ExpireEvery, func(now time.Time) {
+			swCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = lm.ExpireSweep(swCtx, now)
+			_ = lm.RetryPendingDeletes(swCtx)
+		})
+	}
+	return n, nil
+}
+
+// Addr returns the node's bound network address.
+func (n *Node) Addr() string { return n.ln.Addr() }
+
+// RegisterService registers obj locally and publishes it globally in
+// the directory.
+func (n *Node) RegisterService(ctx context.Context, name string, obj *listener.Object) error {
+	n.Listener.Register(name, obj)
+	if err := n.Listener.PublishGlobal(ctx, n.Dir, name, n.ln.Addr()); err != nil {
+		return fmt.Errorf("core: publish %s: %w", name, err)
+	}
+	return nil
+}
+
+// Close marks the node offline in the directory, stops periodic work,
+// and closes the listener. The node's data survives in n.DB (a proxy
+// can adopt it; the device can Start again).
+func (n *Node) Close(ctx context.Context) error {
+	_ = n.Dir.SetOffline(ctx, n.User, true)
+	n.Events.Close()
+	return n.ln.Close()
+}

@@ -1,0 +1,188 @@
+package directory
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Client is the typed stub every SyD node uses to talk to the
+// directory. It caches service lookups briefly to keep the directory
+// from becoming a hot spot (the prototype consulted the directory "on
+// the fly"; a small TTL cache preserves that semantic while letting
+// group operations scale).
+type Client struct {
+	net  transport.Network
+	addr string
+
+	cacheTTL time.Duration
+	mu       sync.Mutex
+	cache    map[string]cachedService
+	nowFn    func() time.Time
+}
+
+type cachedService struct {
+	info    ServiceInfo
+	expires time.Time
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithCacheTTL sets the service-lookup cache TTL (0 disables caching).
+func WithCacheTTL(d time.Duration) ClientOption {
+	return func(c *Client) { c.cacheTTL = d }
+}
+
+// NewClient creates a directory client for the directory at addr.
+func NewClient(net transport.Network, addr string, opts ...ClientOption) *Client {
+	c := &Client{
+		net:      net,
+		addr:     addr,
+		cacheTTL: 0,
+		cache:    make(map[string]cachedService),
+		nowFn:    time.Now,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Addr returns the directory's network address.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) call(ctx context.Context, method string, args wire.Args, out any) error {
+	resp, err := c.net.Call(ctx, c.addr, &transport.Request{
+		Service: ServiceName,
+		Method:  method,
+		Args:    args,
+	})
+	if err != nil {
+		return fmt.Errorf("directory %s: %w", method, err)
+	}
+	if !resp.OK {
+		return &wire.RemoteError{Code: resp.Code, Service: ServiceName, Method: method, Msg: resp.Error}
+	}
+	if out != nil {
+		return wire.Unmarshal(resp.Result, out)
+	}
+	return nil
+}
+
+// RegisterUser publishes a user/device with its network address and
+// priority.
+func (c *Client) RegisterUser(ctx context.Context, id, addr string, priority int) error {
+	return c.call(ctx, "RegisterUser", wire.Args{"id": id, "addr": addr, "priority": priority}, nil)
+}
+
+// LookupUser fetches a user record.
+func (c *Client) LookupUser(ctx context.Context, id string) (UserInfo, error) {
+	var info UserInfo
+	err := c.call(ctx, "LookupUser", wire.Args{"id": id}, &info)
+	return info, err
+}
+
+// ListUsers returns every registered user.
+func (c *Client) ListUsers(ctx context.Context) ([]UserInfo, error) {
+	var infos []UserInfo
+	err := c.call(ctx, "ListUsers", wire.Args{}, &infos)
+	return infos, err
+}
+
+// Heartbeat refreshes the caller's liveness.
+func (c *Client) Heartbeat(ctx context.Context, id string) error {
+	return c.call(ctx, "Heartbeat", wire.Args{"id": id}, nil)
+}
+
+// SetOffline marks a user deliberately offline (true) or back online.
+func (c *Client) SetOffline(ctx context.Context, id string, offline bool) error {
+	return c.call(ctx, "SetOffline", wire.Args{"id": id, "offline": offline}, nil)
+}
+
+// RegisterService publishes a service (SyD device object) under the
+// owner's identity.
+func (c *Client) RegisterService(ctx context.Context, name, owner, addr string, methods []string) error {
+	return c.call(ctx, "RegisterService", wire.Args{
+		"name": name, "owner": owner, "addr": addr, "methods": methods,
+	}, nil)
+}
+
+// UnregisterService removes a published service.
+func (c *Client) UnregisterService(ctx context.Context, name string) error {
+	c.invalidate(name)
+	return c.call(ctx, "UnregisterService", wire.Args{"name": name}, nil)
+}
+
+// LookupService resolves a service name to its location and the
+// owner's liveness/proxy, consulting the local cache first.
+func (c *Client) LookupService(ctx context.Context, name string) (ServiceInfo, error) {
+	if c.cacheTTL > 0 {
+		c.mu.Lock()
+		if e, ok := c.cache[name]; ok && c.nowFn().Before(e.expires) {
+			c.mu.Unlock()
+			return e.info, nil
+		}
+		c.mu.Unlock()
+	}
+	var info ServiceInfo
+	if err := c.call(ctx, "LookupService", wire.Args{"name": name}, &info); err != nil {
+		return ServiceInfo{}, err
+	}
+	if c.cacheTTL > 0 {
+		c.mu.Lock()
+		c.cache[name] = cachedService{info: info, expires: c.nowFn().Add(c.cacheTTL)}
+		c.mu.Unlock()
+	}
+	return info, nil
+}
+
+// invalidate drops a cached service entry.
+func (c *Client) invalidate(name string) {
+	c.mu.Lock()
+	delete(c.cache, name)
+	c.mu.Unlock()
+}
+
+// Invalidate drops a cached service entry; the engine calls this after
+// a failed invocation so the next lookup is fresh.
+func (c *Client) Invalidate(name string) { c.invalidate(name) }
+
+// ServicesOf lists service names owned by owner.
+func (c *Client) ServicesOf(ctx context.Context, owner string) ([]string, error) {
+	var names []string
+	err := c.call(ctx, "ServicesOf", wire.Args{"owner": owner}, &names)
+	return names, err
+}
+
+// CreateGroup creates (or extends) a named group with members.
+func (c *Client) CreateGroup(ctx context.Context, group string, members []string) error {
+	return c.call(ctx, "CreateGroup", wire.Args{"group": group, "members": members}, nil)
+}
+
+// AddMember adds one member to a group (idempotent).
+func (c *Client) AddMember(ctx context.Context, group, member string) error {
+	return c.call(ctx, "AddMember", wire.Args{"group": group, "member": member}, nil)
+}
+
+// RemoveMember removes one member from a group (idempotent).
+func (c *Client) RemoveMember(ctx context.Context, group, member string) error {
+	return c.call(ctx, "RemoveMember", wire.Args{"group": group, "member": member}, nil)
+}
+
+// GroupMembers lists a group's members, sorted.
+func (c *Client) GroupMembers(ctx context.Context, group string) ([]string, error) {
+	var members []string
+	err := c.call(ctx, "GroupMembers", wire.Args{"group": group}, &members)
+	return members, err
+}
+
+// RegisterProxy publishes a proxy endpoint that the directory may
+// assign to users.
+func (c *Client) RegisterProxy(ctx context.Context, id, addr string) error {
+	return c.call(ctx, "RegisterProxy", wire.Args{"id": id, "addr": addr}, nil)
+}

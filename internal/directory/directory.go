@@ -1,0 +1,459 @@
+// Package directory implements SyDDirectory, the kernel's name server
+// (paper §3.1a): it "provides user/group/service publishing,
+// management, and lookup services to SyD users and device objects"
+// and "supports intelligent proxy maintenance for users/devices"
+// (§5.2: the name server stores information about all proxies and SyD
+// objects and maps each SyD object to at least one proxy).
+//
+// The directory runs as a transport.Handler behind a well-known
+// address; Client is the typed stub used by every node.
+package directory
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ServiceName is the service identifier the directory answers to.
+const ServiceName = "syd.directory"
+
+// DefaultHeartbeatTTL is how long a device stays "online" after its
+// last heartbeat unless it deregisters explicitly.
+const DefaultHeartbeatTTL = 15 * time.Second
+
+// UserInfo is the directory record for a SyD user/device object.
+type UserInfo struct {
+	ID       string    `json:"id"`
+	Addr     string    `json:"addr"`
+	Proxy    string    `json:"proxy,omitempty"`
+	Priority int       `json:"priority"`
+	Online   bool      `json:"online"`
+	LastSeen time.Time `json:"lastSeen"`
+}
+
+// ServiceInfo is the directory record for a published service,
+// joined with the owner's liveness so a single lookup gives the
+// engine everything it needs for invocation and proxy failover.
+type ServiceInfo struct {
+	Name    string   `json:"name"`
+	Owner   string   `json:"owner"`
+	Addr    string   `json:"addr"`
+	Methods []string `json:"methods,omitempty"`
+	// OwnerOnline and Proxy are filled in on lookup.
+	OwnerOnline bool   `json:"ownerOnline"`
+	Proxy       string `json:"proxy,omitempty"`
+}
+
+// Server is the directory server state. Create with NewServer and
+// register its Handler with a transport listener.
+type Server struct {
+	clock clock.Clock
+	ttl   time.Duration
+
+	db       *store.DB
+	users    *store.Table
+	services *store.Table
+	members  *store.Table
+	proxies  *store.Table
+
+	mu        sync.Mutex
+	nextProxy int // round-robin proxy assignment cursor
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithClock substitutes the clock (tests use a fake).
+func WithClock(c clock.Clock) Option { return func(s *Server) { s.clock = c } }
+
+// WithTTL overrides the heartbeat TTL.
+func WithTTL(d time.Duration) Option { return func(s *Server) { s.ttl = d } }
+
+// NewServer creates a directory server.
+func NewServer(opts ...Option) *Server {
+	db := store.NewDB()
+	s := &Server{
+		clock: clock.System,
+		ttl:   DefaultHeartbeatTTL,
+		db:    db,
+		users: db.MustCreateTable(store.Schema{
+			Name: "users",
+			Columns: []store.Column{
+				{Name: "id", Type: store.String},
+				{Name: "addr", Type: store.String},
+				{Name: "proxy", Type: store.String},
+				{Name: "priority", Type: store.Int},
+				{Name: "offline", Type: store.Bool},
+				{Name: "lastSeen", Type: store.Time},
+			},
+			Key: []string{"id"},
+		}),
+		services: db.MustCreateTable(store.Schema{
+			Name: "services",
+			Columns: []store.Column{
+				{Name: "name", Type: store.String},
+				{Name: "owner", Type: store.String},
+				{Name: "addr", Type: store.String},
+				{Name: "methods", Type: store.String}, // comma-joined
+			},
+			Key: []string{"name"},
+		}),
+		members: db.MustCreateTable(store.Schema{
+			Name: "members",
+			Columns: []store.Column{
+				{Name: "group", Type: store.String},
+				{Name: "member", Type: store.String},
+			},
+			Key: []string{"group", "member"},
+		}),
+		proxies: db.MustCreateTable(store.Schema{
+			Name: "proxies",
+			Columns: []store.Column{
+				{Name: "id", Type: store.String},
+				{Name: "addr", Type: store.String},
+			},
+			Key: []string{"id"},
+		}),
+	}
+	if err := s.members.CreateIndex("group"); err != nil {
+		panic(err)
+	}
+	if err := s.services.CreateIndex("owner"); err != nil {
+		panic(err)
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// --- server-side operations ------------------------------------------------
+
+func (s *Server) registerUser(id, addr string, priority int) error {
+	if id == "" || addr == "" {
+		return fmt.Errorf("directory: user id and addr are required")
+	}
+	now := s.clock.Now()
+	row := store.Row{
+		"id": id, "addr": addr, "proxy": s.pickProxy(),
+		"priority": int64(priority), "offline": false, "lastSeen": now,
+	}
+	if _, ok := s.users.Get(id); ok {
+		// Re-registration (device came back): keep proxy binding.
+		return s.users.Update(store.Row{
+			"addr": addr, "priority": int64(priority),
+			"offline": false, "lastSeen": now,
+		}, id)
+	}
+	return s.users.Insert(row)
+}
+
+// pickProxy assigns the next registered proxy round-robin ("" when no
+// proxies exist).
+func (s *Server) pickProxy() string {
+	rows := s.proxies.Select(nil)
+	if len(rows) == 0 {
+		return ""
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i]["id"].(string) < rows[j]["id"].(string) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := rows[s.nextProxy%len(rows)]
+	s.nextProxy++
+	return r["addr"].(string)
+}
+
+func (s *Server) lookupUser(id string) (UserInfo, error) {
+	r, ok := s.users.Get(id)
+	if !ok {
+		return UserInfo{}, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("unknown user %q", id)}
+	}
+	return s.userInfo(r), nil
+}
+
+func (s *Server) userInfo(r store.Row) UserInfo {
+	last := r["lastSeen"].(time.Time)
+	online := !r["offline"].(bool) && s.clock.Now().Sub(last) <= s.ttl
+	return UserInfo{
+		ID:       r["id"].(string),
+		Addr:     r["addr"].(string),
+		Proxy:    r["proxy"].(string),
+		Priority: int(r["priority"].(int64)),
+		Online:   online,
+		LastSeen: last,
+	}
+}
+
+func (s *Server) heartbeat(id string) error {
+	if _, ok := s.users.Get(id); !ok {
+		return &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("unknown user %q", id)}
+	}
+	return s.users.Update(store.Row{"lastSeen": s.clock.Now(), "offline": false}, id)
+}
+
+func (s *Server) setOffline(id string, offline bool) error {
+	if _, ok := s.users.Get(id); !ok {
+		return &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("unknown user %q", id)}
+	}
+	ch := store.Row{"offline": offline}
+	if !offline {
+		ch["lastSeen"] = s.clock.Now()
+	}
+	return s.users.Update(ch, id)
+}
+
+func (s *Server) registerService(name, owner, addr string, methods []string) error {
+	if name == "" || addr == "" {
+		return fmt.Errorf("directory: service name and addr are required")
+	}
+	joined := ""
+	for i, m := range methods {
+		if i > 0 {
+			joined += ","
+		}
+		joined += m
+	}
+	row := store.Row{"name": name, "owner": owner, "addr": addr, "methods": joined}
+	if _, ok := s.services.Get(name); ok {
+		return s.services.Update(store.Row{"owner": owner, "addr": addr, "methods": joined}, name)
+	}
+	return s.services.Insert(row)
+}
+
+func (s *Server) unregisterService(name string) error {
+	if _, ok := s.services.Get(name); !ok {
+		return nil // idempotent
+	}
+	return s.services.Delete(name)
+}
+
+func (s *Server) lookupService(name string) (ServiceInfo, error) {
+	r, ok := s.services.Get(name)
+	if !ok {
+		return ServiceInfo{}, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("unknown service %q", name)}
+	}
+	info := ServiceInfo{
+		Name:  r["name"].(string),
+		Owner: r["owner"].(string),
+		Addr:  r["addr"].(string),
+	}
+	if m := r["methods"].(string); m != "" {
+		info.Methods = splitComma(m)
+	}
+	if u, err := s.lookupUser(info.Owner); err == nil {
+		info.OwnerOnline = u.Online
+		info.Proxy = u.Proxy
+	} else {
+		// Services without a registered owner (infrastructure
+		// services) are treated as always online.
+		info.OwnerOnline = true
+	}
+	return info, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func (s *Server) createGroup(name string, members []string) error {
+	for _, m := range members {
+		if err := s.addMember(name, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) addMember(group, member string) error {
+	if group == "" || member == "" {
+		return fmt.Errorf("directory: group and member are required")
+	}
+	err := s.members.Insert(store.Row{"group": group, "member": member})
+	if err != nil && !errors.Is(err, store.ErrDupKey) { // adding twice is fine
+		return err
+	}
+	return nil
+}
+
+func (s *Server) removeMember(group, member string) error {
+	err := s.members.Delete(group, member)
+	if err != nil && !errors.Is(err, store.ErrNoRow) { // removing absent member is fine
+		return err
+	}
+	return nil
+}
+
+func (s *Server) groupMembers(group string) []string {
+	rows := s.members.SelectEq("group", group)
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r["member"].(string))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Server) registerProxy(id, addr string) error {
+	if id == "" || addr == "" {
+		return fmt.Errorf("directory: proxy id and addr are required")
+	}
+	if _, ok := s.proxies.Get(id); ok {
+		return s.proxies.Update(store.Row{"addr": addr}, id)
+	}
+	return s.proxies.Insert(store.Row{"id": id, "addr": addr})
+}
+
+// Snapshot persists the directory's full state (users, services,
+// groups, proxies) so a restarted name server can resume with its
+// registrations intact — without it every device would have to
+// re-register after a directory restart.
+func (s *Server) Snapshot(w io.Writer) error {
+	return s.db.Snapshot(w)
+}
+
+// RestoreServer builds a directory server from a Snapshot.
+func RestoreServer(r io.Reader, opts ...Option) (*Server, error) {
+	db := store.NewDB()
+	if err := db.Restore(r); err != nil {
+		return nil, err
+	}
+	s := &Server{clock: clock.System, ttl: DefaultHeartbeatTTL, db: db}
+	var err error
+	if s.users, err = db.Table("users"); err != nil {
+		return nil, err
+	}
+	if s.services, err = db.Table("services"); err != nil {
+		return nil, err
+	}
+	if s.members, err = db.Table("members"); err != nil {
+		return nil, err
+	}
+	if s.proxies, err = db.Table("proxies"); err != nil {
+		return nil, err
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// --- transport handler -----------------------------------------------------
+
+// Handler returns the transport.Handler that dispatches directory RPCs.
+func (s *Server) Handler() transport.Handler {
+	return transport.HandlerFunc(s.handle)
+}
+
+func (s *Server) handle(ctx context.Context, req *transport.Request) *transport.Response {
+	ok := func(v any) *transport.Response {
+		raw, err := wire.Marshal(v)
+		if err != nil {
+			return transport.ErrorResponse(req, wire.CodeInternal, "encode: %v", err)
+		}
+		return &transport.Response{ID: req.ID, OK: true, Result: raw}
+	}
+	fail := func(err error) *transport.Response {
+		return transport.ErrorResponse(req, wire.CodeOf(err), "%v", err)
+	}
+
+	a := req.Args
+	switch req.Method {
+	case "RegisterUser":
+		if err := s.registerUser(a.String("id"), a.String("addr"), a.Int("priority")); err != nil {
+			return fail(err)
+		}
+		return ok(true)
+	case "LookupUser":
+		info, err := s.lookupUser(a.String("id"))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(info)
+	case "ListUsers":
+		rows := s.users.Select(nil)
+		infos := make([]UserInfo, 0, len(rows))
+		for _, r := range rows {
+			infos = append(infos, s.userInfo(r))
+		}
+		sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+		return ok(infos)
+	case "Heartbeat":
+		if err := s.heartbeat(a.String("id")); err != nil {
+			return fail(err)
+		}
+		return ok(true)
+	case "SetOffline":
+		if err := s.setOffline(a.String("id"), a.Bool("offline")); err != nil {
+			return fail(err)
+		}
+		return ok(true)
+	case "RegisterService":
+		if err := s.registerService(a.String("name"), a.String("owner"), a.String("addr"), a.Strings("methods")); err != nil {
+			return fail(err)
+		}
+		return ok(true)
+	case "UnregisterService":
+		if err := s.unregisterService(a.String("name")); err != nil {
+			return fail(err)
+		}
+		return ok(true)
+	case "LookupService":
+		info, err := s.lookupService(a.String("name"))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(info)
+	case "ServicesOf":
+		rows := s.services.SelectEq("owner", a.String("owner"))
+		names := make([]string, 0, len(rows))
+		for _, r := range rows {
+			names = append(names, r["name"].(string))
+		}
+		sort.Strings(names)
+		return ok(names)
+	case "CreateGroup":
+		if err := s.createGroup(a.String("group"), a.Strings("members")); err != nil {
+			return fail(err)
+		}
+		return ok(true)
+	case "AddMember":
+		if err := s.addMember(a.String("group"), a.String("member")); err != nil {
+			return fail(err)
+		}
+		return ok(true)
+	case "RemoveMember":
+		if err := s.removeMember(a.String("group"), a.String("member")); err != nil {
+			return fail(err)
+		}
+		return ok(true)
+	case "GroupMembers":
+		return ok(s.groupMembers(a.String("group")))
+	case "RegisterProxy":
+		if err := s.registerProxy(a.String("id"), a.String("addr")); err != nil {
+			return fail(err)
+		}
+		return ok(true)
+	default:
+		return transport.ErrorResponse(req, wire.CodeNoMethod, "directory has no method %q", req.Method)
+	}
+}

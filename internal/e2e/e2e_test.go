@@ -1,0 +1,313 @@
+// Package e2e_test builds the actual cmd/ binaries and drives a small
+// deployment over real TCP sockets — the closest thing to the paper's
+// iPAQ-on-WLAN testbed this repository can run.
+package e2e_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildBinaries compiles the three deployment binaries once per test
+// run into a temp dir.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"syddirectory", "sydnode", "sydcal"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = repoRoot(t)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+	}
+	return dir
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internal/e2e -> repo root.
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+// freePort asks the kernel for an available TCP port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// start launches a binary and registers cleanup.
+func start(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+		if t.Failed() {
+			t.Logf("%s output:\n%s", filepath.Base(bin), out.String())
+		}
+	})
+	return cmd
+}
+
+// waitTCP blocks until addr accepts connections.
+func waitTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never came up", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// run executes a CLI command and returns its output.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, b)
+	}
+	return string(b)
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns real processes")
+	}
+	bins := buildBinaries(t)
+	dirBin := filepath.Join(bins, "syddirectory")
+	nodeBin := filepath.Join(bins, "sydnode")
+	calBin := filepath.Join(bins, "sydcal")
+
+	statePath := filepath.Join(t.TempDir(), "dir-state.json")
+	dirAddr := freePort(t)
+	start(t, dirBin, "-addr", dirAddr, "-state", statePath)
+	waitTCP(t, dirAddr)
+
+	philAddr := freePort(t)
+	andyAddr := freePort(t)
+	start(t, nodeBin, "-user", "phil", "-dir", dirAddr, "-addr", philAddr, "-priority", "2")
+	start(t, nodeBin, "-user", "andy", "-dir", dirAddr, "-addr", andyAddr)
+	waitTCP(t, philAddr)
+	waitTCP(t, andyAddr)
+
+	// Give the nodes a moment to publish their services.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		out := run(t, calBin, "-dir", dirAddr, "users")
+		if strings.Contains(out, "phil") && strings.Contains(out, "andy") {
+			if !strings.Contains(out, "online") {
+				t.Fatalf("users not online:\n%s", out)
+			}
+			if !strings.Contains(out, "prio=2") {
+				t.Fatalf("priority lost:\n%s", out)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("nodes never registered:\n%s", out)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Free slots through the CLI.
+	out := run(t, calBin, "-dir", dirAddr, "free", "-user", "phil", "-from", "2003-04-21", "-to", "2003-04-21")
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 9 {
+		t.Fatalf("free slots = %d lines:\n%s", lines, out)
+	}
+
+	// Slot info.
+	out = run(t, calBin, "-dir", dirAddr, "slots", "-user", "andy", "-day", "2003-04-21", "-hour", "14")
+	if !strings.Contains(out, "free") {
+		t.Fatalf("slot info:\n%s", out)
+	}
+
+	// Meetings list starts empty.
+	out = run(t, calBin, "-dir", dirAddr, "meetings", "-user", "phil")
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("unexpected meetings:\n%s", out)
+	}
+
+	// Full meeting lifecycle through the CLI: schedule, observe on
+	// both devices, cancel (as the initiator), observe the release.
+	out = run(t, calBin, "-dir", dirAddr, "schedule",
+		"-user", "phil", "-title", "standup",
+		"-from", "2003-04-21", "-to", "2003-04-21", "-must", "andy")
+	if !strings.Contains(out, "confirmed") {
+		t.Fatalf("schedule:\n%s", out)
+	}
+	fields := strings.Fields(out)
+	if len(fields) < 2 {
+		t.Fatalf("schedule output shape:\n%s", out)
+	}
+	meetingID := fields[1]
+
+	for _, u := range []string{"phil", "andy"} {
+		out = run(t, calBin, "-dir", dirAddr, "meetings", "-user", u)
+		if !strings.Contains(out, meetingID) || !strings.Contains(out, "confirmed") {
+			t.Fatalf("%s meetings after schedule:\n%s", u, out)
+		}
+	}
+	out = run(t, calBin, "-dir", dirAddr, "free", "-user", "andy", "-from", "2003-04-21", "-to", "2003-04-21")
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 8 {
+		t.Fatalf("andy free slots after schedule = %d lines:\n%s", lines, out)
+	}
+
+	// A random caller cannot cancel; the initiator can.
+	cmd := exec.Command(calBin, "-dir", dirAddr, "cancel", "-user", "phil", "-as", "mallory", "-id", meetingID)
+	if b, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("mallory cancelled the meeting:\n%s", b)
+	}
+	out = run(t, calBin, "-dir", dirAddr, "cancel", "-user", "phil", "-as", "phil", "-id", meetingID)
+	if !strings.Contains(out, "cancelled") {
+		t.Fatalf("cancel:\n%s", out)
+	}
+	out = run(t, calBin, "-dir", dirAddr, "free", "-user", "andy", "-from", "2003-04-21", "-to", "2003-04-21")
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 9 {
+		t.Fatalf("andy free slots after cancel = %d lines:\n%s", lines, out)
+	}
+}
+
+func TestNodeStatePersistsAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns real processes")
+	}
+	bins := buildBinaries(t)
+	dirBin := filepath.Join(bins, "syddirectory")
+	nodeBin := filepath.Join(bins, "sydnode")
+	calBin := filepath.Join(bins, "sydcal")
+
+	dirAddr := freePort(t)
+	start(t, dirBin, "-addr", dirAddr, "-ttl", "1h")
+	waitTCP(t, dirAddr)
+
+	nodeState := filepath.Join(t.TempDir(), "phil-state.json")
+	nodeAddr := freePort(t)
+	first := start(t, nodeBin, "-user", "phil", "-dir", dirAddr, "-addr", nodeAddr, "-state", nodeState)
+	waitTCP(t, nodeAddr)
+
+	// Wait for registration, then no way to mutate slots via the CLI
+	// yet — instead verify an empty then non-empty free count across
+	// restart via the snapshot: stop the node (writes empty state),
+	// check the state file exists, and confirm the second life serves.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		out := run(t, calBin, "-dir", dirAddr, "users")
+		if strings.Contains(out, "phil") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node never registered")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err := first.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Process.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(nodeState); err != nil {
+		t.Fatalf("node state not written: %v", err)
+	}
+
+	// Second life: restores without error and serves free slots.
+	nodeAddr2 := freePort(t)
+	start(t, nodeBin, "-user", "phil", "-dir", dirAddr, "-addr", nodeAddr2, "-state", nodeState)
+	waitTCP(t, nodeAddr2)
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		out := run(t, calBin, "-dir", dirAddr, "users")
+		if strings.Contains(out, nodeAddr2) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted node never re-registered")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	out := run(t, calBin, "-dir", dirAddr, "free", "-user", "phil", "-from", "2003-04-21", "-to", "2003-04-21")
+	if !strings.Contains(out, "2003-04-21") {
+		t.Fatalf("restored node does not serve:\n%s", out)
+	}
+}
+
+func TestDirectoryStatePersistsAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns real processes")
+	}
+	bins := buildBinaries(t)
+	dirBin := filepath.Join(bins, "syddirectory")
+	calBin := filepath.Join(bins, "sydcal")
+
+	statePath := filepath.Join(t.TempDir(), "dir-state.json")
+	dirAddr := freePort(t)
+
+	// First life: register a node, then stop the directory gracefully.
+	first := start(t, dirBin, "-addr", dirAddr, "-state", statePath, "-ttl", "1h")
+	waitTCP(t, dirAddr)
+	nodeBin := filepath.Join(bins, "sydnode")
+	nodeAddr := freePort(t)
+	start(t, nodeBin, "-user", "phil", "-dir", dirAddr, "-addr", nodeAddr)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		out := run(t, calBin, "-dir", dirAddr, "users")
+		if strings.Contains(out, "phil") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node never registered:\n%s", out)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err := first.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Process.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(statePath); err != nil {
+		t.Fatalf("state file not written: %v", err)
+	}
+
+	// Second life at a fresh port: the registry is still there.
+	dirAddr2 := freePort(t)
+	start(t, dirBin, "-addr", dirAddr2, "-state", statePath, "-ttl", "1h")
+	waitTCP(t, dirAddr2)
+	out := run(t, calBin, "-dir", dirAddr2, "users")
+	if !strings.Contains(out, "phil") {
+		t.Fatalf("registry lost across restart:\n%s", out)
+	}
+	fmt.Println("restart output:", strings.TrimSpace(out))
+}

@@ -1,0 +1,225 @@
+// Package engine implements SyDEngine (paper §3.1c): it lets a node
+// "execute single or group services remotely via SyDListener and
+// aggregate results".
+//
+// The engine resolves service names through SyDDirectory, seals the
+// caller's credential onto each request (§5.4), fails over to the
+// owner's proxy when the device is down (§5.2), and fans group
+// invocations out concurrently with result aggregation.
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/auth"
+	"repro/internal/directory"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Engine is a node's invocation client. Safe for concurrent use.
+type Engine struct {
+	net  transport.Network
+	dir  *directory.Client
+	self string
+
+	mu         sync.RWMutex
+	credential string // sealed, sent with every request
+}
+
+// New creates an engine for the user self.
+func New(net transport.Network, dir *directory.Client, self string) *Engine {
+	return &Engine{net: net, dir: dir, self: self}
+}
+
+// Self returns the engine's user identity.
+func (e *Engine) Self() string { return e.self }
+
+// Directory returns the engine's directory client.
+func (e *Engine) Directory() *directory.Client { return e.dir }
+
+// SetCredential seals user:password with the deployment sealer and
+// attaches it to every subsequent request.
+func (e *Engine) SetCredential(sealer *auth.Sealer, user, password string) error {
+	cred, err := sealer.Seal(user, password)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.credential = cred
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *Engine) getCredential() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.credential
+}
+
+// Invoke calls method on the named service, decoding the result into
+// out (out may be nil). It resolves the service through the directory
+// and falls back to the owner's proxy when the primary address is
+// unreachable or the owner is known to be offline.
+func (e *Engine) Invoke(ctx context.Context, service, method string, args wire.Args, out any) error {
+	info, err := e.dir.LookupService(ctx, service)
+	if err != nil {
+		return err
+	}
+
+	// Prefer the device itself while it is online; otherwise go
+	// straight to its proxy ("the proxy and the SyD object act as a
+	// single entity for an outsider", §5.2).
+	primary, fallback := info.Addr, info.Proxy
+	if !info.OwnerOnline && info.Proxy != "" {
+		primary, fallback = info.Proxy, info.Addr
+	}
+
+	err = e.InvokeAddr(ctx, primary, service, method, args, out)
+	if err == nil || fallback == "" || fallback == primary {
+		return err
+	}
+	if !isUnavailable(err) {
+		return err
+	}
+	// Primary is gone: drop the cached lookup so future calls
+	// re-resolve, then try the fallback.
+	e.dir.Invalidate(service)
+	return e.InvokeAddr(ctx, fallback, service, method, args, out)
+}
+
+// isUnavailable reports whether err means "the endpoint cannot be
+// reached at all" (as opposed to the service answering with an error).
+func isUnavailable(err error) bool {
+	if errors.Is(err, transport.ErrUnreachable) {
+		return true
+	}
+	return wire.CodeOf(err) == wire.CodeUnavailable
+}
+
+// InvokeAddr calls method on service at an explicit address, skipping
+// directory resolution.
+func (e *Engine) InvokeAddr(ctx context.Context, addr, service, method string, args wire.Args, out any) error {
+	resp, err := e.net.Call(ctx, addr, &transport.Request{
+		Service:    service,
+		Method:     method,
+		Args:       args,
+		Caller:     e.self,
+		Credential: e.getCredential(),
+	})
+	if err != nil {
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			return err
+		}
+		return fmt.Errorf("engine: call %s.%s at %s: %w", service, method, addr, err)
+	}
+	if !resp.OK {
+		return &wire.RemoteError{Code: resp.Code, Service: service, Method: method, Msg: resp.Error}
+	}
+	if out != nil {
+		if err := wire.Unmarshal(resp.Result, out); err != nil {
+			return fmt.Errorf("engine: decode %s.%s result: %w", service, method, err)
+		}
+	}
+	return nil
+}
+
+// GroupResult is one member's outcome in a group invocation.
+type GroupResult struct {
+	Service string
+	Err     error
+	Raw     json.RawMessage
+}
+
+// Decode unmarshals the member's result into v.
+func (g *GroupResult) Decode(v any) error {
+	if g.Err != nil {
+		return g.Err
+	}
+	return wire.Unmarshal(g.Raw, v)
+}
+
+// GroupInvoke calls the same method with the same args on every listed
+// service concurrently and returns per-member results in input order
+// (the engine's "group service invocation and result aggregation").
+func (e *Engine) GroupInvoke(ctx context.Context, services []string, method string, args wire.Args) []GroupResult {
+	results := make([]GroupResult, len(services))
+	var wg sync.WaitGroup
+	for i, svc := range services {
+		wg.Add(1)
+		go func(i int, svc string) {
+			defer wg.Done()
+			var raw json.RawMessage
+			err := e.Invoke(ctx, svc, method, args, &raw)
+			results[i] = GroupResult{Service: svc, Err: err, Raw: raw}
+		}(i, svc)
+	}
+	wg.Wait()
+	return results
+}
+
+// InvokeGroupName resolves a directory group and group-invokes the
+// given service pattern for each member. pattern must contain exactly
+// one "%s" which is replaced by the member id (e.g. "cal.%s").
+func (e *Engine) InvokeGroupName(ctx context.Context, group, pattern, method string, args wire.Args) ([]GroupResult, error) {
+	members, err := e.dir.GroupMembers(ctx, group)
+	if err != nil {
+		return nil, err
+	}
+	services := make([]string, len(members))
+	for i, m := range members {
+		services[i] = fmt.Sprintf(pattern, m)
+	}
+	return e.GroupInvoke(ctx, services, method, args), nil
+}
+
+// OKCount counts successful members.
+func OKCount(results []GroupResult) int {
+	n := 0
+	for _, r := range results {
+		if r.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// AllOK reports whether every member succeeded.
+func AllOK(results []GroupResult) bool { return OKCount(results) == len(results) }
+
+// FirstError returns the first member error, or nil.
+func FirstError(results []GroupResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("engine: %s: %w", r.Service, r.Err)
+		}
+	}
+	return nil
+}
+
+// Collect decodes every successful member result into T, returning the
+// values (in result order) and the services that failed — the typed
+// half of the engine's "result aggregation".
+func Collect[T any](results []GroupResult) (values []T, failed []string) {
+	for _, r := range results {
+		if r.Err != nil {
+			failed = append(failed, r.Service)
+			continue
+		}
+		var v T
+		if err := wire.Unmarshal(r.Raw, &v); err != nil {
+			failed = append(failed, r.Service)
+			continue
+		}
+		values = append(values, v)
+	}
+	return values, failed
+}
+
+// Quorum reports whether at least k members succeeded.
+func Quorum(results []GroupResult, k int) bool { return OKCount(results) >= k }

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/wire"
+)
+
+// QoS describes the delivery guarantees for an invocation. The paper
+// assigns QoS responsibility to the groupware ("providing QoS support
+// services for SyDApps", §2; elaborated in the authors' companion
+// ICDCS'03 paper on QoS-aware SyD transactions): in a weakly connected
+// mobile deployment an application states its tolerance and the engine
+// turns transient unavailability into bounded retries.
+type QoS struct {
+	// AttemptTimeout bounds each individual attempt (0 = inherit the
+	// caller's context only).
+	AttemptTimeout time.Duration
+	// Retries is the number of re-attempts after the first try
+	// (0 = exactly one attempt).
+	Retries int
+	// Backoff is the wait before the first retry; it doubles each
+	// further retry. 0 retries immediately.
+	Backoff time.Duration
+}
+
+// BestEffort is a single attempt with no retries.
+var BestEffort = QoS{}
+
+// Guaranteed is a practical default for mobile deployments: three
+// retries starting at 50 ms.
+var Guaranteed = QoS{Retries: 3, Backoff: 50 * time.Millisecond}
+
+// qosClock lets tests drive backoff waits deterministically.
+var (
+	qosClockMu sync.RWMutex
+	qosClock   clock.Clock = clock.System
+)
+
+// SetQoSClock overrides the backoff clock (tests). It returns a
+// restore function.
+func SetQoSClock(c clock.Clock) (restore func()) {
+	qosClockMu.Lock()
+	old := qosClock
+	qosClock = c
+	qosClockMu.Unlock()
+	return func() {
+		qosClockMu.Lock()
+		qosClock = old
+		qosClockMu.Unlock()
+	}
+}
+
+func getQoSClock() clock.Clock {
+	qosClockMu.RLock()
+	defer qosClockMu.RUnlock()
+	return qosClock
+}
+
+// InvokeQoS is Invoke with retry-on-unavailability semantics. Only
+// transient failures (unreachable device, lost message — CodeUnavailable)
+// are retried; application errors (conflicts, auth, bad args) surface
+// immediately. Directory lookups are re-done on every attempt so a
+// device that re-registered at a new address (or fell back to its
+// proxy) is found.
+func (e *Engine) InvokeQoS(ctx context.Context, qos QoS, service, method string, args wire.Args, out any) error {
+	attempts := qos.Retries + 1
+	backoff := qos.Backoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			e.dir.Invalidate(service)
+			if backoff > 0 {
+				select {
+				case <-getQoSClock().After(backoff):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+				backoff *= 2
+			}
+		}
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if qos.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, qos.AttemptTimeout)
+		}
+		err := e.Invoke(attemptCtx, service, method, args, out)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return lastErr
+}
+
+// retryable reports whether an error is transient.
+func retryable(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true // the attempt timed out; the next may succeed
+	}
+	return isUnavailable(err)
+}
+
+// GroupInvokeQoS is GroupInvoke with per-member QoS.
+func (e *Engine) GroupInvokeQoS(ctx context.Context, qos QoS, services []string, method string, args wire.Args) []GroupResult {
+	results := make([]GroupResult, len(services))
+	var wg sync.WaitGroup
+	for i, svc := range services {
+		wg.Add(1)
+		go func(i int, svc string) {
+			defer wg.Done()
+			var raw json.RawMessage
+			err := e.InvokeQoS(ctx, qos, svc, method, args, &raw)
+			results[i] = GroupResult{Service: svc, Err: err, Raw: raw}
+		}(i, svc)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"context"
+	"repro/internal/clock"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/listener"
+	"repro/internal/wire"
+)
+
+// flakyNode counts attempts and succeeds from attempt N on.
+func (w *testWorld) addFlakyNode(user string, failFirst int) *atomic.Int64 {
+	w.t.Helper()
+	var attempts atomic.Int64
+	l := listener.New(user, nil)
+	obj := listener.NewObject()
+	obj.Handle("Ping", func(ctx context.Context, call *listener.Call) (any, error) {
+		n := attempts.Add(1)
+		if int(n) <= failFirst {
+			return nil, &wire.RemoteError{Code: wire.CodeUnavailable, Msg: "transient"}
+		}
+		return "pong", nil
+	})
+	obj.Handle("Conflict", func(ctx context.Context, call *listener.Call) (any, error) {
+		attempts.Add(1)
+		return nil, &wire.RemoteError{Code: wire.CodeConflict, Msg: "permanent"}
+	})
+	l.Register("flaky."+user, obj)
+	ln, err := w.net.Listen("node-"+user, l)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := w.dir.RegisterUser(ctx, user, ln.Addr(), 0); err != nil {
+		w.t.Fatal(err)
+	}
+	if err := l.PublishGlobal(ctx, w.dir, "flaky."+user, ln.Addr()); err != nil {
+		w.t.Fatal(err)
+	}
+	return &attempts
+}
+
+func TestInvokeQoSRetriesTransientFailures(t *testing.T) {
+	w := newWorld(t)
+	attempts := w.addFlakyNode("phil", 2)
+	e := New(w.net, w.dir, "andy")
+
+	var out string
+	err := e.InvokeQoS(context.Background(), QoS{Retries: 3}, "flaky.phil", "Ping", nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "pong" || attempts.Load() != 3 {
+		t.Fatalf("out=%q attempts=%d", out, attempts.Load())
+	}
+}
+
+func TestInvokeQoSExhaustsRetries(t *testing.T) {
+	w := newWorld(t)
+	attempts := w.addFlakyNode("phil", 100)
+	e := New(w.net, w.dir, "andy")
+	err := e.InvokeQoS(context.Background(), QoS{Retries: 2}, "flaky.phil", "Ping", nil, nil)
+	if wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("attempts = %d", attempts.Load())
+	}
+}
+
+func TestInvokeQoSDoesNotRetryPermanentErrors(t *testing.T) {
+	w := newWorld(t)
+	attempts := w.addFlakyNode("phil", 0)
+	e := New(w.net, w.dir, "andy")
+	err := e.InvokeQoS(context.Background(), QoS{Retries: 5}, "flaky.phil", "Conflict", nil, nil)
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("permanent error retried %d times", attempts.Load())
+	}
+}
+
+func TestInvokeQoSBestEffortIsSingleAttempt(t *testing.T) {
+	w := newWorld(t)
+	attempts := w.addFlakyNode("phil", 1)
+	e := New(w.net, w.dir, "andy")
+	err := e.InvokeQoS(context.Background(), BestEffort, "flaky.phil", "Ping", nil, nil)
+	if wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("attempts = %d", attempts.Load())
+	}
+}
+
+func TestInvokeQoSRespectsContextCancel(t *testing.T) {
+	w := newWorld(t)
+	w.addFlakyNode("phil", 100)
+	e := New(w.net, w.dir, "andy")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- e.InvokeQoS(ctx, QoS{Retries: 100, Backoff: time.Hour}, "flaky.phil", "Ping", nil, nil)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("InvokeQoS hung on cancelled context")
+	}
+}
+
+func TestInvokeQoSRecoversAcrossReRegistration(t *testing.T) {
+	// The device dies, then re-registers at a new address; QoS retry
+	// with lookup invalidation finds it.
+	w := newWorld(t)
+	w.addNode("phil")
+	e := New(w.net, w.dir, "andy")
+	w.net.SetDown("node-phil", true)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- e.InvokeQoS(context.Background(), QoS{Retries: 20, Backoff: 5 * time.Millisecond},
+			"cal.phil", "WhoAmI", nil, nil)
+	}()
+	time.Sleep(15 * time.Millisecond)
+	w.net.SetDown("node-phil", false)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("retry never succeeded after device returned")
+	}
+}
+
+func TestInvokeQoSBackoffUsesClock(t *testing.T) {
+	// With a fake QoS clock, retries block until the clock advances —
+	// proving the backoff waits (and doubles) rather than spinning.
+	fake := clock.NewFake(time.Unix(0, 0))
+	restore := SetQoSClock(fake)
+	defer restore()
+
+	w := newWorld(t)
+	attempts := w.addFlakyNode("phil", 2)
+	e := New(w.net, w.dir, "andy")
+
+	done := make(chan error, 1)
+	go func() {
+		done <- e.InvokeQoS(context.Background(), QoS{Retries: 2, Backoff: time.Minute},
+			"flaky.phil", "Ping", nil, nil)
+	}()
+
+	// First attempt happens immediately; then the retry waits on the
+	// fake clock.
+	waitAttempts := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for attempts.Load() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("attempts = %d, want %d", attempts.Load(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitAttempts(1)
+	select {
+	case err := <-done:
+		t.Fatalf("returned before backoff elapsed: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Advance 1 minute -> second attempt; backoff doubles to 2m.
+	for fake.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	fake.Advance(time.Minute)
+	waitAttempts(2)
+	for fake.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	fake.Advance(2 * time.Minute)
+	waitAttempts(3)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("InvokeQoS never returned")
+	}
+}
+
+func TestGroupInvokeQoS(t *testing.T) {
+	w := newWorld(t)
+	aAttempts := w.addFlakyNode("a", 1)
+	bAttempts := w.addFlakyNode("b", 0)
+	e := New(w.net, w.dir, "x")
+	results := e.GroupInvokeQoS(context.Background(), QoS{Retries: 2},
+		[]string{"flaky.a", "flaky.b"}, "Ping", nil)
+	if !AllOK(results) {
+		t.Fatalf("results = %+v", results)
+	}
+	if aAttempts.Load() != 2 || bAttempts.Load() != 1 {
+		t.Fatalf("attempts a=%d b=%d", aAttempts.Load(), bAttempts.Load())
+	}
+}

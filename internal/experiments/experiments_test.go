@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func simConfigZero() sim.Config      { return sim.Config{} }
+func ctxBackground() context.Context { return context.Background() }
+
+// TestAllExperimentsRun executes every registered experiment and
+// checks its internal shape assertions hold (each Run* returns an
+// error when a paper-shape expectation is violated).
+func TestAllExperimentsRun(t *testing.T) {
+	reg, ids := All()
+	if len(ids) != 14 {
+		t.Fatalf("registered %d experiments: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res, err := reg[id]()
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res == nil || res.ID != id {
+				t.Fatalf("%s returned %+v", id, res)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s produced no rows", id)
+			}
+			out := res.Render()
+			if !strings.Contains(out, res.Title) {
+				t.Fatalf("render missing title:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{ID: "X", Title: "demo", Header: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.AddRow("longer", "x")
+	r.AddNote("a note with %d", 42)
+	out := r.Render()
+	for _, want := range []string{"== X — demo ==", "longer", "note: a note with 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorldAddUser(t *testing.T) {
+	w, err := NewWorld(nil, simConfigZero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddUser("solo", 3); err != nil {
+		t.Fatal(err)
+	}
+	if w.Cals["solo"] == nil || w.Nodes["solo"] == nil {
+		t.Fatal("user not registered in world maps")
+	}
+	info, err := w.Dir.LookupUser(ctxBackground(), "solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Priority != 3 {
+		t.Fatalf("priority = %d", info.Priority)
+	}
+}

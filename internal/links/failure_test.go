@@ -1,0 +1,331 @@
+package links_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/links"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestNegotiationRecoversAfterLoss: on a lossy network negotiations
+// may fail, but the system must never end with a slot reserved by two
+// different meetings, and once the network heals a fresh negotiation
+// succeeds (locks expire rather than wedging entities forever).
+func TestNegotiationRecoversAfterLoss(t *testing.T) {
+	// Build the world on a loss-free network first, then flip the
+	// loss on only for the chaos phase — harness setup itself must
+	// not be disturbed.
+	net := sim.New(sim.Config{})
+	clk := clock.NewFake(time.Date(2003, 4, 22, 9, 0, 0, 0, time.UTC))
+	srv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(time.Hour))
+	if _, err := net.Listen("dir", srv.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{t: t, net: net, clk: clk, nodes: map[string]*tnode{}}
+	for _, u := range []string{"a", "x", "y"} {
+		h.addNode(u)
+	}
+
+	// The sim network's loss config is fixed at construction, so the
+	// chaos phase injects failures by taking targets down
+	// intermittently instead.
+	rng := rand.New(rand.NewSource(99))
+	failures := 0
+	for i := 0; i < 40; i++ {
+		if rng.Float64() < 0.4 {
+			h.net.SetDown("node-x", true)
+		}
+		if rng.Float64() < 0.4 {
+			h.net.SetDown("node-y", true)
+		}
+		_, err := h.nodes["a"].Links.Negotiate(context.Background(), links.Spec{
+			Action:     "reserve",
+			Args:       wire.Args{"meeting": fmt.Sprintf("chaos-%d", i)},
+			Targets:    refs("x", "s", "y", "s"),
+			Constraint: links.And,
+		})
+		if err != nil {
+			failures++
+		}
+		h.net.SetDown("node-x", false)
+		h.net.SetDown("node-y", false)
+		// Consistency: x and y must agree on the slot holder.
+		if h.nodes["x"].status("s") != h.nodes["y"].status("s") {
+			t.Fatalf("round %d: split brain x=%q y=%q", i, h.nodes["x"].status("s"), h.nodes["y"].status("s"))
+		}
+		// Reset for the next round.
+		h.nodes["x"].setStatus("s", "")
+		h.nodes["y"].setStatus("s", "")
+		// Expire any stranded locks.
+		h.clk.Advance(links.DefaultLockTTL + time.Second)
+	}
+	if failures == 0 {
+		t.Fatal("chaos produced no failures — the test is not exercising anything")
+	}
+	// Healed network: negotiation succeeds immediately.
+	if _, err := h.nodes["a"].Links.Negotiate(context.Background(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "final"},
+		Targets:    refs("x", "s", "y", "s"),
+		Constraint: links.And,
+	}); err != nil {
+		t.Fatalf("post-chaos negotiation failed: %v", err)
+	}
+}
+
+// TestStrandedLockExpires: a negotiator that marked an entity and then
+// died must not wedge it forever — the lock TTL frees it.
+func TestStrandedLockExpires(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	ctx := context.Background()
+	// "a" marks b's entity remotely and then crashes (never commits).
+	err := h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Mark", wire.Args{
+		"entity": "s", "action": "reserve", "args": map[string]any{"meeting": "DEAD"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new negotiation against the same entity fails while the lock
+	// is live...
+	_, err = h.nodes["a"].Links.Negotiate(ctx, links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "M2"},
+		Targets: refs("b", "s"), Constraint: links.And,
+	})
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("live lock not respected: %v", err)
+	}
+	// ...and succeeds after the TTL.
+	h.clk.Advance(links.DefaultLockTTL + time.Second)
+	if _, err := h.nodes["a"].Links.Negotiate(ctx, links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "M2"},
+		Targets: refs("b", "s"), Constraint: links.And,
+	}); err != nil {
+		t.Fatalf("expired lock not stolen: %v", err)
+	}
+	if h.nodes["b"].status("s") != "M2" {
+		t.Fatalf("b status = %q", h.nodes["b"].status("s"))
+	}
+}
+
+// TestCascadeDeleteToleratesDownNode: the §4.4 cascade skips
+// unreachable participants (their device may be off) instead of
+// failing; the local deletion still happens, and re-issuing the delete
+// after the node returns cleans up the remainder.
+func TestCascadeDeleteToleratesDownNode(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	ctx := context.Background()
+	tpl := newLink("LD", links.Negotiation, links.Permanent,
+		links.EntityRef{User: "a", Entity: "s"}, refs("b", "s", "c", "s"))
+	if _, err := h.nodes["a"].Links.CreateNegotiatedLink(ctx, tpl, "reserve", wire.Args{"meeting": "M"}); err != nil {
+		t.Fatal(err)
+	}
+	h.net.SetDown("node-c", true)
+	if _, err := h.nodes["a"].Links.DeleteLink(ctx, "LD", nil); err != nil {
+		t.Fatalf("cascade with down node errored: %v", err)
+	}
+	if _, ok := h.nodes["a"].Links.GetLink("LD"); ok {
+		t.Fatal("a's row survived")
+	}
+	if _, ok := h.nodes["b"].Links.GetLink("LD"); ok {
+		t.Fatal("b's row survived")
+	}
+	// c was unreachable; its row remains until it reconnects.
+	if _, ok := h.nodes["c"].Links.GetLink("LD"); !ok {
+		t.Fatal("c's row vanished while down?")
+	}
+	// The unreachable participant is tombstoned for retry.
+	if pd := h.nodes["a"].Links.PendingDeletes(); len(pd) != 1 || pd[0] != [2]string{"LD", "c"} {
+		t.Fatalf("pending deletes = %v", pd)
+	}
+	// While c is still down, a retry changes nothing.
+	if n := h.nodes["a"].Links.RetryPendingDeletes(ctx); n != 0 {
+		t.Fatalf("retry against down node removed %d tombstones", n)
+	}
+	h.net.SetDown("node-c", false)
+	// The periodic retry now reaches c.
+	if n := h.nodes["a"].Links.RetryPendingDeletes(ctx); n != 1 {
+		t.Fatalf("retry removed %d tombstones, want 1", n)
+	}
+	if _, ok := h.nodes["c"].Links.GetLink("LD"); ok {
+		t.Fatal("c's row survived the retry")
+	}
+	if pd := h.nodes["a"].Links.PendingDeletes(); len(pd) != 0 {
+		t.Fatalf("tombstones remain: %v", pd)
+	}
+}
+
+// TestPromotionPropertyHighestGroupWins: for random waiting-link
+// populations, deleting the blocker promotes exactly the links of the
+// highest-priority group (ties by row id), and every loser is
+// re-pointed at a promoted link.
+func TestPromotionPropertyHighestGroupWins(t *testing.T) {
+	f := func(prioSeeds []uint8) bool {
+		if len(prioSeeds) == 0 || len(prioSeeds) > 12 {
+			return true // trivially pass out-of-range shapes
+		}
+		h := newHarness(t, "a", "b")
+		lm := h.nodes["a"].Links
+		owner := links.EntityRef{User: "a", Entity: "s"}
+		if err := lm.AddLink(newLink("BLOCK", links.Negotiation, links.Permanent, owner, refs("b", "s"))); err != nil {
+			return false
+		}
+		bestPrio := -1
+		for i, ps := range prioSeeds {
+			prio := int(ps % 8)
+			if prio > bestPrio {
+				bestPrio = prio
+			}
+			l := newLink(fmt.Sprintf("W%02d", i), links.Negotiation, links.Tentative, owner, refs("b", "s2"))
+			l.WaitingOn = "BLOCK"
+			l.Priority = prio
+			l.Group = fmt.Sprintf("G%d", prio) // group == priority class
+			if err := lm.AddLink(l); err != nil {
+				return false
+			}
+		}
+		promoted, err := lm.DeleteLink(context.Background(), "BLOCK", nil)
+		if err != nil {
+			return false
+		}
+		// Every promoted link must be from the best priority group.
+		promotedIDs := map[string]bool{}
+		for _, p := range promoted {
+			if p.Link.Priority != bestPrio {
+				return false
+			}
+			promotedIDs[p.Link.ID] = true
+		}
+		// Count expected winners.
+		expected := 0
+		for _, ps := range prioSeeds {
+			if int(ps%8) == bestPrio {
+				expected++
+			}
+		}
+		if len(promoted) != expected {
+			return false
+		}
+		// Losers remain tentative and wait on a promoted link.
+		for i, ps := range prioSeeds {
+			id := fmt.Sprintf("W%02d", i)
+			l, ok := lm.GetLink(id)
+			if !ok {
+				return false
+			}
+			if int(ps%8) == bestPrio {
+				if l.Subtype != links.Permanent {
+					return false
+				}
+				continue
+			}
+			if l.Subtype != links.Tentative || !promotedIDs[l.WaitingOn] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegotiationAtomicityProperty: for random availability patterns,
+// an and-negotiation either changes every target or none.
+func TestNegotiationAtomicityProperty(t *testing.T) {
+	f := func(busyMask uint8) bool {
+		h := newHarness(t, "a", "t0", "t1", "t2")
+		targets := []string{"t0", "t1", "t2"}
+		for i, u := range targets {
+			if busyMask&(1<<i) != 0 {
+				h.nodes[u].setStatus("s", "BUSY")
+			}
+		}
+		_, err := h.nodes["a"].Links.Negotiate(context.Background(), links.Spec{
+			Action:     "reserve",
+			Args:       wire.Args{"meeting": "ATOMIC"},
+			Targets:    refs("t0", "s", "t1", "s", "t2", "s"),
+			Constraint: links.And,
+		})
+		allFree := busyMask&0b111 == 0
+		if allFree != (err == nil) {
+			return false
+		}
+		for i, u := range targets {
+			want := ""
+			if busyMask&(1<<i) != 0 {
+				want = "BUSY"
+			} else if allFree {
+				want = "ATOMIC"
+			}
+			if h.nodes[u].status("s") != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 16, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpiredMeetingLinksCascade: a calendar meeting created with an
+// expiry is dissolved everywhere by the periodic sweep (§4.2 op 6),
+// exercising expiry through the full application stack.
+func TestExpiredMeetingLinksCascade(t *testing.T) {
+	net := sim.New(sim.Config{})
+	clk := clock.NewFake(time.Date(2003, 4, 21, 8, 0, 0, 0, time.UTC))
+	srv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(24*time.Hour))
+	if _, err := net.Listen("dir", srv.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cals := map[string]*calendar.Calendar{}
+	for _, u := range []string{"a", "b"} {
+		n, err := core.Start(ctx, core.Config{User: u, Net: net, DirAddr: "dir", Clock: clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := calendar.New(ctx, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cals[u] = c
+	}
+	m, err := cals["a"].SetupMeeting(ctx, calendar.Request{
+		Title: "ephemeral", Day: "2003-04-22", Hour: 10, PinSlot: true,
+		Must:    []string{"b"},
+		Expires: clk.Now().Add(2 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(3 * time.Hour)
+	expired := cals["a"].Links().ExpireSweep(ctx, clk.Now())
+	if len(expired) != 1 || expired[0] != m.LinkID {
+		t.Fatalf("expired = %v", expired)
+	}
+	for u, c := range cals {
+		if got := c.Slot(calendar.Slot{Day: "2003-04-22", Hour: 10}).Meeting; got != "" {
+			t.Fatalf("%s slot still %q after expiry", u, got)
+		}
+		if _, ok := c.Links().GetLink(m.LinkID); ok {
+			t.Fatalf("%s link survived expiry", u)
+		}
+	}
+	got, _ := cals["a"].Meeting(m.ID)
+	if got.Status != calendar.StatusCancelled {
+		t.Fatalf("meeting = %s", got.Status)
+	}
+}

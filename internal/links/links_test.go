@@ -1,0 +1,829 @@
+package links_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/links"
+	"repro/internal/listener"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// tnode is a test device: a core Node plus a toy slot table with
+// "reserve" / "release" / "note" actions registered on its link
+// manager.
+type tnode struct {
+	*core.Node
+	mu    sync.Mutex
+	slots map[string]string // entity -> "" (free) | meeting id
+	notes []string
+}
+
+func (n *tnode) status(entity string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.slots[entity]
+}
+
+func (n *tnode) setStatus(entity, v string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.slots[entity] = v
+}
+
+func (n *tnode) noteCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.notes)
+}
+
+type harness struct {
+	t     *testing.T
+	net   *sim.Net
+	clk   *clock.Fake
+	nodes map[string]*tnode
+}
+
+func newHarness(t *testing.T, users ...string) *harness {
+	t.Helper()
+	net := sim.New(sim.Config{})
+	clk := clock.NewFake(time.Date(2003, 4, 22, 9, 0, 0, 0, time.UTC))
+	srv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(time.Hour))
+	_, err := net.Listen("dir", srv.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{t: t, net: net, clk: clk, nodes: make(map[string]*tnode)}
+	for _, u := range users {
+		h.addNode(u)
+	}
+	return h
+}
+
+func (h *harness) addNode(user string) *tnode {
+	h.t.Helper()
+	ctx := context.Background()
+	n, err := core.Start(ctx, core.Config{
+		User:    user,
+		Net:     h.net,
+		DirAddr: "dir",
+		Clock:   h.clk,
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	tn := &tnode{Node: n, slots: make(map[string]string)}
+	n.Links.RegisterAction("reserve", links.Action{
+		Check: func(entity string, args wire.Args) error {
+			meeting := args.String("meeting")
+			cur := tn.status(entity)
+			if cur != "" && cur != meeting {
+				return &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("%s/%s already reserved for %s", user, entity, cur)}
+			}
+			return nil
+		},
+		Apply: func(entity string, args wire.Args) error {
+			tn.setStatus(entity, args.String("meeting"))
+			return nil
+		},
+	})
+	n.Links.RegisterAction("release", links.Action{
+		Apply: func(entity string, args wire.Args) error {
+			tn.setStatus(entity, "")
+			return nil
+		},
+	})
+	n.Links.RegisterAction("note", links.Action{
+		Apply: func(entity string, args wire.Args) error {
+			tn.mu.Lock()
+			tn.notes = append(tn.notes, entity+":"+args.String("text"))
+			tn.mu.Unlock()
+			return nil
+		},
+	})
+	h.nodes[user] = tn
+	return tn
+}
+
+func refs(pairs ...string) []links.EntityRef {
+	var out []links.EntityRef
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, links.EntityRef{User: pairs[i], Entity: pairs[i+1]})
+	}
+	return out
+}
+
+func ctxBg() context.Context { return context.Background() }
+
+// --- negotiation protocol ----------------------------------------------------
+
+func TestNegotiateAndAllFree(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	res, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "M1"},
+		Targets:    refs("b", "slot9", "c", "slot9"),
+		Constraint: links.And,
+		Local:      &links.LocalChange{Entity: "slot9", Action: "reserve", Args: wire.Args{"meeting": "M1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || len(res.Accepted) != 2 || len(res.Rejected) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	for _, u := range []string{"a", "b", "c"} {
+		if got := h.nodes[u].status("slot9"); got != "M1" {
+			t.Fatalf("%s slot9 = %q", u, got)
+		}
+	}
+}
+
+func TestNegotiateAndOneBusyChangesNothing(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	h.nodes["c"].setStatus("slot9", "OTHER")
+	res, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "M1"},
+		Targets:    refs("b", "slot9", "c", "slot9"),
+		Constraint: links.And,
+		Local:      &links.LocalChange{Entity: "slot9", Action: "reserve", Args: wire.Args{"meeting": "M1"}},
+	})
+	if err == nil || res.OK {
+		t.Fatalf("negotiation should have failed: %+v", res)
+	}
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("err = %v", err)
+	}
+	// Atomicity: nobody changed, no locks left behind.
+	if h.nodes["a"].status("slot9") != "" || h.nodes["b"].status("slot9") != "" {
+		t.Fatal("partial change leaked")
+	}
+	if h.nodes["c"].status("slot9") != "OTHER" {
+		t.Fatal("busy slot clobbered")
+	}
+	for _, u := range []string{"a", "b", "c"} {
+		if h.nodes[u].Links.Locks.Len() != 0 {
+			t.Fatalf("%s has %d leaked locks", u, h.nodes[u].Links.Locks.Len())
+		}
+	}
+}
+
+func TestNegotiateOrPartialAvailability(t *testing.T) {
+	h := newHarness(t, "a", "b", "c", "d")
+	h.nodes["c"].setStatus("slot9", "OTHER")
+	res, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "M1"},
+		Targets:    refs("b", "slot9", "c", "slot9", "d", "slot9"),
+		Constraint: links.Or,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || len(res.Accepted) != 2 || len(res.Rejected) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if h.nodes["b"].status("slot9") != "M1" || h.nodes["d"].status("slot9") != "M1" {
+		t.Fatal("available targets not changed")
+	}
+	if h.nodes["c"].status("slot9") != "OTHER" {
+		t.Fatal("busy target clobbered")
+	}
+}
+
+func TestNegotiateOrNoneAvailableFails(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	h.nodes["b"].setStatus("slot9", "X")
+	h.nodes["c"].setStatus("slot9", "Y")
+	res, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "M1"},
+		Targets:    refs("b", "slot9", "c", "slot9"),
+		Constraint: links.Or,
+	})
+	if err == nil || res.OK {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestNegotiateKofN(t *testing.T) {
+	h := newHarness(t, "a", "b", "c", "d", "e")
+	h.nodes["e"].setStatus("slot9", "BUSY")
+	// at least 3 of {b,c,d,e}: b,c,d free -> satisfied.
+	res, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "M1"},
+		Targets:    refs("b", "slot9", "c", "slot9", "d", "slot9", "e", "slot9"),
+		Constraint: links.Or,
+		K:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 3 {
+		t.Fatalf("accepted = %v", res.Accepted)
+	}
+	// at least 3 of {b,c,d,e} when two are busy -> fails.
+	h2 := newHarness(t, "a", "b", "c", "d", "e")
+	h2.nodes["d"].setStatus("slot9", "BUSY")
+	h2.nodes["e"].setStatus("slot9", "BUSY")
+	_, err = h2.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "M1"},
+		Targets:    refs("b", "slot9", "c", "slot9", "d", "slot9", "e", "slot9"),
+		Constraint: links.Or,
+		K:          3,
+	})
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNegotiateXorExactlyOne(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	h.nodes["b"].setStatus("slot9", "BUSY")
+	// Exactly one of {b, c} available -> xor satisfied, c changes.
+	res, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "M1"},
+		Targets:    refs("b", "slot9", "c", "slot9"),
+		Constraint: links.Xor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 1 || res.Accepted[0].User != "c" {
+		t.Fatalf("accepted = %v", res.Accepted)
+	}
+}
+
+func TestNegotiateXorTwoAvailableFails(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	res, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "M1"},
+		Targets:    refs("b", "slot9", "c", "slot9"),
+		Constraint: links.Xor,
+	})
+	if err == nil || res.OK {
+		t.Fatalf("xor with 2 available must fail: %+v", res)
+	}
+	if h.nodes["b"].status("slot9") != "" || h.nodes["c"].status("slot9") != "" {
+		t.Fatal("xor failure must change nothing")
+	}
+}
+
+func TestNegotiateLocalMarkFailsFast(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	h.nodes["a"].setStatus("slot9", "MINE")
+	before := h.net.Stats().Requests
+	_, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "M1"},
+		Targets:    refs("b", "slot9"),
+		Constraint: links.And,
+		Local:      &links.LocalChange{Entity: "slot9", Action: "reserve", Args: wire.Args{"meeting": "M1"}},
+	})
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("err = %v", err)
+	}
+	if got := h.net.Stats().Requests - before; got != 0 {
+		t.Fatalf("local mark failure still made %d remote calls", got)
+	}
+}
+
+func TestNegotiationTraceShape(t *testing.T) {
+	// The Figure 4 reproduction: negotiation-or over B and C from A.
+	h := newHarness(t, "a", "b", "c")
+	res, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": "M1"},
+		Targets:    refs("b", "slotX", "c", "slotX"),
+		Constraint: links.Or,
+		Local:      &links.LocalChange{Entity: "slotX", Action: "reserve", Args: wire.Args{"meeting": "M1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases []string
+	for _, s := range res.Trace {
+		phases = append(phases, s.Phase)
+	}
+	// mark(A), mark(B), mark(C), constraint, change(A), change+unlock each.
+	if len(phases) < 7 {
+		t.Fatalf("trace too short: %v", phases)
+	}
+	if phases[0] != "mark" {
+		t.Fatalf("first phase %q", phases[0])
+	}
+	sawConstraint := false
+	for i, p := range phases {
+		if p == "constraint" {
+			sawConstraint = true
+			for _, q := range phases[:i] {
+				if q != "mark" {
+					t.Fatalf("phase %q before constraint", q)
+				}
+			}
+			for _, q := range phases[i+1:] {
+				if q != "change" && q != "unlock" {
+					t.Fatalf("phase %q after constraint", q)
+				}
+			}
+		}
+	}
+	if !sawConstraint {
+		t.Fatalf("no constraint step in %v", phases)
+	}
+}
+
+func TestConcurrentNegotiationsExactlyOneWins(t *testing.T) {
+	h := newHarness(t, "a", "b", "x", "y")
+	// a and b race to reserve the same slots on x and y with "and".
+	run := func(user, meeting string) error {
+		_, err := h.nodes[user].Links.Negotiate(ctxBg(), links.Spec{
+			Action:     "reserve",
+			Args:       wire.Args{"meeting": meeting},
+			Targets:    refs("x", "s", "y", "s"),
+			Constraint: links.And,
+		})
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = run("a", "MA") }()
+	go func() { defer wg.Done(); errs[1] = run("b", "MB") }()
+	wg.Wait()
+
+	wins := 0
+	for _, err := range errs {
+		if err == nil {
+			wins++
+		}
+	}
+	if wins != 1 {
+		// Both failing is possible only with unordered acquisition;
+		// ordered try-locks guarantee someone proceeds... unless both
+		// marked disjoint prefixes. With identical ordered target
+		// lists, the one that locks x/s first wins both.
+		t.Fatalf("wins = %d, errs = %v", wins, errs)
+	}
+	if h.nodes["x"].status("s") != h.nodes["y"].status("s") {
+		t.Fatalf("split brain: x=%s y=%s", h.nodes["x"].status("s"), h.nodes["y"].status("s"))
+	}
+	if h.nodes["x"].Links.Locks.Len()+h.nodes["y"].Links.Locks.Len() != 0 {
+		t.Fatal("locks leaked")
+	}
+}
+
+// --- link CRUD, waiting links, promotion --------------------------------------
+
+func newLink(id string, typ links.Type, sub links.Subtype, owner links.EntityRef, targets []links.EntityRef) *links.Link {
+	return &links.Link{
+		ID: id, Type: typ, Subtype: sub,
+		Owner: owner, Targets: targets,
+		Constraint: links.And,
+	}
+}
+
+func TestAddGetLinksOn(t *testing.T) {
+	h := newHarness(t, "a")
+	lm := h.nodes["a"].Links
+	owner := links.EntityRef{User: "a", Entity: "slot9"}
+	l1 := newLink("L1", links.Negotiation, links.Permanent, owner, refs("b", "slot9"))
+	l1.Priority = 1
+	l2 := newLink("L2", links.Subscription, links.Permanent, owner, refs("c", "slot9"))
+	l2.Priority = 9
+	if err := lm.AddLink(l1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.AddLink(l2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := lm.GetLink("L1")
+	if !ok || got.Type != links.Negotiation || got.Owner != owner {
+		t.Fatalf("GetLink = %+v ok=%v", got, ok)
+	}
+	on := lm.LinksOn("slot9")
+	if len(on) != 2 || on[0].ID != "L2" || on[1].ID != "L1" {
+		t.Fatalf("LinksOn order: %v, %v", on[0].ID, on[1].ID)
+	}
+	if len(lm.LinksOn("other")) != 0 {
+		t.Fatal("LinksOn leaked across entities")
+	}
+	if len(lm.AllLinks()) != 2 {
+		t.Fatal("AllLinks wrong")
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	h := newHarness(t, "a")
+	lm := h.nodes["a"].Links
+	owner := links.EntityRef{User: "a", Entity: "e"}
+	bad := []*links.Link{
+		{Type: links.Negotiation, Subtype: links.Permanent, Owner: owner, Constraint: links.And},                 // no ID
+		{ID: "x", Type: "bogus", Subtype: links.Permanent, Owner: owner},                                         // bad type
+		{ID: "x", Type: links.Subscription, Subtype: "bogus", Owner: owner},                                      // bad subtype
+		{ID: "x", Type: links.Negotiation, Subtype: links.Permanent, Owner: owner},                               // no constraint
+		{ID: "x", Type: links.Subscription, Subtype: links.Permanent},                                            // no owner
+		{ID: "x", Type: links.Subscription, Subtype: links.Permanent, Owner: owner, WaitingOn: "L0"},             // permanent waiting
+		{ID: "x", Type: links.Negotiation, Subtype: links.Permanent, Owner: owner, Constraint: "nand"},           // bad constraint
+		{ID: "x", Type: links.Negotiation, Subtype: links.Permanent, Owner: owner, Constraint: links.And, K: -1}, // bad k
+	}
+	for i, l := range bad {
+		if err := lm.AddLink(l); err == nil {
+			t.Fatalf("bad link %d accepted", i)
+		}
+	}
+}
+
+func TestWaitingLinkPromotionOnDelete(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	lm := h.nodes["a"].Links
+	owner := links.EntityRef{User: "a", Entity: "slot9"}
+
+	perm := newLink("L0", links.Negotiation, links.Permanent, owner, refs("b", "slot9"))
+	if err := lm.AddLink(perm); err != nil {
+		t.Fatal(err)
+	}
+	tent := newLink("L1", links.Negotiation, links.Tentative, owner, refs("b", "slot10"))
+	tent.WaitingOn = "L0"
+	tent.Priority = 3
+	if err := lm.AddLink(tent); err != nil {
+		t.Fatal(err)
+	}
+
+	var hookEvents []string
+	lm.SetEventHook(func(kind string, l *links.Link, args wire.Args) {
+		hookEvents = append(hookEvents, kind+":"+l.ID)
+	})
+
+	promoted, err := lm.DeleteLink(ctxBg(), "L0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(promoted) != 1 || promoted[0].Link.ID != "L1" {
+		t.Fatalf("promoted = %+v", promoted)
+	}
+	got, ok := lm.GetLink("L1")
+	if !ok || got.Subtype != links.Permanent || got.WaitingOn != "" {
+		t.Fatalf("L1 after promotion: %+v", got)
+	}
+	if _, ok := lm.GetLink("L0"); ok {
+		t.Fatal("L0 survived deletion")
+	}
+	wantHooks := map[string]bool{"promote:L1": false, "delete:L0": false}
+	for _, e := range hookEvents {
+		if _, ok := wantHooks[e]; ok {
+			wantHooks[e] = true
+		}
+	}
+	for k, seen := range wantHooks {
+		if !seen {
+			t.Fatalf("hook %s not fired (got %v)", k, hookEvents)
+		}
+	}
+}
+
+func TestPromotionPicksHighestPriorityGroup(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	lm := h.nodes["a"].Links
+	owner := links.EntityRef{User: "a", Entity: "slot9"}
+	if err := lm.AddLink(newLink("L0", links.Negotiation, links.Permanent, owner, refs("b", "slot9"))); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id string, prio int, grp string) {
+		l := newLink(id, links.Negotiation, links.Tentative, owner, refs("b", "s"))
+		l.WaitingOn = "L0"
+		l.Priority = prio
+		l.Group = grp
+		if err := lm.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("W-low", 1, "meetLow")
+	mk("W-high-1", 5, "meetHigh")
+	mk("W-high-2", 5, "meetHigh")
+
+	promoted, err := lm.DeleteLink(ctxBg(), "L0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, p := range promoted {
+		ids[p.Link.ID] = true
+	}
+	if !ids["W-high-1"] || !ids["W-high-2"] || ids["W-low"] {
+		t.Fatalf("promoted = %v", ids)
+	}
+	// The loser is re-pointed at a promoted link.
+	low, ok := lm.GetLink("W-low")
+	if !ok || low.Subtype != links.Tentative {
+		t.Fatalf("W-low = %+v", low)
+	}
+	if low.WaitingOn != "W-high-1" {
+		t.Fatalf("W-low waits on %q", low.WaitingOn)
+	}
+}
+
+func TestDeleteCascadesAcrossUsers(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	// Install the same logical link (ID "LX") at all three users via
+	// CreateNegotiatedLink.
+	tpl := newLink("LX", links.Negotiation, links.Permanent,
+		links.EntityRef{User: "a", Entity: "slot9"}, refs("b", "slot9", "c", "slot9"))
+	id, err := h.nodes["a"].Links.CreateNegotiatedLink(ctxBg(), tpl, "reserve", wire.Args{"meeting": "M1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "LX" {
+		t.Fatalf("id = %q", id)
+	}
+	for _, u := range []string{"a", "b", "c"} {
+		if _, ok := h.nodes[u].Links.GetLink("LX"); !ok {
+			t.Fatalf("link missing at %s", u)
+		}
+	}
+	if _, err := h.nodes["a"].Links.DeleteLink(ctxBg(), "LX", nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"a", "b", "c"} {
+		if _, ok := h.nodes[u].Links.GetLink("LX"); ok {
+			t.Fatalf("link survived at %s", u)
+		}
+	}
+}
+
+func TestCreateNegotiatedLinkFailsWhenUnavailable(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	h.nodes["c"].setStatus("slot9", "BUSY")
+	tpl := newLink("LY", links.Negotiation, links.Permanent,
+		links.EntityRef{User: "a", Entity: "slot9"}, refs("b", "slot9", "c", "slot9"))
+	_, err := h.nodes["a"].Links.CreateNegotiatedLink(ctxBg(), tpl, "reserve", wire.Args{"meeting": "M2"})
+	if err == nil {
+		t.Fatal("link created despite unavailable participant")
+	}
+	for _, u := range []string{"a", "b"} {
+		if _, ok := h.nodes[u].Links.GetLink("LY"); ok {
+			t.Fatalf("partial link row left at %s", u)
+		}
+	}
+}
+
+func TestExpireSweep(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	lm := h.nodes["a"].Links
+	owner := links.EntityRef{User: "a", Entity: "slot9"}
+	expiring := newLink("L-exp", links.Negotiation, links.Permanent, owner, refs("b", "slot9"))
+	expiring.Expires = h.clk.Now().Add(time.Hour)
+	if err := lm.AddLink(expiring); err != nil {
+		t.Fatal(err)
+	}
+	keeper := newLink("L-keep", links.Negotiation, links.Permanent, owner, refs("b", "slot9"))
+	if err := lm.AddLink(keeper); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := lm.ExpireSweep(ctxBg(), h.clk.Now()); len(got) != 0 {
+		t.Fatalf("premature expiry: %v", got)
+	}
+	h.clk.Advance(2 * time.Hour)
+	got := lm.ExpireSweep(ctxBg(), h.clk.Now())
+	if len(got) != 1 || got[0] != "L-exp" {
+		t.Fatalf("expired = %v", got)
+	}
+	if _, ok := lm.GetLink("L-exp"); ok {
+		t.Fatal("expired link still present")
+	}
+	if _, ok := lm.GetLink("L-keep"); !ok {
+		t.Fatal("unexpired link swept")
+	}
+}
+
+// --- triggers -----------------------------------------------------------------
+
+func TestTriggerEntityNegotiationVeto(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	lm := h.nodes["a"].Links
+	l := newLink("L1", links.Negotiation, links.Permanent,
+		links.EntityRef{User: "a", Entity: "slot9"}, refs("b", "slot9", "c", "slot9"))
+	l.Triggers = []links.Trigger{{Event: "change", Action: "reserve", Args: wire.Args{"meeting": "M1"}}}
+	if err := lm.AddLink(l); err != nil {
+		t.Fatal(err)
+	}
+
+	// All free: change allowed, targets changed.
+	results, err := lm.TriggerEntity(ctxBg(), "slot9", "change", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Negotiation == nil || !results[0].Negotiation.OK {
+		t.Fatalf("results = %+v", results)
+	}
+	if h.nodes["b"].status("slot9") != "M1" {
+		t.Fatal("target not changed")
+	}
+
+	// Now c is busy with another meeting: the negotiation-and link
+	// vetoes the change.
+	h.nodes["c"].setStatus("slot9", "OTHER")
+	_, err = lm.TriggerEntity(ctxBg(), "slot9", "change", nil)
+	if err == nil {
+		t.Fatal("veto expected")
+	}
+}
+
+func TestTriggerEntitySubscriptionBestEffort(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	lm := h.nodes["a"].Links
+	l := newLink("L1", links.Subscription, links.Permanent,
+		links.EntityRef{User: "a", Entity: "slot9"}, refs("b", "inbox", "c", "inbox"))
+	l.Triggers = []links.Trigger{{Event: "change", Action: "note", Args: wire.Args{"text": "a changed slot9"}}}
+	if err := lm.AddLink(l); err != nil {
+		t.Fatal(err)
+	}
+	// c is unreachable; subscription must still deliver to b and not veto.
+	h.net.SetDown("node-c", true)
+	results, err := lm.TriggerEntity(ctxBg(), "slot9", "change", nil)
+	if err != nil {
+		t.Fatalf("subscription must not veto: %v", err)
+	}
+	if len(results) != 1 || results[0].Err == nil {
+		t.Fatalf("expected recorded best-effort error, got %+v", results)
+	}
+	if h.nodes["b"].noteCount() != 1 {
+		t.Fatalf("b notes = %d", h.nodes["b"].noteCount())
+	}
+}
+
+func TestTriggerMethodInvocation(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	// b publishes an app service with a Notify method.
+	var mu sync.Mutex
+	var calls []wire.Args
+	obj := newAppObject(func(args wire.Args) {
+		mu.Lock()
+		calls = append(calls, args)
+		mu.Unlock()
+	})
+	if err := h.nodes["b"].RegisterService(ctxBg(), "meetings.b", obj); err != nil {
+		t.Fatal(err)
+	}
+
+	lm := h.nodes["a"].Links
+	l := newLink("L1", links.Subscription, links.Permanent,
+		links.EntityRef{User: "a", Entity: "slot9"}, refs("b", "slot9"))
+	l.Triggers = []links.Trigger{{
+		Event: "delete", Service: "meetings.%s", Method: "Notify",
+		Args: wire.Args{"reason": "cancelled"},
+	}}
+	if err := lm.AddLink(l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lm.DeleteLink(ctxBg(), "L1", nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 {
+		t.Fatalf("calls = %d", len(calls))
+	}
+	if calls[0].String("reason") != "cancelled" || calls[0].String("link") != "L1" || calls[0].String("source") != "a" {
+		t.Fatalf("args = %v", calls[0])
+	}
+}
+
+func TestTentativeOnlyHighestPriorityFires(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	lm := h.nodes["a"].Links
+	owner := links.EntityRef{User: "a", Entity: "slot9"}
+	mk := func(id string, prio int, text string) {
+		l := newLink(id, links.Subscription, links.Tentative, owner, refs("b", "inbox"))
+		l.Priority = prio
+		l.Triggers = []links.Trigger{{Event: "avail", Action: "note", Args: wire.Args{"text": text}}}
+		if err := lm.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("T-low", 1, "low")
+	mk("T-high", 9, "high")
+	if _, err := lm.TriggerEntity(ctxBg(), "slot9", "avail", nil); err != nil {
+		t.Fatal(err)
+	}
+	h.nodes["b"].mu.Lock()
+	notes := append([]string(nil), h.nodes["b"].notes...)
+	h.nodes["b"].mu.Unlock()
+	if len(notes) != 1 || notes[0] != "inbox:high" {
+		t.Fatalf("notes = %v", notes)
+	}
+}
+
+// --- method forwarding (op 5) ---------------------------------------------------
+
+func TestMethodForwarding(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	var mu sync.Mutex
+	var got []wire.Args
+	obj := newAppObject(func(args wire.Args) {
+		mu.Lock()
+		got = append(got, args)
+		mu.Unlock()
+	})
+	if err := h.nodes["b"].RegisterService(ctxBg(), "cal.b", obj); err != nil {
+		t.Fatal(err)
+	}
+	lm := h.nodes["a"].Links
+	if err := lm.AddMethodLink("cal.a", "ReserveSlot", "b", "cal.b", "Notify"); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate registration is idempotent.
+	if err := lm.AddMethodLink("cal.a", "ReserveSlot", "b", "cal.b", "Notify"); err != nil {
+		t.Fatal(err)
+	}
+	res := lm.ForwardMethod(ctxBg(), "cal.a", "ReserveSlot", wire.Args{"slot": "mon-9"})
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("res = %+v", res)
+	}
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("forwarded %d times", n)
+	}
+	// Unrelated methods do not forward.
+	if res := lm.ForwardMethod(ctxBg(), "cal.a", "Other", nil); len(res) != 0 {
+		t.Fatalf("unexpected forward: %+v", res)
+	}
+	lm.RemoveMethodLink("cal.a", "ReserveSlot", "b", "Notify")
+	if res := lm.ForwardMethod(ctxBg(), "cal.a", "ReserveSlot", nil); len(res) != 0 {
+		t.Fatalf("forward after removal: %+v", res)
+	}
+}
+
+// --- remote service object ------------------------------------------------------
+
+func TestRemoteLinksServiceRoundTrip(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	// a installs a link row at b through the wire.
+	l := newLink("L-remote", links.Subscription, links.Permanent,
+		links.EntityRef{User: "b", Entity: "slot9"}, refs("a", "slot9"))
+	if err := h.nodes["a"].Links.InstallAt(ctxBg(), "b", l); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := h.nodes["b"].Links.GetLink("L-remote")
+	if !ok || got.Owner.User != "b" {
+		t.Fatalf("remote install failed: %+v ok=%v", got, ok)
+	}
+	// Remote Mark/Commit through the service.
+	var out struct {
+		Token string `json:"token"`
+	}
+	err := h.nodes["a"].Engine.Invoke(ctxBg(), links.ServiceFor("b"), "Mark", wire.Args{
+		"entity": "slot9", "action": "reserve", "args": map[string]any{"meeting": "MM"},
+	}, &out)
+	if err != nil || out.Token == "" {
+		t.Fatalf("Mark: %v token=%q", err, out.Token)
+	}
+	// Second mark conflicts.
+	err = h.nodes["a"].Engine.Invoke(ctxBg(), links.ServiceFor("b"), "Mark", wire.Args{
+		"entity": "slot9", "action": "reserve", "args": map[string]any{"meeting": "ZZ"},
+	}, nil)
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("second Mark: %v", err)
+	}
+	// Commit with a stale token fails.
+	err = h.nodes["a"].Engine.Invoke(ctxBg(), links.ServiceFor("b"), "Commit", wire.Args{
+		"entity": "slot9", "token": "bogus", "action": "reserve", "args": map[string]any{"meeting": "MM"},
+	}, nil)
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("stale commit: %v", err)
+	}
+	// Proper commit applies.
+	err = h.nodes["a"].Engine.Invoke(ctxBg(), links.ServiceFor("b"), "Commit", wire.Args{
+		"entity": "slot9", "token": out.Token, "action": "reserve", "args": map[string]any{"meeting": "MM"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.nodes["b"].status("slot9") != "MM" {
+		t.Fatalf("status = %q", h.nodes["b"].status("slot9"))
+	}
+}
+
+// newAppObject builds a one-method listener object calling fn on
+// Notify.
+func newAppObject(fn func(wire.Args)) *listener.Object {
+	return listener.NewObject().Handle("Notify", func(ctx context.Context, call *listener.Call) (any, error) {
+		fn(call.Args)
+		return true, nil
+	})
+}

@@ -1,0 +1,135 @@
+package links
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// LockTable implements the entity mark/lock step of the paper's
+// negotiation semantics (§4.3: "Mark B and C for change and Lock B
+// and C"). Locks are try-locks — an already-locked entity fails the
+// mark immediately instead of blocking — which, combined with globally
+// ordered acquisition for `and` constraints, makes the distributed
+// protocol deadlock-free.
+//
+// Each lock carries a TTL so a crashed or partitioned negotiator
+// cannot wedge an entity forever; an expired lock is silently stolen
+// by the next TryLock.
+type LockTable struct {
+	clk clock.Clock
+	ttl time.Duration
+
+	mu    sync.Mutex
+	locks map[string]lockEntry
+}
+
+type lockEntry struct {
+	token    string
+	holder   string
+	deadline time.Time
+}
+
+// DefaultLockTTL bounds how long a mark can outlive its negotiation.
+const DefaultLockTTL = 30 * time.Second
+
+// NewLockTable creates a lock table. ttl <= 0 uses DefaultLockTTL.
+func NewLockTable(clk clock.Clock, ttl time.Duration) *LockTable {
+	if clk == nil {
+		clk = clock.System
+	}
+	if ttl <= 0 {
+		ttl = DefaultLockTTL
+	}
+	return &LockTable{clk: clk, ttl: ttl, locks: make(map[string]lockEntry)}
+}
+
+// newToken returns a fresh opaque lock token.
+func newToken() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for the process.
+		panic("links: rand: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TryLock marks entity for holder (recorded for diagnostics only). It
+// returns the lock token and true on success, or "" and false when a
+// live lock holds the entity. Locks are not re-entrant: a single
+// negotiation never marks the same entity twice, and two negotiations
+// by the same user must still exclude each other.
+func (lt *LockTable) TryLock(entity, holder string) (string, bool) {
+	now := lt.clk.Now()
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if e, ok := lt.locks[entity]; ok && now.Before(e.deadline) {
+		return "", false
+	}
+	e := lockEntry{token: newToken(), holder: holder, deadline: now.Add(lt.ttl)}
+	lt.locks[entity] = e
+	return e.token, true
+}
+
+// Unlock releases entity if token matches the live lock. Unlocking
+// with a stale token (expired and re-granted) is a no-op.
+func (lt *LockTable) Unlock(entity, token string) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	e, ok := lt.locks[entity]
+	if !ok || e.token != token {
+		return false
+	}
+	delete(lt.locks, entity)
+	return true
+}
+
+// Holds reports whether token currently holds entity's lock.
+func (lt *LockTable) Holds(entity, token string) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	e, ok := lt.locks[entity]
+	return ok && e.token == token && lt.clk.Now().Before(e.deadline)
+}
+
+// Locked reports whether entity is currently locked by anyone.
+func (lt *LockTable) Locked(entity string) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	e, ok := lt.locks[entity]
+	return ok && lt.clk.Now().Before(e.deadline)
+}
+
+// Len reports the number of live locks (expired entries are counted
+// until stolen or swept).
+func (lt *LockTable) Len() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	n := 0
+	now := lt.clk.Now()
+	for _, e := range lt.locks {
+		if now.Before(e.deadline) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sweep drops expired lock entries (housekeeping; correctness does not
+// depend on it because TryLock steals expired locks).
+func (lt *LockTable) Sweep() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	now := lt.clk.Now()
+	n := 0
+	for k, e := range lt.locks {
+		if !now.Before(e.deadline) {
+			delete(lt.locks, k)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+package links
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestTryLockExcludes(t *testing.T) {
+	lt := NewLockTable(nil, time.Minute)
+	tok, ok := lt.TryLock("slot9", "a")
+	if !ok || tok == "" {
+		t.Fatal("first lock failed")
+	}
+	if _, ok := lt.TryLock("slot9", "b"); ok {
+		t.Fatal("second lock acquired")
+	}
+	// Not re-entrant even for the same holder.
+	if _, ok := lt.TryLock("slot9", "a"); ok {
+		t.Fatal("re-entrant lock acquired")
+	}
+	if !lt.Locked("slot9") || !lt.Holds("slot9", tok) {
+		t.Fatal("lock state inconsistent")
+	}
+	if lt.Holds("slot9", "bogus") {
+		t.Fatal("bogus token holds")
+	}
+}
+
+func TestUnlock(t *testing.T) {
+	lt := NewLockTable(nil, time.Minute)
+	tok, _ := lt.TryLock("slot9", "a")
+	if lt.Unlock("slot9", "wrong") {
+		t.Fatal("unlock with wrong token succeeded")
+	}
+	if !lt.Unlock("slot9", tok) {
+		t.Fatal("unlock failed")
+	}
+	if lt.Locked("slot9") {
+		t.Fatal("still locked")
+	}
+	if lt.Unlock("slot9", tok) {
+		t.Fatal("double unlock succeeded")
+	}
+	if _, ok := lt.TryLock("slot9", "b"); !ok {
+		t.Fatal("relock after unlock failed")
+	}
+}
+
+func TestLockExpiryAndSteal(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	lt := NewLockTable(fake, 10*time.Second)
+	tok1, ok := lt.TryLock("slot9", "a")
+	if !ok {
+		t.Fatal("lock failed")
+	}
+	fake.Advance(5 * time.Second)
+	if _, ok := lt.TryLock("slot9", "b"); ok {
+		t.Fatal("live lock stolen")
+	}
+	fake.Advance(6 * time.Second) // past TTL
+	tok2, ok := lt.TryLock("slot9", "b")
+	if !ok {
+		t.Fatal("expired lock not stolen")
+	}
+	// The old token no longer unlocks.
+	if lt.Unlock("slot9", tok1) {
+		t.Fatal("stale token unlocked a stolen lock")
+	}
+	if !lt.Holds("slot9", tok2) {
+		t.Fatal("new holder lost the lock")
+	}
+}
+
+func TestHoldsRespectsExpiry(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	lt := NewLockTable(fake, 10*time.Second)
+	tok, _ := lt.TryLock("slot9", "a")
+	fake.Advance(11 * time.Second)
+	if lt.Holds("slot9", tok) {
+		t.Fatal("expired lock still held")
+	}
+	if lt.Locked("slot9") {
+		t.Fatal("expired lock reported locked")
+	}
+}
+
+func TestLenAndSweep(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	lt := NewLockTable(fake, 10*time.Second)
+	lt.TryLock("a", "x")
+	lt.TryLock("b", "x")
+	if lt.Len() != 2 {
+		t.Fatalf("Len = %d", lt.Len())
+	}
+	fake.Advance(11 * time.Second)
+	lt.TryLock("c", "x")
+	if lt.Len() != 1 {
+		t.Fatalf("Len after expiry = %d", lt.Len())
+	}
+	if n := lt.Sweep(); n != 2 {
+		t.Fatalf("Sweep removed %d", n)
+	}
+	if lt.Len() != 1 {
+		t.Fatalf("Len after sweep = %d", lt.Len())
+	}
+}
+
+func TestConcurrentTryLockOneWinner(t *testing.T) {
+	lt := NewLockTable(nil, time.Minute)
+	const n = 32
+	var wg sync.WaitGroup
+	wins := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, wins[i] = lt.TryLock("slot9", "h")
+		}(i)
+	}
+	wg.Wait()
+	count := 0
+	for _, w := range wins {
+		if w {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("winners = %d", count)
+	}
+}
+
+func TestDefaultTTLApplied(t *testing.T) {
+	lt := NewLockTable(nil, 0)
+	if lt.ttl != DefaultLockTTL {
+		t.Fatalf("ttl = %v", lt.ttl)
+	}
+}
+
+func TestTokensUnique(t *testing.T) {
+	lt := NewLockTable(nil, time.Minute)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		tok, ok := lt.TryLock("e", "h")
+		if !ok {
+			t.Fatal("lock failed")
+		}
+		if seen[tok] {
+			t.Fatal("token reused")
+		}
+		seen[tok] = true
+		lt.Unlock("e", tok)
+	}
+}

@@ -1,0 +1,704 @@
+package links
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// ServicePrefix prefixes the per-user links service name.
+const ServicePrefix = "links."
+
+// ServiceFor returns the links service name for a user.
+func ServiceFor(user string) string { return ServicePrefix + user }
+
+// Action is an application-registered entity action: Check validates
+// that the action could apply to an entity (the "condition" of the ECA
+// rule, and the availability test of §4.2 op 2); Apply performs it.
+// Both run under the entity's lock during negotiation.
+type Action struct {
+	Check func(entity string, args wire.Args) error
+	Apply func(entity string, args wire.Args) error
+}
+
+// EventHook observes link lifecycle events ("promote", "delete",
+// "expire") so the application can react (the calendar converts
+// tentative meetings when it sees a promote).
+type EventHook func(kind string, l *Link, args wire.Args)
+
+// Manager is a node's SyDLinks module (paper §3.1e): it "enables an
+// application to create and enforce interdependencies, constraints
+// and automatic updates among groups of SyD entities".
+type Manager struct {
+	self string
+	eng  *engine.Engine
+	clk  clock.Clock
+
+	Locks *LockTable
+
+	linksT   *store.Table
+	waitingT *store.Table
+	methodsT *store.Table
+	pendingT *store.Table
+
+	mu      sync.RWMutex
+	actions map[string]Action
+	hook    EventHook
+}
+
+// NewManager creates the links manager for user self, creating the
+// link database tables in db (§4.2 op 1).
+func NewManager(self string, db *store.DB, eng *engine.Engine, clk clock.Clock) (*Manager, error) {
+	if clk == nil {
+		clk = clock.System
+	}
+	lt, wt, mt, pt, err := createLinkDB(db)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		self:     self,
+		eng:      eng,
+		clk:      clk,
+		Locks:    NewLockTable(clk, 0),
+		linksT:   lt,
+		waitingT: wt,
+		methodsT: mt,
+		pendingT: pt,
+		actions:  make(map[string]Action),
+	}, nil
+}
+
+// Self returns the owning user id.
+func (m *Manager) Self() string { return m.self }
+
+// NewLinkID mints a globally unique link id.
+func NewLinkID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("links: rand: " + err.Error())
+	}
+	return "L-" + hex.EncodeToString(b[:])
+}
+
+// RegisterAction registers (or replaces) an entity action.
+func (m *Manager) RegisterAction(name string, a Action) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.actions[name] = a
+}
+
+// SetEventHook installs the application's lifecycle observer.
+func (m *Manager) SetEventHook(h EventHook) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hook = h
+}
+
+func (m *Manager) fireHook(kind string, l *Link, args wire.Args) {
+	m.mu.RLock()
+	h := m.hook
+	m.mu.RUnlock()
+	if h != nil {
+		h(kind, l, args)
+	}
+}
+
+func (m *Manager) action(name string) (Action, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	a, ok := m.actions[name]
+	if !ok {
+		return Action{}, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: fmt.Sprintf("links: no action %q registered on %s", name, m.self)}
+	}
+	return a, nil
+}
+
+// --- local link CRUD --------------------------------------------------------
+
+// AddLink stores a link row locally, registering it in the waiting
+// table when it is tentative and waiting on another link.
+func (m *Manager) AddLink(l *Link) error {
+	if l.Created.IsZero() {
+		l.Created = m.clk.Now()
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	row, err := linkToRow(l)
+	if err != nil {
+		return err
+	}
+	if err := m.linksT.Insert(row); err != nil {
+		return err
+	}
+	if l.WaitingOn != "" {
+		return m.waitingT.Insert(store.Row{
+			"id": l.ID, "waiting_on": l.WaitingOn,
+			"priority": int64(l.Priority), "grp": l.Group,
+		})
+	}
+	return nil
+}
+
+// GetLink fetches a local link by id.
+func (m *Manager) GetLink(id string) (*Link, bool) {
+	r, ok := m.linksT.Get(id)
+	if !ok {
+		return nil, false
+	}
+	l, err := rowToLink(r)
+	if err != nil {
+		return nil, false
+	}
+	return l, true
+}
+
+// LinksOn returns all local links attached to entity, sorted by
+// priority descending then id (so "highest priority" selections are
+// deterministic).
+func (m *Manager) LinksOn(entity string) []*Link {
+	rows := m.linksT.SelectEq("owner_entity", entity)
+	out := make([]*Link, 0, len(rows))
+	for _, r := range rows {
+		if l, err := rowToLink(r); err == nil {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// AllLinks returns every local link (diagnostics and tests).
+func (m *Manager) AllLinks() []*Link {
+	rows := m.linksT.Select(nil)
+	out := make([]*Link, 0, len(rows))
+	for _, r := range rows {
+		if l, err := rowToLink(r); err == nil {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// removeLocal deletes the local row (and any waiting entry) without
+// cascading.
+func (m *Manager) removeLocal(id string) {
+	_ = m.linksT.Delete(id)
+	_ = m.waitingT.Delete(id)
+}
+
+// --- §4.2 op 3: tentative → permanent promotion -----------------------------
+
+// Promoted describes one promotion performed during a delete.
+type Promoted struct {
+	Link *Link
+	// TriggerErrs holds best-effort errors from firing the promoted
+	// link's "promote" triggers.
+	TriggerErrs []error
+}
+
+// promoteWaiters converts the highest-priority waiting group blocked
+// on blockerID from tentative to permanent and fires their "promote"
+// triggers. Remaining waiters are re-pointed at the first promoted
+// link (the entity is now held by the promoted party — a design
+// decision documented in DESIGN.md).
+func (m *Manager) promoteWaiters(ctx context.Context, blockerID string) []Promoted {
+	rows := m.waitingT.SelectEq("waiting_on", blockerID)
+	if len(rows) == 0 {
+		return nil
+	}
+	// Highest priority wins; its whole group converts together.
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r["priority"].(int64) > best["priority"].(int64) {
+			best = r
+		}
+	}
+	bestGroup := best["grp"].(string)
+
+	var winners, losers []store.Row
+	for _, r := range rows {
+		sameGroup := bestGroup != "" && r["grp"].(string) == bestGroup
+		if r["id"] == best["id"] || sameGroup {
+			winners = append(winners, r)
+		} else {
+			losers = append(losers, r)
+		}
+	}
+	sort.Slice(winners, func(i, j int) bool { return winners[i]["id"].(string) < winners[j]["id"].(string) })
+
+	var promoted []Promoted
+	var firstID string
+	for _, r := range winners {
+		id := r["id"].(string)
+		if err := m.linksT.Update(store.Row{"subtype": string(Permanent), "waiting_on": ""}, id); err != nil {
+			continue
+		}
+		_ = m.waitingT.Delete(id)
+		l, ok := m.GetLink(id)
+		if !ok {
+			continue
+		}
+		if firstID == "" {
+			firstID = id
+		}
+		p := Promoted{Link: l}
+		for _, res := range m.fireTriggers(ctx, l, "promote", nil) {
+			if res.Err != nil {
+				p.TriggerErrs = append(p.TriggerErrs, res.Err)
+			}
+		}
+		m.fireHook("promote", l, nil)
+		promoted = append(promoted, p)
+	}
+	// Losers now wait on the winner instead of the deleted blocker.
+	if firstID != "" {
+		for _, r := range losers {
+			id := r["id"].(string)
+			_ = m.waitingT.Update(store.Row{"waiting_on": firstID}, id)
+			_ = m.linksT.Update(store.Row{"waiting_on": firstID}, id)
+		}
+	}
+	return promoted
+}
+
+// PromoteLink converts a local tentative link to permanent outside a
+// deletion (used when a tentative participant becomes available and
+// the renegotiation succeeds, §5). Unlike waiting-table promotion this
+// does not fire "promote" triggers — the caller just completed the
+// work those triggers would start.
+func (m *Manager) PromoteLink(id string) error {
+	l, ok := m.GetLink(id)
+	if !ok {
+		return &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("links: no link %q on %s", id, m.self)}
+	}
+	if l.Subtype == Permanent {
+		return nil
+	}
+	if err := m.linksT.Update(store.Row{"subtype": string(Permanent), "waiting_on": ""}, id); err != nil {
+		return err
+	}
+	_ = m.waitingT.Delete(id)
+	l.Subtype = Permanent
+	l.WaitingOn = ""
+	m.fireHook("promote", l, nil)
+	return nil
+}
+
+// --- §4.2 op 4 / §4.4: cascading deletion ------------------------------------
+
+// DeleteLink implements SyD_deleteLink() (§4.2 op 4, §4.4): delete the
+// local row and update the application state, promote the
+// highest-priority waiting group, and cascade the deletion to every
+// other participating user. visited carries the users already
+// processed to terminate the cascade on cyclic link graphs.
+//
+// Note on ordering: the paper lists "convert waiting links" before
+// "delete the local link / update the calendar database". We release
+// the application state (delete triggers + hook) *before* promoting,
+// because a promoted link's triggers immediately try to take over the
+// resource the deleted link held (the §5 scenario: a cancelled
+// meeting's slot is grabbed by the highest-priority tentative
+// meeting); promoting first would find the slot still occupied.
+func (m *Manager) DeleteLink(ctx context.Context, id string, visited []string) ([]Promoted, error) {
+	for _, v := range visited {
+		if v == m.self {
+			return nil, nil
+		}
+	}
+	visited = append(visited, m.self)
+
+	l, ok := m.GetLink(id)
+	if !ok {
+		// No local row, but local waiters may still reference the
+		// id (the blocker lived elsewhere).
+		return m.promoteWaiters(ctx, id), nil
+	}
+	m.removeLocal(id)
+
+	// "Delete" triggers and the hook update the local database
+	// (§4.4 step 5: "update the calendar database of the user").
+	for _, res := range m.fireTriggers(ctx, l, "delete", nil) {
+		_ = res // best effort; errors already recorded in result
+	}
+	m.fireHook("delete", l, nil)
+
+	// §4.4 steps 1-2: waiting links convert, highest priority first.
+	promoted := m.promoteWaiters(ctx, id)
+
+	// §4.4 steps 4/6-7: cascade to the other participants via SyDEngine.
+	var firstErr error
+	for _, u := range l.participants() {
+		if u == m.self || contains(visited, u) {
+			continue
+		}
+		err := m.eng.Invoke(ctx, ServiceFor(u), "DeleteLink", wire.Args{
+			"id": id, "visited": visited,
+		}, nil)
+		if err != nil && wire.CodeOf(err) == wire.CodeUnavailable {
+			// The participant's device is off; leave a tombstone so
+			// the periodic sweep retries once it returns.
+			m.recordPendingDelete(id, u)
+			continue
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("links: cascade delete %s at %s: %w", id, u, err)
+		}
+	}
+	return promoted, firstErr
+}
+
+// recordPendingDelete remembers an undeliverable cascade deletion.
+func (m *Manager) recordPendingDelete(id, user string) {
+	err := m.pendingT.Insert(store.Row{"id": id, "user": user})
+	if err != nil && !errors.Is(err, store.ErrDupKey) {
+		// A full pending table is diagnosable via PendingDeletes.
+		return
+	}
+}
+
+// PendingDeletes lists tombstoned (link id, user) pairs, sorted.
+func (m *Manager) PendingDeletes() [][2]string {
+	rows := m.pendingT.Select(nil)
+	out := make([][2]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, [2]string{r["id"].(string), r["user"].(string)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// RetryPendingDeletes re-issues tombstoned cascade deletions; called
+// by the same periodic schedule as the expiry sweep. Still-unreachable
+// participants stay tombstoned.
+func (m *Manager) RetryPendingDeletes(ctx context.Context) int {
+	done := 0
+	for _, pd := range m.PendingDeletes() {
+		id, user := pd[0], pd[1]
+		err := m.eng.Invoke(ctx, ServiceFor(user), "DeleteLink", wire.Args{
+			"id": id, "visited": []string{m.self},
+		}, nil)
+		if err != nil && wire.CodeOf(err) == wire.CodeUnavailable {
+			continue
+		}
+		// Success or a permanent error (e.g. the row is already
+		// gone): drop the tombstone either way.
+		_ = m.pendingT.Delete(id, user)
+		done++
+	}
+	return done
+}
+
+// DeleteLinkLocal removes only this node's row of a link — promotion
+// of local waiters and local "delete" triggers still run, but the
+// deletion does not cascade to other participants. Used when a single
+// participant leaves a link (dropout, bump re-queue) while the logical
+// link lives on elsewhere.
+func (m *Manager) DeleteLinkLocal(ctx context.Context, id string) ([]Promoted, error) {
+	l, ok := m.GetLink(id)
+	if !ok {
+		return nil, nil
+	}
+	visited := l.participants() // mark everyone visited -> no cascade
+	if !contains(visited, m.self) {
+		visited = append(visited, m.self)
+	}
+	// Strip self back out so DeleteLink processes the local row.
+	var others []string
+	for _, u := range visited {
+		if u != m.self {
+			others = append(others, u)
+		}
+	}
+	return m.DeleteLink(ctx, id, others)
+}
+
+// participants lists the distinct users referenced by the link
+// (owner + targets), sorted.
+func (l *Link) participants() []string {
+	seen := map[string]bool{l.Owner.User: true}
+	for _, t := range l.Targets {
+		seen[t.User] = true
+	}
+	out := make([]string, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// --- §4.2 op 6: link expiry ---------------------------------------------------
+
+// ExpireSweep deletes every local link whose expiry time has passed
+// (cascading, like any other deletion) and returns the expired ids.
+func (m *Manager) ExpireSweep(ctx context.Context, now time.Time) []string {
+	rows := m.linksT.Select(func(r store.Row) bool {
+		exp := r["expires"].(time.Time)
+		return !exp.IsZero() && exp.Before(now)
+	})
+	var expired []string
+	for _, r := range rows {
+		id := r["id"].(string)
+		if l, ok := m.GetLink(id); ok {
+			m.fireHook("expire", l, nil)
+		}
+		_, _ = m.DeleteLink(ctx, id, nil)
+		expired = append(expired, id)
+	}
+	sort.Strings(expired)
+	return expired
+}
+
+// --- §4.2 op 5: method invocation forwarding ----------------------------------
+
+// AddMethodLink records that executing srcMethod on the local service
+// must also execute destMethod on destService at targetUser.
+func (m *Manager) AddMethodLink(service, srcMethod, targetUser, destService, destMethod string) error {
+	err := m.methodsT.Insert(store.Row{
+		"service": service, "src_method": srcMethod,
+		"target_user": targetUser, "dest_service": destService, "dest_method": destMethod,
+	})
+	if err != nil && errors.Is(err, store.ErrDupKey) {
+		return nil
+	}
+	return err
+}
+
+// RemoveMethodLink removes a method forwarding entry.
+func (m *Manager) RemoveMethodLink(service, srcMethod, targetUser, destMethod string) {
+	_ = m.methodsT.Delete(service, srcMethod, targetUser, destMethod)
+}
+
+// ForwardResult is one method-forwarding outcome.
+type ForwardResult struct {
+	TargetUser string
+	Service    string
+	Method     string
+	Err        error
+}
+
+// ForwardMethod implements the op-5 contract: the application calls it
+// after executing (service, method) locally; the manager looks the
+// pair up in SyD_LinkMethod and invokes the mapped remote methods.
+func (m *Manager) ForwardMethod(ctx context.Context, service, method string, args wire.Args) []ForwardResult {
+	rows := m.methodsT.SelectEq("src_method", method)
+	var out []ForwardResult
+	for _, r := range rows {
+		if r["service"].(string) != service {
+			continue
+		}
+		fr := ForwardResult{
+			TargetUser: r["target_user"].(string),
+			Service:    r["dest_service"].(string),
+			Method:     r["dest_method"].(string),
+		}
+		fr.Err = m.eng.Invoke(ctx, fr.Service, fr.Method, args, nil)
+		out = append(out, fr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TargetUser < out[j].TargetUser })
+	return out
+}
+
+// --- trigger firing -----------------------------------------------------------
+
+// TriggerResult is the outcome of firing one trigger of one link.
+type TriggerResult struct {
+	LinkID      string
+	Trigger     Trigger
+	Negotiation *Result // set for negotiation-action triggers
+	Err         error
+}
+
+// TriggerEntity announces an attempted change ("Mark X", §4.3) on a
+// local entity: every permanent link attached to the entity whose
+// triggers match event fires. Negotiation links must succeed —
+// a failed negotiation vetoes the change and TriggerEntity returns an
+// error; the caller must not apply its local change. Subscription
+// links fire best-effort. Among tentative links only the
+// highest-priority one fires (§5: "if the tentative link back to A is
+// of highest priority, it will get triggered").
+func (m *Manager) TriggerEntity(ctx context.Context, entity, event string, args wire.Args) ([]TriggerResult, error) {
+	linksOn := m.LinksOn(entity)
+	var toFire []*Link
+	var bestTentative *Link
+	for _, l := range linksOn {
+		if len(l.TriggersFor(event)) == 0 {
+			continue
+		}
+		if l.Subtype == Tentative {
+			if bestTentative == nil || l.Priority > bestTentative.Priority {
+				bestTentative = l
+			}
+			continue
+		}
+		toFire = append(toFire, l)
+	}
+	if bestTentative != nil {
+		toFire = append(toFire, bestTentative)
+	}
+
+	var results []TriggerResult
+	var veto error
+	for _, l := range toFire {
+		res := m.fireTriggers(ctx, l, event, args)
+		results = append(results, res...)
+		if l.Type == Negotiation {
+			for _, r := range res {
+				if r.Err != nil && veto == nil {
+					veto = fmt.Errorf("links: negotiation link %s vetoed %s on %s: %w", l.ID, event, entity, r.Err)
+				}
+			}
+		}
+	}
+	return results, veto
+}
+
+// TriggerLink fires a specific link's triggers for event.
+func (m *Manager) TriggerLink(ctx context.Context, id, event string, args wire.Args) ([]TriggerResult, error) {
+	l, ok := m.GetLink(id)
+	if !ok {
+		return nil, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("links: no link %q on %s", id, m.self)}
+	}
+	return m.fireTriggers(ctx, l, event, args), nil
+}
+
+// fireTriggers executes every trigger of l matching event.
+func (m *Manager) fireTriggers(ctx context.Context, l *Link, event string, args wire.Args) []TriggerResult {
+	var out []TriggerResult
+	for _, t := range l.TriggersFor(event) {
+		merged := t.MergedArgs(args)
+		res := TriggerResult{LinkID: l.ID, Trigger: t}
+		switch {
+		case t.Action != "" && l.Type == Negotiation:
+			r, err := m.Negotiate(ctx, Spec{
+				Action:     t.Action,
+				Args:       merged,
+				Targets:    l.Targets,
+				Constraint: l.Constraint,
+				K:          l.EffectiveK(),
+			})
+			res.Negotiation = r
+			res.Err = err
+		case t.Action != "" && l.Type == Subscription:
+			// Best-effort information flow to every subscriber.
+			for _, tgt := range l.Targets {
+				err := m.applyRemote(ctx, tgt, t.Action, merged)
+				if err != nil && res.Err == nil {
+					res.Err = err
+				}
+			}
+		case t.Method != "":
+			for _, tgt := range l.Targets {
+				svc := t.Service
+				if svc == "" {
+					svc = "cal.%s"
+				}
+				if containsPercent(svc) {
+					svc = fmt.Sprintf(svc, tgt.User)
+				}
+				callArgs := merged.Clone()
+				callArgs["link"] = l.ID
+				callArgs["source"] = m.self
+				callArgs["targetEntity"] = tgt.Entity
+				err := m.eng.Invoke(ctx, svc, t.Method, callArgs, nil)
+				if err != nil && res.Err == nil {
+					res.Err = err
+				}
+			}
+		default:
+			res.Err = fmt.Errorf("links: trigger on %s has neither action nor method", l.ID)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func containsPercent(s string) bool {
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == '%' && s[i+1] == 's' {
+			return true
+		}
+	}
+	return false
+}
+
+// applyRemote runs an entity action on a (possibly remote) entity
+// without negotiation locking.
+func (m *Manager) applyRemote(ctx context.Context, tgt EntityRef, action string, args wire.Args) error {
+	if tgt.User == m.self {
+		a, err := m.action(action)
+		if err != nil {
+			return err
+		}
+		if a.Check != nil {
+			if err := a.Check(tgt.Entity, args); err != nil {
+				return err
+			}
+		}
+		if a.Apply != nil {
+			return a.Apply(tgt.Entity, args)
+		}
+		return nil
+	}
+	return m.eng.Invoke(ctx, ServiceFor(tgt.User), "Apply", wire.Args{
+		"entity": tgt.Entity, "action": action, "args": map[string]any(args),
+	}, nil)
+}
+
+// installRemote adds a link row at a remote participant.
+func (m *Manager) installRemote(ctx context.Context, user string, l *Link) error {
+	if user == m.self {
+		return m.AddLink(l)
+	}
+	raw, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	var linkMap map[string]any
+	if err := json.Unmarshal(raw, &linkMap); err != nil {
+		return err
+	}
+	return m.eng.Invoke(ctx, ServiceFor(user), "AddLink", wire.Args{"link": linkMap}, nil)
+}
+
+// InstallAt adds a link row at the given user's link database (local
+// or remote) — the building block for back links and subscriptions.
+func (m *Manager) InstallAt(ctx context.Context, user string, l *Link) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	return m.installRemote(ctx, user, l)
+}

@@ -1,0 +1,357 @@
+package links
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Spec describes one negotiation: attempt action on every target and
+// succeed according to the constraint (§4.3 semantics).
+//
+// When Local is non-nil the activating entity itself participates:
+// it is marked and locked first ("Mark A for change and Lock A"),
+// changed only if the constraint is satisfied, and unlocked last.
+type Spec struct {
+	Action     string
+	Args       wire.Args
+	Targets    []EntityRef
+	Constraint Constraint
+	K          int // k for k-of-n (0 means 1)
+
+	// Local, if set, is the activator's own change.
+	Local *LocalChange
+}
+
+// LocalChange is the activating entity's own mark/change.
+type LocalChange struct {
+	Entity string
+	Action string
+	Args   wire.Args
+}
+
+// Step is one protocol step in the negotiation trace; the trace of a
+// negotiation-or over three objects reproduces the paper's Figure 4
+// activity diagram.
+type Step struct {
+	Phase  string `json:"phase"`  // "mark" | "constraint" | "change" | "unlock" | "abort"
+	Entity string `json:"entity"` // entity acted on ("" for constraint steps)
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Result is a negotiation outcome.
+type Result struct {
+	OK       bool        `json:"ok"`
+	Accepted []EntityRef `json:"accepted"` // targets changed
+	Rejected []EntityRef `json:"rejected"` // targets that could not be marked
+	Trace    []Step      `json:"trace"`
+}
+
+// ErrConstraint is returned (wrapped in a RemoteError) when the marked
+// set does not satisfy the constraint.
+func errConstraint(c Constraint, k, locked, n int) error {
+	return &wire.RemoteError{
+		Code: wire.CodeConflict,
+		Msg:  fmt.Sprintf("links: constraint %s(k=%d) unsatisfied: %d of %d targets markable", c, k, locked, n),
+	}
+}
+
+// markResult is a phase-1 outcome for one target.
+type markResult struct {
+	ref   EntityRef
+	token string
+	err   error
+}
+
+// Negotiate runs the two-phase mark-and-lock protocol of §4.3.
+//
+// Phase 1 marks (try-locks + condition-checks) the targets:
+// sequentially in global entity order for And (every target must lock,
+// and ordering prevents deadlock between overlapping negotiations),
+// concurrently for Or/Xor (try-locks cannot deadlock and the paper's
+// semantics lock "those entities that can be successfully changed").
+//
+// The constraint is then evaluated on the locked set: And needs all,
+// Or at least k, Xor exactly k. On success the local change (if any)
+// and every locked target are changed and unlocked; on failure every
+// acquired lock is released and nothing changes anywhere.
+func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
+	res := &Result{}
+	k := spec.K
+	if k <= 0 {
+		k = 1
+	}
+	if spec.Constraint == "" {
+		spec.Constraint = And
+	}
+
+	// Mark A for change and lock A.
+	var localToken string
+	if spec.Local != nil {
+		tok, err := m.markLocal(spec.Local.Entity, spec.Local.Action, spec.Local.Args)
+		res.Trace = append(res.Trace, Step{Phase: "mark", Entity: m.self + "/" + spec.Local.Entity, OK: err == nil, Detail: errDetail(err)})
+		if err != nil {
+			res.Rejected = append(res.Rejected, EntityRef{User: m.self, Entity: spec.Local.Entity})
+			return res, fmt.Errorf("links: activator mark failed: %w", err)
+		}
+		localToken = tok
+		defer func() {
+			// Whatever happens, A's lock is released at the end
+			// ("Unlock A" is the last line of every §4.3 semantic).
+			m.Locks.Unlock(lockKey(spec.Local.Entity), localToken)
+		}()
+	}
+
+	targets := append([]EntityRef(nil), spec.Targets...)
+	var marks []markResult
+	if spec.Constraint == And {
+		sort.Slice(targets, func(i, j int) bool { return targets[i].Less(targets[j]) })
+		marks = m.markSequential(ctx, targets, spec.Action, spec.Args, res)
+	} else {
+		marks = m.markParallel(ctx, targets, spec.Action, spec.Args, res)
+	}
+
+	locked := 0
+	for _, mr := range marks {
+		if mr.err == nil {
+			locked++
+		} else {
+			res.Rejected = append(res.Rejected, mr.ref)
+		}
+	}
+
+	satisfied := false
+	switch spec.Constraint {
+	case And:
+		satisfied = locked == len(targets)
+	case Or:
+		satisfied = locked >= k
+	case Xor:
+		satisfied = locked == k
+	}
+	res.Trace = append(res.Trace, Step{
+		Phase: "constraint", OK: satisfied,
+		Detail: fmt.Sprintf("%s k=%d locked=%d n=%d", spec.Constraint, k, locked, len(targets)),
+	})
+
+	if !satisfied {
+		for _, mr := range marks {
+			if mr.err == nil {
+				m.abortTarget(ctx, mr.ref, mr.token)
+				res.Trace = append(res.Trace, Step{Phase: "abort", Entity: mr.ref.String(), OK: true})
+			}
+		}
+		return res, errConstraint(spec.Constraint, k, locked, len(targets))
+	}
+
+	// Change A; change the locked entities; unlock.
+	if spec.Local != nil {
+		err := m.applyLocal(spec.Local.Entity, spec.Local.Action, spec.Local.Args)
+		res.Trace = append(res.Trace, Step{Phase: "change", Entity: m.self + "/" + spec.Local.Entity, OK: err == nil, Detail: errDetail(err)})
+		if err != nil {
+			// Local apply failed after its own check passed under
+			// lock — abort everyone to keep targets unchanged.
+			for _, mr := range marks {
+				if mr.err == nil {
+					m.abortTarget(ctx, mr.ref, mr.token)
+				}
+			}
+			return res, fmt.Errorf("links: activator change failed: %w", err)
+		}
+	}
+	for _, mr := range marks {
+		if mr.err != nil {
+			continue
+		}
+		err := m.commitTarget(ctx, mr.ref, mr.token, spec.Action, spec.Args)
+		res.Trace = append(res.Trace, Step{Phase: "change", Entity: mr.ref.String(), OK: err == nil, Detail: errDetail(err)})
+		if err == nil {
+			res.Accepted = append(res.Accepted, mr.ref)
+		} else {
+			res.Rejected = append(res.Rejected, mr.ref)
+		}
+		res.Trace = append(res.Trace, Step{Phase: "unlock", Entity: mr.ref.String(), OK: true})
+	}
+	res.OK = true
+	return res, nil
+}
+
+func errDetail(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// markSequential marks targets one at a time in the given order,
+// stopping at the first failure (And semantics: any failure already
+// dooms the constraint).
+func (m *Manager) markSequential(ctx context.Context, targets []EntityRef, action string, args wire.Args, res *Result) []markResult {
+	marks := make([]markResult, 0, len(targets))
+	failed := false
+	for _, ref := range targets {
+		if failed {
+			marks = append(marks, markResult{ref: ref, err: fmt.Errorf("links: skipped after earlier mark failure")})
+			continue
+		}
+		tok, err := m.markTarget(ctx, ref, action, args)
+		res.appendMark(ref, err)
+		marks = append(marks, markResult{ref: ref, token: tok, err: err})
+		if err != nil {
+			failed = true
+		}
+	}
+	return marks
+}
+
+// markParallel marks all targets concurrently (Or/Xor semantics).
+func (m *Manager) markParallel(ctx context.Context, targets []EntityRef, action string, args wire.Args, res *Result) []markResult {
+	marks := make([]markResult, len(targets))
+	var wg sync.WaitGroup
+	for i, ref := range targets {
+		wg.Add(1)
+		go func(i int, ref EntityRef) {
+			defer wg.Done()
+			tok, err := m.markTarget(ctx, ref, action, args)
+			marks[i] = markResult{ref: ref, token: tok, err: err}
+		}(i, ref)
+	}
+	wg.Wait()
+	for _, mr := range marks {
+		res.appendMark(mr.ref, mr.err)
+	}
+	return marks
+}
+
+func (r *Result) appendMark(ref EntityRef, err error) {
+	r.Trace = append(r.Trace, Step{Phase: "mark", Entity: ref.String(), OK: err == nil, Detail: errDetail(err)})
+}
+
+// lockKey namespaces entity locks.
+func lockKey(entity string) string { return "entity:" + entity }
+
+// markLocal locks + checks a local entity.
+func (m *Manager) markLocal(entity, action string, args wire.Args) (string, error) {
+	a, err := m.action(action)
+	if err != nil {
+		return "", err
+	}
+	tok, ok := m.Locks.TryLock(lockKey(entity), m.self)
+	if !ok {
+		return "", &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: entity %s is locked", entity)}
+	}
+	if a.Check != nil {
+		if err := a.Check(entity, args); err != nil {
+			m.Locks.Unlock(lockKey(entity), tok)
+			return "", err
+		}
+	}
+	return tok, nil
+}
+
+// applyLocal applies an action to a local entity (lock already held by
+// the negotiation).
+func (m *Manager) applyLocal(entity, action string, args wire.Args) error {
+	a, err := m.action(action)
+	if err != nil {
+		return err
+	}
+	if a.Apply != nil {
+		return a.Apply(entity, args)
+	}
+	return nil
+}
+
+// markTarget marks a (possibly remote) target entity.
+func (m *Manager) markTarget(ctx context.Context, ref EntityRef, action string, args wire.Args) (string, error) {
+	if ref.User == m.self {
+		return m.markLocal(ref.Entity, action, args)
+	}
+	var out struct {
+		Token string `json:"token"`
+	}
+	err := m.eng.Invoke(ctx, ServiceFor(ref.User), "Mark", wire.Args{
+		"entity": ref.Entity, "action": action, "args": map[string]any(args),
+	}, &out)
+	if err != nil {
+		return "", err
+	}
+	return out.Token, nil
+}
+
+// commitTarget applies the change at a marked target and releases its
+// lock.
+func (m *Manager) commitTarget(ctx context.Context, ref EntityRef, token, action string, args wire.Args) error {
+	if ref.User == m.self {
+		err := m.applyLocal(ref.Entity, action, args)
+		m.Locks.Unlock(lockKey(ref.Entity), token)
+		return err
+	}
+	return m.eng.Invoke(ctx, ServiceFor(ref.User), "Commit", wire.Args{
+		"entity": ref.Entity, "token": token, "action": action, "args": map[string]any(args),
+	}, nil)
+}
+
+// abortTarget releases a marked target without changing it.
+func (m *Manager) abortTarget(ctx context.Context, ref EntityRef, token string) {
+	if ref.User == m.self {
+		m.Locks.Unlock(lockKey(ref.Entity), token)
+		return
+	}
+	_ = m.eng.Invoke(ctx, ServiceFor(ref.User), "Abort", wire.Args{
+		"entity": ref.Entity, "token": token,
+	}, nil)
+}
+
+// CheckAvailable runs the action's Check (no lock, no change) against
+// a possibly-remote entity — the availability probe of §4.2 op 2.
+func (m *Manager) CheckAvailable(ctx context.Context, ref EntityRef, action string, args wire.Args) error {
+	if ref.User == m.self {
+		a, err := m.action(action)
+		if err != nil {
+			return err
+		}
+		if a.Check != nil {
+			return a.Check(ref.Entity, args)
+		}
+		return nil
+	}
+	return m.eng.Invoke(ctx, ServiceFor(ref.User), "IsAvailable", wire.Args{
+		"entity": ref.Entity, "action": action, "args": map[string]any(args),
+	}, nil)
+}
+
+// CreateNegotiatedLink implements §4.2 op 2: negotiate availability
+// with every participant and create the link rows (same ID at every
+// participant) only if all are available. The link row installed at
+// each participant has that participant's entity as owner and the
+// remaining entities as targets.
+func (m *Manager) CreateNegotiatedLink(ctx context.Context, template *Link, action string, args wire.Args) (string, error) {
+	if template.ID == "" {
+		template.ID = NewLinkID()
+	}
+	all := append([]EntityRef{template.Owner}, template.Targets...)
+	for _, ref := range all {
+		if err := m.CheckAvailable(ctx, ref, action, args); err != nil {
+			return "", fmt.Errorf("links: %s not available: %w", ref, err)
+		}
+	}
+	for i, ref := range all {
+		row := *template
+		row.Owner = ref
+		row.Targets = nil
+		for j, other := range all {
+			if j != i {
+				row.Targets = append(row.Targets, other)
+			}
+		}
+		if err := m.InstallAt(ctx, ref.User, &row); err != nil {
+			return "", fmt.Errorf("links: install at %s: %w", ref.User, err)
+		}
+	}
+	return template.ID, nil
+}

@@ -1,0 +1,185 @@
+package links
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/listener"
+	"repro/internal/wire"
+)
+
+// Object returns the listener object exposing this manager to remote
+// negotiators and cascade operations. Register it as links.<user>.
+func (m *Manager) Object() *listener.Object {
+	obj := listener.NewObject()
+
+	argsOf := func(call *listener.Call) wire.Args {
+		var inner map[string]any
+		if err := call.Args.Decode("args", &inner); err != nil || inner == nil {
+			return wire.Args{}
+		}
+		return wire.Args(inner)
+	}
+
+	// Mark: phase-1 lock + condition check (§4.3 "Mark X ... an
+	// attempted change, which triggers any associated link without
+	// actual change on X").
+	obj.Handle("Mark", func(ctx context.Context, call *listener.Call) (any, error) {
+		entity := call.Args.String("entity")
+		action := call.Args.String("action")
+		if entity == "" || action == "" {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "Mark needs entity and action"}
+		}
+		tok, err := m.markLocal(entity, action, argsOf(call))
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{"token": tok}, nil
+	})
+
+	// Commit: phase-2 apply + unlock.
+	obj.Handle("Commit", func(ctx context.Context, call *listener.Call) (any, error) {
+		entity := call.Args.String("entity")
+		token := call.Args.String("token")
+		if !m.Locks.Holds(lockKey(entity), token) {
+			return nil, &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: stale or missing lock on %s", entity)}
+		}
+		err := m.applyLocal(entity, call.Args.String("action"), argsOf(call))
+		m.Locks.Unlock(lockKey(entity), token)
+		if err != nil {
+			return nil, err
+		}
+		return true, nil
+	})
+
+	// Abort: release without change.
+	obj.Handle("Abort", func(ctx context.Context, call *listener.Call) (any, error) {
+		m.Locks.Unlock(lockKey(call.Args.String("entity")), call.Args.String("token"))
+		return true, nil
+	})
+
+	// Apply: unlocked check+apply (subscription information flow).
+	obj.Handle("Apply", func(ctx context.Context, call *listener.Call) (any, error) {
+		entity := call.Args.String("entity")
+		action := call.Args.String("action")
+		a, err := m.action(action)
+		if err != nil {
+			return nil, err
+		}
+		args := argsOf(call)
+		if a.Check != nil {
+			if err := a.Check(entity, args); err != nil {
+				return nil, err
+			}
+		}
+		if a.Apply != nil {
+			if err := a.Apply(entity, args); err != nil {
+				return nil, err
+			}
+		}
+		return true, nil
+	})
+
+	// IsAvailable: condition check only (§4.2 op 2 availability
+	// negotiation).
+	obj.Handle("IsAvailable", func(ctx context.Context, call *listener.Call) (any, error) {
+		entity := call.Args.String("entity")
+		action := call.Args.String("action")
+		a, err := m.action(action)
+		if err != nil {
+			return nil, err
+		}
+		if a.Check != nil {
+			if err := a.Check(entity, argsOf(call)); err != nil {
+				return nil, err
+			}
+		}
+		return true, nil
+	})
+
+	// AddLink: install a link row in this node's link database.
+	obj.Handle("AddLink", func(ctx context.Context, call *listener.Call) (any, error) {
+		raw, err := json.Marshal(call.Args["link"])
+		if err != nil {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "AddLink needs a link"}
+		}
+		var l Link
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: fmt.Sprintf("bad link: %v", err)}
+		}
+		if err := m.AddLink(&l); err != nil {
+			return nil, err
+		}
+		return map[string]string{"id": l.ID}, nil
+	})
+
+	// DeleteLink: the cascading §4.4 deletion.
+	obj.Handle("DeleteLink", func(ctx context.Context, call *listener.Call) (any, error) {
+		id := call.Args.String("id")
+		visited := call.Args.Strings("visited")
+		promoted, err := m.DeleteLink(ctx, id, visited)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]string, 0, len(promoted))
+		for _, p := range promoted {
+			ids = append(ids, p.Link.ID)
+		}
+		return map[string]any{"promoted": ids}, nil
+	})
+
+	// DeleteLinkLocal: remove only this node's row (dropout, bump).
+	obj.Handle("DeleteLinkLocal", func(ctx context.Context, call *listener.Call) (any, error) {
+		promoted, err := m.DeleteLinkLocal(ctx, call.Args.String("id"))
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]string, 0, len(promoted))
+		for _, p := range promoted {
+			ids = append(ids, p.Link.ID)
+		}
+		return map[string]any{"promoted": ids}, nil
+	})
+
+	// PromoteLink: tentative -> permanent on this node.
+	obj.Handle("PromoteLink", func(ctx context.Context, call *listener.Call) (any, error) {
+		if err := m.PromoteLink(call.Args.String("id")); err != nil {
+			return nil, err
+		}
+		return true, nil
+	})
+
+	// TriggerLink: fire a specific link's triggers remotely.
+	obj.Handle("TriggerLink", func(ctx context.Context, call *listener.Call) (any, error) {
+		results, err := m.TriggerLink(ctx, call.Args.String("id"), call.Args.String("event"), argsOf(call))
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		var firstErr string
+		for _, r := range results {
+			if r.Err != nil {
+				ok = false
+				if firstErr == "" {
+					firstErr = r.Err.Error()
+				}
+			}
+		}
+		return map[string]any{"ok": ok, "error": firstErr, "fired": len(results)}, nil
+	})
+
+	// GetLink / LinksOn: remote inspection.
+	obj.Handle("GetLink", func(ctx context.Context, call *listener.Call) (any, error) {
+		l, ok := m.GetLink(call.Args.String("id"))
+		if !ok {
+			return nil, &wire.RemoteError{Code: wire.CodeNoService, Msg: "no such link"}
+		}
+		return l, nil
+	})
+	obj.Handle("LinksOn", func(ctx context.Context, call *listener.Call) (any, error) {
+		return m.LinksOn(call.Args.String("entity")), nil
+	})
+
+	return obj
+}

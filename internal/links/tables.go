@@ -1,0 +1,166 @@
+package links
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Table names, matching the paper's nomenclature. SyD_PendingDelete is
+// our addition: tombstones for cascade deletions that could not reach a
+// disconnected participant (retried by the periodic sweep).
+const (
+	LinkTable          = "SyD_Link"
+	WaitingLinkTable   = "SyD_WaitingLink"
+	LinkMethodTable    = "SyD_LinkMethod"
+	PendingDeleteTable = "SyD_PendingDelete"
+)
+
+// createLinkDB implements §4.2 op 1: "all link information is
+// maintained in a link database that is stored locally by the user...
+// created when he/she installs a SyD application with link-enabled
+// features". Idempotent.
+func createLinkDB(db *store.DB) (links, waiting, methods, pending *store.Table, err error) {
+	get := func(name string, s store.Schema) (*store.Table, error) {
+		if t, err := db.Table(name); err == nil {
+			return t, nil
+		}
+		return db.CreateTable(s)
+	}
+	fail := func(err error) (*store.Table, *store.Table, *store.Table, *store.Table, error) {
+		return nil, nil, nil, nil, err
+	}
+	links, err = get(LinkTable, store.Schema{
+		Name: LinkTable,
+		Columns: []store.Column{
+			{Name: "id", Type: store.String},
+			{Name: "type", Type: store.String},
+			{Name: "subtype", Type: store.String},
+			{Name: "owner_user", Type: store.String},
+			{Name: "owner_entity", Type: store.String},
+			{Name: "targets", Type: store.String}, // JSON []EntityRef
+			{Name: "constraint", Type: store.String},
+			{Name: "k", Type: store.Int},
+			{Name: "priority", Type: store.Int},
+			{Name: "triggers", Type: store.String}, // JSON []Trigger
+			{Name: "waiting_on", Type: store.String},
+			{Name: "grp", Type: store.String},
+			{Name: "created", Type: store.Time},
+			{Name: "expires", Type: store.Time},
+		},
+		Key: []string{"id"},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err = links.CreateIndex("owner_entity"); err != nil {
+		return fail(err)
+	}
+	waiting, err = get(WaitingLinkTable, store.Schema{
+		Name: WaitingLinkTable,
+		Columns: []store.Column{
+			{Name: "id", Type: store.String}, // waiting link id
+			{Name: "waiting_on", Type: store.String},
+			{Name: "priority", Type: store.Int},
+			{Name: "grp", Type: store.String},
+		},
+		Key: []string{"id"},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err = waiting.CreateIndex("waiting_on"); err != nil {
+		return fail(err)
+	}
+	methods, err = get(LinkMethodTable, store.Schema{
+		Name: LinkMethodTable,
+		Columns: []store.Column{
+			{Name: "service", Type: store.String},     // local service
+			{Name: "src_method", Type: store.String},  // local method executed
+			{Name: "target_user", Type: store.String}, // where to forward
+			{Name: "dest_service", Type: store.String},
+			{Name: "dest_method", Type: store.String},
+		},
+		Key: []string{"service", "src_method", "target_user", "dest_method"},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err = methods.CreateIndex("src_method"); err != nil {
+		return fail(err)
+	}
+	pending, err = get(PendingDeleteTable, store.Schema{
+		Name: PendingDeleteTable,
+		Columns: []store.Column{
+			{Name: "id", Type: store.String},   // link id to delete
+			{Name: "user", Type: store.String}, // unreachable participant
+		},
+		Key: []string{"id", "user"},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return links, waiting, methods, pending, nil
+}
+
+// linkToRow encodes a Link as a store row.
+func linkToRow(l *Link) (store.Row, error) {
+	targets, err := json.Marshal(l.Targets)
+	if err != nil {
+		return nil, fmt.Errorf("links: encode targets: %w", err)
+	}
+	triggers, err := json.Marshal(l.Triggers)
+	if err != nil {
+		return nil, fmt.Errorf("links: encode triggers: %w", err)
+	}
+	expires := l.Expires
+	if expires.IsZero() {
+		expires = time.Time{}
+	}
+	return store.Row{
+		"id":           l.ID,
+		"type":         string(l.Type),
+		"subtype":      string(l.Subtype),
+		"owner_user":   l.Owner.User,
+		"owner_entity": l.Owner.Entity,
+		"targets":      string(targets),
+		"constraint":   string(l.Constraint),
+		"k":            int64(l.K),
+		"priority":     int64(l.Priority),
+		"triggers":     string(triggers),
+		"waiting_on":   l.WaitingOn,
+		"grp":          l.Group,
+		"created":      l.Created,
+		"expires":      expires,
+	}, nil
+}
+
+// rowToLink decodes a store row back into a Link.
+func rowToLink(r store.Row) (*Link, error) {
+	l := &Link{
+		ID:         r["id"].(string),
+		Type:       Type(r["type"].(string)),
+		Subtype:    Subtype(r["subtype"].(string)),
+		Owner:      EntityRef{User: r["owner_user"].(string), Entity: r["owner_entity"].(string)},
+		Constraint: Constraint(r["constraint"].(string)),
+		K:          int(r["k"].(int64)),
+		Priority:   int(r["priority"].(int64)),
+		WaitingOn:  r["waiting_on"].(string),
+		Group:      r["grp"].(string),
+		Created:    r["created"].(time.Time),
+		Expires:    r["expires"].(time.Time),
+	}
+	if s := r["targets"].(string); s != "" {
+		if err := json.Unmarshal([]byte(s), &l.Targets); err != nil {
+			return nil, fmt.Errorf("links: decode targets of %s: %w", l.ID, err)
+		}
+	}
+	if s := r["triggers"].(string); s != "" {
+		if err := json.Unmarshal([]byte(s), &l.Triggers); err != nil {
+			return nil, fmt.Errorf("links: decode triggers of %s: %w", l.ID, err)
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,178 @@
+package links
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestEntityRefStringAndLess(t *testing.T) {
+	a := EntityRef{User: "a", Entity: "slot:1"}
+	b := EntityRef{User: "b", Entity: "slot:1"}
+	a2 := EntityRef{User: "a", Entity: "slot:2"}
+	if a.String() != "a/slot:1" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("user ordering wrong")
+	}
+	if !a.Less(a2) || a2.Less(a) {
+		t.Fatal("entity ordering wrong")
+	}
+	if a.Less(a) {
+		t.Fatal("irreflexive violated")
+	}
+}
+
+// TestEntityRefLessIsStrictWeakOrder: sorting with Less always yields
+// the same order regardless of input permutation.
+func TestEntityRefLessIsStrictWeakOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := []EntityRef{
+			{User: "a", Entity: "1"}, {User: "a", Entity: "2"},
+			{User: "b", Entity: "1"}, {User: "c", Entity: "0"},
+		}
+		shuffled := append([]EntityRef(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		sort.Slice(shuffled, func(i, j int) bool { return shuffled[i].Less(shuffled[j]) })
+		return reflect.DeepEqual(shuffled, base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkValidateTable(t *testing.T) {
+	owner := EntityRef{User: "a", Entity: "e"}
+	valid := Link{
+		ID: "L1", Type: Negotiation, Subtype: Permanent,
+		Owner: owner, Constraint: And,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tentative := valid
+	tentative.Subtype = Tentative
+	tentative.WaitingOn = "" // tentative without blocker is legal (§5 queue-at-slot)
+	if err := tentative.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sub := Link{ID: "L2", Type: Subscription, Subtype: Permanent, Owner: owner}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("subscription needs no constraint: %v", err)
+	}
+}
+
+func TestEffectiveK(t *testing.T) {
+	l := Link{}
+	if l.EffectiveK() != 1 {
+		t.Fatalf("default k = %d", l.EffectiveK())
+	}
+	l.K = 3
+	if l.EffectiveK() != 3 {
+		t.Fatalf("k = %d", l.EffectiveK())
+	}
+}
+
+func TestTriggersFor(t *testing.T) {
+	l := Link{Triggers: []Trigger{
+		{Event: "change", Action: "a1"},
+		{Event: "delete", Action: "a2"},
+		{Event: "change", Method: "M", Service: "s.%s"},
+	}}
+	got := l.TriggersFor("change")
+	if len(got) != 2 {
+		t.Fatalf("change triggers = %d", len(got))
+	}
+	if len(l.TriggersFor("promote")) != 0 {
+		t.Fatal("phantom triggers")
+	}
+}
+
+func TestMergedArgsRuntimeWins(t *testing.T) {
+	tr := Trigger{Args: wire.Args{"a": 1, "b": "static"}}
+	got := tr.MergedArgs(wire.Args{"b": "runtime", "c": true})
+	if got.Int("a") != 1 || got.String("b") != "runtime" || !got.Bool("c") {
+		t.Fatalf("merged = %v", got)
+	}
+	// Nil runtime keeps statics.
+	got = tr.MergedArgs(nil)
+	if got.String("b") != "static" {
+		t.Fatalf("merged = %v", got)
+	}
+}
+
+func TestLinkRowCodecRoundTrip(t *testing.T) {
+	created := time.Date(2003, 4, 22, 10, 0, 0, 0, time.UTC)
+	l := &Link{
+		ID: "L-codec", Type: Negotiation, Subtype: Tentative,
+		Owner:      EntityRef{User: "a", Entity: "slot:1"},
+		Targets:    []EntityRef{{User: "b", Entity: "slot:1"}, {User: "c", Entity: "slot:2"}},
+		Constraint: Or, K: 2, Priority: 7,
+		Triggers: []Trigger{
+			{Event: "promote", Service: "cal.%s", Method: "SlotAvailable", Args: wire.Args{"meeting": "M1"}},
+		},
+		WaitingOn: "L-block", Group: "M1",
+		Created: created, Expires: created.Add(24 * time.Hour),
+	}
+	row, err := linkToRow(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rowToLink(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != l.ID || back.Type != l.Type || back.Subtype != l.Subtype ||
+		back.Constraint != l.Constraint || back.K != l.K || back.Priority != l.Priority ||
+		back.WaitingOn != l.WaitingOn || back.Group != l.Group {
+		t.Fatalf("scalar fields: %+v", back)
+	}
+	if !reflect.DeepEqual(back.Targets, l.Targets) {
+		t.Fatalf("targets: %v", back.Targets)
+	}
+	if len(back.Triggers) != 1 || back.Triggers[0].Method != "SlotAvailable" ||
+		back.Triggers[0].Args.String("meeting") != "M1" {
+		t.Fatalf("triggers: %+v", back.Triggers)
+	}
+	if !back.Created.Equal(l.Created) || !back.Expires.Equal(l.Expires) {
+		t.Fatalf("times: %v %v", back.Created, back.Expires)
+	}
+}
+
+func TestParticipantsDeduplicated(t *testing.T) {
+	l := &Link{
+		Owner: EntityRef{User: "a", Entity: "e1"},
+		Targets: []EntityRef{
+			{User: "b", Entity: "e1"},
+			{User: "a", Entity: "e2"}, // owner again, other entity
+			{User: "c", Entity: "e1"},
+			{User: "b", Entity: "e3"},
+		},
+	}
+	got := l.participants()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("participants = %v", got)
+	}
+}
+
+func TestNewLinkIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewLinkID()
+		if seen[id] {
+			t.Fatal("duplicate link id")
+		}
+		seen[id] = true
+		if len(id) < 10 || id[:2] != "L-" {
+			t.Fatalf("id shape: %q", id)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package listener implements SyDListener (paper §3.1b): it lets SyD
+// device objects "publish services (server functionalities) as
+// listeners locally on the device and globally via directory
+// services", and dispatches inbound remote invocations to the
+// registered method implementations.
+//
+// One Listener serves all device objects hosted on a node (a calendar
+// object, the node's link manager, a proxy endpoint, ...).
+package listener
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/auth"
+	"repro/internal/directory"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Call carries one inbound invocation to a Method.
+type Call struct {
+	// Service and Method name the invocation target.
+	Service, Method string
+	// Caller is the invoking SyD user. When the listener has an
+	// authenticator and the service requires auth, Caller is the
+	// *authenticated* identity, not the claimed one.
+	Caller string
+	// Args are the named arguments.
+	Args wire.Args
+}
+
+// Method is a service method implementation. The returned value is
+// JSON-encoded into the response.
+type Method func(ctx context.Context, call *Call) (any, error)
+
+// Object is a set of named methods published as one SyD device object.
+type Object struct {
+	// RequireAuth demands a valid credential on every request (§5.4).
+	RequireAuth bool
+	methods     map[string]Method
+}
+
+// NewObject creates an empty device object.
+func NewObject() *Object {
+	return &Object{methods: make(map[string]Method)}
+}
+
+// Handle registers a method on the object and returns the object for
+// chaining.
+func (o *Object) Handle(name string, m Method) *Object {
+	o.methods[name] = m
+	return o
+}
+
+// Methods lists the object's method names, sorted.
+func (o *Object) Methods() []string {
+	out := make([]string, 0, len(o.methods))
+	for n := range o.methods {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Listener is a node's service registry + transport handler.
+type Listener struct {
+	owner string
+	authn *auth.Authenticator // optional
+
+	mu       sync.RWMutex
+	services map[string]*Object
+	sink     func(*wire.Event)
+}
+
+// New creates a Listener for the device owned by owner. authn may be
+// nil when the deployment does not use authentication.
+func New(owner string, authn *auth.Authenticator) *Listener {
+	return &Listener{
+		owner:    owner,
+		authn:    authn,
+		services: make(map[string]*Object),
+	}
+}
+
+// Owner returns the owning user id.
+func (l *Listener) Owner() string { return l.owner }
+
+// Register publishes obj locally under the service name. Registering
+// the same name again replaces the object (a device restarting its
+// application).
+func (l *Listener) Register(service string, obj *Object) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.services[service] = obj
+}
+
+// Unregister removes a local service.
+func (l *Listener) Unregister(service string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.services, service)
+}
+
+// Services lists locally registered service names, sorted.
+func (l *Listener) Services() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.services))
+	for n := range l.services {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PublishGlobal registers service with the directory under this
+// node's address, making it invokable by any SyD node (the "globally
+// via directory services" half of the paper's listener).
+func (l *Listener) PublishGlobal(ctx context.Context, dir *directory.Client, service, addr string) error {
+	l.mu.RLock()
+	obj, ok := l.services[service]
+	l.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("listener: service %q not registered locally", service)
+	}
+	return dir.RegisterService(ctx, service, l.owner, addr, obj.Methods())
+}
+
+// SetEventSink wires inbound one-way events (global event delivery)
+// to the node's event handler.
+func (l *Listener) SetEventSink(sink func(*wire.Event)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = sink
+}
+
+// HandleEvent implements transport.Handler.
+func (l *Listener) HandleEvent(ev *wire.Event) {
+	l.mu.RLock()
+	sink := l.sink
+	l.mu.RUnlock()
+	if sink != nil {
+		sink(ev)
+	}
+}
+
+// HandleRequest implements transport.Handler: authenticate if needed,
+// find the service and method, run it, and encode the result.
+func (l *Listener) HandleRequest(ctx context.Context, req *transport.Request) *transport.Response {
+	l.mu.RLock()
+	obj, ok := l.services[req.Service]
+	l.mu.RUnlock()
+	if !ok {
+		return transport.ErrorResponse(req, wire.CodeNoService, "node %s has no service %q", l.owner, req.Service)
+	}
+
+	caller := req.Caller
+	if obj.RequireAuth {
+		if l.authn == nil {
+			return transport.ErrorResponse(req, wire.CodeAuth, "service %q requires auth but node has no authenticator", req.Service)
+		}
+		user, err := l.authn.Verify(req.Credential)
+		if err != nil {
+			return transport.ErrorResponse(req, wire.CodeAuth, "authentication failed: %v", err)
+		}
+		caller = user
+	}
+
+	m, ok := obj.methods[req.Method]
+	if !ok {
+		return transport.ErrorResponse(req, wire.CodeNoMethod, "service %q has no method %q", req.Service, req.Method)
+	}
+
+	result, err := m(ctx, &Call{
+		Service: req.Service,
+		Method:  req.Method,
+		Caller:  caller,
+		Args:    req.Args,
+	})
+	if err != nil {
+		code := wire.CodeInternal
+		msg := err.Error()
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			code = re.Code
+			msg = re.Msg // avoid re-wrapping already-remote errors
+		}
+		return transport.ErrorResponse(req, code, "%s", msg)
+	}
+	raw, err := wire.Marshal(result)
+	if err != nil {
+		return transport.ErrorResponse(req, wire.CodeInternal, "encode result: %v", err)
+	}
+	return &transport.Response{ID: req.ID, OK: true, Result: raw}
+}
+
+var _ transport.Handler = (*Listener)(nil)

@@ -1,0 +1,159 @@
+// Package notify delivers meeting notifications. The paper's prototype
+// notified participants "about the details of the meeting using an
+// e-mail message" (§5.1); offline we provide an in-memory mailbox with
+// an RFC-822-style rendering so experiments can assert on deliveries,
+// plus a writer-backed notifier for the CLI binaries.
+package notify
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Message is one notification.
+type Message struct {
+	To      []string
+	Subject string
+	Body    string
+	Sent    time.Time
+}
+
+// Render formats the message in a familiar e-mail shape.
+func (m Message) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "To: %s\n", strings.Join(m.To, ", "))
+	fmt.Fprintf(&b, "Subject: %s\n", m.Subject)
+	if !m.Sent.IsZero() {
+		fmt.Fprintf(&b, "Date: %s\n", m.Sent.Format(time.RFC1123Z))
+	}
+	b.WriteString("\n")
+	b.WriteString(m.Body)
+	if !strings.HasSuffix(m.Body, "\n") {
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Notifier delivers messages.
+type Notifier interface {
+	Notify(ctx context.Context, m Message) error
+}
+
+// Discard drops every message (the default when an application does
+// not configure notifications).
+type Discard struct{}
+
+// Notify implements Notifier.
+func (Discard) Notify(context.Context, Message) error { return nil }
+
+// Mailbox is an in-memory Notifier with per-recipient inboxes. Safe
+// for concurrent use.
+type Mailbox struct {
+	mu     sync.Mutex
+	boxes  map[string][]Message
+	sentAt func() time.Time
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox() *Mailbox {
+	return &Mailbox{boxes: make(map[string][]Message), sentAt: time.Now}
+}
+
+// SetClock overrides the send timestamp source (tests).
+func (mb *Mailbox) SetClock(now func() time.Time) { mb.sentAt = now }
+
+// Notify implements Notifier: the message is copied into every
+// recipient's inbox.
+func (mb *Mailbox) Notify(_ context.Context, m Message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	m.Sent = mb.sentAt()
+	for _, to := range m.To {
+		mb.boxes[to] = append(mb.boxes[to], m)
+	}
+	return nil
+}
+
+// Inbox returns a copy of the recipient's inbox in delivery order.
+func (mb *Mailbox) Inbox(user string) []Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return append([]Message(nil), mb.boxes[user]...)
+}
+
+// Count returns the number of messages delivered to user.
+func (mb *Mailbox) Count(user string) int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.boxes[user])
+}
+
+// Total returns the number of deliveries across all inboxes.
+func (mb *Mailbox) Total() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	n := 0
+	for _, box := range mb.boxes {
+		n += len(box)
+	}
+	return n
+}
+
+// Recipients lists users with at least one message, sorted.
+func (mb *Mailbox) Recipients() []string {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	out := make([]string, 0, len(mb.boxes))
+	for u := range mb.boxes {
+		if len(mb.boxes[u]) > 0 {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears every inbox.
+func (mb *Mailbox) Reset() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.boxes = make(map[string][]Message)
+}
+
+// Writer is a Notifier that renders every message to an io.Writer
+// (used by the CLI binaries to print notifications).
+type Writer struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{W: w} }
+
+// Notify implements Notifier.
+func (wn *Writer) Notify(_ context.Context, m Message) error {
+	wn.mu.Lock()
+	defer wn.mu.Unlock()
+	_, err := io.WriteString(wn.W, m.Render()+"\n")
+	return err
+}
+
+// Fanout duplicates notifications to several notifiers.
+type Fanout []Notifier
+
+// Notify implements Notifier; the first error wins but all notifiers
+// are attempted.
+func (f Fanout) Notify(ctx context.Context, m Message) error {
+	var firstErr error
+	for _, n := range f {
+		if err := n.Notify(ctx, m); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

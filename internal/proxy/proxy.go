@@ -1,0 +1,280 @@
+// Package proxy implements SyD proxy support (paper §5.2): "if a SyD
+// calendar object A is down or disconnected, a proxy takes over the
+// place of A. Once A comes back up, A takes over the proxy. The proxy
+// and the SyD object act as a single entity for an outsider."
+//
+// A Host is a proxy server. It registers itself with the directory
+// (which assigns proxies to users round-robin) and can adopt users:
+// given a snapshot of the device's database, an application-supplied
+// Adopter reconstructs the user's services, which the host then serves
+// under the user's own service names. The engine's failover path
+// (internal/engine) sends traffic for an offline user to its assigned
+// proxy automatically, so callers never notice the substitution.
+//
+// Handback returns the (possibly modified) state to the returning
+// device and stops serving.
+package proxy
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/directory"
+	"repro/internal/listener"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ControlServicePrefix prefixes the host's control service name.
+const ControlServicePrefix = "proxy."
+
+// ControlService is the well-known alias every host also registers, so
+// a device that only knows its proxy's address can reach the control
+// surface without learning the proxy's id first.
+const ControlService = "proxy.control"
+
+// ControlServiceFor returns the control service name of proxy id.
+func ControlServiceFor(id string) string { return ControlServicePrefix + id }
+
+// Adopter reconstructs a user's services from a device snapshot. It
+// returns the service objects to serve (keyed by full service name,
+// e.g. "cal.phil") and a Checkpoint function producing the current
+// snapshot for handback.
+type Adopter func(user string, snapshot []byte) (services map[string]*listener.Object, checkpoint func() ([]byte, error), err error)
+
+// HostConfig configures a proxy host.
+type HostConfig struct {
+	// ID is the proxy's identity in the directory (required).
+	ID string
+	// Net and DirAddr locate the deployment (required).
+	Net     transport.Network
+	DirAddr string
+	// ListenAddr optionally pins the bind address.
+	ListenAddr string
+	// Adopter rebuilds services from snapshots (required to adopt).
+	Adopter Adopter
+}
+
+// Host is a running proxy server.
+type Host struct {
+	id  string
+	net transport.Network
+	dir *directory.Client
+	lis *listener.Listener
+	ln  transport.Listener
+
+	adopter Adopter
+
+	mu      sync.Mutex
+	adopted map[string]*adoption
+}
+
+type adoption struct {
+	services   []string
+	checkpoint func() ([]byte, error)
+}
+
+// StartHost boots a proxy host and registers it with the directory.
+func StartHost(ctx context.Context, cfg HostConfig) (*Host, error) {
+	if cfg.ID == "" || cfg.Net == nil {
+		return nil, fmt.Errorf("proxy: ID and Net are required")
+	}
+	h := &Host{
+		id:      cfg.ID,
+		net:     cfg.Net,
+		adopter: cfg.Adopter,
+		adopted: make(map[string]*adoption),
+	}
+	h.lis = listener.New(cfg.ID, nil)
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = "proxy-" + cfg.ID
+	}
+	ln, err := cfg.Net.Listen(addr, h.lis)
+	if err != nil {
+		ln, err = cfg.Net.Listen(":0", h.lis)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: listen: %w", err)
+		}
+	}
+	h.ln = ln
+	h.dir = directory.NewClient(cfg.Net, cfg.DirAddr)
+	if err := h.dir.RegisterProxy(ctx, cfg.ID, ln.Addr()); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("proxy: register: %w", err)
+	}
+	ctl := h.controlObject()
+	h.lis.Register(ControlServiceFor(cfg.ID), ctl)
+	h.lis.Register(ControlService, ctl)
+	if err := h.lis.PublishGlobal(ctx, h.dir, ControlServiceFor(cfg.ID), ln.Addr()); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// Addr returns the host's bound address.
+func (h *Host) Addr() string { return h.ln.Addr() }
+
+// ID returns the proxy's identity.
+func (h *Host) ID() string { return h.id }
+
+// Adopted lists currently adopted users, sorted.
+func (h *Host) Adopted() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.adopted))
+	for u := range h.adopted {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Adopt takes over user's services from snapshot. Idempotent per user:
+// adopting an already-adopted user replaces the previous adoption.
+func (h *Host) Adopt(ctx context.Context, user string, snapshot []byte) error {
+	if h.adopter == nil {
+		return &wire.RemoteError{Code: wire.CodeInternal, Msg: "proxy: host has no adopter"}
+	}
+	services, checkpoint, err := h.adopter(user, snapshot)
+	if err != nil {
+		return fmt.Errorf("proxy: adopt %s: %w", user, err)
+	}
+	h.mu.Lock()
+	if old, ok := h.adopted[user]; ok {
+		for _, s := range old.services {
+			h.lis.Unregister(s)
+		}
+	}
+	ad := &adoption{checkpoint: checkpoint}
+	for name, obj := range services {
+		h.lis.Register(name, obj)
+		ad.services = append(ad.services, name)
+	}
+	sort.Strings(ad.services)
+	h.adopted[user] = ad
+	h.mu.Unlock()
+	return nil
+}
+
+// Handback returns the adopted user's current snapshot and stops
+// serving their services.
+func (h *Host) Handback(user string) ([]byte, error) {
+	h.mu.Lock()
+	ad, ok := h.adopted[user]
+	if ok {
+		delete(h.adopted, user)
+		for _, s := range ad.services {
+			h.lis.Unregister(s)
+		}
+	}
+	h.mu.Unlock()
+	if !ok {
+		return nil, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("proxy: user %q not adopted", user)}
+	}
+	if ad.checkpoint == nil {
+		return nil, nil
+	}
+	return ad.checkpoint()
+}
+
+// Close unbinds the host.
+func (h *Host) Close() error { return h.ln.Close() }
+
+// controlObject exposes Adopt/Handback/Adopted over the wire so a
+// device can push its state before disconnecting and pull it back on
+// return.
+func (h *Host) controlObject() *listener.Object {
+	obj := listener.NewObject()
+	obj.Handle("Adopt", func(ctx context.Context, call *listener.Call) (any, error) {
+		user := call.Args.String("user")
+		if user == "" {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "Adopt needs a user"}
+		}
+		snap, err := base64.StdEncoding.DecodeString(call.Args.String("snapshot"))
+		if err != nil {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: fmt.Sprintf("bad snapshot: %v", err)}
+		}
+		if err := h.Adopt(ctx, user, snap); err != nil {
+			return nil, err
+		}
+		return true, nil
+	})
+	obj.Handle("Handback", func(ctx context.Context, call *listener.Call) (any, error) {
+		snap, err := h.Handback(call.Args.String("user"))
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{"snapshot": base64.StdEncoding.EncodeToString(snap)}, nil
+	})
+	obj.Handle("Adopted", func(ctx context.Context, call *listener.Call) (any, error) {
+		return h.Adopted(), nil
+	})
+	return obj
+}
+
+// --- device-side helpers -----------------------------------------------------
+
+// PushToProxy sends a snapshot of the device's state to the proxy
+// assigned to user (looked up in the directory) so the proxy can serve
+// while the device is away. Call just before a deliberate disconnect.
+func PushToProxy(ctx context.Context, net transport.Network, dir *directory.Client, user string, snapshot []byte) error {
+	info, err := dir.LookupUser(ctx, user)
+	if err != nil {
+		return err
+	}
+	if info.Proxy == "" {
+		return &wire.RemoteError{Code: wire.CodeUnavailable, Msg: fmt.Sprintf("proxy: user %q has no assigned proxy", user)}
+	}
+	resp, err := net.Call(ctx, info.Proxy, &transport.Request{
+		Service: ControlService,
+		Method:  "Adopt",
+		Caller:  user,
+		Args: wire.Args{
+			"user":     user,
+			"snapshot": base64.StdEncoding.EncodeToString(snapshot),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return &wire.RemoteError{Code: resp.Code, Msg: resp.Error}
+	}
+	return nil
+}
+
+// PullFromProxy retrieves the user's state from its proxy after the
+// device reconnects, ending the adoption.
+func PullFromProxy(ctx context.Context, net transport.Network, dir *directory.Client, user string) ([]byte, error) {
+	info, err := dir.LookupUser(ctx, user)
+	if err != nil {
+		return nil, err
+	}
+	if info.Proxy == "" {
+		return nil, &wire.RemoteError{Code: wire.CodeUnavailable, Msg: fmt.Sprintf("proxy: user %q has no assigned proxy", user)}
+	}
+	resp, err := net.Call(ctx, info.Proxy, &transport.Request{
+		Service: ControlService,
+		Method:  "Handback",
+		Caller:  user,
+		Args:    wire.Args{"user": user},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, &wire.RemoteError{Code: resp.Code, Msg: resp.Error}
+	}
+	var out struct {
+		Snapshot string `json:"snapshot"`
+	}
+	if err := wire.Unmarshal(resp.Result, &out); err != nil {
+		return nil, err
+	}
+	return base64.StdEncoding.DecodeString(out.Snapshot)
+}

@@ -1,0 +1,296 @@
+package proxy_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/engine"
+	"repro/internal/listener"
+	"repro/internal/proxy"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// kvAdopter reconstructs a trivial key/value "calendar" service from a
+// JSON snapshot and checkpoints it back.
+func kvAdopter(t *testing.T) proxy.Adopter {
+	return func(user string, snapshot []byte) (map[string]*listener.Object, func() ([]byte, error), error) {
+		var state map[string]string
+		if len(snapshot) > 0 {
+			if err := json.Unmarshal(snapshot, &state); err != nil {
+				return nil, nil, err
+			}
+		}
+		if state == nil {
+			state = make(map[string]string)
+		}
+		var mu sync.Mutex
+		obj := listener.NewObject()
+		obj.Handle("Get", func(ctx context.Context, call *listener.Call) (any, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return state[call.Args.String("k")], nil
+		})
+		obj.Handle("Set", func(ctx context.Context, call *listener.Call) (any, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			state[call.Args.String("k")] = call.Args.String("v")
+			return true, nil
+		})
+		checkpoint := func() ([]byte, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return json.Marshal(state)
+		}
+		return map[string]*listener.Object{"cal." + user: obj}, checkpoint, nil
+	}
+}
+
+type world struct {
+	net *sim.Net
+	clk *clock.Fake
+	dir *directory.Client
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	net := sim.New(sim.Config{})
+	clk := clock.NewFake(time.Date(2003, 4, 22, 9, 0, 0, 0, time.UTC))
+	srv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(time.Hour))
+	if _, err := net.Listen("dir", srv.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	return &world{net: net, clk: clk, dir: directory.NewClient(net, "dir")}
+}
+
+func TestStartHostRegistersWithDirectory(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	h, err := proxy.StartHost(ctx, proxy.HostConfig{ID: "p1", Net: w.net, DirAddr: "dir", Adopter: kvAdopter(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	// A user registered afterwards gets this proxy assigned.
+	if err := w.dir.RegisterUser(ctx, "phil", "node-phil", 0); err != nil {
+		t.Fatal(err)
+	}
+	u, err := w.dir.LookupUser(ctx, "phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Proxy != h.Addr() {
+		t.Fatalf("proxy = %q, want %q", u.Proxy, h.Addr())
+	}
+}
+
+func TestAdoptServeHandback(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	h, err := proxy.StartHost(ctx, proxy.HostConfig{ID: "p1", Net: w.net, DirAddr: "dir", Adopter: kvAdopter(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	snap, _ := json.Marshal(map[string]string{"mon-9": "busy"})
+	if err := h.Adopt(ctx, "phil", snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Adopted(); len(got) != 1 || got[0] != "phil" {
+		t.Fatalf("adopted = %v", got)
+	}
+
+	// The proxy answers cal.phil directly.
+	resp, err := w.net.Call(ctx, h.Addr(), &wire.Request{Service: "cal.phil", Method: "Get", Args: wire.Args{"k": "mon-9"}})
+	if err != nil || !resp.OK {
+		t.Fatalf("resp = %+v err = %v", resp, err)
+	}
+	var v string
+	if err := wire.Unmarshal(resp.Result, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v != "busy" {
+		t.Fatalf("v = %q", v)
+	}
+
+	// Mutate through the proxy, then hand back: the change must be in
+	// the returned snapshot.
+	if _, err := w.net.Call(ctx, h.Addr(), &wire.Request{Service: "cal.phil", Method: "Set", Args: wire.Args{"k": "tue-10", "v": "reserved"}}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := h.Handback("phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state map[string]string
+	if err := json.Unmarshal(back, &state); err != nil {
+		t.Fatal(err)
+	}
+	if state["tue-10"] != "reserved" || state["mon-9"] != "busy" {
+		t.Fatalf("state = %v", state)
+	}
+	// After handback the proxy no longer serves the user.
+	resp, err = w.net.Call(ctx, h.Addr(), &wire.Request{Service: "cal.phil", Method: "Get", Args: wire.Args{"k": "mon-9"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != wire.CodeNoService {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if h.Adopted() != nil && len(h.Adopted()) != 0 {
+		t.Fatalf("adopted = %v", h.Adopted())
+	}
+	if _, err := h.Handback("phil"); wire.CodeOf(err) != wire.CodeNoService {
+		t.Fatalf("double handback: %v", err)
+	}
+}
+
+func TestPushPullHelpers(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	h, err := proxy.StartHost(ctx, proxy.HostConfig{ID: "p1", Net: w.net, DirAddr: "dir", Adopter: kvAdopter(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := w.dir.RegisterUser(ctx, "phil", "node-phil", 0); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := json.Marshal(map[string]string{"wed-14": "free"})
+	if err := proxy.PushToProxy(ctx, w.net, w.dir, "phil", snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := proxy.PullFromProxy(ctx, w.net, w.dir, "phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(got, []byte("wed-14")) {
+		t.Fatalf("snapshot = %s", got)
+	}
+	// Without an assigned proxy the helpers fail cleanly.
+	if err := w.dir.RegisterUser(ctx, "noproxy-user", "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	// (This user *does* get the proxy since one is registered; create
+	// a fresh world without proxies instead.)
+	w2 := newWorld(t)
+	if err := w2.dir.RegisterUser(ctx, "lonely", "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.PushToProxy(ctx, w2.net, w2.dir, "lonely", snap); wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("push without proxy: %v", err)
+	}
+}
+
+func TestEngineFailoverThroughRealProxy(t *testing.T) {
+	// Full §5.2 story: device up -> direct; device announces
+	// disconnect and pushes to proxy -> proxy answers; device returns
+	// and pulls state back -> direct again with proxy-era changes.
+	w := newWorld(t)
+	ctx := context.Background()
+	h, err := proxy.StartHost(ctx, proxy.HostConfig{ID: "p1", Net: w.net, DirAddr: "dir", Adopter: kvAdopter(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// phil's real device with the same kv service shape.
+	philState := map[string]string{"mon-9": "free"}
+	var philMu sync.Mutex
+	phil, err := core.Start(ctx, core.Config{User: "phil", Net: w.net, DirAddr: "dir", Clock: w.clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := listener.NewObject()
+	obj.Handle("Get", func(ctx context.Context, call *listener.Call) (any, error) {
+		philMu.Lock()
+		defer philMu.Unlock()
+		return philState[call.Args.String("k")], nil
+	})
+	obj.Handle("Set", func(ctx context.Context, call *listener.Call) (any, error) {
+		philMu.Lock()
+		defer philMu.Unlock()
+		philState[call.Args.String("k")] = call.Args.String("v")
+		return true, nil
+	})
+	if err := phil.RegisterService(ctx, "cal.phil", obj); err != nil {
+		t.Fatal(err)
+	}
+
+	andy := engine.New(w.net, directory.NewClient(w.net, "dir"), "andy")
+	var v string
+	if err := andy.Invoke(ctx, "cal.phil", "Get", wire.Args{"k": "mon-9"}, &v); err != nil || v != "free" {
+		t.Fatalf("direct get: %v %q", err, v)
+	}
+
+	// Deliberate disconnect: push state, mark offline, drop off net.
+	philMu.Lock()
+	snap, _ := json.Marshal(philState)
+	philMu.Unlock()
+	if err := proxy.PushToProxy(ctx, w.net, phil.Dir, "phil", snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := phil.Dir.SetOffline(ctx, "phil", true); err != nil {
+		t.Fatal(err)
+	}
+	w.net.SetDown(phil.Addr(), true)
+
+	// andy's calls now land on the proxy transparently.
+	if err := andy.Invoke(ctx, "cal.phil", "Set", wire.Args{"k": "mon-9", "v": "reserved"}, nil); err != nil {
+		t.Fatalf("proxied set: %v", err)
+	}
+	if err := andy.Invoke(ctx, "cal.phil", "Get", wire.Args{"k": "mon-9"}, &v); err != nil || v != "reserved" {
+		t.Fatalf("proxied get: %v %q", err, v)
+	}
+
+	// Device returns: pull state, restore, go back online.
+	w.net.SetDown(phil.Addr(), false)
+	back, err := proxy.PullFromProxy(ctx, w.net, phil.Dir, "phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	philMu.Lock()
+	if err := json.Unmarshal(back, &philState); err != nil {
+		philMu.Unlock()
+		t.Fatal(err)
+	}
+	philMu.Unlock()
+	if err := phil.Dir.SetOffline(ctx, "phil", false); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := andy.Invoke(ctx, "cal.phil", "Get", wire.Args{"k": "mon-9"}, &v); err != nil || v != "reserved" {
+		t.Fatalf("post-return get: %v %q (proxy-era change lost)", err, v)
+	}
+}
+
+func TestAdoptWithoutAdopterFails(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	h, err := proxy.StartHost(ctx, proxy.HostConfig{ID: "p1", Net: w.net, DirAddr: "dir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Adopt(ctx, "phil", nil); wire.CodeOf(err) != wire.CodeInternal {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHostConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := proxy.StartHost(ctx, proxy.HostConfig{Net: sim.New(sim.Config{})}); err == nil {
+		t.Fatal("missing ID accepted")
+	}
+	if _, err := proxy.StartHost(ctx, proxy.HostConfig{ID: "p"}); err == nil {
+		t.Fatal("missing Net accepted")
+	}
+}

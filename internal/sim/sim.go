@@ -1,0 +1,304 @@
+// Package sim provides an in-memory transport.Network with fault and
+// latency injection.
+//
+// The paper ran its prototype on iPAQ PDAs over a wireless LAN, an
+// environment with "low communication bandwidth and weak connectivity"
+// (§7). We have no PDAs, so this package simulates that substrate: it
+// implements the same Network interface as the TCP transport but routes
+// frames in memory, adding configurable latency/jitter, message loss,
+// link partitions, and device up/down state, while counting every
+// message for the experiment harness (DESIGN.md T1/T2).
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config controls fault and latency injection. The zero value is a
+// perfect, instantaneous network.
+type Config struct {
+	// BaseLatency is added to every delivery.
+	BaseLatency time.Duration
+	// Jitter adds a uniform random extra in [0, Jitter).
+	Jitter time.Duration
+	// LossProb drops a request or event with this probability
+	// (a dropped request surfaces as CodeUnavailable).
+	LossProb float64
+	// Seed seeds the private RNG so runs are reproducible.
+	Seed int64
+	// CountBytes, when true, JSON-encodes each message to account
+	// payload bytes in Stats (costs CPU; off by default).
+	CountBytes bool
+}
+
+// Stats aggregates traffic counters. All fields are totals since the
+// network was created (or since ResetStats).
+type Stats struct {
+	Requests  int64 // requests delivered
+	Responses int64 // responses delivered
+	Events    int64 // events delivered
+	Dropped   int64 // messages lost to LossProb, partitions, or down devices
+	Bytes     int64 // payload bytes (only when Config.CountBytes)
+}
+
+// Net is an in-memory Network. Create with New; safe for concurrent use.
+type Net struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	endpoints map[string]*endpoint
+	down      map[string]bool
+	parts     map[[2]string]bool // unordered pair, stored with a<=b
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	requests  atomic.Int64
+	responses atomic.Int64
+	events    atomic.Int64
+	dropped   atomic.Int64
+	bytes     atomic.Int64
+
+	nextAuto atomic.Int64
+}
+
+type endpoint struct {
+	addr    string
+	handler transport.Handler
+	net     *Net
+	closed  atomic.Bool
+}
+
+// New creates a simulated network with the given config.
+func New(cfg Config) *Net {
+	return &Net{
+		cfg:       cfg,
+		endpoints: make(map[string]*endpoint),
+		down:      make(map[string]bool),
+		parts:     make(map[[2]string]bool),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Listen implements transport.Network. An empty addr or an addr ending
+// in ":0" is assigned a unique simulated address.
+func (n *Net) Listen(addr string, h transport.Handler) (transport.Listener, error) {
+	if addr == "" || len(addr) >= 2 && addr[len(addr)-2:] == ":0" {
+		addr = fmt.Sprintf("sim-%d", n.nextAuto.Add(1))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.endpoints[addr]; exists {
+		return nil, fmt.Errorf("sim: address %s already bound", addr)
+	}
+	ep := &endpoint{addr: addr, handler: h, net: n}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+func (e *endpoint) Addr() string { return e.addr }
+
+func (e *endpoint) Close() error {
+	if e.closed.CompareAndSwap(false, true) {
+		e.net.mu.Lock()
+		if e.net.endpoints[e.addr] == e {
+			delete(e.net.endpoints, e.addr)
+		}
+		e.net.mu.Unlock()
+	}
+	return nil
+}
+
+// pairKey normalizes an unordered address pair.
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// SetDown marks a device's network presence up or down. Calls to a down
+// device fail with CodeUnavailable — this is how mobility experiments
+// disconnect an iPAQ.
+func (n *Net) SetDown(addr string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.down[addr] = true
+	} else {
+		delete(n.down, addr)
+	}
+}
+
+// Partition blocks traffic between a and b in both directions.
+func (n *Net) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts[pairKey(a, b)] = true
+}
+
+// Heal removes a partition between a and b.
+func (n *Net) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.parts, pairKey(a, b))
+}
+
+// reachable reports whether dst is currently deliverable from src and
+// returns the handler if so.
+func (n *Net) reachable(src, dst string) (*endpoint, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.down[dst] {
+		return nil, unavailable("device %s is down", dst)
+	}
+	if n.parts[pairKey(src, dst)] {
+		return nil, unavailable("partition between %s and %s", src, dst)
+	}
+	ep, ok := n.endpoints[dst]
+	if !ok {
+		return nil, unavailable("no endpoint at %s", dst)
+	}
+	return ep, nil
+}
+
+func unavailable(format string, args ...any) error {
+	return &wire.RemoteError{Code: wire.CodeUnavailable, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lose decides whether to drop a message and draws latency.
+func (n *Net) lose() bool {
+	if n.cfg.LossProb <= 0 {
+		return false
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64() < n.cfg.LossProb
+}
+
+func (n *Net) latency() time.Duration {
+	d := n.cfg.BaseLatency
+	if n.cfg.Jitter > 0 {
+		n.rngMu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		n.rngMu.Unlock()
+	}
+	return d
+}
+
+func (n *Net) account(v any) {
+	if !n.cfg.CountBytes {
+		return
+	}
+	if b, err := json.Marshal(v); err == nil {
+		n.bytes.Add(int64(len(b)))
+	}
+}
+
+func (n *Net) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Call implements transport.Network. The caller's "source address" for
+// partition purposes is taken from req.Caller when it matches a bound
+// endpoint; infrastructure calls without a caller bypass partitions.
+func (n *Net) Call(ctx context.Context, addr string, req *transport.Request) (*transport.Response, error) {
+	src := ""
+	if req != nil {
+		src = req.Caller
+	}
+	ep, err := n.reachable(src, addr)
+	if err != nil {
+		n.dropped.Add(1)
+		return nil, err
+	}
+	if n.lose() {
+		n.dropped.Add(1)
+		return nil, unavailable("request to %s lost", addr)
+	}
+	if err := n.sleep(ctx, n.latency()); err != nil {
+		return nil, err
+	}
+	n.requests.Add(1)
+	n.account(req)
+
+	resp := ep.handler.HandleRequest(ctx, req)
+	if resp == nil {
+		resp = transport.ErrorResponse(req, wire.CodeInternal, "handler returned no response")
+	}
+
+	if n.lose() {
+		n.dropped.Add(1)
+		return nil, unavailable("response from %s lost", addr)
+	}
+	if err := n.sleep(ctx, n.latency()); err != nil {
+		return nil, err
+	}
+	n.responses.Add(1)
+	n.account(resp)
+	return resp, nil
+}
+
+// Send implements transport.Network.
+func (n *Net) Send(ctx context.Context, addr string, ev *transport.Event) error {
+	src := ""
+	if ev != nil {
+		src = ev.Source
+	}
+	ep, err := n.reachable(src, addr)
+	if err != nil {
+		n.dropped.Add(1)
+		return err
+	}
+	if n.lose() {
+		n.dropped.Add(1)
+		return nil // events are fire-and-forget; loss is silent
+	}
+	if err := n.sleep(ctx, n.latency()); err != nil {
+		return err
+	}
+	n.events.Add(1)
+	n.account(ev)
+	go ep.handler.HandleEvent(ev)
+	return nil
+}
+
+// Stats returns a snapshot of traffic counters.
+func (n *Net) Stats() Stats {
+	return Stats{
+		Requests:  n.requests.Load(),
+		Responses: n.responses.Load(),
+		Events:    n.events.Load(),
+		Dropped:   n.dropped.Load(),
+		Bytes:     n.bytes.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters (partitions and down state are
+// unaffected).
+func (n *Net) ResetStats() {
+	n.requests.Store(0)
+	n.responses.Store(0)
+	n.events.Store(0)
+	n.dropped.Store(0)
+	n.bytes.Store(0)
+}

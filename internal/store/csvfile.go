@@ -1,0 +1,193 @@
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// CSV flat-file support: the paper's device stores "may be a
+// traditional database ... or may be an ad-hoc data store such as a
+// flat file, an EXCEL worksheet or a list repository" (§2). This file
+// lets any Table round-trip through a CSV flat file, so a device can
+// keep its calendar as a plain text file and still participate in SyD
+// coordination — the deviceware encapsulation makes the difference
+// invisible to remote callers.
+
+// ExportCSV writes the table as CSV: a header row with column names
+// (in schema order) followed by one row per record, sorted by primary
+// key for determinism.
+func (t *Table) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	cols := make([]string, len(t.schema.Columns))
+	for i, c := range t.schema.Columns {
+		cols[i] = c.Name
+	}
+	if err := cw.Write(cols); err != nil {
+		return err
+	}
+	rows := t.Select(nil)
+	keys := make([]string, len(rows))
+	byKey := make(map[string]Row, len(rows))
+	for i, r := range rows {
+		k, err := t.KeyOf(r)
+		if err != nil {
+			return err
+		}
+		keys[i] = k
+		byKey[k] = r
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r := byKey[k]
+		rec := make([]string, len(t.schema.Columns))
+		for i, c := range t.schema.Columns {
+			rec[i] = encodeCSVValue(r[c.Name])
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func encodeCSVValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	case time.Time:
+		return x.Format(time.RFC3339Nano)
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// ImportCSV reads CSV produced by ExportCSV (or hand-written with the
+// same header) into the table, converting each cell to the declared
+// column type. Rows whose key already exists are updated.
+func (t *Table) ImportCSV(r io.Reader) error {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("store: csv header: %w", err)
+	}
+	for _, h := range header {
+		if _, ok := t.cols[h]; !ok {
+			return fmt.Errorf("%w: csv column %q", ErrBadColumn, h)
+		}
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: csv line %d: %w", line, err)
+		}
+		row := make(Row, len(header))
+		for i, h := range header {
+			if i >= len(rec) {
+				break
+			}
+			v, err := decodeCSVValue(t.cols[h], rec[i])
+			if err != nil {
+				return fmt.Errorf("store: csv line %d column %s: %w", line, h, err)
+			}
+			row[h] = v
+		}
+		keyVals, err := t.keyValsOf(row)
+		if err != nil {
+			return fmt.Errorf("store: csv line %d: %w", line, err)
+		}
+		if _, exists := t.Get(keyVals...); exists {
+			changes := row.Clone()
+			for _, kc := range t.schema.Key {
+				delete(changes, kc)
+			}
+			if len(changes) == 0 {
+				continue
+			}
+			if err := t.Update(changes, keyVals...); err != nil {
+				return fmt.Errorf("store: csv line %d: %w", line, err)
+			}
+			continue
+		}
+		if err := t.Insert(row); err != nil {
+			return fmt.Errorf("store: csv line %d: %w", line, err)
+		}
+	}
+}
+
+func decodeCSVValue(ct ColType, s string) (any, error) {
+	switch ct {
+	case String:
+		return s, nil
+	case Int:
+		if s == "" {
+			return int64(0), nil
+		}
+		return strconv.ParseInt(s, 10, 64)
+	case Float:
+		if s == "" {
+			return float64(0), nil
+		}
+		return strconv.ParseFloat(s, 64)
+	case Bool:
+		if s == "" {
+			return false, nil
+		}
+		return strconv.ParseBool(s)
+	case Time:
+		if s == "" {
+			return time.Time{}, nil
+		}
+		return time.Parse(time.RFC3339Nano, s)
+	}
+	return nil, ErrBadType
+}
+
+// SaveCSVFile writes the table to path atomically (write temp,
+// rename).
+func (t *Table) SaveCSVFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := t.ExportCSV(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCSVFile reads path into the table; a missing file is not an
+// error (fresh device).
+func (t *Table) LoadCSVFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.ImportCSV(f)
+}

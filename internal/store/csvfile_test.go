@@ -1,0 +1,169 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := newCalTable(t)
+	ts := time.Date(2003, 4, 22, 14, 0, 0, 0, time.UTC)
+	for h := int64(9); h < 12; h++ {
+		r := slotRow("2003-04-22", h, "free")
+		r["updated"] = ts
+		r["priority"] = h
+		r["locked"] = h%2 == 0
+		if err := tab.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tab.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "day,hour,status,meeting,priority,locked,updated\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+
+	db2 := NewDB()
+	tab2 := db2.MustCreateTable(calendarSchema())
+	if err := tab2.ImportCSV(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Count() != 3 {
+		t.Fatalf("count = %d", tab2.Count())
+	}
+	r, ok := tab2.Get("2003-04-22", int64(10))
+	if !ok {
+		t.Fatal("row lost")
+	}
+	if r["priority"] != int64(10) || r["locked"] != true {
+		t.Fatalf("row = %v", r)
+	}
+	if got := r["updated"].(time.Time); !got.Equal(ts) {
+		t.Fatalf("updated = %v", got)
+	}
+}
+
+func TestCSVImportUpsert(t *testing.T) {
+	tab := newCalTable(t)
+	if err := tab.Insert(slotRow("d", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	csvIn := "day,hour,status\nd,9,reserved\nd,10,free\n"
+	if err := tab.ImportCSV(strings.NewReader(csvIn)); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tab.Get("d", int64(9))
+	if r["status"] != "reserved" {
+		t.Fatalf("status = %v", r["status"])
+	}
+	if tab.Count() != 2 {
+		t.Fatalf("count = %d", tab.Count())
+	}
+}
+
+func TestCSVImportErrors(t *testing.T) {
+	tab := newCalTable(t)
+	cases := []struct {
+		name, in string
+	}{
+		{"unknown column", "day,bogus\nd,1\n"},
+		{"bad int", "day,hour\nd,nine\n"},
+		{"missing key", "status\nfree\n"},
+		{"bad bool", "day,hour,locked\nd,9,maybe\n"},
+		{"bad time", "day,hour,updated\nd,9,notatime\n"},
+	}
+	for _, c := range cases {
+		db := NewDB()
+		tt := db.MustCreateTable(calendarSchema())
+		if err := tt.ImportCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: import succeeded", c.name)
+		}
+		_ = tab
+	}
+}
+
+func TestCSVEmptyValuesDecodeToZero(t *testing.T) {
+	tab := newCalTable(t)
+	in := "day,hour,status,priority,locked,updated\nd,9,,,,\n"
+	if err := tab.ImportCSV(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tab.Get("d", int64(9))
+	if r["priority"] != int64(0) || r["locked"] != false {
+		t.Fatalf("row = %v", r)
+	}
+	if !r["updated"].(time.Time).IsZero() {
+		t.Fatalf("updated = %v", r["updated"])
+	}
+}
+
+func TestCSVFileSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "calendar.csv")
+
+	tab := newCalTable(t)
+	if err := tab.Insert(slotRow("d", 9, "reserved")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := NewDB()
+	tab2 := db2.MustCreateTable(calendarSchema())
+	if err := tab2.LoadCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Count() != 1 {
+		t.Fatalf("count = %d", tab2.Count())
+	}
+	// Missing file is fine.
+	db3 := NewDB()
+	tab3 := db3.MustCreateTable(calendarSchema())
+	if err := tab3.LoadCSVFile(filepath.Join(dir, "absent.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if tab3.Count() != 0 {
+		t.Fatal("phantom rows")
+	}
+}
+
+func TestCSVExportDeterministic(t *testing.T) {
+	mk := func() string {
+		db := NewDB()
+		tab := db.MustCreateTable(calendarSchema())
+		for _, h := range []int64{12, 9, 15, 10} {
+			if err := tab.Insert(slotRow("d", h, "free")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tab.ExportCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if mk() != mk() {
+		t.Fatal("export not deterministic")
+	}
+}
+
+func TestCSVHeaderGarbage(t *testing.T) {
+	tab := newCalTable(t)
+	err := tab.ImportCSV(strings.NewReader(""))
+	if err == nil {
+		t.Fatal("empty input accepted")
+	}
+	var bad error = err
+	_ = bad
+	if errors.Is(err, ErrBadColumn) {
+		t.Fatal("empty input misclassified as bad column")
+	}
+}

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Snapshot serialization: a JSON document holding every table's schema
+// and rows, so a device can persist its calendar and link databases
+// across restarts (the prototype relied on Oracle's durability; we
+// provide explicit save/load).
+
+type snapshotDoc struct {
+	Version int             `json:"version"`
+	Tables  []snapshotTable `json:"tables"`
+}
+
+type snapshotTable struct {
+	Schema  snapshotSchema   `json:"schema"`
+	Rows    []map[string]any `json:"rows"`
+	Indexes []string         `json:"indexes"`
+}
+
+type snapshotSchema struct {
+	Name    string `json:"name"`
+	Columns []struct {
+		Name string `json:"name"`
+		Type int    `json:"type"`
+	} `json:"columns"`
+	Key []string `json:"key"`
+}
+
+// Snapshot writes the entire database to w as JSON.
+func (db *DB) Snapshot(w io.Writer) error {
+	db.mu.RLock()
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.RUnlock()
+
+	doc := snapshotDoc{Version: 1}
+	for _, t := range tables {
+		st := snapshotTable{}
+		st.Schema.Name = t.schema.Name
+		st.Schema.Key = append([]string(nil), t.schema.Key...)
+		for _, c := range t.schema.Columns {
+			st.Schema.Columns = append(st.Schema.Columns, struct {
+				Name string `json:"name"`
+				Type int    `json:"type"`
+			}{c.Name, int(c.Type)})
+		}
+		t.mu.RLock()
+		for col := range t.indexes {
+			st.Indexes = append(st.Indexes, col)
+		}
+		for _, r := range t.rows {
+			enc := make(map[string]any, len(r))
+			for c, v := range r {
+				if ts, ok := v.(time.Time); ok {
+					enc[c] = ts.Format(time.RFC3339Nano)
+				} else {
+					enc[c] = v
+				}
+			}
+			st.Rows = append(st.Rows, enc)
+		}
+		t.mu.RUnlock()
+		doc.Tables = append(doc.Tables, st)
+	}
+	e := json.NewEncoder(w)
+	return e.Encode(doc)
+}
+
+// Restore loads a Snapshot into a fresh DB. Tables in the snapshot must
+// not already exist.
+func (db *DB) Restore(r io.Reader) error {
+	var doc snapshotDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("store: restore: %w", err)
+	}
+	if doc.Version != 1 {
+		return fmt.Errorf("store: restore: unsupported snapshot version %d", doc.Version)
+	}
+	for _, st := range doc.Tables {
+		s := Schema{Name: st.Schema.Name, Key: st.Schema.Key}
+		for _, c := range st.Schema.Columns {
+			s.Columns = append(s.Columns, Column{Name: c.Name, Type: ColType(c.Type)})
+		}
+		t, err := db.CreateTable(s)
+		if err != nil {
+			return err
+		}
+		for _, enc := range st.Rows {
+			row := make(Row, len(enc))
+			for c, v := range enc {
+				ct, ok := t.cols[c]
+				if !ok {
+					return fmt.Errorf("store: restore: %w: %s.%s", ErrBadColumn, s.Name, c)
+				}
+				dv, err := decodeValue(ct, v)
+				if err != nil {
+					return fmt.Errorf("store: restore %s.%s: %w", s.Name, c, err)
+				}
+				row[c] = dv
+			}
+			if err := t.Insert(row); err != nil {
+				return err
+			}
+		}
+		for _, col := range st.Indexes {
+			if err := t.CreateIndex(col); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// decodeValue coerces a JSON-decoded value back to the column's Go type.
+func decodeValue(ct ColType, v any) (any, error) {
+	switch ct {
+	case String:
+		s, ok := v.(string)
+		if !ok {
+			return nil, ErrBadType
+		}
+		return s, nil
+	case Int:
+		f, ok := v.(float64)
+		if !ok {
+			return nil, ErrBadType
+		}
+		return int64(f), nil
+	case Bool:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, ErrBadType
+		}
+		return b, nil
+	case Float:
+		f, ok := v.(float64)
+		if !ok {
+			return nil, ErrBadType
+		}
+		return f, nil
+	case Time:
+		s, ok := v.(string)
+		if !ok {
+			return nil, ErrBadType
+		}
+		ts, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return nil, err
+		}
+		return ts, nil
+	}
+	return nil, ErrBadType
+}

@@ -1,0 +1,592 @@
+// Package store is the embedded device database used by every SyD
+// device object.
+//
+// The paper's prototype stored each user's calendar and link tables in
+// an Oracle database and used Oracle triggers + Java stored procedures
+// for event-based updates (§5.3), while noting that a portable SyD
+// should not depend on a specific database and should move triggers to
+// the middleware. This package is that portable store: typed tables
+// with primary keys, secondary indexes, predicate queries, local
+// multi-table transactions, and row-level ECA (event-condition-action)
+// triggers that the SyDLinks module attaches to.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ColType enumerates the column types the store supports.
+type ColType int
+
+// Column types.
+const (
+	String ColType = iota
+	Int
+	Bool
+	Float
+	Time
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t ColType) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Int:
+		return "int"
+	case Bool:
+		return "bool"
+	case Float:
+		return "float"
+	case Time:
+		return "time"
+	}
+	return fmt.Sprintf("ColType(%d)", int(t))
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table: its columns and the primary-key columns.
+type Schema struct {
+	Name    string
+	Columns []Column
+	// Key lists the primary-key column names, in order.
+	Key []string
+}
+
+// Row is a single record: column name → value. Values must match the
+// declared column types (string, int64, bool, float64, time.Time).
+type Row map[string]any
+
+// rowKey is the encoded primary key used as the map key for rows.
+type rowKey string
+
+// Clone returns a copy of r safe to hand to callers.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Op enumerates row mutation operations for triggers.
+type Op int
+
+// Mutation operations.
+const (
+	OpInsert Op = iota
+	OpUpdate
+	OpDelete
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Timing says whether a trigger runs before the mutation (and may veto
+// it by returning an error) or after it commits to the table.
+type Timing int
+
+// Trigger timings.
+const (
+	Before Timing = iota
+	After
+)
+
+// TriggerFunc is the action of an ECA trigger. old is nil for inserts,
+// new is nil for deletes. A Before trigger returning an error aborts
+// the mutation.
+type TriggerFunc func(op Op, old, new Row) error
+
+// Errors returned by the store.
+var (
+	ErrNoTable      = errors.New("store: no such table")
+	ErrDupTable     = errors.New("store: table already exists")
+	ErrDupKey       = errors.New("store: duplicate primary key")
+	ErrNoRow        = errors.New("store: no such row")
+	ErrBadColumn    = errors.New("store: unknown column")
+	ErrBadType      = errors.New("store: value type does not match column type")
+	ErrMissingKey   = errors.New("store: row missing primary-key column")
+	ErrKeyImmutable = errors.New("store: primary-key columns cannot be updated")
+	ErrNoIndex      = errors.New("store: no such index")
+	ErrTxDone       = errors.New("store: transaction already finished")
+)
+
+// DB is a device-local database: a set of named tables sharing one
+// big lock for multi-table transactions. Safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a table with the given schema.
+func (db *DB) CreateTable(s Schema) (*Table, error) {
+	if err := validateSchema(s); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDupTable, s.Name)
+	}
+	t := newTable(db, s)
+	db.tables[s.Name] = t
+	return t, nil
+}
+
+// MustCreateTable is CreateTable panicking on error; for package init
+// of fixed schemas.
+func (db *DB) MustCreateTable(s Schema) *Table {
+	t, err := db.CreateTable(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// TableNames returns all table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func validateSchema(s Schema) error {
+	if s.Name == "" {
+		return errors.New("store: schema needs a name")
+	}
+	if len(s.Columns) == 0 {
+		return errors.New("store: schema needs at least one column")
+	}
+	cols := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return errors.New("store: empty column name")
+		}
+		if cols[c.Name] {
+			return fmt.Errorf("store: duplicate column %q", c.Name)
+		}
+		cols[c.Name] = true
+	}
+	if len(s.Key) == 0 {
+		return errors.New("store: schema needs a primary key")
+	}
+	for _, k := range s.Key {
+		if !cols[k] {
+			return fmt.Errorf("%w: key column %q", ErrBadColumn, k)
+		}
+	}
+	return nil
+}
+
+// Table is a single typed table with primary key, secondary indexes,
+// and triggers. All methods are safe for concurrent use.
+type Table struct {
+	db     *DB
+	schema Schema
+	cols   map[string]ColType
+
+	mu       sync.RWMutex
+	rows     map[rowKey]Row
+	indexes  map[string]map[any]map[rowKey]struct{}
+	triggers map[Timing][]trigger
+}
+
+type trigger struct {
+	id string
+	op Op
+	fn TriggerFunc
+}
+
+func newTable(db *DB, s Schema) *Table {
+	cols := make(map[string]ColType, len(s.Columns))
+	for _, c := range s.Columns {
+		cols[c.Name] = c.Type
+	}
+	return &Table{
+		db:       db,
+		schema:   s,
+		cols:     cols,
+		rows:     make(map[rowKey]Row),
+		indexes:  make(map[string]map[any]map[rowKey]struct{}),
+		triggers: make(map[Timing][]trigger),
+	}
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// keyOf builds the encoded primary key for a row.
+func (t *Table) keyOf(r Row) (rowKey, error) {
+	var b strings.Builder
+	for i, k := range t.schema.Key {
+		v, ok := r[k]
+		if !ok {
+			return "", fmt.Errorf("%w: %q", ErrMissingKey, k)
+		}
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		fmt.Fprintf(&b, "%v", v)
+	}
+	return rowKey(b.String()), nil
+}
+
+// KeyOf exposes the encoded key for diagnostics and tests.
+func (t *Table) KeyOf(r Row) (string, error) {
+	k, err := t.keyOf(r)
+	return string(k), err
+}
+
+func (t *Table) checkTypes(r Row, requireKey bool) error {
+	for name, v := range r {
+		ct, ok := t.cols[name]
+		if !ok {
+			return fmt.Errorf("%w: %q in table %s", ErrBadColumn, name, t.schema.Name)
+		}
+		if !typeMatches(ct, v) {
+			return fmt.Errorf("%w: column %s.%s wants %s, got %T",
+				ErrBadType, t.schema.Name, name, ct, v)
+		}
+	}
+	if requireKey {
+		for _, k := range t.schema.Key {
+			if _, ok := r[k]; !ok {
+				return fmt.Errorf("%w: %q", ErrMissingKey, k)
+			}
+		}
+	}
+	return nil
+}
+
+func typeMatches(ct ColType, v any) bool {
+	switch ct {
+	case String:
+		_, ok := v.(string)
+		return ok
+	case Int:
+		_, ok := v.(int64)
+		return ok
+	case Bool:
+		_, ok := v.(bool)
+		return ok
+	case Float:
+		_, ok := v.(float64)
+		return ok
+	case Time:
+		_, ok := v.(time.Time)
+		return ok
+	}
+	return false
+}
+
+// OnTrigger registers an ECA trigger for op at the given timing,
+// returning a registration id usable with DropTrigger.
+func (t *Table) OnTrigger(timing Timing, op Op, id string, fn TriggerFunc) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.triggers[timing] = append(t.triggers[timing], trigger{id: id, op: op, fn: fn})
+}
+
+// DropTrigger removes all triggers registered under id.
+func (t *Table) DropTrigger(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for timing, list := range t.triggers {
+		keep := list[:0]
+		for _, tr := range list {
+			if tr.id != id {
+				keep = append(keep, tr)
+			}
+		}
+		t.triggers[timing] = keep
+	}
+}
+
+// fire runs the triggers for (timing, op); the table lock must NOT be
+// held by the caller for After triggers that re-enter the table, so
+// fire is always called outside t.mu.
+func (t *Table) fire(timing Timing, op Op, old, new Row) error {
+	t.mu.RLock()
+	list := make([]trigger, len(t.triggers[timing]))
+	copy(list, t.triggers[timing])
+	t.mu.RUnlock()
+	for _, tr := range list {
+		if tr.op != op {
+			continue
+		}
+		if err := tr.fn(op, old, new); err != nil {
+			if timing == Before {
+				return err
+			}
+			// After triggers cannot veto; their errors are
+			// surfaced to the caller but the row change stands.
+			return fmt.Errorf("store: after-trigger %s: %w", tr.id, err)
+		}
+	}
+	return nil
+}
+
+// CreateIndex builds a secondary index on column col.
+func (t *Table) CreateIndex(col string) error {
+	if _, ok := t.cols[col]; !ok {
+		return fmt.Errorf("%w: %q", ErrBadColumn, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[col]; ok {
+		return nil // idempotent
+	}
+	idx := make(map[any]map[rowKey]struct{})
+	for k, r := range t.rows {
+		v := r[col]
+		if idx[v] == nil {
+			idx[v] = make(map[rowKey]struct{})
+		}
+		idx[v][k] = struct{}{}
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+func (t *Table) indexAdd(k rowKey, r Row) {
+	for col, idx := range t.indexes {
+		v := r[col]
+		if idx[v] == nil {
+			idx[v] = make(map[rowKey]struct{})
+		}
+		idx[v][k] = struct{}{}
+	}
+}
+
+func (t *Table) indexRemove(k rowKey, r Row) {
+	for col, idx := range t.indexes {
+		v := r[col]
+		if set, ok := idx[v]; ok {
+			delete(set, k)
+			if len(set) == 0 {
+				delete(idx, v)
+			}
+		}
+	}
+}
+
+// Insert adds a new row.
+func (t *Table) Insert(r Row) error {
+	if err := t.checkTypes(r, true); err != nil {
+		return err
+	}
+	row := r.Clone()
+	k, err := t.keyOf(row)
+	if err != nil {
+		return err
+	}
+	if err := t.fire(Before, OpInsert, nil, row.Clone()); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if _, exists := t.rows[k]; exists {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s[%s]", ErrDupKey, t.schema.Name, k)
+	}
+	t.rows[k] = row
+	t.indexAdd(k, row)
+	t.mu.Unlock()
+	return t.fire(After, OpInsert, nil, row.Clone())
+}
+
+// Get fetches the row whose primary-key columns equal keyVals (in
+// schema key order).
+func (t *Table) Get(keyVals ...any) (Row, bool) {
+	probe := make(Row, len(keyVals))
+	for i, kc := range t.schema.Key {
+		if i >= len(keyVals) {
+			return nil, false
+		}
+		probe[kc] = keyVals[i]
+	}
+	k, err := t.keyOf(probe)
+	if err != nil {
+		return nil, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[k]
+	if !ok {
+		return nil, false
+	}
+	return r.Clone(), true
+}
+
+// Update applies changes to the row identified by keyVals. Primary-key
+// columns cannot change.
+func (t *Table) Update(changes Row, keyVals ...any) error {
+	if err := t.checkTypes(changes, false); err != nil {
+		return err
+	}
+	for _, kc := range t.schema.Key {
+		if _, ok := changes[kc]; ok {
+			return fmt.Errorf("%w: %q", ErrKeyImmutable, kc)
+		}
+	}
+	probe := make(Row)
+	for i, kc := range t.schema.Key {
+		if i >= len(keyVals) {
+			return fmt.Errorf("%w: need %d key values", ErrMissingKey, len(t.schema.Key))
+		}
+		probe[kc] = keyVals[i]
+	}
+	k, err := t.keyOf(probe)
+	if err != nil {
+		return err
+	}
+
+	t.mu.RLock()
+	cur, ok := t.rows[k]
+	var old Row
+	if ok {
+		old = cur.Clone()
+	}
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s[%s]", ErrNoRow, t.schema.Name, k)
+	}
+	next := old.Clone()
+	for c, v := range changes {
+		next[c] = v
+	}
+	if err := t.fire(Before, OpUpdate, old.Clone(), next.Clone()); err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	cur, ok = t.rows[k]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s[%s]", ErrNoRow, t.schema.Name, k)
+	}
+	t.indexRemove(k, cur)
+	stored := cur.Clone()
+	for c, v := range changes {
+		stored[c] = v
+	}
+	t.rows[k] = stored
+	t.indexAdd(k, stored)
+	t.mu.Unlock()
+	return t.fire(After, OpUpdate, old, stored.Clone())
+}
+
+// Delete removes the row identified by keyVals.
+func (t *Table) Delete(keyVals ...any) error {
+	probe := make(Row)
+	for i, kc := range t.schema.Key {
+		if i >= len(keyVals) {
+			return fmt.Errorf("%w: need %d key values", ErrMissingKey, len(t.schema.Key))
+		}
+		probe[kc] = keyVals[i]
+	}
+	k, err := t.keyOf(probe)
+	if err != nil {
+		return err
+	}
+	t.mu.RLock()
+	cur, ok := t.rows[k]
+	var old Row
+	if ok {
+		old = cur.Clone()
+	}
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s[%s]", ErrNoRow, t.schema.Name, k)
+	}
+	if err := t.fire(Before, OpDelete, old.Clone(), nil); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	cur, ok = t.rows[k]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s[%s]", ErrNoRow, t.schema.Name, k)
+	}
+	delete(t.rows, k)
+	t.indexRemove(k, cur)
+	t.mu.Unlock()
+	return t.fire(After, OpDelete, old, nil)
+}
+
+// Select returns clones of all rows matching pred (nil pred = all),
+// in an unspecified order.
+func (t *Table) Select(pred func(Row) bool) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Row
+	for _, r := range t.rows {
+		if pred == nil || pred(r) {
+			out = append(out, r.Clone())
+		}
+	}
+	return out
+}
+
+// SelectEq returns all rows with row[col] == v, using a secondary
+// index when one exists and a scan otherwise.
+func (t *Table) SelectEq(col string, v any) []Row {
+	t.mu.RLock()
+	if idx, ok := t.indexes[col]; ok {
+		var out []Row
+		for k := range idx[v] {
+			out = append(out, t.rows[k].Clone())
+		}
+		t.mu.RUnlock()
+		return out
+	}
+	t.mu.RUnlock()
+	return t.Select(func(r Row) bool { return r[col] == v })
+}
+
+// Count reports the number of rows.
+func (t *Table) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}

@@ -1,0 +1,492 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func calendarSchema() Schema {
+	return Schema{
+		Name: "calendar",
+		Columns: []Column{
+			{Name: "day", Type: String},
+			{Name: "hour", Type: Int},
+			{Name: "status", Type: String},
+			{Name: "meeting", Type: String},
+			{Name: "priority", Type: Int},
+			{Name: "locked", Type: Bool},
+			{Name: "updated", Type: Time},
+		},
+		Key: []string{"day", "hour"},
+	}
+}
+
+func newCalTable(t *testing.T) *Table {
+	t.Helper()
+	db := NewDB()
+	tab, err := db.CreateTable(calendarSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func slotRow(day string, hour int64, status string) Row {
+	return Row{
+		"day": day, "hour": hour, "status": status,
+		"meeting": "", "priority": int64(0), "locked": false,
+		"updated": time.Date(2003, 4, 22, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := NewDB()
+	cases := []struct {
+		name string
+		s    Schema
+	}{
+		{"empty name", Schema{Columns: []Column{{Name: "a"}}, Key: []string{"a"}}},
+		{"no columns", Schema{Name: "t", Key: []string{"a"}}},
+		{"no key", Schema{Name: "t", Columns: []Column{{Name: "a"}}}},
+		{"bad key col", Schema{Name: "t", Columns: []Column{{Name: "a"}}, Key: []string{"zz"}}},
+		{"dup column", Schema{Name: "t", Columns: []Column{{Name: "a"}, {Name: "a"}}, Key: []string{"a"}}},
+		{"empty column", Schema{Name: "t", Columns: []Column{{Name: ""}}, Key: []string{""}}},
+	}
+	for _, c := range cases {
+		if _, err := db.CreateTable(c.s); err == nil {
+			t.Errorf("%s: CreateTable succeeded", c.name)
+		}
+	}
+}
+
+func TestCreateTableDuplicate(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable(calendarSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(calendarSchema()); !errors.Is(err, ErrDupTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	db := NewDB()
+	db.MustCreateTable(calendarSchema())
+	if _, err := db.Table("calendar"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("nope"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := db.TableNames(); len(got) != 1 || got[0] != "calendar" {
+		t.Fatalf("TableNames = %v", got)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tab := newCalTable(t)
+	if err := tab.Insert(slotRow("2003-04-22", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tab.Get("2003-04-22", int64(9))
+	if !ok {
+		t.Fatal("row not found")
+	}
+	if got["status"] != "free" {
+		t.Fatalf("status = %v", got["status"])
+	}
+	if _, ok := tab.Get("2003-04-22", int64(10)); ok {
+		t.Fatal("phantom row")
+	}
+}
+
+func TestInsertDuplicateKey(t *testing.T) {
+	tab := newCalTable(t)
+	if err := tab.Insert(slotRow("d", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(slotRow("d", 9, "busy")); !errors.Is(err, ErrDupKey) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	tab := newCalTable(t)
+	r := slotRow("d", 9, "free")
+	r["hour"] = "nine" // wrong type
+	if err := tab.Insert(r); !errors.Is(err, ErrBadType) {
+		t.Fatalf("err = %v", err)
+	}
+	r = slotRow("d", 9, "free")
+	r["bogus"] = 1
+	if err := tab.Insert(r); !errors.Is(err, ErrBadColumn) {
+		t.Fatalf("err = %v", err)
+	}
+	r = slotRow("d", 9, "free")
+	delete(r, "day")
+	if err := tab.Insert(r); !errors.Is(err, ErrMissingKey) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGetReturnsClone(t *testing.T) {
+	tab := newCalTable(t)
+	if err := tab.Insert(slotRow("d", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tab.Get("d", int64(9))
+	got["status"] = "mutated"
+	again, _ := tab.Get("d", int64(9))
+	if again["status"] != "free" {
+		t.Fatal("caller mutation leaked into the table")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tab := newCalTable(t)
+	if err := tab.Insert(slotRow("d", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Update(Row{"status": "reserved", "meeting": "M1"}, "d", int64(9)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tab.Get("d", int64(9))
+	if got["status"] != "reserved" || got["meeting"] != "M1" {
+		t.Fatalf("row = %v", got)
+	}
+	if err := tab.Update(Row{"status": "x"}, "d", int64(10)); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("missing row: %v", err)
+	}
+	if err := tab.Update(Row{"day": "e"}, "d", int64(9)); !errors.Is(err, ErrKeyImmutable) {
+		t.Fatalf("key change: %v", err)
+	}
+	if err := tab.Update(Row{"hour": "x"}, "d", int64(9)); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab := newCalTable(t)
+	if err := tab.Insert(slotRow("d", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Delete("d", int64(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tab.Get("d", int64(9)); ok {
+		t.Fatal("row survived delete")
+	}
+	if err := tab.Delete("d", int64(9)); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tab := newCalTable(t)
+	for h := int64(9); h < 17; h++ {
+		status := "free"
+		if h%2 == 0 {
+			status = "busy"
+		}
+		if err := tab.Insert(slotRow("d", h, status)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	free := tab.Select(func(r Row) bool { return r["status"] == "free" })
+	if len(free) != 4 {
+		t.Fatalf("free slots = %d", len(free))
+	}
+	all := tab.Select(nil)
+	if len(all) != 8 || tab.Count() != 8 {
+		t.Fatalf("all = %d count = %d", len(all), tab.Count())
+	}
+}
+
+func TestSelectEqWithAndWithoutIndex(t *testing.T) {
+	tab := newCalTable(t)
+	for h := int64(0); h < 100; h++ {
+		status := "free"
+		if h%10 == 0 {
+			status = "busy"
+		}
+		if err := tab.Insert(slotRow("d", h, status)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scan := tab.SelectEq("status", "busy")
+	if err := tab.CreateIndex("status"); err != nil {
+		t.Fatal(err)
+	}
+	idx := tab.SelectEq("status", "busy")
+	if len(scan) != len(idx) || len(idx) != 10 {
+		t.Fatalf("scan=%d idx=%d", len(scan), len(idx))
+	}
+	// Index stays consistent across update and delete.
+	if err := tab.Update(Row{"status": "free"}, "d", int64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tab.SelectEq("status", "busy")); got != 9 {
+		t.Fatalf("after update: %d", got)
+	}
+	if err := tab.Delete("d", int64(10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tab.SelectEq("status", "busy")); got != 8 {
+		t.Fatalf("after delete: %d", got)
+	}
+	if err := tab.CreateIndex("nope"); !errors.Is(err, ErrBadColumn) {
+		t.Fatalf("bad index col: %v", err)
+	}
+	if err := tab.CreateIndex("status"); err != nil {
+		t.Fatalf("re-creating index should be idempotent: %v", err)
+	}
+}
+
+func TestBeforeTriggerVetoes(t *testing.T) {
+	tab := newCalTable(t)
+	tab.OnTrigger(Before, OpInsert, "no-weekends", func(op Op, old, new Row) error {
+		if new["day"] == "saturday" {
+			return errors.New("no meetings on saturday")
+		}
+		return nil
+	})
+	if err := tab.Insert(slotRow("saturday", 9, "free")); err == nil {
+		t.Fatal("veto ignored")
+	}
+	if tab.Count() != 0 {
+		t.Fatal("vetoed row was stored")
+	}
+	if err := tab.Insert(slotRow("monday", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAfterTriggerObservesChange(t *testing.T) {
+	tab := newCalTable(t)
+	var fired []string
+	tab.OnTrigger(After, OpUpdate, "watch", func(op Op, old, new Row) error {
+		fired = append(fired, fmt.Sprintf("%v->%v", old["status"], new["status"]))
+		return nil
+	})
+	if err := tab.Insert(slotRow("d", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Update(Row{"status": "reserved"}, "d", int64(9)); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "free->reserved" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestAfterTriggerErrorDoesNotRollBack(t *testing.T) {
+	tab := newCalTable(t)
+	tab.OnTrigger(After, OpInsert, "grumpy", func(op Op, old, new Row) error {
+		return errors.New("after failure")
+	})
+	err := tab.Insert(slotRow("d", 9, "free"))
+	if err == nil {
+		t.Fatal("after-trigger error not surfaced")
+	}
+	if _, ok := tab.Get("d", int64(9)); !ok {
+		t.Fatal("row missing: after-trigger must not roll back")
+	}
+}
+
+func TestDropTrigger(t *testing.T) {
+	tab := newCalTable(t)
+	count := 0
+	tab.OnTrigger(After, OpInsert, "counter", func(op Op, old, new Row) error {
+		count++
+		return nil
+	})
+	if err := tab.Insert(slotRow("d", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	tab.DropTrigger("counter")
+	if err := tab.Insert(slotRow("d", 10, "free")); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestTriggerCanReenterTable(t *testing.T) {
+	// An After trigger that itself mutates the table (the cascade
+	// pattern SyDLinks relies on) must not deadlock.
+	tab := newCalTable(t)
+	tab.OnTrigger(After, OpDelete, "promote", func(op Op, old, new Row) error {
+		if old["hour"] == int64(9) {
+			return tab.Update(Row{"status": "promoted"}, "d", int64(10))
+		}
+		return nil
+	})
+	if err := tab.Insert(slotRow("d", 9, "busy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(slotRow("d", 10, "tentative")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tab.Delete("d", int64(9)) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-entrant trigger deadlocked")
+	}
+	got, _ := tab.Get("d", int64(10))
+	if got["status"] != "promoted" {
+		t.Fatalf("status = %v", got["status"])
+	}
+}
+
+func TestConcurrentInsertsDistinctKeys(t *testing.T) {
+	tab := newCalTable(t)
+	var wg sync.WaitGroup
+	const n = 50
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = tab.Insert(slotRow("d", int64(i), "free"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tab.Count() != n {
+		t.Fatalf("count = %d", tab.Count())
+	}
+}
+
+func TestConcurrentInsertSameKeyExactlyOneWins(t *testing.T) {
+	tab := newCalTable(t)
+	var wg sync.WaitGroup
+	var okCount, dupCount sync.Map
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := tab.Insert(slotRow("d", 9, "free"))
+			if err == nil {
+				okCount.Store(i, true)
+			} else if errors.Is(err, ErrDupKey) {
+				dupCount.Store(i, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	oks := 0
+	okCount.Range(func(k, v any) bool { oks++; return true })
+	if oks != 1 {
+		t.Fatalf("winners = %d, want exactly 1", oks)
+	}
+}
+
+// TestInsertSelectProperty: after inserting a random set of rows with
+// distinct keys, Count and Select(nil) agree and every key Gets back.
+func TestInsertSelectProperty(t *testing.T) {
+	f := func(hours []uint8) bool {
+		db := NewDB()
+		tab := db.MustCreateTable(calendarSchema())
+		seen := map[int64]bool{}
+		var keys []int64
+		for _, h := range hours {
+			k := int64(h)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+			if err := tab.Insert(slotRow("d", k, "free")); err != nil {
+				return false
+			}
+		}
+		if tab.Count() != len(keys) || len(tab.Select(nil)) != len(keys) {
+			return false
+		}
+		for _, k := range keys {
+			if _, ok := tab.Get("d", k); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompositeKeyOrdering(t *testing.T) {
+	tab := newCalTable(t)
+	if err := tab.Insert(slotRow("a", 1, "free")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(slotRow("a", 2, "busy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(slotRow("b", 1, "busy")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range tab.Select(nil) {
+		got = append(got, fmt.Sprintf("%v/%v=%v", r["day"], r["hour"], r["status"]))
+	}
+	sort.Strings(got)
+	want := []string{"a/1=free", "a/2=busy", "b/1=busy"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	db := NewDB()
+	tab := db.MustCreateTable(calendarSchema())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tab.Insert(slotRow("d", int64(i), "free")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectEqIndexed(b *testing.B) {
+	db := NewDB()
+	tab := db.MustCreateTable(calendarSchema())
+	for i := 0; i < 10000; i++ {
+		status := "free"
+		if i%100 == 0 {
+			status = "busy"
+		}
+		if err := tab.Insert(slotRow("d", int64(i), status)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tab.CreateIndex("status"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tab.SelectEq("status", "busy"); len(got) != 100 {
+			b.Fatalf("got %d", len(got))
+		}
+	}
+}

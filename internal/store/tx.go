@@ -1,0 +1,143 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tx is a device-local multi-table transaction with rollback. The SyD
+// linking module uses it to make "update my calendar + update my link
+// table" atomic on one device; cross-device atomicity is the job of
+// negotiation links, not of this type.
+//
+// Tx takes a whole-DB writer lock for its lifetime (single-writer,
+// which matches the prototype's one-user-per-device model) and records
+// an undo log; Rollback replays the log in reverse.
+type Tx struct {
+	db   *DB
+	mu   sync.Mutex
+	done bool
+	undo []func() error
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db}
+}
+
+// Insert inserts r into the named table, recording an undo action.
+func (tx *Tx) Insert(table string, r Row) error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return ErrTxDone
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := t.Insert(r); err != nil {
+		return err
+	}
+	keyVals, err := t.keyValsOf(r)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, func() error { return t.Delete(keyVals...) })
+	return nil
+}
+
+// Update updates the row in the named table, recording an undo action
+// restoring the previous column values.
+func (tx *Tx) Update(table string, changes Row, keyVals ...any) error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return ErrTxDone
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	old, ok := t.Get(keyVals...)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRow, table)
+	}
+	if err := t.Update(changes, keyVals...); err != nil {
+		return err
+	}
+	restore := make(Row, len(changes))
+	for c := range changes {
+		restore[c] = old[c]
+	}
+	tx.undo = append(tx.undo, func() error { return t.Update(restore, keyVals...) })
+	return nil
+}
+
+// Delete removes the row in the named table, recording an undo action
+// that re-inserts it.
+func (tx *Tx) Delete(table string, keyVals ...any) error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return ErrTxDone
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	old, ok := t.Get(keyVals...)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRow, table)
+	}
+	if err := t.Delete(keyVals...); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, func() error { return t.Insert(old) })
+	return nil
+}
+
+// Commit finalizes the transaction, discarding the undo log.
+func (tx *Tx) Commit() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	tx.undo = nil
+	return nil
+}
+
+// Rollback undoes every mutation performed through the transaction, in
+// reverse order. It returns the first undo error encountered (the
+// remaining undos still run).
+func (tx *Tx) Rollback() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	var firstErr error
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		if err := tx.undo[i](); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	tx.undo = nil
+	return firstErr
+}
+
+// keyValsOf extracts the primary key values of r in schema order.
+func (t *Table) keyValsOf(r Row) ([]any, error) {
+	out := make([]any, len(t.schema.Key))
+	for i, kc := range t.schema.Key {
+		v, ok := r[kc]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrMissingKey, kc)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func twoTableDB(t *testing.T) (*DB, *Table, *Table) {
+	t.Helper()
+	db := NewDB()
+	cal := db.MustCreateTable(calendarSchema())
+	links := db.MustCreateTable(Schema{
+		Name: "links",
+		Columns: []Column{
+			{Name: "id", Type: String},
+			{Name: "kind", Type: String},
+			{Name: "prio", Type: Int},
+		},
+		Key: []string{"id"},
+	})
+	return db, cal, links
+}
+
+func TestTxCommit(t *testing.T) {
+	db, cal, links := twoTableDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("calendar", slotRow("d", 9, "reserved")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("links", Row{"id": "L1", "kind": "negotiation-and", "prio": int64(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if cal.Count() != 1 || links.Count() != 1 {
+		t.Fatalf("counts = %d, %d", cal.Count(), links.Count())
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestTxRollbackUndoesEverything(t *testing.T) {
+	db, cal, links := twoTableDB(t)
+	if err := cal.Insert(slotRow("d", 8, "busy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := links.Insert(Row{"id": "L0", "kind": "subscription", "prio": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	if err := tx.Insert("calendar", slotRow("d", 9, "reserved")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("calendar", Row{"status": "reserved"}, "d", int64(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("links", "L0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := cal.Get("d", int64(9)); ok {
+		t.Fatal("inserted row survived rollback")
+	}
+	got, _ := cal.Get("d", int64(8))
+	if got["status"] != "busy" {
+		t.Fatalf("update not undone: %v", got["status"])
+	}
+	if _, ok := links.Get("L0"); !ok {
+		t.Fatal("deleted row not restored")
+	}
+	if err := tx.Rollback(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double rollback: %v", err)
+	}
+}
+
+func TestTxRollbackReverseOrder(t *testing.T) {
+	// Insert then update the same row inside one tx: rollback must
+	// undo the update first, then the insert, leaving no row.
+	db, cal, _ := twoTableDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("calendar", slotRow("d", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("calendar", Row{"status": "reserved"}, "d", int64(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if cal.Count() != 0 {
+		t.Fatalf("count = %d after rollback", cal.Count())
+	}
+}
+
+func TestTxOperationsAfterDone(t *testing.T) {
+	db, _, _ := twoTableDB(t)
+	tx := db.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("calendar", slotRow("d", 9, "free")); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("insert after done: %v", err)
+	}
+	if err := tx.Update("calendar", Row{"status": "x"}, "d", int64(9)); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("update after done: %v", err)
+	}
+	if err := tx.Delete("calendar", "d", int64(9)); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("delete after done: %v", err)
+	}
+}
+
+func TestTxErrorsPropagate(t *testing.T) {
+	db, cal, _ := twoTableDB(t)
+	if err := cal.Insert(slotRow("d", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert("calendar", slotRow("d", 9, "free")); !errors.Is(err, ErrDupKey) {
+		t.Fatalf("dup insert: %v", err)
+	}
+	if err := tx.Update("nope", Row{"x": "y"}, "k"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("bad table: %v", err)
+	}
+	if err := tx.Delete("calendar", "d", int64(99)); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("missing row: %v", err)
+	}
+	// Failed ops added no undo entries; rollback is a no-op.
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cal.Get("d", int64(9)); !ok {
+		t.Fatal("pre-existing row disturbed")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	db, cal, links := twoTableDB(t)
+	ts := time.Date(2003, 4, 22, 14, 30, 0, 0, time.UTC)
+	r := slotRow("d", 9, "reserved")
+	r["updated"] = ts
+	if err := cal.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := links.Insert(Row{"id": "L1", "kind": "negotiation-or", "prio": int64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.CreateIndex("status"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := NewDB()
+	if err := db2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cal2, err := db2.Table("calendar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cal2.Get("d", int64(9))
+	if !ok {
+		t.Fatal("row lost in round trip")
+	}
+	if got["status"] != "reserved" {
+		t.Fatalf("status = %v", got["status"])
+	}
+	gotTS, ok := got["updated"].(time.Time)
+	if !ok || !gotTS.Equal(ts) {
+		t.Fatalf("updated = %v", got["updated"])
+	}
+	if got["hour"] != int64(9) {
+		t.Fatalf("hour restored as %T %v", got["hour"], got["hour"])
+	}
+	// Index was rebuilt and works.
+	if n := len(cal2.SelectEq("status", "reserved")); n != 1 {
+		t.Fatalf("indexed select = %d", n)
+	}
+	links2, err := db2.Table("links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if links2.Count() != 1 {
+		t.Fatalf("links count = %d", links2.Count())
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	db := NewDB()
+	if err := db.Restore(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage restore succeeded")
+	}
+	if err := db.Restore(bytes.NewReader([]byte(`{"version":99}`))); err == nil {
+		t.Fatal("bad version restore succeeded")
+	}
+}
+
+func TestRestoreIntoNonEmptyDBConflicts(t *testing.T) {
+	db, _, _ := twoTableDB(t)
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Restore(&buf); !errors.Is(err, ErrDupTable) {
+		t.Fatalf("err = %v", err)
+	}
+}

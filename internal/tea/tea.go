@@ -1,0 +1,193 @@
+// Package tea implements the Tiny Encryption Algorithm of Wheeler and
+// Needham (Fast Software Encryption 1994), the cipher the paper's
+// calendar prototype uses to seal user credentials on every request
+// (§5.4, reference [22]).
+//
+// TEA operates on 64-bit blocks under a 128-bit key with 32 rounds
+// (64 Feistel half-rounds). The paper says "a 32-bit key is used";
+// TEA as published has no 32-bit-key variant, so we implement the
+// cited algorithm faithfully (see DESIGN.md substitution table).
+//
+// Beyond the raw block cipher this package provides CBC mode with
+// PKCS#7-style padding so variable-length credential strings can be
+// sealed, matching the prototype's "encrypted user id and password
+// sent as parameters along with every request".
+package tea
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the TEA block size in bytes.
+const BlockSize = 8
+
+// KeySize is the TEA key size in bytes.
+const KeySize = 16
+
+// delta is the TEA key schedule constant, derived from the golden ratio.
+const delta = 0x9e3779b9
+
+// rounds is the number of full TEA rounds.
+const rounds = 32
+
+// Cipher is a TEA block cipher instance for a fixed key.
+type Cipher struct {
+	k [4]uint32
+}
+
+// Errors returned by this package.
+var (
+	ErrKeySize    = errors.New("tea: key must be exactly 16 bytes")
+	ErrBlockSize  = errors.New("tea: input not a multiple of the block size")
+	ErrBadPadding = errors.New("tea: invalid padding")
+	ErrShort      = errors.New("tea: ciphertext too short")
+)
+
+// NewCipher creates a Cipher from a 16-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, ErrKeySize
+	}
+	c := new(Cipher)
+	for i := 0; i < 4; i++ {
+		c.k[i] = binary.BigEndian.Uint32(key[i*4:])
+	}
+	return c, nil
+}
+
+// KeyFromPassphrase derives a 16-byte key from an arbitrary passphrase
+// by repeating/folding it. This mirrors the prototype's pragmatic key
+// handling; it is NOT a modern KDF and is documented as such.
+func KeyFromPassphrase(pass string) []byte {
+	key := make([]byte, KeySize)
+	if len(pass) == 0 {
+		return key
+	}
+	for i, b := range []byte(pass) {
+		key[i%KeySize] ^= b + byte(i)
+	}
+	return key
+}
+
+// EncryptBlock encrypts exactly one 8-byte block src into dst
+// (dst and src may overlap).
+func (c *Cipher) EncryptBlock(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("tea: EncryptBlock on short buffer")
+	}
+	v0 := binary.BigEndian.Uint32(src[0:4])
+	v1 := binary.BigEndian.Uint32(src[4:8])
+	var sum uint32
+	for i := 0; i < rounds; i++ {
+		sum += delta
+		v0 += ((v1 << 4) + c.k[0]) ^ (v1 + sum) ^ ((v1 >> 5) + c.k[1])
+		v1 += ((v0 << 4) + c.k[2]) ^ (v0 + sum) ^ ((v0 >> 5) + c.k[3])
+	}
+	binary.BigEndian.PutUint32(dst[0:4], v0)
+	binary.BigEndian.PutUint32(dst[4:8], v1)
+}
+
+// DecryptBlock decrypts exactly one 8-byte block src into dst.
+func (c *Cipher) DecryptBlock(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("tea: DecryptBlock on short buffer")
+	}
+	v0 := binary.BigEndian.Uint32(src[0:4])
+	v1 := binary.BigEndian.Uint32(src[4:8])
+	var sum uint32
+	for i := 0; i < rounds; i++ { // delta*rounds with uint32 wraparound
+		sum += delta
+	}
+	for i := 0; i < rounds; i++ {
+		v1 -= ((v0 << 4) + c.k[2]) ^ (v0 + sum) ^ ((v0 >> 5) + c.k[3])
+		v0 -= ((v1 << 4) + c.k[0]) ^ (v1 + sum) ^ ((v1 >> 5) + c.k[1])
+		sum -= delta
+	}
+	binary.BigEndian.PutUint32(dst[0:4], v0)
+	binary.BigEndian.PutUint32(dst[4:8], v1)
+}
+
+// pad applies PKCS#7-style padding up to BlockSize.
+func pad(p []byte) []byte {
+	n := BlockSize - len(p)%BlockSize
+	out := make([]byte, len(p)+n)
+	copy(out, p)
+	for i := len(p); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+// unpad strips and validates PKCS#7-style padding.
+func unpad(p []byte) ([]byte, error) {
+	if len(p) == 0 || len(p)%BlockSize != 0 {
+		return nil, ErrBadPadding
+	}
+	n := int(p[len(p)-1])
+	if n == 0 || n > BlockSize || n > len(p) {
+		return nil, ErrBadPadding
+	}
+	for _, b := range p[len(p)-n:] {
+		if int(b) != n {
+			return nil, ErrBadPadding
+		}
+	}
+	return p[:len(p)-n], nil
+}
+
+// Seal encrypts plaintext in CBC mode under a fresh random IV and
+// returns IV||ciphertext.
+func (c *Cipher) Seal(plaintext []byte) ([]byte, error) {
+	iv := make([]byte, BlockSize)
+	if _, err := rand.Read(iv); err != nil {
+		return nil, fmt.Errorf("tea: iv: %w", err)
+	}
+	return c.SealWithIV(iv, plaintext)
+}
+
+// SealWithIV is Seal with a caller-supplied IV (exactly BlockSize
+// bytes); used by tests for determinism.
+func (c *Cipher) SealWithIV(iv, plaintext []byte) ([]byte, error) {
+	if len(iv) != BlockSize {
+		return nil, ErrBlockSize
+	}
+	pt := pad(plaintext)
+	out := make([]byte, BlockSize+len(pt))
+	copy(out, iv)
+	prev := out[:BlockSize]
+	for i := 0; i < len(pt); i += BlockSize {
+		blk := out[BlockSize+i : BlockSize+i+BlockSize]
+		for j := 0; j < BlockSize; j++ {
+			blk[j] = pt[i+j] ^ prev[j]
+		}
+		c.EncryptBlock(blk, blk)
+		prev = blk
+	}
+	return out, nil
+}
+
+// Open decrypts IV||ciphertext produced by Seal and returns the
+// plaintext.
+func (c *Cipher) Open(sealed []byte) ([]byte, error) {
+	if len(sealed) < 2*BlockSize {
+		return nil, ErrShort
+	}
+	ct := sealed[BlockSize:]
+	if len(ct)%BlockSize != 0 {
+		return nil, ErrBlockSize
+	}
+	out := make([]byte, len(ct))
+	prev := sealed[:BlockSize]
+	tmp := make([]byte, BlockSize)
+	for i := 0; i < len(ct); i += BlockSize {
+		c.DecryptBlock(tmp, ct[i:i+BlockSize])
+		for j := 0; j < BlockSize; j++ {
+			out[i+j] = tmp[j] ^ prev[j]
+		}
+		prev = ct[i : i+BlockSize]
+	}
+	return unpad(out)
+}

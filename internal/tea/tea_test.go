@@ -1,0 +1,216 @@
+package tea
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCipher(t testing.TB, key []byte) *Cipher {
+	t.Helper()
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCipherKeySize(t *testing.T) {
+	if _, err := NewCipher(make([]byte, 15)); !errors.Is(err, ErrKeySize) {
+		t.Fatalf("15-byte key: err = %v", err)
+	}
+	if _, err := NewCipher(make([]byte, 17)); !errors.Is(err, ErrKeySize) {
+		t.Fatalf("17-byte key: err = %v", err)
+	}
+	if _, err := NewCipher(make([]byte, 16)); err != nil {
+		t.Fatalf("16-byte key: err = %v", err)
+	}
+}
+
+// TestKnownVector checks the classic TEA all-zeros test vector:
+// key=0, plaintext=0 -> 41ea3a0a 94baa940 (the widely published value).
+func TestKnownVector(t *testing.T) {
+	c := mustCipher(t, make([]byte, 16))
+	src := make([]byte, 8)
+	dst := make([]byte, 8)
+	c.EncryptBlock(dst, src)
+	want, _ := hex.DecodeString("41ea3a0a94baa940")
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("EncryptBlock(0,0) = %x, want %x", dst, want)
+	}
+	back := make([]byte, 8)
+	c.DecryptBlock(back, dst)
+	if !bytes.Equal(back, src) {
+		t.Fatalf("decrypt(encrypt(0)) = %x", back)
+	}
+}
+
+func TestBlockRoundTripProperty(t *testing.T) {
+	f := func(key [16]byte, block [8]byte) bool {
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		enc := make([]byte, 8)
+		c.EncryptBlock(enc, block[:])
+		dec := make([]byte, 8)
+		c.DecryptBlock(dec, enc)
+		return bytes.Equal(dec, block[:])
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncryptionChangesData(t *testing.T) {
+	c := mustCipher(t, KeyFromPassphrase("syd-secret"))
+	src := []byte("ABCDEFGH")
+	dst := make([]byte, 8)
+	c.EncryptBlock(dst, src)
+	if bytes.Equal(dst, src) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	c := mustCipher(t, KeyFromPassphrase("calendar"))
+	for _, msg := range []string{"", "x", "phil:hunter2", "a much longer credential string spanning several TEA blocks"} {
+		sealed, err := c.Seal([]byte(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Open(sealed)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", msg, err)
+		}
+		if string(got) != msg {
+			t.Fatalf("round trip %q -> %q", msg, got)
+		}
+	}
+}
+
+func TestSealRandomizedIV(t *testing.T) {
+	c := mustCipher(t, KeyFromPassphrase("calendar"))
+	a, err := c.Seal([]byte("phil:hunter2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Seal([]byte("phil:hunter2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two Seals of the same plaintext produced identical output (IV reuse)")
+	}
+}
+
+func TestSealWithIVDeterministic(t *testing.T) {
+	c := mustCipher(t, KeyFromPassphrase("calendar"))
+	iv := []byte("12345678")
+	a, err := c.SealWithIV(iv, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.SealWithIV(iv, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("SealWithIV not deterministic")
+	}
+	if _, err := c.SealWithIV([]byte("short"), []byte("p")); !errors.Is(err, ErrBlockSize) {
+		t.Fatalf("short IV: err = %v", err)
+	}
+}
+
+func TestOpenWrongKeyFails(t *testing.T) {
+	c1 := mustCipher(t, KeyFromPassphrase("key-one"))
+	c2 := mustCipher(t, KeyFromPassphrase("key-two"))
+	sealed, err := c1.Seal([]byte("phil:hunter2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Open(sealed)
+	if err == nil && bytes.Equal(got, []byte("phil:hunter2")) {
+		t.Fatal("wrong key decrypted successfully")
+	}
+}
+
+func TestOpenCorruptedInputs(t *testing.T) {
+	c := mustCipher(t, KeyFromPassphrase("calendar"))
+	if _, err := c.Open([]byte("short")); !errors.Is(err, ErrShort) {
+		t.Fatalf("short: err = %v", err)
+	}
+	sealed, err := c.Seal([]byte("phil:hunter2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not a multiple of the block size.
+	if _, err := c.Open(sealed[:len(sealed)-1]); err == nil {
+		t.Fatal("truncated ciphertext opened")
+	}
+}
+
+func TestSealOpenProperty(t *testing.T) {
+	c := mustCipher(t, KeyFromPassphrase("prop"))
+	iv := []byte("abcdefgh")
+	f := func(msg []byte) bool {
+		sealed, err := c.SealWithIV(iv, msg)
+		if err != nil {
+			return false
+		}
+		got, err := c.Open(sealed)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, msg)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyFromPassphrase(t *testing.T) {
+	a := KeyFromPassphrase("alpha")
+	b := KeyFromPassphrase("beta")
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct passphrases produced equal keys")
+	}
+	if len(a) != KeySize {
+		t.Fatalf("key len %d", len(a))
+	}
+	if !bytes.Equal(KeyFromPassphrase("alpha"), a) {
+		t.Fatal("KeyFromPassphrase not deterministic")
+	}
+	if !bytes.Equal(KeyFromPassphrase(""), make([]byte, KeySize)) {
+		t.Fatal("empty passphrase should map to zero key")
+	}
+}
+
+func BenchmarkEncryptBlock(b *testing.B) {
+	c, _ := NewCipher(KeyFromPassphrase("bench"))
+	src := []byte("ABCDEFGH")
+	dst := make([]byte, 8)
+	b.ReportAllocs()
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		c.EncryptBlock(dst, src)
+	}
+}
+
+func BenchmarkSealCredential(b *testing.B) {
+	c, _ := NewCipher(KeyFromPassphrase("bench"))
+	cred := []byte("phil:hunter2")
+	iv := []byte("12345678")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SealWithIV(iv, cred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// TCP is the real-socket Network implementation. A single TCP
+// connection per (client, server-address) pair is multiplexed across
+// concurrent Calls using wire request IDs, mirroring the prototype's
+// "small foot-print" socket layer.
+//
+// The zero value is ready to use. TCP is safe for concurrent use.
+type TCP struct {
+	mu     sync.Mutex
+	conns  map[string]*tcpClientConn
+	closed bool
+}
+
+// NewTCP returns a ready TCP network.
+func NewTCP() *TCP {
+	return &TCP{conns: make(map[string]*tcpClientConn)}
+}
+
+// --- server side ----------------------------------------------------------
+
+type tcpListener struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+}
+
+// Listen implements Network.
+func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	l := &tcpListener{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+
+func (l *tcpListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+func (l *tcpListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go l.serveConn(conn)
+	}
+}
+
+func (l *tcpListener) serveConn(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	for {
+		env, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch env.Kind {
+		case wire.KindRequest:
+			req := env.Request
+			if req == nil {
+				continue
+			}
+			// Each request gets its own goroutine so a slow
+			// handler (e.g. a negotiation holding locks) cannot
+			// stall unrelated traffic on the same connection.
+			go func() {
+				resp := l.handler.HandleRequest(context.Background(), req)
+				if resp == nil {
+					resp = ErrorResponse(req, wire.CodeInternal, "handler returned no response")
+				}
+				resp.ID = req.ID
+				writeMu.Lock()
+				defer writeMu.Unlock()
+				_ = wire.WriteFrame(conn, &wire.Envelope{Kind: wire.KindResponse, Response: resp})
+			}()
+		case wire.KindEvent:
+			if env.Event != nil {
+				ev := env.Event
+				go l.handler.HandleEvent(ev)
+			}
+		}
+	}
+}
+
+// --- client side ----------------------------------------------------------
+
+type tcpClientConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Response
+	dead    bool
+}
+
+func (t *TCP) getConn(addr string) (*tcpClientConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if t.conns == nil {
+		t.conns = make(map[string]*tcpClientConn)
+	}
+	if c, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	c := &tcpClientConn{conn: nc, pending: make(map[uint64]chan *Response)}
+
+	t.mu.Lock()
+	if existing, ok := t.conns[addr]; ok {
+		// Lost the dial race; use the winner.
+		t.mu.Unlock()
+		nc.Close()
+		return existing, nil
+	}
+	t.conns[addr] = c
+	t.mu.Unlock()
+
+	go func() {
+		c.readLoop()
+		t.dropConn(addr, c)
+	}()
+	return c, nil
+}
+
+func (t *TCP) dropConn(addr string, c *tcpClientConn) {
+	t.mu.Lock()
+	if t.conns[addr] == c {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
+}
+
+func (c *tcpClientConn) readLoop() {
+	for {
+		env, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.fail()
+			return
+		}
+		if env.Kind != wire.KindResponse || env.Response == nil {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.Response.ID]
+		if ok {
+			delete(c.pending, env.Response.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env.Response
+		}
+	}
+}
+
+func (c *tcpClientConn) fail() {
+	c.mu.Lock()
+	c.dead = true
+	pend := c.pending
+	c.pending = make(map[uint64]chan *Response)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+func (c *tcpClientConn) call(ctx context.Context, req *Request) (*Response, error) {
+	ch := make(chan *Response, 1)
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return nil, ErrUnreachable
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	r := *req
+	r.ID = id
+	c.writeMu.Lock()
+	err := wire.WriteFrame(c.conn, &wire.Envelope{Kind: wire.KindRequest, Request: &r})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.fail()
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrUnreachable
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Call implements Network.
+func (t *TCP) Call(ctx context.Context, addr string, req *Request) (*Response, error) {
+	c, err := t.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.call(ctx, req)
+	if errors.Is(err, ErrUnreachable) {
+		// One reconnect attempt: the cached connection may have
+		// died while idle (server restart, device reconnect).
+		t.dropConn(addr, c)
+		c, err2 := t.getConn(addr)
+		if err2 != nil {
+			return nil, err2
+		}
+		return c.call(ctx, req)
+	}
+	return resp, err
+}
+
+// Send implements Network.
+func (t *TCP) Send(ctx context.Context, addr string, ev *Event) error {
+	c, err := t.getConn(addr)
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return wire.WriteFrame(c.conn, &wire.Envelope{Kind: wire.KindEvent, Event: ev})
+}
+
+// Close tears down all client connections. Listeners are closed
+// individually by their owners.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	conns := t.conns
+	t.conns = map[string]*tcpClientConn{}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.fail()
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Package transport defines the Network abstraction the SyD kernel
+// rides on and provides the real TCP implementation.
+//
+// The paper's layering (Fig. 2) puts SyD above a "primitive
+// distribution middleware" — their prototype used raw TCP sockets. We
+// capture that layer as the Network interface so the identical kernel
+// runs over real TCP (cmd/ binaries) and over the in-memory simulated
+// network in internal/sim (tests, benchmarks, mobility experiments).
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Errors common to Network implementations.
+var (
+	ErrClosed      = errors.New("transport: closed")
+	ErrUnreachable = errors.New("transport: address unreachable")
+)
+
+// Handler is the server-side dispatch surface. HandleRequest must be
+// safe for concurrent calls; HandleEvent is one-way (no reply).
+type Handler interface {
+	HandleRequest(ctx context.Context, req *Request) *Response
+	HandleEvent(ev *Event)
+}
+
+// Request, Response, and Event re-export the wire types so most
+// packages only import transport.
+type (
+	// Request is an RPC request (see wire.Request).
+	Request = wire.Request
+	// Response is an RPC response (see wire.Response).
+	Response = wire.Response
+	// Event is a one-way notification (see wire.Event).
+	Event = wire.Event
+)
+
+// Listener is a bound server endpoint.
+type Listener interface {
+	// Addr is the address peers dial to reach this listener.
+	Addr() string
+	// Close stops accepting and tears down live connections.
+	Close() error
+}
+
+// Network is the primitive distribution middleware interface.
+type Network interface {
+	// Listen binds addr and serves inbound traffic through h.
+	// For TCP an addr like "127.0.0.1:0" picks a free port; the
+	// Listener reports the bound address.
+	Listen(addr string, h Handler) (Listener, error)
+	// Call performs a request/response exchange with addr.
+	Call(ctx context.Context, addr string, req *Request) (*Response, error)
+	// Send delivers a one-way event to addr (best effort).
+	Send(ctx context.Context, addr string, ev *Event) error
+}
+
+// HandlerFunc adapts a request function into a Handler that drops
+// events.
+type HandlerFunc func(ctx context.Context, req *Request) *Response
+
+// HandleRequest implements Handler.
+func (f HandlerFunc) HandleRequest(ctx context.Context, req *Request) *Response {
+	return f(ctx, req)
+}
+
+// HandleEvent implements Handler by ignoring the event.
+func (HandlerFunc) HandleEvent(*Event) {}
+
+// ErrorResponse builds a failed Response for req.
+func ErrorResponse(req *Request, code wire.ErrCode, format string, args ...any) *Response {
+	return &Response{ID: req.ID, OK: false, Code: code, Error: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,287 @@
+// Package wire defines the SyD wire protocol: the frame format and the
+// request/response/event message types exchanged between SyD kernel
+// modules over any transport.
+//
+// The paper's prototype used "TCP Sockets for small foot-print and
+// maximum flexibility" (§3.1). We keep the same spirit: a frame is a
+// 4-byte big-endian length followed by a JSON-encoded message. JSON is
+// the only stdlib codec that is self-describing enough for the
+// heterogeneous argument maps SyD services exchange.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame to keep a malicious or corrupted
+// peer from forcing unbounded allocation. 16 MiB is far beyond any SyD
+// message.
+const MaxFrameSize = 16 << 20
+
+// Frame errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
+	ErrShortFrame    = errors.New("wire: short frame")
+)
+
+// Kind discriminates top-level messages.
+type Kind string
+
+// Message kinds.
+const (
+	KindRequest  Kind = "request"
+	KindResponse Kind = "response"
+	KindEvent    Kind = "event"
+)
+
+// Args is the argument map carried by a request or event. Values are
+// anything JSON can represent; typed helpers live on Args.
+type Args map[string]any
+
+// Envelope is the single top-level frame payload. Exactly one of
+// Request, Response, or Event is set, according to Kind.
+type Envelope struct {
+	Kind     Kind      `json:"kind"`
+	Request  *Request  `json:"request,omitempty"`
+	Response *Response `json:"response,omitempty"`
+	Event    *Event    `json:"event,omitempty"`
+}
+
+// Request is a remote method invocation on a published SyD service.
+type Request struct {
+	// ID correlates the response on a multiplexed connection.
+	ID uint64 `json:"id"`
+	// Service is the published SyD object name (e.g. "cal.phil").
+	Service string `json:"service"`
+	// Method is the method name registered with the listener.
+	Method string `json:"method"`
+	// Args carries the named arguments.
+	Args Args `json:"args,omitempty"`
+	// Caller identifies the invoking SyD user (may be empty for
+	// anonymous infrastructure calls such as directory lookups).
+	Caller string `json:"caller,omitempty"`
+	// Credential is the TEA-sealed userid:password blob (§5.4),
+	// hex-encoded. Empty when the target service does not require
+	// authentication.
+	Credential string `json:"credential,omitempty"`
+}
+
+// Response answers a Request.
+type Response struct {
+	ID     uint64          `json:"id"`
+	OK     bool            `json:"ok"`
+	Error  string          `json:"error,omitempty"`
+	Code   ErrCode         `json:"code,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Event is a one-way notification used by the SyDEventHandler for
+// global events (no response expected).
+type Event struct {
+	Name   string `json:"name"`
+	Source string `json:"source,omitempty"`
+	Args   Args   `json:"args,omitempty"`
+}
+
+// ErrCode classifies remote failures so callers can make retry /
+// failover decisions without string matching.
+type ErrCode string
+
+// Error codes.
+const (
+	CodeOK          ErrCode = ""
+	CodeNoService   ErrCode = "no-service"  // unknown service name
+	CodeNoMethod    ErrCode = "no-method"   // unknown method on service
+	CodeBadArgs     ErrCode = "bad-args"    // argument decode/validation failed
+	CodeAuth        ErrCode = "auth"        // authentication rejected
+	CodeConflict    ErrCode = "conflict"    // negotiation/lock conflict
+	CodeUnavailable ErrCode = "unavailable" // device down / unreachable
+	CodeInternal    ErrCode = "internal"    // handler error
+)
+
+// RemoteError is the error type surfaced to engine callers for a
+// non-OK Response.
+type RemoteError struct {
+	Code    ErrCode
+	Service string
+	Method  string
+	Msg     string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("syd: remote %s.%s: %s (%s)", e.Service, e.Method, e.Msg, e.Code)
+}
+
+// Is allows errors.Is matching on code-only sentinel values.
+func (e *RemoteError) Is(target error) bool {
+	t, ok := target.(*RemoteError)
+	if !ok {
+		return false
+	}
+	return t.Code == e.Code && (t.Service == "" || t.Service == e.Service)
+}
+
+// CodeOf extracts the ErrCode from err if it wraps a RemoteError, and
+// CodeInternal otherwise (nil maps to CodeOK).
+func CodeOf(err error) ErrCode {
+	if err == nil {
+		return CodeOK
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Code
+	}
+	return CodeInternal
+}
+
+// WriteFrame encodes env as JSON and writes a length-prefixed frame.
+func WriteFrame(w io.Writer, env *Envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame and decodes it.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrShortFrame
+		}
+		return nil, err
+	}
+	env := new(Envelope)
+	if err := json.Unmarshal(body, env); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return env, nil
+}
+
+// Marshal encodes v into a json.RawMessage for a Response result.
+func Marshal(v any) (json.RawMessage, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal result: %w", err)
+	}
+	return b, nil
+}
+
+// Unmarshal decodes a Response result into v.
+func Unmarshal(raw json.RawMessage, v any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// Clone returns a shallow copy of the args map (nil stays usable as an
+// empty map).
+func (a Args) Clone() Args {
+	out := make(Args, len(a)+4)
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// --- typed Args accessors -------------------------------------------------
+
+// String returns the string at key, or "" if absent or not a string.
+func (a Args) String(key string) string {
+	s, _ := a[key].(string)
+	return s
+}
+
+// Int returns the integer at key. JSON numbers decode as float64, so
+// both float64 and int are accepted.
+func (a Args) Int(key string) int {
+	switch v := a[key].(type) {
+	case float64:
+		return int(v)
+	case int:
+		return v
+	case int64:
+		return int(v)
+	case json.Number:
+		n, _ := v.Int64()
+		return int(n)
+	}
+	return 0
+}
+
+// Int64 is Int for 64-bit values.
+func (a Args) Int64(key string) int64 {
+	switch v := a[key].(type) {
+	case float64:
+		return int64(v)
+	case int:
+		return int64(v)
+	case int64:
+		return v
+	case json.Number:
+		n, _ := v.Int64()
+		return n
+	}
+	return 0
+}
+
+// Bool returns the bool at key, or false.
+func (a Args) Bool(key string) bool {
+	b, _ := a[key].(bool)
+	return b
+}
+
+// Strings returns the []string at key; JSON arrays decode as []any.
+func (a Args) Strings(key string) []string {
+	switch v := a[key].(type) {
+	case []string:
+		return v
+	case []any:
+		out := make([]string, 0, len(v))
+		for _, e := range v {
+			if s, ok := e.(string); ok {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// Decode re-marshals the value at key into dst — used for structured
+// arguments (e.g. a slot descriptor) carried inside Args.
+func (a Args) Decode(key string, dst any) error {
+	v, ok := a[key]
+	if !ok {
+		return fmt.Errorf("wire: missing arg %q", key)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, dst)
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+func TestUsers(t *testing.T) {
+	got := Users(3)
+	want := []string{"u00", "u01", "u02"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Users = %v", got)
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	w := DefaultWindow()
+	if w.FromDay() != "2003-04-21" || w.ToDay() != "2003-04-25" {
+		t.Fatalf("window = %s..%s", w.FromDay(), w.ToDay())
+	}
+	slots := w.Slots()
+	if len(slots) != w.Days*len(w.Hours) {
+		t.Fatalf("slots = %d", len(slots))
+	}
+	if slots[0].Day != "2003-04-21" || slots[len(slots)-1].Day != "2003-04-25" {
+		t.Fatalf("slot days wrong: %v .. %v", slots[0], slots[len(slots)-1])
+	}
+	bs := w.BaselineSlots()
+	if len(bs) != len(slots) || bs[0] != (baseline.Slot{Day: "2003-04-21", Hour: w.Hours[0]}) {
+		t.Fatalf("baseline slots = %v...", bs[0])
+	}
+}
+
+func TestBusyPlanReproducible(t *testing.T) {
+	users := Users(5)
+	w := DefaultWindow()
+	a := MakeBusyPlan(users, w, 0.3, 42)
+	b := MakeBusyPlan(users, w, 0.3, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed diverged")
+	}
+	c := MakeBusyPlan(users, w, 0.3, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds agree (suspicious)")
+	}
+	// Density is roughly honored.
+	total, busy := 0, 0
+	for _, u := range users {
+		total += len(w.Slots())
+		busy += len(a[u])
+	}
+	frac := float64(busy) / float64(total)
+	if frac < 0.15 || frac > 0.45 {
+		t.Fatalf("density = %f", frac)
+	}
+}
+
+func TestMeetingPlansShape(t *testing.T) {
+	users := Users(6)
+	plans := MakeMeetingPlans(users, 10, 3, 7)
+	if len(plans) != 10 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	for _, p := range plans {
+		if len(p.Participants) != 3 {
+			t.Fatalf("fanout = %d", len(p.Participants))
+		}
+		for _, q := range p.Participants {
+			if q == p.Initiator {
+				t.Fatal("initiator among participants")
+			}
+		}
+	}
+	// Fanout is clamped to the population size.
+	small := MakeMeetingPlans(Users(3), 2, 10, 7)
+	for _, p := range small {
+		if len(p.Participants) != 2 {
+			t.Fatalf("clamped fanout = %d", len(p.Participants))
+		}
+	}
+	// Reproducible.
+	again := MakeMeetingPlans(users, 10, 3, 7)
+	if !reflect.DeepEqual(plans, again) {
+		t.Fatal("same seed diverged")
+	}
+}
