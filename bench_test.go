@@ -16,9 +16,11 @@ import (
 	"time"
 
 	"repro/internal/calendar"
+	"repro/internal/directory"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/links"
+	"repro/internal/listener"
 	"repro/internal/sim"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -171,4 +173,53 @@ func BenchmarkMicro_MeetingLifecycle(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDirectoryCache contrasts the Invoke hot path with and
+// without the client-side route cache: "uncached" pays a directory
+// lookup per call, "cached" resolves once and then serves the route
+// from memory (zero directory traffic on the warm path).
+func BenchmarkDirectoryCache(b *testing.B) {
+	setup := func(b *testing.B, opts ...engine.Option) *engine.Engine {
+		b.Helper()
+		net := sim.New(sim.Config{})
+		srv := directory.NewServer(directory.WithTTL(time.Hour))
+		dln, err := net.Listen("dir", srv.Handler())
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir := directory.NewClient(net, dln.Addr())
+		l := listener.New("phil", nil)
+		obj := listener.NewObject()
+		obj.Handle("Ping", func(ctx context.Context, call *listener.Call) (any, error) { return "pong", nil })
+		l.Register("cal.phil", obj)
+		nln, err := net.Listen("node-phil", l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := dir.RegisterUser(ctx, "phil", nln.Addr(), 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.PublishGlobal(ctx, dir, "cal.phil", nln.Addr()); err != nil {
+			b.Fatal(err)
+		}
+		return engine.New(net, dir, "andy", opts...)
+	}
+	run := func(b *testing.B, eng *engine.Engine) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Invoke(ctx, "cal.phil", "Ping", nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		run(b, setup(b))
+	})
+	b.Run("cached", func(b *testing.B) {
+		run(b, setup(b, engine.WithDirCache(engine.NewDirCache(time.Hour))))
+	})
 }

@@ -5,6 +5,7 @@
 //	sydbench -run F4    # run one experiment
 //	sydbench -run E     # run every experiment whose id has the prefix
 //	sydbench -list      # list experiment ids and titles
+//	sydbench -metrics   # also print the per-method RPC metrics snapshot
 package main
 
 import (
@@ -14,11 +15,13 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
 	runFilter := flag.String("run", "", "experiment id or id prefix to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	showMetrics := flag.Bool("metrics", false, "print the per-service/method metrics snapshot after the runs")
 	flag.Parse()
 
 	reg, ids := experiments.All()
@@ -48,6 +51,10 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches -run %q (use -list)\n", *runFilter)
 		os.Exit(2)
+	}
+	if *showMetrics {
+		fmt.Println("== RPC metrics (per service/method/code) ==")
+		fmt.Print(metrics.Default().Snapshot().Render())
 	}
 	if failed > 0 {
 		os.Exit(1)

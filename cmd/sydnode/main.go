@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/calendar"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/notify"
 	"repro/internal/transport"
 )
@@ -28,11 +29,20 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "address to bind")
 	priority := flag.Int("priority", 0, "user priority (§6)")
 	statePath := flag.String("state", "", "optional path to persist the device database across restarts")
+	introspect := flag.Bool("introspect", true, "publish the sys.<user> introspection service (Services/Methods/Metrics)")
+	routeCacheTTL := flag.Duration("route-cache", 2*time.Second, "engine directory route cache TTL (0 disables)")
 	flag.Parse()
 	if *user == "" {
 		log.Fatal("sydnode: -user is required")
 	}
 
+	opts := []core.Option{
+		core.WithMetrics(metrics.Default()),
+		core.WithRouteCache(*routeCacheTTL),
+	}
+	if *introspect {
+		opts = append(opts, core.WithIntrospection())
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	node, err := core.Start(ctx, core.Config{
 		User:           *user,
@@ -43,7 +53,7 @@ func main() {
 		HeartbeatEvery: 5 * time.Second,
 		ExpireEvery:    30 * time.Second,
 		DirCacheTTL:    2 * time.Second,
-	})
+	}, opts...)
 	cancel()
 	if err != nil {
 		log.Fatalf("sydnode: %v", err)

@@ -1,6 +1,8 @@
 // Quickstart: boot a complete SyD deployment in-process (directory +
 // three calendar devices on the simulated network), schedule a meeting
-// through coordination links, and print the result.
+// through coordination links, and print the result — including the
+// per-method RPC metrics the interceptor pipeline collected along the
+// way.
 //
 //	go run ./examples/quickstart
 package main
@@ -15,6 +17,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/directory"
+	"repro/internal/metrics"
 	"repro/internal/notify"
 	"repro/internal/sim"
 )
@@ -31,10 +34,14 @@ func main() {
 	}
 
 	// 2. Three devices, each with its own kernel node + calendar.
+	// Each node's interceptor chains record metrics and cache
+	// directory routes (warm invocations skip the name server).
+	reg := metrics.NewRegistry()
 	mail := notify.NewMailbox()
 	cals := map[string]*calendar.Calendar{}
 	for _, user := range []string{"phil", "andy", "suzy"} {
-		node, err := core.Start(ctx, core.Config{User: user, Net: net, DirAddr: "dir", Clock: clk})
+		node, err := core.Start(ctx, core.Config{User: user, Net: net, DirAddr: "dir", Clock: clk},
+			core.WithMetrics(reg), core.WithRouteCache(30*time.Second))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,4 +77,8 @@ func main() {
 		_, hasLink := c.Links().GetLink(m.LinkID)
 		fmt.Printf("  %-5s slot=%s link=%v inbox=%d\n", user, info.Meeting, hasLink, mail.Count(user))
 	}
+
+	// 6. What the middleware measured while all of that happened.
+	fmt.Println("\nper-method RPC metrics:")
+	fmt.Print(reg.Snapshot().Render())
 }

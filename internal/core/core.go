@@ -21,6 +21,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/links"
 	"repro/internal/listener"
+	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/transport"
 )
@@ -50,6 +51,50 @@ type Config struct {
 	ExpireEvery time.Duration
 	// DirCacheTTL enables directory lookup caching when > 0.
 	DirCacheTTL time.Duration
+	// RouteCacheTTL, when > 0, installs the engine's directory route
+	// cache so warm invocations skip directory resolution entirely.
+	RouteCacheTTL time.Duration
+	// Metrics, when set, records per-method client and server metrics
+	// through the interceptor/middleware chains.
+	Metrics *metrics.Registry
+	// Interceptors are appended to the engine's client chain,
+	// outermost first.
+	Interceptors []engine.Interceptor
+	// Middleware is appended to the listener's server chain,
+	// outermost first.
+	Middleware []listener.Middleware
+	// PublishIntrospection publishes the sys.<user> introspection
+	// service (Services/Methods/Metrics) in the directory.
+	PublishIntrospection bool
+}
+
+// Option mutates a Config before the node boots — the functional-
+// option surface for wiring the interceptor and middleware chains.
+type Option func(*Config)
+
+// WithMetrics records client and server metrics into reg.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *Config) { c.Metrics = reg }
+}
+
+// WithRouteCache enables the engine's directory route cache with ttl.
+func WithRouteCache(ttl time.Duration) Option {
+	return func(c *Config) { c.RouteCacheTTL = ttl }
+}
+
+// WithInterceptors appends client interceptors to the engine chain.
+func WithInterceptors(ics ...engine.Interceptor) Option {
+	return func(c *Config) { c.Interceptors = append(c.Interceptors, ics...) }
+}
+
+// WithMiddleware appends server middleware to the listener chain.
+func WithMiddleware(mw ...listener.Middleware) Option {
+	return func(c *Config) { c.Middleware = append(c.Middleware, mw...) }
+}
+
+// WithIntrospection publishes the sys.<user> introspection service.
+func WithIntrospection() Option {
+	return func(c *Config) { c.PublishIntrospection = true }
 }
 
 // Node is a running SyD device node.
@@ -70,8 +115,12 @@ type Node struct {
 
 // Start boots a node: creates its database and kernel modules, binds
 // the listener, registers the user with the directory, and publishes
-// the kernel services.
-func Start(ctx context.Context, cfg Config) (*Node, error) {
+// the kernel services. opts are applied to cfg first, so callers can
+// mix a literal Config with functional options for the chains.
+func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if cfg.User == "" {
 		return nil, fmt.Errorf("core: Config.User is required")
 	}
@@ -84,7 +133,15 @@ func Start(ctx context.Context, cfg Config) (*Node, error) {
 	}
 
 	db := store.NewDB()
-	lis := listener.New(cfg.User, cfg.Auth)
+	// Server chain: metrics outermost (it should observe auth
+	// rejections and user-middleware effects), then user middleware,
+	// then the listener's stock AuthMiddleware.
+	var mw []listener.Middleware
+	if cfg.Metrics != nil {
+		mw = append(mw, listener.MetricsMiddleware(cfg.Metrics))
+	}
+	mw = append(mw, cfg.Middleware...)
+	lis := listener.New(cfg.User, cfg.Auth, listener.WithMiddleware(mw...))
 	addr := cfg.ListenAddr
 	if addr == "" {
 		addr = "node-" + cfg.User
@@ -104,7 +161,20 @@ func Start(ctx context.Context, cfg Config) (*Node, error) {
 		dirOpts = append(dirOpts, directory.WithCacheTTL(cfg.DirCacheTTL))
 	}
 	dir := directory.NewClient(cfg.Net, cfg.DirAddr, dirOpts...)
-	eng := engine.New(cfg.Net, dir, cfg.User)
+	// Client chain mirrors the server: metrics outermost, then user
+	// interceptors, then the engine's stock credential/cache/resolver
+	// stages.
+	var engOpts []engine.Option
+	if cfg.Metrics != nil {
+		engOpts = append(engOpts, engine.WithInterceptors(engine.MetricsInterceptor(cfg.Metrics)))
+	}
+	if len(cfg.Interceptors) > 0 {
+		engOpts = append(engOpts, engine.WithInterceptors(cfg.Interceptors...))
+	}
+	if cfg.RouteCacheTTL > 0 {
+		engOpts = append(engOpts, engine.WithDirCache(engine.NewDirCache(cfg.RouteCacheTTL)))
+	}
+	eng := engine.New(cfg.Net, dir, cfg.User, engOpts...)
 	events := event.New(cfg.User, cfg.Net, clk)
 	lis.SetEventSink(events.Dispatch)
 
@@ -140,6 +210,12 @@ func Start(ctx context.Context, cfg Config) (*Node, error) {
 		ln.Close()
 		return nil, err
 	}
+	if cfg.PublishIntrospection {
+		if err := n.RegisterService(ctx, IntrospectionService(cfg.User), listener.Introspection(lis, cfg.Metrics)); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 
 	if cfg.HeartbeatEvery > 0 {
 		events.Every(cfg.HeartbeatEvery, func(time.Time) {
@@ -158,6 +234,9 @@ func Start(ctx context.Context, cfg Config) (*Node, error) {
 	}
 	return n, nil
 }
+
+// IntrospectionService names the sys.<user> introspection service.
+func IntrospectionService(user string) string { return "sys." + user }
 
 // Addr returns the node's bound network address.
 func (n *Node) Addr() string { return n.ln.Addr() }

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/directory"
+)
+
+// DirCache is the client-side directory route cache. Installed as an
+// interceptor it pre-fills Call.Route from memory on the warm path,
+// so a hot invocation loop makes zero directory calls — the directory
+// server stops being a per-call bottleneck. Entries expire after a
+// TTL and are invalidated eagerly whenever an attempt ends
+// unreachable or the resolver failed over to the proxy, so a moved or
+// crashed device is re-resolved on the next call.
+//
+// A DirCache is independent of the directory.Client's own lookup
+// cache: the client cache saves wire round-trips inside the directory
+// stub, while DirCache short-circuits the whole resolution stage of
+// the interceptor chain.
+type DirCache struct {
+	ttl   time.Duration
+	nowFn func() time.Time
+
+	mu      sync.RWMutex
+	entries map[string]dirCacheEntry
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+}
+
+type dirCacheEntry struct {
+	info    directory.ServiceInfo
+	expires time.Time
+}
+
+// DirCacheOption configures a DirCache.
+type DirCacheOption func(*DirCache)
+
+// WithDirCacheNow overrides the cache's time source (tests drive TTL
+// expiry deterministically).
+func WithDirCacheNow(now func() time.Time) DirCacheOption {
+	return func(c *DirCache) { c.nowFn = now }
+}
+
+// NewDirCache creates a route cache whose entries live for ttl.
+func NewDirCache(ttl time.Duration, opts ...DirCacheOption) *DirCache {
+	c := &DirCache{
+		ttl:     ttl,
+		nowFn:   time.Now,
+		entries: make(map[string]dirCacheEntry),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// lookup returns the unexpired cached route for name.
+func (c *DirCache) lookup(name string) (directory.ServiceInfo, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[name]
+	c.mu.RUnlock()
+	if !ok || !c.nowFn().Before(e.expires) {
+		return directory.ServiceInfo{}, false
+	}
+	return e.info, true
+}
+
+// store caches a freshly resolved route for name.
+func (c *DirCache) store(name string, info directory.ServiceInfo) {
+	c.mu.Lock()
+	c.entries[name] = dirCacheEntry{info: info, expires: c.nowFn().Add(c.ttl)}
+	c.mu.Unlock()
+}
+
+// Invalidate drops the cached route for name.
+func (c *DirCache) Invalidate(name string) {
+	c.mu.Lock()
+	_, had := c.entries[name]
+	delete(c.entries, name)
+	c.mu.Unlock()
+	if had {
+		c.invalidations.Add(1)
+	}
+}
+
+// Flush drops every cached route.
+func (c *DirCache) Flush() {
+	c.mu.Lock()
+	c.entries = make(map[string]dirCacheEntry)
+	c.mu.Unlock()
+}
+
+// DirCacheStats is a snapshot of cache effectiveness counters.
+type DirCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Size          int
+}
+
+// Stats returns the cache's counters and current entry count.
+func (c *DirCache) Stats() DirCacheStats {
+	c.mu.RLock()
+	size := len(c.entries)
+	c.mu.RUnlock()
+	return DirCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Size:          size,
+	}
+}
+
+// Interceptor returns the cache's chain stage. It sits directly above
+// the resolver: on a hit it pre-fills Call.Route (the resolver then
+// skips its directory lookup); on a miss it lets the resolver do the
+// lookup and caches the result once the attempt succeeds. Unreachable
+// errors and proxy failover invalidate the entry.
+func (c *DirCache) Interceptor() Interceptor {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call, out any) error {
+			if call.Addr != "" || call.Route != nil {
+				return next(ctx, call, out) // nothing to resolve or already resolved
+			}
+			info, hit := c.lookup(call.Service)
+			if hit {
+				c.hits.Add(1)
+				call.Route = &info
+			} else {
+				c.misses.Add(1)
+			}
+			err := next(ctx, call, out)
+			switch {
+			case call.FailedOver || (err != nil && isUnavailable(err)):
+				c.Invalidate(call.Service)
+			case err == nil && !hit && call.Route != nil:
+				c.store(call.Service, *call.Route)
+			}
+			return err
+		}
+	}
+}

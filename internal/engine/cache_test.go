@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/listener"
+	"repro/internal/wire"
+)
+
+// cachedEngine builds an engine with a route cache driven by a
+// controllable clock (now holds nanoseconds since the epoch).
+func cachedEngine(w *testWorld, self string, ttl time.Duration, now *atomic.Int64) (*Engine, *DirCache) {
+	cache := NewDirCache(ttl, WithDirCacheNow(func() time.Time {
+		return time.Unix(0, now.Load())
+	}))
+	return New(w.net, w.dir, self, WithDirCache(cache)), cache
+}
+
+func TestDirCacheWarmPathSkipsDirectory(t *testing.T) {
+	w := newWorld(t)
+	w.addNode("phil")
+	var now atomic.Int64
+	e, cache := cachedEngine(w, "andy", time.Minute, &now)
+	ctx := context.Background()
+
+	// Cold call: one directory lookup + one invocation.
+	w.net.ResetStats()
+	if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.net.Stats().Requests; got != 2 {
+		t.Fatalf("cold call made %d requests, want 2 (lookup + invoke)", got)
+	}
+
+	// Warm calls: zero directory traffic, exactly one request each.
+	w.net.ResetStats()
+	const warm = 10
+	for i := 0; i < warm; i++ {
+		if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.net.Stats().Requests; got != warm {
+		t.Fatalf("warm calls made %d requests, want %d (no directory lookups)", got, warm)
+	}
+	st := cache.Stats()
+	if st.Hits != warm || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want %d hits / 1 miss", st, warm)
+	}
+}
+
+func TestDirCacheTTLExpiry(t *testing.T) {
+	w := newWorld(t)
+	w.addNode("phil")
+	var now atomic.Int64
+	e, cache := cachedEngine(w, "andy", time.Minute, &now)
+	ctx := context.Background()
+
+	if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Within the TTL: served from cache.
+	now.Store(int64(30 * time.Second))
+	w.net.ResetStats()
+	if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.net.Stats().Requests; got != 1 {
+		t.Fatalf("within TTL made %d requests, want 1", got)
+	}
+	// Past the TTL: the entry expired, the next call re-resolves.
+	now.Store(int64(2 * time.Minute))
+	w.net.ResetStats()
+	if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.net.Stats().Requests; got != 2 {
+		t.Fatalf("past TTL made %d requests, want 2 (fresh lookup)", got)
+	}
+	if st := cache.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (cold + expired)", st.Misses)
+	}
+}
+
+func TestDirCacheInvalidatedOnUnreachable(t *testing.T) {
+	w := newWorld(t)
+	w.addNode("phil")
+	var now atomic.Int64
+	e, cache := cachedEngine(w, "andy", time.Hour, &now)
+	ctx := context.Background()
+
+	if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().Size != 1 {
+		t.Fatalf("route not cached: %+v", cache.Stats())
+	}
+
+	// Device vanishes: the failed call must drop the stale route.
+	w.net.SetDown("node-phil", true)
+	if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil); wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	st := cache.Stats()
+	if st.Size != 0 || st.Invalidations != 1 {
+		t.Fatalf("stale route survived unreachable: %+v", st)
+	}
+
+	// Device returns: the next call re-resolves and succeeds.
+	w.net.SetDown("node-phil", false)
+	if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirCacheBypassOnProxyFailover(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+
+	// A proxy answering for phil's calendar (registered first so phil
+	// adopts it).
+	proxyL := listener.New("proxy-1", nil)
+	proxyObj := listener.NewObject()
+	proxyObj.Handle("WhoAmI", func(ctx context.Context, call *listener.Call) (any, error) {
+		return map[string]string{"owner": "proxy-for-phil"}, nil
+	})
+	proxyL.Register("cal.phil", proxyObj)
+	proxyLn, err := w.net.Listen("proxy-1", proxyL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.dir.RegisterProxy(ctx, "p1", proxyLn.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	w.addNode("phil")
+
+	var now atomic.Int64
+	e, cache := cachedEngine(w, "andy", time.Hour, &now)
+
+	// Cache the healthy route.
+	var out map[string]string
+	if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["owner"] != "phil" {
+		t.Fatalf("expected direct answer, got %v", out)
+	}
+
+	// Device dies; the cached (now stale) route is tried, the resolver
+	// fails over to the proxy, and the cache drops the entry so the
+	// next call does not trust the dead address again.
+	w.net.SetDown("node-phil", true)
+	out = nil
+	if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["owner"] != "proxy-for-phil" {
+		t.Fatalf("expected proxy answer, got %v", out)
+	}
+	if st := cache.Stats(); st.Size != 0 || st.Invalidations == 0 {
+		t.Fatalf("failover left the stale route cached: %+v", st)
+	}
+}
+
+func TestDirCacheConcurrentInvokeAndInvalidate(t *testing.T) {
+	// Race-detector stress: concurrent Invokes against concurrent
+	// invalidation, TTL churn, and device flapping. Every call must
+	// either succeed or fail unavailable, with no data races.
+	w := newWorld(t)
+	w.addNode("phil")
+	var now atomic.Int64
+	e, cache := cachedEngine(w, "andy", time.Hour, &now)
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var flapper sync.WaitGroup
+	flapper.Add(1)
+	go func() {
+		defer flapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cache.Invalidate("cal.phil")
+			w.net.SetDown("node-phil", i%2 == 0)
+			now.Add(int64(time.Second))
+		}
+	}()
+
+	const goroutines = 8
+	const iters = 50
+	var unexpected atomic.Int64
+	var invokers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		invokers.Add(1)
+		go func() {
+			defer invokers.Done()
+			for i := 0; i < iters; i++ {
+				err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil)
+				if err != nil && wire.CodeOf(err) != wire.CodeUnavailable {
+					unexpected.Add(1)
+				}
+			}
+		}()
+	}
+	invokers.Wait()
+	close(stop)
+	flapper.Wait()
+	if n := unexpected.Load(); n != 0 {
+		t.Fatalf("%d calls failed with non-unavailable errors", n)
+	}
+	// Leave the device up: a final call must succeed end-to-end.
+	w.net.SetDown("node-phil", false)
+	if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}

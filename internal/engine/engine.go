@@ -2,10 +2,15 @@
 // "execute single or group services remotely via SyDListener and
 // aggregate results".
 //
-// The engine resolves service names through SyDDirectory, seals the
-// caller's credential onto each request (§5.4), fails over to the
-// owner's proxy when the device is down (§5.2), and fans group
-// invocations out concurrently with result aggregation.
+// Every invocation flows through a composable interceptor chain
+// (client-side middleware). The stock stages re-express what used to
+// be inline logic: CredentialInterceptor seals the caller's identity
+// onto each request (§5.4), the resolver stage looks services up
+// through SyDDirectory and fails over to the owner's proxy when the
+// device is down (§5.2), DirCache short-circuits resolution on the
+// warm path, RetryInterceptor adds QoS retries, and
+// MetricsInterceptor measures every attempt. Applications can push
+// their own interceptors in front of the stock chain.
 package engine
 
 import (
@@ -13,7 +18,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/auth"
 	"repro/internal/directory"
@@ -21,19 +29,150 @@ import (
 	"repro/internal/wire"
 )
 
+// DefaultGroupLimit bounds GroupInvoke fan-out concurrency when no
+// explicit limit is configured.
+const DefaultGroupLimit = 32
+
 // Engine is a node's invocation client. Safe for concurrent use.
 type Engine struct {
-	net  transport.Network
-	dir  *directory.Client
-	self string
+	net        transport.Network
+	dir        *directory.Client
+	self       string
+	groupLimit int
+	dirCache   *DirCache
+	reqSeq     atomic.Uint64
 
 	mu         sync.RWMutex
 	credential string // sealed, sent with every request
+
+	chainMu sync.RWMutex
+	extra   []Interceptor // user interceptors, outermost first
+	invoke  Invoker       // composed chain, ending at the transport
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithInterceptors appends client interceptors to the engine's chain,
+// outermost first, ahead of the stock credential/cache/resolver
+// stages.
+func WithInterceptors(ics ...Interceptor) Option {
+	return func(e *Engine) { e.extra = append(e.extra, ics...) }
+}
+
+// WithDirCache installs cache as the engine's directory route cache.
+func WithDirCache(cache *DirCache) Option {
+	return func(e *Engine) { e.dirCache = cache }
+}
+
+// WithGroupLimit bounds GroupInvoke's fan-out concurrency (n <= 0
+// keeps DefaultGroupLimit).
+func WithGroupLimit(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.groupLimit = n
+		}
+	}
 }
 
 // New creates an engine for the user self.
-func New(net transport.Network, dir *directory.Client, self string) *Engine {
-	return &Engine{net: net, dir: dir, self: self}
+func New(net transport.Network, dir *directory.Client, self string, opts ...Option) *Engine {
+	e := &Engine{net: net, dir: dir, self: self, groupLimit: DefaultGroupLimit}
+	for _, o := range opts {
+		o(e)
+	}
+	e.rebuild()
+	return e
+}
+
+// Use appends interceptors to the engine's chain (outermost first,
+// after any already installed). Typically called during node wiring,
+// before traffic flows.
+func (e *Engine) Use(ics ...Interceptor) {
+	e.chainMu.Lock()
+	e.extra = append(e.extra, ics...)
+	e.chainMu.Unlock()
+	e.rebuild()
+}
+
+// rebuild recomposes the invoker chain:
+//
+//	user interceptors → credential → dir cache → resolver → transport
+func (e *Engine) rebuild() {
+	e.chainMu.Lock()
+	defer e.chainMu.Unlock()
+	chain := make([]Interceptor, 0, len(e.extra)+3)
+	chain = append(chain, e.extra...)
+	chain = append(chain, CredentialInterceptor(e))
+	if e.dirCache != nil {
+		chain = append(chain, e.dirCache.Interceptor())
+	}
+	chain = append(chain, resolveInterceptor(e))
+	e.invoke = ChainInterceptors(chain...)(e.transportInvoker())
+}
+
+// invoker returns the current composed chain.
+func (e *Engine) invoker() Invoker {
+	e.chainMu.RLock()
+	defer e.chainMu.RUnlock()
+	return e.invoke
+}
+
+// transportInvoker is the chain's innermost stage: it performs the
+// wire exchange with the destination the resolver chose.
+func (e *Engine) transportInvoker() Invoker {
+	return func(ctx context.Context, call *Call, out any) error {
+		dest := call.Dest
+		if dest == "" {
+			dest = call.Addr
+		}
+		if dest == "" {
+			return fmt.Errorf("engine: no destination for %s.%s (resolver stage missing)", call.Service, call.Method)
+		}
+		md := call.Meta
+		req := &transport.Request{
+			Service:    call.Service,
+			Method:     call.Method,
+			Args:       call.Args,
+			Caller:     md.Get(wire.MetaCaller),
+			Credential: md.Get(wire.MetaCredential),
+		}
+		// Identity rides in the dedicated fields; everything else
+		// (request id, hops, deadline hint) goes in wire metadata.
+		wmd := make(wire.Metadata, len(md))
+		for k, v := range md {
+			if k == wire.MetaCaller || k == wire.MetaCredential {
+				continue
+			}
+			wmd[k] = v
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem > 0 {
+				wmd.SetDeadline(rem)
+			}
+		}
+		if len(wmd) > 0 {
+			req.Meta = wmd
+		}
+
+		resp, err := e.net.Call(ctx, dest, req)
+		if err != nil {
+			var re *wire.RemoteError
+			if errors.As(err, &re) {
+				return err
+			}
+			return fmt.Errorf("engine: call %s.%s at %s: %w", call.Service, call.Method, dest, err)
+		}
+		if !resp.OK {
+			return &wire.RemoteError{Code: resp.Code, Service: call.Service, Method: call.Method, Msg: resp.Error}
+		}
+		if out != nil {
+			if err := wire.Unmarshal(resp.Result, out); err != nil {
+				return fmt.Errorf("engine: decode %s.%s result: %w", call.Service, call.Method, err)
+			}
+		}
+		return nil
+	}
 }
 
 // Self returns the engine's user identity.
@@ -41,6 +180,9 @@ func (e *Engine) Self() string { return e.self }
 
 // Directory returns the engine's directory client.
 func (e *Engine) Directory() *directory.Client { return e.dir }
+
+// DirCache returns the engine's route cache, or nil when disabled.
+func (e *Engine) DirCache() *DirCache { return e.dirCache }
 
 // SetCredential seals user:password with the deployment sealer and
 // attaches it to every subsequent request.
@@ -61,35 +203,39 @@ func (e *Engine) getCredential() string {
 	return e.credential
 }
 
+// newCall builds the chain input for one logical invocation. The
+// request id is inherited from ctx metadata (a handler invoking
+// onward keeps the inbound correlation id) or freshly minted, and the
+// hop count advances by one.
+func (e *Engine) newCall(ctx context.Context, addr, service, method string, args wire.Args) *Call {
+	md := make(wire.Metadata, 6)
+	if parent := wire.FromContext(ctx); parent != nil {
+		if id := parent.Get(wire.MetaRequestID); id != "" {
+			md[wire.MetaRequestID] = id
+		}
+		if h := parent.Hops(); h > 0 {
+			md.SetHops(h)
+		}
+	}
+	if md.Get(wire.MetaRequestID) == "" {
+		md[wire.MetaRequestID] = fmt.Sprintf("%s-%d", e.self, e.reqSeq.Add(1))
+	}
+	md.SetHops(md.Hops() + 1)
+	return &Call{Service: service, Method: method, Args: args, Meta: md, Addr: addr}
+}
+
 // Invoke calls method on the named service, decoding the result into
-// out (out may be nil). It resolves the service through the directory
-// and falls back to the owner's proxy when the primary address is
-// unreachable or the owner is known to be offline.
+// out (out may be nil). Resolution, failover, credential injection,
+// and any installed caching/metrics all happen in the interceptor
+// chain.
 func (e *Engine) Invoke(ctx context.Context, service, method string, args wire.Args, out any) error {
-	info, err := e.dir.LookupService(ctx, service)
-	if err != nil {
-		return err
-	}
+	return e.invoker()(ctx, e.newCall(ctx, "", service, method, args), out)
+}
 
-	// Prefer the device itself while it is online; otherwise go
-	// straight to its proxy ("the proxy and the SyD object act as a
-	// single entity for an outsider", §5.2).
-	primary, fallback := info.Addr, info.Proxy
-	if !info.OwnerOnline && info.Proxy != "" {
-		primary, fallback = info.Proxy, info.Addr
-	}
-
-	err = e.InvokeAddr(ctx, primary, service, method, args, out)
-	if err == nil || fallback == "" || fallback == primary {
-		return err
-	}
-	if !isUnavailable(err) {
-		return err
-	}
-	// Primary is gone: drop the cached lookup so future calls
-	// re-resolve, then try the fallback.
-	e.dir.Invalidate(service)
-	return e.InvokeAddr(ctx, fallback, service, method, args, out)
+// InvokeAddr calls method on service at an explicit address, skipping
+// directory resolution (the rest of the chain still applies).
+func (e *Engine) InvokeAddr(ctx context.Context, addr, service, method string, args wire.Args, out any) error {
+	return e.invoker()(ctx, e.newCall(ctx, addr, service, method, args), out)
 }
 
 // isUnavailable reports whether err means "the endpoint cannot be
@@ -99,34 +245,6 @@ func isUnavailable(err error) bool {
 		return true
 	}
 	return wire.CodeOf(err) == wire.CodeUnavailable
-}
-
-// InvokeAddr calls method on service at an explicit address, skipping
-// directory resolution.
-func (e *Engine) InvokeAddr(ctx context.Context, addr, service, method string, args wire.Args, out any) error {
-	resp, err := e.net.Call(ctx, addr, &transport.Request{
-		Service:    service,
-		Method:     method,
-		Args:       args,
-		Caller:     e.self,
-		Credential: e.getCredential(),
-	})
-	if err != nil {
-		var re *wire.RemoteError
-		if errors.As(err, &re) {
-			return err
-		}
-		return fmt.Errorf("engine: call %s.%s at %s: %w", service, method, addr, err)
-	}
-	if !resp.OK {
-		return &wire.RemoteError{Code: resp.Code, Service: service, Method: method, Msg: resp.Error}
-	}
-	if out != nil {
-		if err := wire.Unmarshal(resp.Result, out); err != nil {
-			return fmt.Errorf("engine: decode %s.%s result: %w", service, method, err)
-		}
-	}
-	return nil
 }
 
 // GroupResult is one member's outcome in a group invocation.
@@ -144,29 +262,67 @@ func (g *GroupResult) Decode(v any) error {
 	return wire.Unmarshal(g.Raw, v)
 }
 
+// groupRun fans one invocation per service across a bounded worker
+// pool (at most the engine's group limit goroutines, never more than
+// the member count) and returns per-member results in input order.
+func (e *Engine) groupRun(services []string, invokeOne func(svc string) GroupResult) []GroupResult {
+	results := make([]GroupResult, len(services))
+	workers := e.groupLimit
+	if workers <= 0 {
+		workers = DefaultGroupLimit
+	}
+	if workers > len(services) {
+		workers = len(services)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = invokeOne(services[i])
+			}
+		}()
+	}
+	for i := range services {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
 // GroupInvoke calls the same method with the same args on every listed
 // service concurrently and returns per-member results in input order
 // (the engine's "group service invocation and result aggregation").
+// Fan-out is bounded by the engine's group limit (WithGroupLimit,
+// default DefaultGroupLimit) so huge groups cannot exhaust the node.
 func (e *Engine) GroupInvoke(ctx context.Context, services []string, method string, args wire.Args) []GroupResult {
-	results := make([]GroupResult, len(services))
-	var wg sync.WaitGroup
-	for i, svc := range services {
-		wg.Add(1)
-		go func(i int, svc string) {
-			defer wg.Done()
-			var raw json.RawMessage
-			err := e.Invoke(ctx, svc, method, args, &raw)
-			results[i] = GroupResult{Service: svc, Err: err, Raw: raw}
-		}(i, svc)
+	return e.groupRun(services, func(svc string) GroupResult {
+		var raw json.RawMessage
+		err := e.Invoke(ctx, svc, method, args, &raw)
+		return GroupResult{Service: svc, Err: err, Raw: raw}
+	})
+}
+
+// validGroupPattern requires exactly one "%s" verb and nothing else
+// printf-like, so a bad pattern fails loudly instead of silently
+// producing "%!s(MISSING)" service names.
+func validGroupPattern(pattern string) error {
+	if strings.Count(pattern, "%s") != 1 || strings.Count(pattern, "%") != 1 {
+		return fmt.Errorf("engine: group pattern %q must contain exactly one %%s", pattern)
 	}
-	wg.Wait()
-	return results
+	return nil
 }
 
 // InvokeGroupName resolves a directory group and group-invokes the
 // given service pattern for each member. pattern must contain exactly
 // one "%s" which is replaced by the member id (e.g. "cal.%s").
 func (e *Engine) InvokeGroupName(ctx context.Context, group, pattern, method string, args wire.Args) ([]GroupResult, error) {
+	if err := validGroupPattern(pattern); err != nil {
+		return nil, err
+	}
 	members, err := e.dir.GroupMembers(ctx, group)
 	if err != nil {
 		return nil, err

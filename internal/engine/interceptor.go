@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Call describes one outbound invocation as it flows through the
+// client interceptor chain. Interceptors may rewrite routing state
+// (Route, Dest) and metadata before passing the call on.
+type Call struct {
+	// Service and Method name the invocation target.
+	Service, Method string
+	// Args are the named arguments (never mutated by the chain).
+	Args wire.Args
+	// Meta is the request metadata stamped onto the wire request
+	// (request id, caller, credential, hop count).
+	Meta wire.Metadata
+	// Addr is an explicit destination forced by the caller
+	// (Engine.InvokeAddr); when set, directory resolution is skipped.
+	Addr string
+	// Route is the resolved directory record for Service. The cache
+	// interceptor pre-fills it on a hit; the resolver fills it on a
+	// miss.
+	Route *directory.ServiceInfo
+	// Dest is the concrete dial address chosen for the current
+	// attempt (set by the resolver, read by the transport stage).
+	Dest string
+	// FailedOver records that the resolver fell back to the proxy
+	// after the primary address was unreachable (the cache
+	// interceptor invalidates on it).
+	FailedOver bool
+}
+
+// Invoker executes one invocation attempt, decoding the result into
+// out (out may be nil). The innermost invoker performs the transport
+// exchange; outer invokers are produced by Interceptors.
+type Invoker func(ctx context.Context, call *Call, out any) error
+
+// Interceptor wraps an Invoker with cross-cutting behavior (metrics,
+// retries, caching, credential injection). Interceptors compose like
+// HTTP middleware: the first interceptor in a chain is outermost.
+type Interceptor func(next Invoker) Invoker
+
+// ChainInterceptors composes ics into one Interceptor (ics[0]
+// outermost). An empty chain is the identity.
+func ChainInterceptors(ics ...Interceptor) Interceptor {
+	return func(next Invoker) Invoker {
+		for i := len(ics) - 1; i >= 0; i-- {
+			next = ics[i](next)
+		}
+		return next
+	}
+}
+
+// CredentialInterceptor stamps the engine's identity onto every
+// outbound call: the caller name and, when one has been set, the
+// TEA-sealed credential (§5.4). This is the interceptor form of the
+// credential injection Engine.Invoke used to do inline.
+func CredentialInterceptor(e *Engine) Interceptor {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call, out any) error {
+			if call.Meta == nil {
+				call.Meta = make(wire.Metadata, 4)
+			}
+			if call.Meta.Get(wire.MetaCaller) == "" {
+				call.Meta[wire.MetaCaller] = e.self
+			}
+			if call.Meta.Get(wire.MetaCredential) == "" {
+				if cred := e.getCredential(); cred != "" {
+					call.Meta[wire.MetaCredential] = cred
+				}
+			}
+			return next(ctx, call, out)
+		}
+	}
+}
+
+// MetricsInterceptor records per-(service, method, error-code) counts
+// and latency for every attempt that passes through it.
+func MetricsInterceptor(reg *metrics.Registry) Interceptor {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call, out any) error {
+			start := time.Now()
+			err := next(ctx, call, out)
+			reg.Observe(metrics.LayerClient, call.Service, call.Method, wire.CodeOf(err), time.Since(start))
+			return err
+		}
+	}
+}
+
+// resolveInterceptor is the routing stage every engine chain ends
+// with (just above the transport): it resolves Service through the
+// directory unless a Route was pre-filled (cache hit) or an explicit
+// Addr forces the destination, prefers the device while its owner is
+// online, and fails over to the proxy when the primary is
+// unreachable ("the proxy and the SyD object act as a single entity
+// for an outsider", §5.2).
+func resolveInterceptor(e *Engine) Interceptor {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call, out any) error {
+			if call.Addr != "" {
+				call.Dest = call.Addr
+				return next(ctx, call, out)
+			}
+			if call.Route == nil {
+				info, err := e.dir.LookupService(ctx, call.Service)
+				if err != nil {
+					return err
+				}
+				call.Route = &info
+			}
+			primary, fallback := call.Route.Addr, call.Route.Proxy
+			if !call.Route.OwnerOnline && call.Route.Proxy != "" {
+				primary, fallback = call.Route.Proxy, call.Route.Addr
+			}
+			call.Dest = primary
+			err := next(ctx, call, out)
+			if err == nil || !isUnavailable(err) {
+				return err
+			}
+			// Primary is gone: drop the cached lookup so future calls
+			// re-resolve, then try the fallback if there is one.
+			e.dir.Invalidate(call.Service)
+			if fallback == "" || fallback == primary {
+				return err
+			}
+			call.FailedOver = true
+			call.Dest = fallback
+			return next(ctx, call, out)
+		}
+	}
+}

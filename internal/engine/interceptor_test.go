@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/listener"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+func TestInterceptorOrderAndMetadata(t *testing.T) {
+	// User interceptors run outermost, in the order given, and see the
+	// metadata the credential stage stamps only after it has run.
+	w := newWorld(t)
+	w.addNode("phil")
+
+	var trace []string
+	tag := func(name string) Interceptor {
+		return func(next Invoker) Invoker {
+			return func(ctx context.Context, call *Call, out any) error {
+				trace = append(trace, name+":pre(caller="+call.Meta.Get(wire.MetaCaller)+")")
+				err := next(ctx, call, out)
+				trace = append(trace, name+":post")
+				return err
+			}
+		}
+	}
+	e := New(w.net, w.dir, "andy", WithInterceptors(tag("a"), tag("b")))
+
+	if err := e.Invoke(context.Background(), "cal.phil", "WhoAmI", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// User interceptors sit above the credential stage, so neither has
+	// a caller yet; composition order must be a around b.
+	want := []string{"a:pre(caller=)", "b:pre(caller=)", "b:post", "a:post"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestUseAppendsInterceptor(t *testing.T) {
+	w := newWorld(t)
+	w.addNode("phil")
+	e := New(w.net, w.dir, "andy")
+
+	var calls atomic.Int64
+	e.Use(func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call, out any) error {
+			calls.Add(1)
+			return next(ctx, call, out)
+		}
+	})
+	if err := e.Invoke(context.Background(), "cal.phil", "WhoAmI", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("interceptor ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestMetricsInterceptorRecordsClientSeries(t *testing.T) {
+	w := newWorld(t)
+	w.addNode("phil")
+	reg := metrics.NewRegistry()
+	e := New(w.net, w.dir, "andy", WithInterceptors(MetricsInterceptor(reg)))
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if err := e.Invoke(ctx, "cal.phil", "WhoAmI", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Invoke(ctx, "cal.phil", "FailIf", wire.Args{"who": "phil"}, nil); wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("err = %v", err)
+	}
+
+	snap := reg.Snapshot()
+	ok := snap.Find(metrics.LayerClient, "cal.phil", "WhoAmI", "")
+	if ok == nil || ok.Count != 3 {
+		t.Fatalf("WhoAmI ok series = %+v", ok)
+	}
+	failed := snap.Find(metrics.LayerClient, "cal.phil", "FailIf", wire.CodeConflict)
+	if failed == nil || failed.Count != 1 {
+		t.Fatalf("FailIf conflict series = %+v", failed)
+	}
+}
+
+func TestRequestMetadataReachesHandler(t *testing.T) {
+	// The engine stamps request-id/caller/hops; the listener surfaces
+	// them to the handler via Call.Meta.
+	w := newWorld(t)
+	var got wire.Metadata
+	l := listener.New("phil", nil)
+	obj := listener.NewObject()
+	obj.Handle("Inspect", func(ctx context.Context, call *listener.Call) (any, error) {
+		got = call.Meta.Clone()
+		return nil, nil
+	})
+	l.Register("meta.phil", obj)
+	ln, err := w.net.Listen("node-phil", l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := w.dir.RegisterUser(ctx, "phil", ln.Addr(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PublishGlobal(ctx, w.dir, "meta.phil", ln.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(w.net, w.dir, "andy")
+	if err := e.Invoke(ctx, "meta.phil", "Inspect", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got.Get(wire.MetaCaller) != "andy" {
+		t.Fatalf("caller = %q", got.Get(wire.MetaCaller))
+	}
+	if !strings.HasPrefix(got.Get(wire.MetaRequestID), "andy-") {
+		t.Fatalf("request id = %q", got.Get(wire.MetaRequestID))
+	}
+	if got.Hops() != 1 {
+		t.Fatalf("hops = %d, want 1", got.Hops())
+	}
+}
+
+func TestOnwardInvokeInheritsRequestContext(t *testing.T) {
+	// A handler that invokes onward carries the originating request id
+	// and an incremented hop count — but NOT the upstream caller
+	// identity (each engine re-stamps its own).
+	w := newWorld(t)
+	w.addNode("phil")
+
+	var hopMeta wire.Metadata
+	relayL := listener.New("relay", nil)
+	relayObj := listener.NewObject()
+	relayE := New(w.net, w.dir, "relay")
+	relayObj.Handle("Forward", func(ctx context.Context, call *listener.Call) (any, error) {
+		return nil, relayE.Invoke(ctx, "probe.sink", "Sink", nil, nil)
+	})
+	relayL.Register("relay.svc", relayObj)
+	relayLn, err := w.net.Listen("node-relay", relayL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sinkL := listener.New("sink", nil)
+	sinkObj := listener.NewObject()
+	sinkObj.Handle("Sink", func(ctx context.Context, call *listener.Call) (any, error) {
+		hopMeta = call.Meta.Clone()
+		return nil, nil
+	})
+	sinkL.Register("probe.sink", sinkObj)
+	sinkLn, err := w.net.Listen("node-sink", sinkL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	for _, reg := range []struct{ user, addr, svc string }{
+		{"relay", relayLn.Addr(), "relay.svc"},
+		{"sink", sinkLn.Addr(), "probe.sink"},
+	} {
+		if err := w.dir.RegisterUser(ctx, reg.user, reg.addr, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := relayL.PublishGlobal(ctx, w.dir, "relay.svc", relayLn.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sinkL.PublishGlobal(ctx, w.dir, "probe.sink", sinkLn.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(w.net, w.dir, "andy")
+	if err := e.Invoke(ctx, "relay.svc", "Forward", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if hopMeta.Get(wire.MetaCaller) != "relay" {
+		t.Fatalf("onward caller = %q, want relay (no impersonation)", hopMeta.Get(wire.MetaCaller))
+	}
+	if !strings.HasPrefix(hopMeta.Get(wire.MetaRequestID), "andy-") {
+		t.Fatalf("request id not inherited: %q", hopMeta.Get(wire.MetaRequestID))
+	}
+	if hopMeta.Hops() != 2 {
+		t.Fatalf("hops = %d, want 2", hopMeta.Hops())
+	}
+}
+
+func TestInvokeGroupNameRejectsBadPattern(t *testing.T) {
+	w := newWorld(t)
+	e := New(w.net, w.dir, "phil")
+	ctx := context.Background()
+	if err := w.dir.CreateGroup(ctx, "g", []string{"alice"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []string{"", "cal", "cal.%s.%s", "cal.%d", "%s-%d"} {
+		if _, err := e.InvokeGroupName(ctx, "g", pattern, "WhoAmI", nil); err == nil {
+			t.Fatalf("pattern %q accepted", pattern)
+		}
+	}
+	// The valid form still works (group member missing from the
+	// directory is a per-member error, not a pattern error).
+	if _, err := e.InvokeGroupName(ctx, "g", "cal.%s", "WhoAmI", nil); err != nil {
+		t.Fatalf("valid pattern rejected: %v", err)
+	}
+}
+
+func TestGroupInvokeBoundedFanOut(t *testing.T) {
+	// With a limit of 2 the engine never runs more than 2 member calls
+	// at once, and still returns every result in order.
+	w := newWorld(t)
+	const members = 6
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	services := make([]string, 0, members)
+	ctx := context.Background()
+	for i := 0; i < members; i++ {
+		user := fmt.Sprintf("m%d", i)
+		l := listener.New(user, nil)
+		obj := listener.NewObject()
+		obj.Handle("Slow", func(ctx context.Context, call *listener.Call) (any, error) {
+			cur := inFlight.Add(1)
+			mu.Lock()
+			if cur > peak.Load() {
+				peak.Store(cur)
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			inFlight.Add(-1)
+			return "done", nil
+		})
+		svc := "slow." + user
+		l.Register(svc, obj)
+		ln, err := w.net.Listen("node-"+user, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.dir.RegisterUser(ctx, user, ln.Addr(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.PublishGlobal(ctx, w.dir, svc, ln.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		services = append(services, svc)
+	}
+
+	e := New(w.net, w.dir, "phil", WithGroupLimit(2))
+	results := e.GroupInvoke(ctx, services, "Slow", nil)
+	if !AllOK(results) {
+		t.Fatalf("results = %+v", results)
+	}
+	for i, r := range results {
+		if r.Service != services[i] {
+			t.Fatalf("result order broken at %d: %+v", i, r)
+		}
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency = %d, want <= 2", p)
+	}
+}
+
+func TestGroupInvokeLargerThanLimit(t *testing.T) {
+	// Groups larger than the worker limit still complete fully.
+	w := newWorld(t)
+	var services []string
+	const n = 5
+	for i := 0; i < n; i++ {
+		u := fmt.Sprintf("v%d", i)
+		w.addNode(u)
+		services = append(services, "cal."+u)
+	}
+	e := New(w.net, w.dir, "phil", WithGroupLimit(1))
+	results := e.GroupInvoke(context.Background(), services, "WhoAmI", nil)
+	if len(results) != n || !AllOK(results) {
+		t.Fatalf("results = %+v", results)
+	}
+}

@@ -62,49 +62,63 @@ func getQoSClock() clock.Clock {
 	return qosClock
 }
 
-// InvokeQoS is Invoke with retry-on-unavailability semantics. Only
-// transient failures (unreachable device, lost message — CodeUnavailable)
-// are retried; application errors (conflicts, auth, bad args) surface
-// immediately. Directory lookups are re-done on every attempt so a
-// device that re-registered at a new address (or fell back to its
-// proxy) is found.
-func (e *Engine) InvokeQoS(ctx context.Context, qos QoS, service, method string, args wire.Args, out any) error {
-	attempts := qos.Retries + 1
-	backoff := qos.Backoff
-	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			e.dir.Invalidate(service)
-			if backoff > 0 {
-				select {
-				case <-getQoSClock().After(backoff):
-				case <-ctx.Done():
+// RetryInterceptor turns transient unavailability into bounded,
+// backed-off retries — the interceptor form of the engine's QoS
+// support. Only transient failures (unreachable device, lost message,
+// an attempt timeout) are retried; application errors (conflicts,
+// auth, bad args) surface immediately. Routing state is reset between
+// attempts, so each retry re-resolves through the chain's cache and
+// resolver stages (a device that re-registered at a new address, or
+// fell back to its proxy, is found).
+func RetryInterceptor(qos QoS) Interceptor {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call, out any) error {
+			attempts := qos.Retries + 1
+			backoff := qos.Backoff
+			orig := *call
+			var lastErr error
+			for attempt := 0; attempt < attempts; attempt++ {
+				if attempt > 0 {
+					*call = orig // drop per-attempt routing state
+					if backoff > 0 {
+						select {
+						case <-getQoSClock().After(backoff):
+						case <-ctx.Done():
+							return ctx.Err()
+						}
+						backoff *= 2
+					}
+				}
+				attemptCtx := ctx
+				var cancel context.CancelFunc
+				if qos.AttemptTimeout > 0 {
+					attemptCtx, cancel = context.WithTimeout(ctx, qos.AttemptTimeout)
+				}
+				err := next(attemptCtx, call, out)
+				if cancel != nil {
+					cancel()
+				}
+				if err == nil {
+					return nil
+				}
+				lastErr = err
+				if !retryable(err) {
+					return err
+				}
+				if ctx.Err() != nil {
 					return ctx.Err()
 				}
-				backoff *= 2
 			}
-		}
-		attemptCtx := ctx
-		var cancel context.CancelFunc
-		if qos.AttemptTimeout > 0 {
-			attemptCtx, cancel = context.WithTimeout(ctx, qos.AttemptTimeout)
-		}
-		err := e.Invoke(attemptCtx, service, method, args, out)
-		if cancel != nil {
-			cancel()
-		}
-		if err == nil {
-			return nil
-		}
-		lastErr = err
-		if !retryable(err) {
-			return err
-		}
-		if ctx.Err() != nil {
-			return ctx.Err()
+			return lastErr
 		}
 	}
-	return lastErr
+}
+
+// InvokeQoS is Invoke with retry-on-unavailability semantics: the
+// engine's chain wrapped, for this call, in RetryInterceptor(qos).
+func (e *Engine) InvokeQoS(ctx context.Context, qos QoS, service, method string, args wire.Args, out any) error {
+	inv := RetryInterceptor(qos)(e.invoker())
+	return inv(ctx, e.newCall(ctx, "", service, method, args), out)
 }
 
 // retryable reports whether an error is transient.
@@ -115,19 +129,12 @@ func retryable(err error) bool {
 	return isUnavailable(err)
 }
 
-// GroupInvokeQoS is GroupInvoke with per-member QoS.
+// GroupInvokeQoS is GroupInvoke with per-member QoS, bounded by the
+// same fan-out limit.
 func (e *Engine) GroupInvokeQoS(ctx context.Context, qos QoS, services []string, method string, args wire.Args) []GroupResult {
-	results := make([]GroupResult, len(services))
-	var wg sync.WaitGroup
-	for i, svc := range services {
-		wg.Add(1)
-		go func(i int, svc string) {
-			defer wg.Done()
-			var raw json.RawMessage
-			err := e.InvokeQoS(ctx, qos, svc, method, args, &raw)
-			results[i] = GroupResult{Service: svc, Err: err, Raw: raw}
-		}(i, svc)
-	}
-	wg.Wait()
-	return results
+	return e.groupRun(services, func(svc string) GroupResult {
+		var raw json.RawMessage
+		err := e.InvokeQoS(ctx, qos, svc, method, args, &raw)
+		return GroupResult{Service: svc, Err: err, Raw: raw}
+	})
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/directory"
+	"repro/internal/metrics"
 	"repro/internal/notify"
 	"repro/internal/sim"
 )
@@ -123,12 +124,14 @@ func NewWorld(users []string, cfg sim.Config) (*World, error) {
 	return w, nil
 }
 
-// AddUser boots one more calendar node.
+// AddUser boots one more calendar node. Nodes record per-method
+// metrics into the process default registry, so a sydbench run (or a
+// test) can snapshot every layer's counts and latencies afterwards.
 func (w *World) AddUser(user string, priority int) error {
 	ctx := context.Background()
 	n, err := core.Start(ctx, core.Config{
 		User: user, Net: w.Net, DirAddr: "dir", Clock: w.Clk, Priority: priority,
-	})
+	}, core.WithMetrics(metrics.Default()))
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -72,4 +73,37 @@ func TestWorldAddUser(t *testing.T) {
 	if info.Priority != 3 {
 		t.Fatalf("priority = %d", info.Priority)
 	}
+}
+
+func TestScenarioRunFeedsMetrics(t *testing.T) {
+	// Acceptance: one E-scenario run leaves per-method counts and
+	// latency in the process-wide registry (experiment worlds wire
+	// their nodes to metrics.Default()).
+	metrics.Default().Reset()
+	if _, err := RunE1(); err != nil {
+		t.Fatal(err)
+	}
+	snap := metrics.Default().Snapshot()
+	if snap.TotalCount() == 0 {
+		t.Fatal("E1 recorded no metrics")
+	}
+	var clientSeries, serverSeries int
+	for _, e := range snap.Entries {
+		if e.Count <= 0 || e.Service == "" || e.Method == "" {
+			t.Fatalf("malformed entry: %+v", e)
+		}
+		if e.MaxMs < 0 || e.AvgMs < 0 {
+			t.Fatalf("negative latency: %+v", e)
+		}
+		switch e.Layer {
+		case metrics.LayerClient:
+			clientSeries++
+		case metrics.LayerServer:
+			serverSeries++
+		}
+	}
+	if clientSeries == 0 || serverSeries == 0 {
+		t.Fatalf("layers missing: %d client / %d server series", clientSeries, serverSeries)
+	}
+	metrics.Default().Reset() // leave no residue for other tests
 }

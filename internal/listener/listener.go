@@ -5,7 +5,10 @@
 // registered method implementations.
 //
 // One Listener serves all device objects hosted on a node (a calendar
-// object, the node's link manager, a proxy endpoint, ...).
+// object, the node's link manager, a proxy endpoint, ...). Dispatch
+// flows through a Middleware chain — user middleware first, then the
+// stock AuthMiddleware, then method lookup — so cross-cutting server
+// behavior stays out of the transport plumbing.
 package listener
 
 import (
@@ -21,16 +24,26 @@ import (
 	"repro/internal/wire"
 )
 
-// Call carries one inbound invocation to a Method.
+// Call carries one inbound invocation through the middleware chain to
+// a Method.
 type Call struct {
 	// Service and Method name the invocation target.
 	Service, Method string
 	// Caller is the invoking SyD user. When the listener has an
 	// authenticator and the service requires auth, Caller is the
-	// *authenticated* identity, not the claimed one.
+	// *authenticated* identity, not the claimed one (user middleware
+	// running outside AuthMiddleware sees the claimed identity).
 	Caller string
 	// Args are the named arguments.
 	Args wire.Args
+	// Meta is the full request metadata view (request id, hop count,
+	// caller, credential, deadline hint).
+	Meta wire.Metadata
+	// RequireAuth mirrors the target object's RequireAuth flag so
+	// middleware can enforce or observe the auth requirement.
+	RequireAuth bool
+
+	obj *Object // dispatch target
 }
 
 // Method is a service method implementation. The returned value is
@@ -74,16 +87,71 @@ type Listener struct {
 	mu       sync.RWMutex
 	services map[string]*Object
 	sink     func(*wire.Event)
+	chain    []Middleware // user middleware, outermost first
+	dispatch Method       // composed: chain → auth → method lookup
+}
+
+// ListenerOption configures a Listener at construction time.
+type ListenerOption func(*Listener)
+
+// WithMiddleware appends server middleware to the listener's chain,
+// outermost first, ahead of the stock AuthMiddleware.
+func WithMiddleware(mw ...Middleware) ListenerOption {
+	return func(l *Listener) { l.chain = append(l.chain, mw...) }
 }
 
 // New creates a Listener for the device owned by owner. authn may be
 // nil when the deployment does not use authentication.
-func New(owner string, authn *auth.Authenticator) *Listener {
-	return &Listener{
+func New(owner string, authn *auth.Authenticator, opts ...ListenerOption) *Listener {
+	l := &Listener{
 		owner:    owner,
 		authn:    authn,
 		services: make(map[string]*Object),
 	}
+	for _, o := range opts {
+		o(l)
+	}
+	l.rebuild()
+	return l
+}
+
+// Use appends middleware to the listener's chain (outermost first,
+// after any already installed). Typically called during node wiring,
+// before traffic flows.
+func (l *Listener) Use(mw ...Middleware) {
+	l.mu.Lock()
+	l.chain = append(l.chain, mw...)
+	l.mu.Unlock()
+	l.rebuild()
+}
+
+// rebuild recomposes the dispatch chain:
+//
+//	user middleware → AuthMiddleware → method lookup + invoke
+func (l *Listener) rebuild() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := AuthMiddleware(l.authn)(l.terminal)
+	m = ChainMiddleware(l.chain...)(m)
+	l.dispatch = m
+}
+
+// terminal is the chain's innermost stage: method lookup and
+// invocation, with the request metadata attached to ctx so handlers
+// that invoke other services propagate the correlation id and hop
+// count automatically.
+func (l *Listener) terminal(ctx context.Context, call *Call) (any, error) {
+	m, ok := call.obj.methods[call.Method]
+	if !ok {
+		return nil, &wire.RemoteError{
+			Code: wire.CodeNoMethod, Service: call.Service, Method: call.Method,
+			Msg: fmt.Sprintf("service %q has no method %q", call.Service, call.Method),
+		}
+	}
+	if call.Meta != nil {
+		ctx = wire.WithContext(ctx, call.Meta)
+	}
+	return m(ctx, call)
 }
 
 // Owner returns the owning user id.
@@ -148,39 +216,40 @@ func (l *Listener) HandleEvent(ev *wire.Event) {
 	}
 }
 
-// HandleRequest implements transport.Handler: authenticate if needed,
-// find the service and method, run it, and encode the result.
+// HandleRequest implements transport.Handler: find the service, run
+// the middleware chain (auth, method dispatch, any installed user
+// middleware), and encode the result.
 func (l *Listener) HandleRequest(ctx context.Context, req *transport.Request) *transport.Response {
 	l.mu.RLock()
 	obj, ok := l.services[req.Service]
+	dispatch := l.dispatch
 	l.mu.RUnlock()
 	if !ok {
-		return transport.ErrorResponse(req, wire.CodeNoService, "node %s has no service %q", l.owner, req.Service)
+		return l.stampMeta(req, transport.ErrorResponse(req, wire.CodeNoService, "node %s has no service %q", l.owner, req.Service))
 	}
 
-	caller := req.Caller
-	if obj.RequireAuth {
-		if l.authn == nil {
-			return transport.ErrorResponse(req, wire.CodeAuth, "service %q requires auth but node has no authenticator", req.Service)
+	meta := req.FullMeta()
+	// Re-arm the caller's deadline hint locally when the transport did
+	// not propagate a context deadline (real TCP serves requests with
+	// a background context).
+	if d := meta.Deadline(); d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
 		}
-		user, err := l.authn.Verify(req.Credential)
-		if err != nil {
-			return transport.ErrorResponse(req, wire.CodeAuth, "authentication failed: %v", err)
-		}
-		caller = user
 	}
 
-	m, ok := obj.methods[req.Method]
-	if !ok {
-		return transport.ErrorResponse(req, wire.CodeNoMethod, "service %q has no method %q", req.Service, req.Method)
+	call := &Call{
+		Service:     req.Service,
+		Method:      req.Method,
+		Caller:      req.Caller,
+		Args:        req.Args,
+		Meta:        meta,
+		RequireAuth: obj.RequireAuth,
+		obj:         obj,
 	}
-
-	result, err := m(ctx, &Call{
-		Service: req.Service,
-		Method:  req.Method,
-		Caller:  caller,
-		Args:    req.Args,
-	})
+	result, err := dispatch(ctx, call)
 	if err != nil {
 		code := wire.CodeInternal
 		msg := err.Error()
@@ -189,13 +258,21 @@ func (l *Listener) HandleRequest(ctx context.Context, req *transport.Request) *t
 			code = re.Code
 			msg = re.Msg // avoid re-wrapping already-remote errors
 		}
-		return transport.ErrorResponse(req, code, "%s", msg)
+		return l.stampMeta(req, transport.ErrorResponse(req, code, "%s", msg))
 	}
 	raw, err := wire.Marshal(result)
 	if err != nil {
-		return transport.ErrorResponse(req, wire.CodeInternal, "encode result: %v", err)
+		return l.stampMeta(req, transport.ErrorResponse(req, wire.CodeInternal, "encode result: %v", err))
 	}
-	return &transport.Response{ID: req.ID, OK: true, Result: raw}
+	return l.stampMeta(req, &transport.Response{ID: req.ID, OK: true, Result: raw})
+}
+
+// stampMeta echoes the request's correlation id on the response.
+func (l *Listener) stampMeta(req *transport.Request, resp *transport.Response) *transport.Response {
+	if id := req.Meta.Get(wire.MetaRequestID); id != "" {
+		resp.Meta = wire.Metadata{wire.MetaRequestID: id}
+	}
+	return resp
 }
 
 var _ transport.Handler = (*Listener)(nil)

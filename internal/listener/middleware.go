@@ -1,0 +1,109 @@
+package listener
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Middleware wraps a Method with cross-cutting server-side behavior
+// (auth, metrics, logging). Middleware composes like HTTP middleware:
+// the first middleware in a chain is outermost. Every inbound
+// invocation flows through the listener's chain before reaching the
+// registered method.
+type Middleware func(next Method) Method
+
+// ChainMiddleware composes mw into one Middleware (mw[0] outermost).
+// An empty chain is the identity.
+func ChainMiddleware(mw ...Middleware) Middleware {
+	return func(next Method) Method {
+		for i := len(mw) - 1; i >= 0; i-- {
+			next = mw[i](next)
+		}
+		return next
+	}
+}
+
+// AuthMiddleware enforces per-object credential checks (§5.4) — the
+// middleware form of the auth logic HandleRequest used to hard-code.
+// For objects that set RequireAuth it verifies the TEA-sealed
+// credential and replaces the claimed caller with the authenticated
+// identity; other objects pass through untouched. The listener
+// installs it automatically, innermost, so user middleware observes
+// the pre-auth call and the method sees the verified one.
+func AuthMiddleware(authn *auth.Authenticator) Middleware {
+	return func(next Method) Method {
+		return func(ctx context.Context, call *Call) (any, error) {
+			if !call.RequireAuth {
+				return next(ctx, call)
+			}
+			if authn == nil {
+				return nil, &wire.RemoteError{
+					Code: wire.CodeAuth, Service: call.Service, Method: call.Method,
+					Msg: fmt.Sprintf("service %q requires auth but node has no authenticator", call.Service),
+				}
+			}
+			user, err := authn.Verify(call.Meta.Get(wire.MetaCredential))
+			if err != nil {
+				return nil, &wire.RemoteError{
+					Code: wire.CodeAuth, Service: call.Service, Method: call.Method,
+					Msg: fmt.Sprintf("authentication failed: %v", err),
+				}
+			}
+			call.Caller = user
+			if call.Meta != nil {
+				call.Meta[wire.MetaCaller] = user
+			}
+			return next(ctx, call)
+		}
+	}
+}
+
+// MetricsMiddleware records per-(service, method, error-code) counts
+// and latency for every dispatched invocation, including auth
+// rejections and unknown-method errors surfaced beneath it.
+func MetricsMiddleware(reg *metrics.Registry) Middleware {
+	return func(next Method) Method {
+		return func(ctx context.Context, call *Call) (any, error) {
+			start := time.Now()
+			result, err := next(ctx, call)
+			reg.Observe(metrics.LayerServer, call.Service, call.Method, wire.CodeOf(err), time.Since(start))
+			return result, err
+		}
+	}
+}
+
+// Introspection builds the sys.<owner> device object: the listener's
+// runtime state published as an ordinary SyD service, so any peer can
+// remotely inspect what a node serves and how it is performing.
+//
+//	Services  -> sorted service names registered on the listener
+//	Methods   -> {"service": name} -> sorted method names
+//	Metrics   -> metrics.Snapshot of reg (empty when reg is nil)
+func Introspection(l *Listener, reg *metrics.Registry) *Object {
+	obj := NewObject()
+	obj.Handle("Services", func(ctx context.Context, call *Call) (any, error) {
+		return l.Services(), nil
+	})
+	obj.Handle("Methods", func(ctx context.Context, call *Call) (any, error) {
+		name := call.Args.String("service")
+		l.mu.RLock()
+		target, ok := l.services[name]
+		l.mu.RUnlock()
+		if !ok {
+			return nil, &wire.RemoteError{
+				Code: wire.CodeNoService, Service: call.Service, Method: call.Method,
+				Msg: fmt.Sprintf("node %s has no service %q", l.owner, name),
+			}
+		}
+		return target.Methods(), nil
+	})
+	obj.Handle("Metrics", func(ctx context.Context, call *Call) (any, error) {
+		return reg.Snapshot(), nil
+	})
+	return obj
+}

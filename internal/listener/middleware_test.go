@@ -1,0 +1,221 @@
+package listener
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func TestMiddlewareOrderAndUse(t *testing.T) {
+	var trace []string
+	tag := func(name string) Middleware {
+		return func(next Method) Method {
+			return func(ctx context.Context, call *Call) (any, error) {
+				trace = append(trace, name+":pre")
+				res, err := next(ctx, call)
+				trace = append(trace, name+":post")
+				return res, err
+			}
+		}
+	}
+	l := New("phil", nil, WithMiddleware(tag("a"), tag("b")))
+	l.Use(tag("c"))
+	l.Register("cal.phil", echoObject())
+
+	resp := l.HandleRequest(context.Background(), &transport.Request{Service: "cal.phil", Method: "Echo"})
+	if !resp.OK {
+		t.Fatalf("resp = %+v", resp)
+	}
+	want := []string{"a:pre", "b:pre", "c:pre", "c:post", "b:post", "a:post"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestMiddlewareSeesClaimedCallerBeforeAuth(t *testing.T) {
+	// User middleware runs outside AuthMiddleware: it observes the
+	// claimed identity, while the method sees the authenticated one.
+	an := auth.NewAuthenticator("deploy-key")
+	an.Table.Add("andy", "pw")
+
+	var claimed string
+	l := New("phil", an, WithMiddleware(func(next Method) Method {
+		return func(ctx context.Context, call *Call) (any, error) {
+			claimed = call.Caller
+			return next(ctx, call)
+		}
+	}))
+	obj := echoObject()
+	obj.RequireAuth = true
+	l.Register("cal.phil", obj)
+
+	cred, err := an.Sealer.Seal("andy", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := l.HandleRequest(context.Background(), &transport.Request{
+		Service: "cal.phil", Method: "Echo", Caller: "someone-else", Credential: cred,
+	})
+	if !resp.OK {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if claimed != "someone-else" {
+		t.Fatalf("middleware saw %q, want the claimed identity", claimed)
+	}
+	var out map[string]string
+	if err := wire.Unmarshal(resp.Result, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["caller"] != "andy" {
+		t.Fatalf("method saw %q, want the authenticated identity", out["caller"])
+	}
+}
+
+func TestMetricsMiddlewareRecordsServerSeries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	l := New("phil", nil, WithMiddleware(MetricsMiddleware(reg)))
+	l.Register("cal.phil", echoObject())
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if resp := l.HandleRequest(ctx, &transport.Request{Service: "cal.phil", Method: "Echo"}); !resp.OK {
+			t.Fatalf("resp = %+v", resp)
+		}
+	}
+	l.HandleRequest(ctx, &transport.Request{Service: "cal.phil", Method: "Conflict"})
+	l.HandleRequest(ctx, &transport.Request{Service: "cal.phil", Method: "Missing"})
+
+	snap := reg.Snapshot()
+	if e := snap.Find(metrics.LayerServer, "cal.phil", "Echo", ""); e == nil || e.Count != 2 {
+		t.Fatalf("Echo series = %+v", e)
+	}
+	if e := snap.Find(metrics.LayerServer, "cal.phil", "Conflict", wire.CodeConflict); e == nil || e.Count != 1 {
+		t.Fatalf("Conflict series = %+v", e)
+	}
+	// Unknown methods still flow through the chain and get counted.
+	if e := snap.Find(metrics.LayerServer, "cal.phil", "Missing", wire.CodeNoMethod); e == nil || e.Count != 1 {
+		t.Fatalf("Missing series = %+v", e)
+	}
+}
+
+func TestDeadlineHintReArmsContext(t *testing.T) {
+	l := New("phil", nil)
+	obj := NewObject()
+	var hadDeadline bool
+	var budget time.Duration
+	obj.Handle("Probe", func(ctx context.Context, call *Call) (any, error) {
+		d, ok := ctx.Deadline()
+		hadDeadline = ok
+		budget = time.Until(d)
+		return nil, nil
+	})
+	l.Register("cal.phil", obj)
+
+	md := wire.Metadata{}
+	md.SetDeadline(500 * time.Millisecond)
+	resp := l.HandleRequest(context.Background(), &transport.Request{
+		Service: "cal.phil", Method: "Probe", Meta: md,
+	})
+	if !resp.OK {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if !hadDeadline || budget <= 0 || budget > 500*time.Millisecond {
+		t.Fatalf("hadDeadline=%v budget=%v, want a fresh deadline ≤500ms", hadDeadline, budget)
+	}
+
+	// A transport-provided deadline wins over the hint.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	resp = l.HandleRequest(ctx, &transport.Request{Service: "cal.phil", Method: "Probe", Meta: md})
+	if !resp.OK {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if budget < time.Minute {
+		t.Fatalf("hint overrode the transport deadline: budget=%v", budget)
+	}
+}
+
+func TestResponseEchoesRequestID(t *testing.T) {
+	l := New("phil", nil)
+	l.Register("cal.phil", echoObject())
+
+	req := &transport.Request{
+		Service: "cal.phil", Method: "Echo",
+		Meta: wire.Metadata{wire.MetaRequestID: "andy-42"},
+	}
+	resp := l.HandleRequest(context.Background(), req)
+	if resp.Meta.Get(wire.MetaRequestID) != "andy-42" {
+		t.Fatalf("response meta = %v", resp.Meta)
+	}
+	// Errors carry the correlation id too.
+	resp = l.HandleRequest(context.Background(), &transport.Request{
+		Service: "nope", Method: "Echo",
+		Meta: wire.Metadata{wire.MetaRequestID: "andy-43"},
+	})
+	if resp.OK || resp.Meta.Get(wire.MetaRequestID) != "andy-43" {
+		t.Fatalf("error response meta = %+v", resp)
+	}
+}
+
+func TestIntrospectionObject(t *testing.T) {
+	reg := metrics.NewRegistry()
+	l := New("phil", nil, WithMiddleware(MetricsMiddleware(reg)))
+	l.Register("cal.phil", echoObject())
+	l.Register("sys.phil", Introspection(l, reg))
+	ctx := context.Background()
+
+	// Generate one observation, then inspect through the service itself.
+	if resp := l.HandleRequest(ctx, &transport.Request{Service: "cal.phil", Method: "Echo"}); !resp.OK {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	resp := l.HandleRequest(ctx, &transport.Request{Service: "sys.phil", Method: "Services"})
+	if !resp.OK {
+		t.Fatalf("Services: %+v", resp)
+	}
+	var services []string
+	if err := wire.Unmarshal(resp.Result, &services); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(services) != fmt.Sprint([]string{"cal.phil", "sys.phil"}) {
+		t.Fatalf("services = %v", services)
+	}
+
+	resp = l.HandleRequest(ctx, &transport.Request{
+		Service: "sys.phil", Method: "Methods", Args: wire.Args{"service": "cal.phil"},
+	})
+	if !resp.OK {
+		t.Fatalf("Methods: %+v", resp)
+	}
+	var methods []string
+	if err := wire.Unmarshal(resp.Result, &methods); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(methods) != fmt.Sprint([]string{"Conflict", "Echo", "Fail"}) {
+		t.Fatalf("methods = %v", methods)
+	}
+	resp = l.HandleRequest(ctx, &transport.Request{
+		Service: "sys.phil", Method: "Methods", Args: wire.Args{"service": "ghost"},
+	})
+	if resp.OK || resp.Code != wire.CodeNoService {
+		t.Fatalf("Methods(ghost): %+v", resp)
+	}
+
+	resp = l.HandleRequest(ctx, &transport.Request{Service: "sys.phil", Method: "Metrics"})
+	if !resp.OK {
+		t.Fatalf("Metrics: %+v", resp)
+	}
+	var snap metrics.Snapshot
+	if err := wire.Unmarshal(resp.Result, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if e := snap.Find(metrics.LayerServer, "cal.phil", "Echo", ""); e == nil || e.Count != 1 {
+		t.Fatalf("introspected snapshot = %+v", snap)
+	}
+}

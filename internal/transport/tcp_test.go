@@ -216,3 +216,44 @@ func BenchmarkTCPCall(b *testing.B) {
 		}
 	}
 }
+
+// metaHandler echoes the request metadata back as both the result and
+// the response metadata, proving the envelope survives TCP framing.
+type metaHandler struct{}
+
+func (metaHandler) HandleRequest(ctx context.Context, req *Request) *Response {
+	res, _ := wire.Marshal(req.FullMeta())
+	return &Response{ID: req.ID, OK: true, Result: res, Meta: req.Meta.Clone()}
+}
+
+func (metaHandler) HandleEvent(ev *Event) {}
+
+func TestTCPMetadataRoundTrip(t *testing.T) {
+	net, addr := newTCPPair(t, metaHandler{})
+
+	md := wire.Metadata{wire.MetaRequestID: "andy-9"}
+	md.SetHops(2)
+	md.SetDeadline(750 * time.Millisecond)
+	resp, err := net.Call(context.Background(), addr, &Request{
+		Service: "echo", Method: "meta", Caller: "andy", Meta: md,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen wire.Metadata
+	if err := wire.Unmarshal(resp.Result, &seen); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Get(wire.MetaRequestID) != "andy-9" || seen.Hops() != 2 {
+		t.Fatalf("server-side metadata = %v", seen)
+	}
+	if seen.Get(wire.MetaCaller) != "andy" {
+		t.Fatalf("FullMeta lost the caller: %v", seen)
+	}
+	if seen.Deadline() != 750*time.Millisecond {
+		t.Fatalf("deadline hint = %v", seen.Deadline())
+	}
+	if resp.Meta.Get(wire.MetaRequestID) != "andy-9" {
+		t.Fatalf("response metadata = %v", resp.Meta)
+	}
+}

@@ -68,6 +68,10 @@ type Request struct {
 	// hex-encoded. Empty when the target service does not require
 	// authentication.
 	Credential string `json:"credential,omitempty"`
+	// Meta carries typed request metadata (request id, hop count,
+	// deadline hint, ...) end-to-end through the interceptor
+	// pipeline; see Metadata for the well-known keys.
+	Meta Metadata `json:"meta,omitempty"`
 }
 
 // Response answers a Request.
@@ -77,6 +81,9 @@ type Response struct {
 	Error  string          `json:"error,omitempty"`
 	Code   ErrCode         `json:"code,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+	// Meta echoes response metadata (at minimum the request id, so
+	// clients can correlate responses to logical requests).
+	Meta Metadata `json:"meta,omitempty"`
 }
 
 // Event is a one-way notification used by the SyDEventHandler for
