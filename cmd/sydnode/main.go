@@ -21,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/notify"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -28,12 +29,19 @@ func main() {
 	dirAddr := flag.String("dir", "127.0.0.1:7000", "directory server address")
 	addr := flag.String("addr", "127.0.0.1:0", "address to bind")
 	priority := flag.Int("priority", 0, "user priority (§6)")
-	statePath := flag.String("state", "", "optional path to persist the device database across restarts")
+	statePath := flag.String("state", "", "optional path to persist the device database across restarts (legacy whole-DB snapshot; prefer -data-dir)")
+	dataDir := flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); the device database survives crashes")
+	checkpointEvery := flag.Duration("checkpoint-interval", time.Minute, "with -data-dir: snapshot the database and trim the log this often (0 = only at shutdown)")
+	fsyncPolicy := flag.String("fsync", "group", "with -data-dir: fsync policy — group (batched group commit), always (fsync per commit), none")
 	introspect := flag.Bool("introspect", true, "publish the sys.<user> introspection service (Services/Methods/Metrics)")
 	routeCacheTTL := flag.Duration("route-cache", 2*time.Second, "engine directory route cache TTL (0 disables)")
 	flag.Parse()
 	if *user == "" {
 		log.Fatal("sydnode: -user is required")
+	}
+	sync, err := wal.ParseSyncPolicy(*fsyncPolicy)
+	if err != nil {
+		log.Fatalf("sydnode: %v", err)
 	}
 
 	opts := []core.Option{
@@ -42,6 +50,9 @@ func main() {
 	}
 	if *introspect {
 		opts = append(opts, core.WithIntrospection())
+	}
+	if *dataDir != "" {
+		opts = append(opts, core.WithDurability(*dataDir, sync, *checkpointEvery))
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	node, err := core.Start(ctx, core.Config{
@@ -61,6 +72,10 @@ func main() {
 	cal, err := calendar.New(context.Background(), node, calendar.WithNotifier(notify.NewWriter(os.Stdout)))
 	if err != nil {
 		log.Fatalf("sydnode: calendar: %v", err)
+	}
+	if *statePath != "" && *dataDir != "" {
+		log.Printf("sydnode: -data-dir set; ignoring legacy -state %s", *statePath)
+		*statePath = ""
 	}
 	if *statePath != "" {
 		if data, rerr := os.ReadFile(*statePath); rerr == nil {

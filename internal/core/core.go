@@ -24,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Config describes a node to start.
@@ -66,6 +67,18 @@ type Config struct {
 	// PublishIntrospection publishes the sys.<user> introspection
 	// service (Services/Methods/Metrics) in the directory.
 	PublishIntrospection bool
+	// DataDir, when set, makes the device database durable: every
+	// committed mutation goes through a write-ahead log under this
+	// directory, and Start recovers checkpoint + log tail from it (the
+	// durability the paper's prototype delegated to Oracle, §5.3).
+	DataDir string
+	// CheckpointEvery (with DataDir) snapshots the database and trims
+	// the log periodically when > 0.
+	CheckpointEvery time.Duration
+	// WALSync is the log's fsync policy (group commit by default).
+	WALSync wal.SyncPolicy
+	// WALFlushEvery widens group-commit batches; see wal.Options.
+	WALFlushEvery time.Duration
 }
 
 // Option mutates a Config before the node boots — the functional-
@@ -97,6 +110,17 @@ func WithIntrospection() Option {
 	return func(c *Config) { c.PublishIntrospection = true }
 }
 
+// WithDurability stores the device database durably under dataDir with
+// the given fsync policy, checkpointing every checkpointEvery (0
+// disables periodic checkpoints; Close still takes a final one).
+func WithDurability(dataDir string, sync wal.SyncPolicy, checkpointEvery time.Duration) Option {
+	return func(c *Config) {
+		c.DataDir = dataDir
+		c.WALSync = sync
+		c.CheckpointEvery = checkpointEvery
+	}
+}
+
 // Node is a running SyD device node.
 type Node struct {
 	User string
@@ -108,6 +132,9 @@ type Node struct {
 	Links    *links.Manager
 	Dir      *directory.Client
 	Clock    clock.Clock
+	// Durable is the database's durability layer when Config.DataDir
+	// was set (nil otherwise). Node.Close checkpoints and closes it.
+	Durable *wal.Durable
 
 	cfg Config
 	ln  transport.Listener
@@ -132,7 +159,30 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		clk = clock.System
 	}
 
+	// The device database: durable (recovered from DataDir) or plain
+	// in-memory. Recovery runs before the kernel modules attach, so
+	// links/calendar find their tables already populated and their
+	// CreateTable calls become no-ops instead of re-logged DDL.
+	var durable *wal.Durable
 	db := store.NewDB()
+	if cfg.DataDir != "" {
+		var err error
+		durable, err = wal.Open(cfg.DataDir, wal.Options{
+			Sync:       cfg.WALSync,
+			FlushEvery: cfg.WALFlushEvery,
+			Metrics:    cfg.Metrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: open data dir: %w", err)
+		}
+		db = durable.DB
+	}
+	// closeDurable undoes the open on any failed boot path.
+	closeDurable := func() {
+		if durable != nil {
+			_ = durable.Close()
+		}
+	}
 	// Server chain: metrics outermost (it should observe auth
 	// rejections and user-middleware effects), then user middleware,
 	// then the listener's stock AuthMiddleware.
@@ -152,6 +202,7 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		// port; sim: unique name).
 		ln, err = cfg.Net.Listen(":0", lis)
 		if err != nil {
+			closeDurable()
 			return nil, fmt.Errorf("core: listen: %w", err)
 		}
 	}
@@ -181,6 +232,7 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 	lm, err := links.NewManager(cfg.User, db, eng, clk)
 	if err != nil {
 		ln.Close()
+		closeDurable()
 		return nil, err
 	}
 
@@ -193,26 +245,31 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		Links:    lm,
 		Dir:      dir,
 		Clock:    clk,
+		Durable:  durable,
 		cfg:      cfg,
 		ln:       ln,
 	}
 
 	if err := dir.RegisterUser(ctx, cfg.User, ln.Addr(), cfg.Priority); err != nil {
 		ln.Close()
+		closeDurable()
 		return nil, fmt.Errorf("core: register user: %w", err)
 	}
 	// Publish the kernel services every node exposes.
 	if err := n.RegisterService(ctx, links.ServiceFor(cfg.User), lm.Object()); err != nil {
 		ln.Close()
+		closeDurable()
 		return nil, err
 	}
 	if err := n.RegisterService(ctx, event.ServiceFor(cfg.User), events.Object()); err != nil {
 		ln.Close()
+		closeDurable()
 		return nil, err
 	}
 	if cfg.PublishIntrospection {
 		if err := n.RegisterService(ctx, IntrospectionService(cfg.User), listener.Introspection(lis, cfg.Metrics)); err != nil {
 			ln.Close()
+			closeDurable()
 			return nil, err
 		}
 	}
@@ -230,6 +287,11 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 			defer cancel()
 			_ = lm.ExpireSweep(swCtx, now)
 			_ = lm.RetryPendingDeletes(swCtx)
+		})
+	}
+	if durable != nil && cfg.CheckpointEvery > 0 {
+		events.Every(cfg.CheckpointEvery, func(time.Time) {
+			_ = durable.Checkpoint()
 		})
 	}
 	return n, nil
@@ -253,9 +315,16 @@ func (n *Node) RegisterService(ctx context.Context, name string, obj *listener.O
 
 // Close marks the node offline in the directory, stops periodic work,
 // and closes the listener. The node's data survives in n.DB (a proxy
-// can adopt it; the device can Start again).
+// can adopt it; the device can Start again); with durability on, Close
+// takes a final checkpoint so restart skips log replay.
 func (n *Node) Close(ctx context.Context) error {
 	_ = n.Dir.SetOffline(ctx, n.User, true)
 	n.Events.Close()
-	return n.ln.Close()
+	err := n.ln.Close()
+	if n.Durable != nil {
+		if derr := n.Durable.Close(); err == nil {
+			err = derr
+		}
+	}
+	return err
 }

@@ -55,6 +55,7 @@ type Layer string
 const (
 	LayerClient Layer = "client" // engine interceptor (includes transport time)
 	LayerServer Layer = "server" // listener middleware (handler time only)
+	LayerWAL    Layer = "wal"    // durability subsystem (internal/wal): commit, fsync, batch, recovery, checkpoint
 )
 
 type seriesKey struct {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -11,6 +12,12 @@ import (
 // and rows, so a device can persist its calendar and link databases
 // across restarts (the prototype relied on Oracle's durability; we
 // provide explicit save/load).
+//
+// Snapshots are deterministic: tables, indexes, and rows are emitted in
+// sorted order (and encoding/json sorts map keys), so two snapshots of
+// equal databases are byte-identical. The WAL checkpointer relies on
+// this to verify recovery: snapshot(recovered) must equal
+// snapshot(reference).
 
 type snapshotDoc struct {
 	Version int             `json:"version"`
@@ -32,7 +39,9 @@ type snapshotSchema struct {
 	Key []string `json:"key"`
 }
 
-// Snapshot writes the entire database to w as JSON.
+// Snapshot writes the entire database to w as JSON. Output is
+// deterministic: tables sorted by name, indexes sorted by column, rows
+// sorted by encoded primary key.
 func (db *DB) Snapshot(w io.Writer) error {
 	db.mu.RLock()
 	tables := make([]*Table, 0, len(db.tables))
@@ -40,6 +49,7 @@ func (db *DB) Snapshot(w io.Writer) error {
 		tables = append(tables, t)
 	}
 	db.mu.RUnlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].schema.Name < tables[j].schema.Name })
 
 	doc := snapshotDoc{Version: 1}
 	for _, t := range tables {
@@ -56,18 +66,21 @@ func (db *DB) Snapshot(w io.Writer) error {
 		for col := range t.indexes {
 			st.Indexes = append(st.Indexes, col)
 		}
-		for _, r := range t.rows {
+		keys := make([]string, 0, len(t.rows))
+		for k := range t.rows {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			r := t.rows[rowKey(k)]
 			enc := make(map[string]any, len(r))
 			for c, v := range r {
-				if ts, ok := v.(time.Time); ok {
-					enc[c] = ts.Format(time.RFC3339Nano)
-				} else {
-					enc[c] = v
-				}
+				enc[c] = EncodeValue(v)
 			}
 			st.Rows = append(st.Rows, enc)
 		}
 		t.mu.RUnlock()
+		sort.Strings(st.Indexes)
 		doc.Tables = append(doc.Tables, st)
 	}
 	e := json.NewEncoder(w)
@@ -75,8 +88,10 @@ func (db *DB) Snapshot(w io.Writer) error {
 }
 
 // Restore loads a Snapshot into a fresh DB. Tables in the snapshot must
-// not already exist.
-func (db *DB) Restore(r io.Reader) error {
+// not already exist. On error, every table this call created is dropped
+// again, so a failed restore leaves the DB as it found it instead of
+// half-populated.
+func (db *DB) Restore(r io.Reader) (err error) {
 	var doc snapshotDoc
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return fmt.Errorf("store: restore: %w", err)
@@ -84,6 +99,12 @@ func (db *DB) Restore(r io.Reader) error {
 	if doc.Version != 1 {
 		return fmt.Errorf("store: restore: unsupported snapshot version %d", doc.Version)
 	}
+	var created []string
+	defer func() {
+		if err != nil {
+			db.dropTables(created)
+		}
+	}()
 	for _, st := range doc.Tables {
 		s := Schema{Name: st.Schema.Name, Key: st.Schema.Key}
 		for _, c := range st.Schema.Columns {
@@ -93,6 +114,7 @@ func (db *DB) Restore(r io.Reader) error {
 		if err != nil {
 			return err
 		}
+		created = append(created, s.Name)
 		for _, enc := range st.Rows {
 			row := make(Row, len(enc))
 			for c, v := range enc {
@@ -100,7 +122,7 @@ func (db *DB) Restore(r io.Reader) error {
 				if !ok {
 					return fmt.Errorf("store: restore: %w: %s.%s", ErrBadColumn, s.Name, c)
 				}
-				dv, err := decodeValue(ct, v)
+				dv, err := DecodeValue(ct, v)
 				if err != nil {
 					return fmt.Errorf("store: restore %s.%s: %w", s.Name, c, err)
 				}
@@ -119,8 +141,19 @@ func (db *DB) Restore(r io.Reader) error {
 	return nil
 }
 
-// decodeValue coerces a JSON-decoded value back to the column's Go type.
-func decodeValue(ct ColType, v any) (any, error) {
+// EncodeValue maps a typed store value to its JSON-safe encoding
+// (time.Time becomes RFC3339Nano; everything else passes through). The
+// snapshot writer and the WAL record encoder share it.
+func EncodeValue(v any) any {
+	if ts, ok := v.(time.Time); ok {
+		return ts.Format(time.RFC3339Nano)
+	}
+	return v
+}
+
+// DecodeValue coerces a JSON-decoded value back to the column's Go
+// type — the inverse of EncodeValue, given the schema's column type.
+func DecodeValue(ct ColType, v any) (any, error) {
 	switch ct {
 	case String:
 		s, ok := v.(string)

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -136,6 +137,11 @@ var (
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// logger, when set, receives every committed mutation (see
+	// logger.go). Held in an atomic pointer so the hot mutation path
+	// never takes db.mu just to check for it.
+	logger atomic.Pointer[loggerBox]
 }
 
 // NewDB creates an empty database.
@@ -145,16 +151,28 @@ func NewDB() *DB {
 
 // CreateTable adds a table with the given schema.
 func (db *DB) CreateTable(s Schema) (*Table, error) {
+	return db.createTable(s, true)
+}
+
+func (db *DB) createTable(s Schema, logit bool) (*Table, error) {
 	if err := validateSchema(s); err != nil {
 		return nil, err
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, ok := db.tables[s.Name]; ok {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrDupTable, s.Name)
 	}
 	t := newTable(db, s)
 	db.tables[s.Name] = t
+	db.mu.Unlock()
+	if logit {
+		if l := db.currentLogger(); l != nil {
+			if err := l.LogDDLTable(s)(); err != nil {
+				return t, fmt.Errorf("store: log create table %s: %w", s.Name, err)
+			}
+		}
+	}
 	return t, nil
 }
 
@@ -369,12 +387,16 @@ func (t *Table) fire(timing Timing, op Op, old, new Row) error {
 
 // CreateIndex builds a secondary index on column col.
 func (t *Table) CreateIndex(col string) error {
+	return t.createIndex(col, true)
+}
+
+func (t *Table) createIndex(col string, logit bool) error {
 	if _, ok := t.cols[col]; !ok {
 		return fmt.Errorf("%w: %q", ErrBadColumn, col)
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if _, ok := t.indexes[col]; ok {
+		t.mu.Unlock()
 		return nil // idempotent
 	}
 	idx := make(map[any]map[rowKey]struct{})
@@ -386,6 +408,14 @@ func (t *Table) CreateIndex(col string) error {
 		idx[v][k] = struct{}{}
 	}
 	t.indexes[col] = idx
+	t.mu.Unlock()
+	if logit {
+		if l := t.db.currentLogger(); l != nil {
+			if err := l.LogDDLIndex(t.schema.Name, col)(); err != nil {
+				return fmt.Errorf("store: log create index %s.%s: %w", t.schema.Name, col, err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -412,7 +442,12 @@ func (t *Table) indexRemove(k rowKey, r Row) {
 }
 
 // Insert adds a new row.
-func (t *Table) Insert(r Row) error {
+func (t *Table) Insert(r Row) error { return t.insert(r, true, true) }
+
+// insert is the shared insert path. fire controls ECA triggers, logit
+// controls mutation logging (a Tx logs its unit itself; replay logs
+// nothing).
+func (t *Table) insert(r Row, fire, logit bool) error {
 	if err := t.checkTypes(r, true); err != nil {
 		return err
 	}
@@ -421,8 +456,10 @@ func (t *Table) Insert(r Row) error {
 	if err != nil {
 		return err
 	}
-	if err := t.fire(Before, OpInsert, nil, row.Clone()); err != nil {
-		return err
+	if fire {
+		if err := t.fire(Before, OpInsert, nil, row.Clone()); err != nil {
+			return err
+		}
 	}
 	t.mu.Lock()
 	if _, exists := t.rows[k]; exists {
@@ -431,8 +468,20 @@ func (t *Table) Insert(r Row) error {
 	}
 	t.rows[k] = row
 	t.indexAdd(k, row)
+	var ack Ack
+	if logit {
+		ack = t.db.logOne(LoggedOp{Table: t.schema.Name, Op: OpInsert, Row: row.Clone()})
+	}
 	t.mu.Unlock()
-	return t.fire(After, OpInsert, nil, row.Clone())
+	if ack != nil {
+		if err := ack(); err != nil {
+			return err
+		}
+	}
+	if fire {
+		return t.fire(After, OpInsert, nil, row.Clone())
+	}
+	return nil
 }
 
 // Get fetches the row whose primary-key columns equal keyVals (in
@@ -461,6 +510,11 @@ func (t *Table) Get(keyVals ...any) (Row, bool) {
 // Update applies changes to the row identified by keyVals. Primary-key
 // columns cannot change.
 func (t *Table) Update(changes Row, keyVals ...any) error {
+	return t.update(changes, keyVals, true, true)
+}
+
+// update is the shared update path; see insert for fire/logit.
+func (t *Table) update(changes Row, keyVals []any, fire, logit bool) error {
 	if err := t.checkTypes(changes, false); err != nil {
 		return err
 	}
@@ -495,8 +549,10 @@ func (t *Table) Update(changes Row, keyVals ...any) error {
 	for c, v := range changes {
 		next[c] = v
 	}
-	if err := t.fire(Before, OpUpdate, old.Clone(), next.Clone()); err != nil {
-		return err
+	if fire {
+		if err := t.fire(Before, OpUpdate, old.Clone(), next.Clone()); err != nil {
+			return err
+		}
 	}
 
 	t.mu.Lock()
@@ -512,12 +568,29 @@ func (t *Table) Update(changes Row, keyVals ...any) error {
 	}
 	t.rows[k] = stored
 	t.indexAdd(k, stored)
+	var ack Ack
+	if logit {
+		ack = t.db.logOne(LoggedOp{Table: t.schema.Name, Op: OpUpdate, Row: changes.Clone(), Key: append([]any(nil), keyVals...)})
+	}
 	t.mu.Unlock()
-	return t.fire(After, OpUpdate, old, stored.Clone())
+	if ack != nil {
+		if err := ack(); err != nil {
+			return err
+		}
+	}
+	if fire {
+		return t.fire(After, OpUpdate, old, stored.Clone())
+	}
+	return nil
 }
 
 // Delete removes the row identified by keyVals.
 func (t *Table) Delete(keyVals ...any) error {
+	return t.delete(keyVals, true, true)
+}
+
+// delete is the shared delete path; see insert for fire/logit.
+func (t *Table) delete(keyVals []any, fire, logit bool) error {
 	probe := make(Row)
 	for i, kc := range t.schema.Key {
 		if i >= len(keyVals) {
@@ -539,8 +612,10 @@ func (t *Table) Delete(keyVals ...any) error {
 	if !ok {
 		return fmt.Errorf("%w: %s[%s]", ErrNoRow, t.schema.Name, k)
 	}
-	if err := t.fire(Before, OpDelete, old.Clone(), nil); err != nil {
-		return err
+	if fire {
+		if err := t.fire(Before, OpDelete, old.Clone(), nil); err != nil {
+			return err
+		}
 	}
 	t.mu.Lock()
 	cur, ok = t.rows[k]
@@ -550,8 +625,20 @@ func (t *Table) Delete(keyVals ...any) error {
 	}
 	delete(t.rows, k)
 	t.indexRemove(k, cur)
+	var ack Ack
+	if logit {
+		ack = t.db.logOne(LoggedOp{Table: t.schema.Name, Op: OpDelete, Key: append([]any(nil), keyVals...)})
+	}
 	t.mu.Unlock()
-	return t.fire(After, OpDelete, old, nil)
+	if ack != nil {
+		if err := ack(); err != nil {
+			return err
+		}
+	}
+	if fire {
+		return t.fire(After, OpDelete, old, nil)
+	}
+	return nil
 }
 
 // Select returns clones of all rows matching pred (nil pred = all),

@@ -13,11 +13,15 @@ import (
 // Tx takes a whole-DB writer lock for its lifetime (single-writer,
 // which matches the prototype's one-user-per-device model) and records
 // an undo log; Rollback replays the log in reverse.
+// A Tx is logged as ONE atomic unit: its ops are buffered and handed
+// to the DB's MutationLogger only at Commit, so a write-ahead log can
+// replay "all of it or none of it". Undo actions never log.
 type Tx struct {
 	db   *DB
 	mu   sync.Mutex
 	done bool
 	undo []func() error
+	ops  []LoggedOp
 }
 
 // Begin starts a transaction.
@@ -36,14 +40,15 @@ func (tx *Tx) Insert(table string, r Row) error {
 	if err != nil {
 		return err
 	}
-	if err := t.Insert(r); err != nil {
+	if err := t.insert(r, true, false); err != nil {
 		return err
 	}
 	keyVals, err := t.keyValsOf(r)
 	if err != nil {
 		return err
 	}
-	tx.undo = append(tx.undo, func() error { return t.Delete(keyVals...) })
+	tx.undo = append(tx.undo, func() error { return t.delete(keyVals, true, false) })
+	tx.ops = append(tx.ops, LoggedOp{Table: table, Op: OpInsert, Row: r.Clone()})
 	return nil
 }
 
@@ -63,14 +68,15 @@ func (tx *Tx) Update(table string, changes Row, keyVals ...any) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoRow, table)
 	}
-	if err := t.Update(changes, keyVals...); err != nil {
+	if err := t.update(changes, keyVals, true, false); err != nil {
 		return err
 	}
 	restore := make(Row, len(changes))
 	for c := range changes {
 		restore[c] = old[c]
 	}
-	tx.undo = append(tx.undo, func() error { return t.Update(restore, keyVals...) })
+	tx.undo = append(tx.undo, func() error { return t.update(restore, keyVals, true, false) })
+	tx.ops = append(tx.ops, LoggedOp{Table: table, Op: OpUpdate, Row: changes.Clone(), Key: append([]any(nil), keyVals...)})
 	return nil
 }
 
@@ -90,14 +96,18 @@ func (tx *Tx) Delete(table string, keyVals ...any) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoRow, table)
 	}
-	if err := t.Delete(keyVals...); err != nil {
+	if err := t.delete(keyVals, true, false); err != nil {
 		return err
 	}
-	tx.undo = append(tx.undo, func() error { return t.Insert(old) })
+	tx.undo = append(tx.undo, func() error { return t.insert(old, true, false) })
+	tx.ops = append(tx.ops, LoggedOp{Table: table, Op: OpDelete, Key: append([]any(nil), keyVals...)})
 	return nil
 }
 
-// Commit finalizes the transaction, discarding the undo log.
+// Commit finalizes the transaction: its buffered ops are handed to the
+// DB's mutation logger as one atomic unit, then the undo log is
+// discarded. A logging error is returned but the in-memory changes
+// stand (the caller decides whether lost durability is fatal).
 func (tx *Tx) Commit() error {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -106,6 +116,13 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	tx.undo = nil
+	ops := tx.ops
+	tx.ops = nil
+	if len(ops) > 0 {
+		if l := tx.db.currentLogger(); l != nil {
+			return l.LogTx(ops)()
+		}
+	}
 	return nil
 }
 
@@ -126,6 +143,7 @@ func (tx *Tx) Rollback() error {
 		}
 	}
 	tx.undo = nil
+	tx.ops = nil
 	return firstErr
 }
 

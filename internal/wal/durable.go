@@ -1,0 +1,233 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// Durable is a store.DB with a write-ahead log under it: every
+// committed mutation is appended (and fsynced per the sync policy)
+// before the mutating call returns, and Open recovers the database
+// from the newest valid checkpoint snapshot plus the log tail.
+//
+// Data directory layout:
+//
+//	<dir>/wal-<firstLSN:016x>.log        log segments
+//	<dir>/checkpoint-<lsn:016x>.snap     checkpoint snapshots
+//
+// Only the newest checkpoint is kept; log segments wholly below it are
+// deleted when it commits.
+type Durable struct {
+	// DB is the live database. Use it exactly like a plain store.DB —
+	// the log rides on the store's MutationLogger hook.
+	DB *store.DB
+
+	dir string
+	wal *WAL
+
+	// cpMu serializes checkpoints (timer vs shutdown).
+	cpMu sync.Mutex
+}
+
+// Open recovers (or initializes) the data directory and returns a
+// durable database: restore the newest valid checkpoint, replay the
+// log tail above it skipping incomplete trailing records, then attach
+// the log so new mutations append.
+func Open(dir string, opt Options) (*Durable, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("wal: data directory required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	start := time.Now()
+	db := store.NewDB()
+	cpLSN, err := restoreNewestCheckpoint(dir, db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Replay(dir, db, cpLSN)
+	if err != nil {
+		return nil, err
+	}
+	w, err := openWAL(dir, opt, res.LastLSN+1)
+	if err != nil {
+		return nil, err
+	}
+	w.recov = Stats{
+		ReplayedRecords:  uint64(res.Records),
+		ReplayedTxs:      uint64(res.Txs),
+		TornTail:         res.TornTail,
+		SkippedTailBytes: uint64(res.SkippedBytes),
+		RecoveryDuration: time.Since(start),
+		CheckpointLSN:    cpLSN,
+	}
+	if opt.Metrics != nil {
+		opt.Metrics.Observe(metrics.LayerWAL, walService, "recovery", okCode, w.recov.RecoveryDuration)
+	}
+	d := &Durable{DB: db, dir: dir, wal: w}
+	db.SetLogger(d)
+	return d, nil
+}
+
+// LogDDLTable implements store.MutationLogger.
+func (d *Durable) LogDDLTable(s store.Schema) store.Ack {
+	return store.Ack(d.wal.append(record{Kind: kindTable, Schema: schemaToDoc(s)}))
+}
+
+// LogDDLIndex implements store.MutationLogger.
+func (d *Durable) LogDDLIndex(table, col string) store.Ack {
+	return store.Ack(d.wal.append(record{Kind: kindIndex, Table: table, Col: col}))
+}
+
+// LogTx implements store.MutationLogger.
+func (d *Durable) LogTx(ops []store.LoggedOp) store.Ack {
+	rec := record{Kind: kindTx, Ops: make([]opDoc, 0, len(ops))}
+	for _, op := range ops {
+		rec.Ops = append(rec.Ops, opToDoc(op))
+	}
+	return store.Ack(d.wal.append(rec))
+}
+
+// checkpointName returns the snapshot file name for lsn.
+func checkpointName(lsn uint64) string {
+	return fmt.Sprintf("checkpoint-%016x.snap", lsn)
+}
+
+// parseCheckpointName extracts the LSN from a checkpoint file name.
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".snap"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// listCheckpoints returns checkpoint files sorted newest-first.
+func listCheckpoints(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var cps []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if lsn, ok := parseCheckpointName(e.Name()); ok {
+			cps = append(cps, segmentInfo{first: lsn, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(cps, func(i, j int) bool { return cps[i].first > cps[j].first })
+	return cps, nil
+}
+
+// restoreNewestCheckpoint loads the newest checkpoint that restores
+// cleanly into db and returns its LSN (0 when none). A corrupt newer
+// checkpoint is skipped — store.Restore rolls back its partial tables,
+// so trying the next-older one starts from a clean DB.
+func restoreNewestCheckpoint(dir string, db *store.DB) (uint64, error) {
+	cps, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, cp := range cps {
+		data, err := os.ReadFile(cp.path)
+		if err != nil {
+			continue
+		}
+		if err := db.Restore(bytes.NewReader(data)); err != nil {
+			continue // rolled back; try an older checkpoint
+		}
+		return cp.first, nil
+	}
+	return 0, nil
+}
+
+// Checkpoint writes a snapshot of the current database, fsyncs it into
+// place, and trims log segments (and older checkpoints) below it.
+// Concurrent mutations are safe: the snapshot may include effects of
+// records above its LSN, which replay tolerates.
+func (d *Durable) Checkpoint() error {
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+	start := time.Now()
+	cpLSN := d.wal.LastLSN()
+
+	var buf bytes.Buffer
+	if err := d.DB.Snapshot(&buf); err != nil {
+		return fmt.Errorf("wal: checkpoint snapshot: %w", err)
+	}
+	final := filepath.Join(d.dir, checkpointName(cpLSN))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := syncDir(d.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint dir sync: %w", err)
+	}
+
+	// The checkpoint is durable; everything below it is redundant.
+	if err := d.wal.trimBelow(cpLSN + 1); err != nil {
+		return err
+	}
+	cps, err := listCheckpoints(d.dir)
+	if err != nil {
+		return err
+	}
+	for _, cp := range cps {
+		if cp.first < cpLSN {
+			_ = os.Remove(cp.path)
+		}
+	}
+	d.wal.stats.checkpoints.Add(1)
+	if d.wal.opt.Metrics != nil {
+		d.wal.opt.Metrics.Observe(metrics.LayerWAL, walService, "checkpoint", okCode, time.Since(start))
+	}
+	return nil
+}
+
+// Stats snapshots the log's counters.
+func (d *Durable) Stats() Stats { return d.wal.Stats() }
+
+// Close checkpoints (best effort — the log alone already carries every
+// committed mutation) and closes the log. The DB stays readable.
+func (d *Durable) Close() error {
+	d.DB.SetLogger(nil)
+	cpErr := d.Checkpoint()
+	if err := d.wal.Close(); err != nil {
+		return err
+	}
+	return cpErr
+}

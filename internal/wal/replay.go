@@ -1,0 +1,154 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/store"
+)
+
+// ReplayResult describes what a log replay did.
+type ReplayResult struct {
+	// LastLSN is the highest LSN applied (or skipped as already
+	// covered); 0 when the log was empty.
+	LastLSN uint64
+	// Records and Txs count applied records / tx units.
+	Records, Txs int
+	// TornTail is true when replay stopped at an incomplete or corrupt
+	// record; SkippedBytes is how much of the log it discarded.
+	TornTail     bool
+	SkippedBytes int64
+}
+
+// Replay applies every complete log record with LSN > after to db, in
+// order, stopping at the first torn or corrupt record (everything
+// after a tear is untrusted, including later segments). Mutations are
+// applied without firing triggers or re-logging.
+//
+// Replay is tolerant of a checkpoint snapshot that is slightly ahead
+// of its recorded LSN (a mutation can reach the in-memory store just
+// before its record is assigned): an insert over an existing row
+// overwrites it, and an update/delete of a missing row is skipped —
+// the later records that explain the mismatch are in the tail and
+// replay in order.
+func Replay(dir string, db *store.DB, after uint64) (ReplayResult, error) {
+	var res ReplayResult
+	res.LastLSN = after
+	segs, err := listSegments(dir)
+	if err != nil {
+		return res, err
+	}
+	for i, seg := range segs {
+		// Skip segments that end at or below the checkpoint.
+		if i+1 < len(segs) && segs[i+1].first <= after+1 {
+			continue
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return res, fmt.Errorf("wal: replay %s: %w", seg.path, err)
+		}
+		off := 0
+		for {
+			payload, n, err := nextFrame(data[off:])
+			if err != nil {
+				if errors.Is(err, errTorn) {
+					res.TornTail = true
+					res.SkippedBytes += tailBytes(segs, i, int64(len(data)-off))
+					return res, nil
+				}
+				break // io.EOF: clean end of segment
+			}
+			rec, derr := decodeRecord(payload)
+			if derr != nil || (res.LastLSN > 0 && rec.LSN != res.LastLSN+1 && rec.LSN > after) {
+				// Undecodable or out-of-sequence: treat like a tear.
+				res.TornTail = true
+				res.SkippedBytes += tailBytes(segs, i, int64(len(data)-off))
+				return res, nil
+			}
+			off += n
+			if rec.LSN <= after {
+				continue
+			}
+			if err := applyRecord(db, rec); err != nil {
+				return res, err
+			}
+			res.LastLSN = rec.LSN
+			res.Records++
+			if rec.Kind == kindTx {
+				res.Txs++
+			}
+		}
+	}
+	return res, nil
+}
+
+// tailBytes sums the discarded remainder of the current segment plus
+// every later segment (untrusted once a tear is seen).
+func tailBytes(segs []segmentInfo, i int, rest int64) int64 {
+	total := rest
+	for _, s := range segs[i+1:] {
+		if fi, err := os.Stat(s.path); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// applyRecord applies one record to db with upsert/skip tolerance (see
+// Replay).
+func applyRecord(db *store.DB, rec record) error {
+	switch rec.Kind {
+	case kindTable:
+		if rec.Schema == nil {
+			return fmt.Errorf("wal: record %d: table record without schema", rec.LSN)
+		}
+		err := db.ApplyDDLTable(docToSchema(rec.Schema))
+		if errors.Is(err, store.ErrDupTable) {
+			return nil // snapshot already has it
+		}
+		return err
+	case kindIndex:
+		return db.ApplyDDLIndex(rec.Table, rec.Col) // CreateIndex is idempotent
+	case kindTx:
+		for _, doc := range rec.Ops {
+			op, err := docToOp(db, doc)
+			if err != nil {
+				return fmt.Errorf("wal: record %d: %w", rec.LSN, err)
+			}
+			if err := applyOp(db, op); err != nil {
+				return fmt.Errorf("wal: record %d: %w", rec.LSN, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("wal: record %d: unknown kind %q", rec.LSN, rec.Kind)
+}
+
+// applyOp applies one op tolerantly: insert upserts, update/delete of
+// a missing row is a no-op.
+func applyOp(db *store.DB, op store.LoggedOp) error {
+	err := db.ApplyLogged([]store.LoggedOp{op})
+	switch {
+	case err == nil:
+		return nil
+	case op.Op == store.OpInsert && errors.Is(err, store.ErrDupKey):
+		// Upsert: replace the existing row with the logged one.
+		t, terr := db.Table(op.Table)
+		if terr != nil {
+			return terr
+		}
+		var key []any
+		for _, k := range t.Schema().Key {
+			key = append(key, op.Row[k])
+		}
+		del := store.LoggedOp{Table: op.Table, Op: store.OpDelete, Key: key}
+		if err := db.ApplyLogged([]store.LoggedOp{del, op}); err != nil {
+			return err
+		}
+		return nil
+	case op.Op != store.OpInsert && errors.Is(err, store.ErrNoRow):
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,512 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Metric series identifiers: the WAL reports under its own layer with
+// a fixed pseudo-service, methods commit/fsync/batch/recovery/
+// checkpoint.
+const walService = "wal"
+
+var (
+	okCode  = wire.CodeOK
+	errCode = wire.ErrCode("io")
+)
+
+// SyncPolicy says when appended records are fsynced.
+type SyncPolicy int
+
+// Sync policies.
+const (
+	// SyncGroup (default) is group commit: a background flusher writes
+	// every queued record in one write(2) and covers the whole batch
+	// with a single fsync; all committers in the batch share it.
+	SyncGroup SyncPolicy = iota
+	// SyncPerCommit writes and fsyncs every record individually — the
+	// classic slow-but-simple policy, kept as the benchmark baseline.
+	SyncPerCommit
+	// SyncNone never fsyncs; the OS flushes when it pleases. Fastest,
+	// loses the last few seconds on a machine crash (not on a process
+	// crash — the write(2) still happened).
+	SyncNone
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncGroup:
+		return "group"
+	case SyncPerCommit:
+		return "always"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "group", "":
+		return SyncGroup, nil
+	case "always", "percommit", "per-commit":
+		return SyncPerCommit, nil
+	case "none", "off":
+		return SyncNone, nil
+	}
+	return SyncGroup, fmt.Errorf("wal: unknown fsync policy %q (want group, always, or none)", s)
+}
+
+// Options tune the log. The zero value is usable.
+type Options struct {
+	// SegmentBytes rotates to a new segment file once the current one
+	// reaches this size. Default 4 MiB.
+	SegmentBytes int64
+	// FlushEvery, when > 0 under SyncGroup, waits this long after the
+	// first enqueue before flushing, trading commit latency for larger
+	// fsync batches. 0 flushes as soon as the flusher is free (batches
+	// still form naturally while an fsync is in flight).
+	FlushEvery time.Duration
+	// Sync is the fsync policy.
+	Sync SyncPolicy
+	// Metrics, when set, receives wal-layer commit/fsync/batch series.
+	Metrics *metrics.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("wal: closed")
+
+// Stats are the log's cumulative counters. Histogram-shaped series
+// (commit latency, fsync latency, batch size) go to Options.Metrics;
+// these are the cheap always-on counters.
+type Stats struct {
+	Appends      uint64 // records appended (acked or pending)
+	Fsyncs       uint64 // fsync(2) calls
+	Batches      uint64 // flusher batches written
+	MaxBatch     uint64 // largest records-per-fsync batch seen
+	BytesWritten uint64 // framed bytes written
+	Rotations    uint64 // segment rotations
+	Trims        uint64 // segments deleted by checkpoints
+	LastLSN      uint64 // highest assigned LSN
+
+	// Recovery-side (filled by Open).
+	ReplayedRecords  uint64
+	ReplayedTxs      uint64
+	TornTail         bool
+	SkippedTailBytes uint64
+	RecoveryDuration time.Duration
+	CheckpointLSN    uint64 // LSN of the checkpoint recovery started from
+	Checkpoints      uint64 // checkpoints taken since open
+}
+
+type statCounters struct {
+	appends, fsyncs, batches, maxBatch, bytes, rotations, trims atomic.Uint64
+	checkpoints                                                 atomic.Uint64
+}
+
+// pending is one enqueued record waiting for the flusher.
+type pending struct {
+	lsn     uint64
+	payload []byte
+	start   time.Time
+	done    chan error
+}
+
+// WAL is the append-only log. Appends may come from any goroutine; a
+// single flusher goroutine owns the file.
+type WAL struct {
+	dir string
+	opt Options
+
+	// mu guards the enqueue side: LSN assignment, the queue, closed.
+	mu      sync.Mutex
+	queue   []*pending
+	nextLSN uint64
+	closed  bool
+
+	// ioMu guards the file side: current segment, rotation, trimming.
+	ioMu     sync.Mutex
+	f        *os.File
+	segSize  int64
+	segFirst uint64
+
+	kick    chan struct{}
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+
+	stats statCounters
+	recov Stats // recovery-side stats copied in by Open
+}
+
+// openWAL opens the log for appending, starting a fresh segment whose
+// first LSN is nextLSN (recovery has already replayed everything
+// below). An existing file with the same name can only be a segment
+// whose every record was torn, so truncating it is safe.
+func openWAL(dir string, opt Options, nextLSN uint64) (*WAL, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{
+		dir:     dir,
+		opt:     opt,
+		nextLSN: nextLSN,
+		kick:    make(chan struct{}, 1),
+		closeCh: make(chan struct{}),
+	}
+	if err := w.openSegment(nextLSN); err != nil {
+		return nil, err
+	}
+	w.wg.Add(1)
+	go w.flushLoop()
+	return w, nil
+}
+
+// segmentName returns the file name of the segment starting at lsn.
+func segmentName(lsn uint64) string {
+	return fmt.Sprintf("wal-%016x.log", lsn)
+}
+
+// parseSegmentName extracts the first LSN from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// listSegments returns the directory's segment files sorted by first
+// LSN.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if lsn, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segmentInfo{first: lsn, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+type segmentInfo struct {
+	first uint64
+	path  string
+}
+
+// openSegment creates (or truncates) the segment starting at first and
+// makes it current. Caller must not hold ioMu.
+func (w *WAL) openSegment(first uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(first)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.ioMu.Lock()
+	w.f = f
+	w.segSize = 0
+	w.segFirst = first
+	w.ioMu.Unlock()
+	return syncDir(w.dir)
+}
+
+// syncDir fsyncs the directory so newly created/renamed files survive
+// a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// append enqueues one record and returns an ack that blocks until it
+// is durable per the sync policy. It never blocks on I/O itself, so it
+// is safe to call under store locks.
+func (w *WAL) append(rec record) func() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return func() error { return ErrClosed }
+	}
+	rec.LSN = w.nextLSN
+	w.nextLSN++
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		w.mu.Unlock()
+		return func() error { return err }
+	}
+	p := &pending{lsn: rec.LSN, payload: payload, start: time.Now(), done: make(chan error, 1)}
+	w.queue = append(w.queue, p)
+	w.mu.Unlock()
+	w.stats.appends.Add(1)
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	return func() error {
+		err := <-p.done
+		if w.opt.Metrics != nil {
+			code := okCode
+			if err != nil {
+				code = errCode
+			}
+			w.opt.Metrics.Observe(metrics.LayerWAL, walService, "commit", code, time.Since(p.start))
+		}
+		return err
+	}
+}
+
+// LastLSN reports the highest assigned LSN.
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// flushLoop is the single writer: it drains the queue into the current
+// segment, rotating and fsyncing per policy.
+func (w *WAL) flushLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.kick:
+		case <-w.closeCh:
+			w.flushOnce() // final drain
+			return
+		}
+		if w.opt.Sync == SyncGroup && w.opt.FlushEvery > 0 {
+			time.Sleep(w.opt.FlushEvery) // widen the batch
+		}
+		w.flushOnce()
+	}
+}
+
+// flushOnce writes and syncs everything currently queued.
+func (w *WAL) flushOnce() {
+	w.mu.Lock()
+	batch := w.queue
+	w.queue = nil
+	w.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	w.ioMu.Lock()
+	err := w.writeBatchLocked(batch)
+	w.ioMu.Unlock()
+	if err != nil {
+		// writeBatchLocked acked everything it finished; whatever is
+		// left gets the error.
+		for _, p := range batch {
+			select {
+			case p.done <- err:
+			default:
+			}
+		}
+	}
+}
+
+// writeBatchLocked writes the batch per the sync policy. On success
+// every pending is acked nil; on error, records written before the
+// failure are acked per policy and the caller propagates the error to
+// the rest.
+func (w *WAL) writeBatchLocked(batch []*pending) error {
+	w.stats.batches.Add(1)
+	if n := uint64(len(batch)); n > w.stats.maxBatch.Load() {
+		w.stats.maxBatch.Store(n) // approximate under races; fine for stats
+	}
+	if w.opt.Metrics != nil {
+		// The batch series abuses the microsecond buckets as a record
+		// count: 1µs == 1 record per fsync batch.
+		w.opt.Metrics.Observe(metrics.LayerWAL, walService, "batch", okCode, time.Duration(len(batch))*time.Microsecond)
+	}
+
+	if w.opt.Sync == SyncPerCommit {
+		for _, p := range batch {
+			if err := w.rotateIfNeededLocked(p.lsn); err != nil {
+				return err
+			}
+			frame := appendFrame(nil, p.payload)
+			if _, err := w.f.Write(frame); err != nil {
+				return fmt.Errorf("wal: write: %w", err)
+			}
+			w.segSize += int64(len(frame))
+			w.stats.bytes.Add(uint64(len(frame)))
+			if err := w.fsync(); err != nil {
+				return err
+			}
+			p.done <- nil
+		}
+		return nil
+	}
+
+	// Group / none: one buffer, one write, at most one fsync. Rotation
+	// happens at batch boundaries (check against the first record) so
+	// the whole batch lands in one segment.
+	if err := w.rotateIfNeededLocked(batch[0].lsn); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, p := range batch {
+		buf = appendFrame(buf, p.payload)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	w.segSize += int64(len(buf))
+	w.stats.bytes.Add(uint64(len(buf)))
+	if w.opt.Sync == SyncGroup {
+		if err := w.fsync(); err != nil {
+			return err
+		}
+	}
+	for _, p := range batch {
+		p.done <- nil
+	}
+	return nil
+}
+
+// fsync syncs the current segment, recording latency.
+func (w *WAL) fsync() error {
+	start := time.Now()
+	err := w.f.Sync()
+	w.stats.fsyncs.Add(1)
+	if w.opt.Metrics != nil {
+		code := okCode
+		if err != nil {
+			code = errCode
+		}
+		w.opt.Metrics.Observe(metrics.LayerWAL, walService, "fsync", code, time.Since(start))
+	}
+	if err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// rotateIfNeededLocked starts a new segment (named by nextLSN, the
+// first record it will hold) once the current one is full.
+func (w *WAL) rotateIfNeededLocked(nextLSN uint64) error {
+	if w.segSize < w.opt.SegmentBytes {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate sync: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(nextLSN)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	w.f = f
+	w.segSize = 0
+	w.segFirst = nextLSN
+	w.stats.rotations.Add(1)
+	return syncDir(w.dir)
+}
+
+// trimBelow deletes whole segments every record of which is below
+// keepLSN (covered by a checkpoint). The current segment is never
+// deleted.
+func (w *WAL) trimBelow(keepLSN uint64) error {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	removed := 0
+	for i, s := range segs {
+		if s.first >= w.segFirst {
+			break // current or future segment
+		}
+		// Records in segs[i] span [s.first, next.first): deletable only
+		// if the whole span is below keepLSN.
+		next := w.segFirst
+		if i+1 < len(segs) {
+			next = segs[i+1].first
+		}
+		if next > keepLSN {
+			break
+		}
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("wal: trim: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		w.stats.trims.Add(uint64(removed))
+		return syncDir(w.dir)
+	}
+	return nil
+}
+
+// Close drains the queue, syncs, and closes the current segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.closeCh)
+	w.wg.Wait()
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("wal: close sync: %w", err)
+	}
+	return w.f.Close()
+}
+
+// Stats snapshots the counters.
+func (w *WAL) Stats() Stats {
+	s := w.recov
+	s.Appends = w.stats.appends.Load()
+	s.Fsyncs = w.stats.fsyncs.Load()
+	s.Batches = w.stats.batches.Load()
+	s.MaxBatch = w.stats.maxBatch.Load()
+	s.BytesWritten = w.stats.bytes.Load()
+	s.Rotations = w.stats.rotations.Load()
+	s.Trims = w.stats.trims.Load()
+	s.Checkpoints = w.stats.checkpoints.Load()
+	s.LastLSN = w.LastLSN()
+	return s
+}

@@ -1,0 +1,337 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func testSchema(name string) store.Schema {
+	return store.Schema{
+		Name: name,
+		Columns: []store.Column{
+			{Name: "id", Type: store.Int},
+			{Name: "val", Type: store.String},
+			{Name: "ts", Type: store.Time},
+		},
+		Key: []string{"id"},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opt Options) *Durable {
+	t.Helper()
+	d, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return d
+}
+
+// crash closes the log without checkpointing — what a power cut leaves
+// behind, minus the torn tail (tests that want one truncate the file).
+func crash(t *testing.T, d *Durable) {
+	t.Helper()
+	d.DB.SetLogger(nil)
+	if err := d.wal.Close(); err != nil {
+		t.Fatalf("crash close: %v", err)
+	}
+}
+
+func snapshotOf(t *testing.T, db *store.DB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTripAndTear(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{[]byte("one"), []byte("twotwo"), []byte(`{"x":3}`)}
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	off := 0
+	for i, want := range payloads {
+		got, n, err := nextFrame(buf[off:])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+		off += n
+	}
+	if _, _, err := nextFrame(buf[off:]); err == nil || err.Error() != "EOF" {
+		t.Fatalf("clean end: want io.EOF, got %v", err)
+	}
+	// Every possible truncation of the valid log is a tear or a clean
+	// prefix — never an error, never a bogus frame.
+	for cut := 0; cut < len(buf); cut++ {
+		data := buf[:cut]
+		o := 0
+		for {
+			_, n, err := nextFrame(data[o:])
+			if err != nil {
+				break
+			}
+			o += n
+		}
+		if o > cut {
+			t.Fatalf("cut %d: consumed %d past the cut", cut, o)
+		}
+	}
+	// A flipped byte must fail the checksum of its frame.
+	bad := append([]byte(nil), buf...)
+	bad[frameHeader+1] ^= 0xff
+	if _, _, err := nextFrame(bad); err != errTorn {
+		t.Fatalf("corrupt payload: want errTorn, got %v", err)
+	}
+}
+
+func TestDurableRestartCleanAndCrash(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{})
+	tab, err := d.DB.CreateTable(testSchema("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex("val"); err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	for i := int64(0); i < 10; i++ {
+		if err := tab.Insert(store.Row{"id": i, "val": "v", "ts": ts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.Update(store.Row{"val": "updated"}, int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Delete(int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotOf(t, d.DB)
+
+	// Clean close: checkpoint + trimmed log.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustOpen(t, dir, Options{})
+	if got := snapshotOf(t, d2.DB); !bytes.Equal(got, want) {
+		t.Fatalf("clean restart: snapshot mismatch\ngot  %s\nwant %s", got, want)
+	}
+
+	// Crash (no checkpoint): mutations after the last checkpoint come
+	// back from the log alone.
+	tab2, err := d2.DB.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab2.Insert(store.Row{"id": int64(100), "val": "post-checkpoint", "ts": ts}); err != nil {
+		t.Fatal(err)
+	}
+	want2 := snapshotOf(t, d2.DB)
+	crash(t, d2)
+
+	d3 := mustOpen(t, dir, Options{})
+	defer d3.Close()
+	if got := snapshotOf(t, d3.DB); !bytes.Equal(got, want2) {
+		t.Fatalf("crash restart: snapshot mismatch\ngot  %s\nwant %s", got, want2)
+	}
+	st := d3.Stats()
+	if st.ReplayedRecords == 0 {
+		t.Fatalf("crash restart: expected replayed records, got %+v", st)
+	}
+}
+
+func TestTxUnitIsAtomicAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{Sync: SyncPerCommit})
+	if _, err := d.DB.CreateTable(testSchema("t")); err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Now().UTC()
+	tx := d.DB.Begin()
+	if err := tx.Insert("t", store.Row{"id": int64(1), "val": "a", "ts": ts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("t", store.Row{"id": int64(2), "val": "b", "ts": ts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	full, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(t, d)
+
+	// Chop the last byte: the tx record is torn, so NEITHER row may
+	// survive — multi-row transactions are one atomic unit.
+	if err := os.Truncate(seg, full.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	tab, err := d2.DB.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tab.Count(); n != 0 {
+		t.Fatalf("torn tx replayed partially: %d rows", n)
+	}
+	if st := d2.Stats(); !st.TornTail {
+		t.Fatalf("expected torn tail in stats, got %+v", st)
+	}
+}
+
+func TestRollbackIsNotLogged(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{Sync: SyncPerCommit})
+	if _, err := d.DB.CreateTable(testSchema("t")); err != nil {
+		t.Fatal(err)
+	}
+	tx := d.DB.Begin()
+	if err := tx.Insert("t", store.Row{"id": int64(1), "val": "x", "ts": time.Now().UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	crash(t, d)
+	d2 := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	tab, err := d2.DB.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tab.Count(); n != 0 {
+		t.Fatalf("rolled-back tx resurfaced after recovery: %d rows", n)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{Sync: SyncGroup})
+	tab, err := d.DB.CreateTable(testSchema("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := int64(wr*perWriter + i)
+				if err := tab.Insert(store.Row{"id": id, "val": "v", "ts": time.Unix(0, 0).UTC()}); err != nil {
+					t.Errorf("insert %d: %v", id, err)
+				}
+			}
+		}(wr)
+	}
+	wg.Wait()
+	st := d.Stats()
+	if st.Appends < writers*perWriter {
+		t.Fatalf("appends %d < %d", st.Appends, writers*perWriter)
+	}
+	if st.Fsyncs >= st.Appends {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d appends", st.Fsyncs, st.Appends)
+	}
+	crash(t, d)
+	d2 := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	tab2, err := d2.DB.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tab2.Count(); n != writers*perWriter {
+		t.Fatalf("recovered %d rows, want %d", n, writers*perWriter)
+	}
+}
+
+func TestSegmentRotationAndCheckpointTrim(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{SegmentBytes: 512, Sync: SyncNone})
+	tab, err := d.DB.CreateTable(testSchema("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := tab.Insert(store.Row{"id": i, "val": "rotate-me-please", "ts": time.Unix(0, 0).UTC()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := d.Stats(); st.Rotations == 0 {
+		t.Fatalf("no rotations at 512-byte segments: %+v", st)
+	}
+	segsBefore, _ := listSegments(dir)
+	if len(segsBefore) < 3 {
+		t.Fatalf("want several segments, got %d", len(segsBefore))
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, _ := listSegments(dir)
+	if len(segsAfter) >= len(segsBefore) {
+		t.Fatalf("checkpoint trimmed nothing: %d -> %d segments", len(segsBefore), len(segsAfter))
+	}
+	want := snapshotOf(t, d.DB)
+	crash(t, d)
+	d2 := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if got := snapshotOf(t, d2.DB); !bytes.Equal(got, want) {
+		t.Fatalf("post-trim recovery mismatch")
+	}
+}
+
+func TestCorruptNewestCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{})
+	tab, err := d.DB.CreateTable(testSchema("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(store.Row{"id": int64(1), "val": "keep", "ts": time.Unix(0, 0).UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotOf(t, d.DB)
+	if err := d.Close(); err != nil { // real checkpoint
+		t.Fatal(err)
+	}
+	// A corrupt "newer" checkpoint must be skipped, not trusted.
+	if err := os.WriteFile(filepath.Join(dir, checkpointName(1<<40)), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if got := snapshotOf(t, d2.DB); !bytes.Equal(got, want) {
+		t.Fatalf("fallback recovery mismatch\ngot  %s\nwant %s", got, want)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"group": SyncGroup, "": SyncGroup,
+		"always": SyncPerCommit, "per-commit": SyncPerCommit,
+		"none": SyncNone, "off": SyncNone,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Fatal("ParseSyncPolicy(bogus): want error")
+	}
+}
