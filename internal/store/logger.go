@@ -10,8 +10,9 @@ import "fmt"
 //
 // Framing rules:
 //   - A direct Table.Insert/Update/Delete logs a one-op unit.
-//   - A Tx logs all of its ops as a single atomic unit at Commit;
-//     nothing is logged if it rolls back (undo actions are unlogged).
+//   - A Tx buffers its ops and logs them as a single atomic unit at
+//     Commit, applied and enqueued while every involved table's lock
+//     is held; a rolled-back Tx applies and logs nothing.
 //   - DDL (CreateTable, CreateIndex) is logged as it commits.
 //   - Replay via ApplyLogged/ApplyDDL* bypasses both triggers and the
 //     logger, so recovery never re-logs or double-fires.

@@ -296,6 +296,19 @@ func (t *Table) KeyOf(r Row) (string, error) {
 	return string(k), err
 }
 
+// keyFromVals builds the encoded primary key from key values given in
+// schema key order.
+func (t *Table) keyFromVals(keyVals []any) (rowKey, error) {
+	probe := make(Row, len(t.schema.Key))
+	for i, kc := range t.schema.Key {
+		if i >= len(keyVals) {
+			return "", fmt.Errorf("%w: need %d key values", ErrMissingKey, len(t.schema.Key))
+		}
+		probe[kc] = keyVals[i]
+	}
+	return t.keyOf(probe)
+}
+
 func (t *Table) checkTypes(r Row, requireKey bool) error {
 	for name, v := range r {
 		ct, ok := t.cols[name]
@@ -487,14 +500,7 @@ func (t *Table) insert(r Row, fire, logit bool) error {
 // Get fetches the row whose primary-key columns equal keyVals (in
 // schema key order).
 func (t *Table) Get(keyVals ...any) (Row, bool) {
-	probe := make(Row, len(keyVals))
-	for i, kc := range t.schema.Key {
-		if i >= len(keyVals) {
-			return nil, false
-		}
-		probe[kc] = keyVals[i]
-	}
-	k, err := t.keyOf(probe)
+	k, err := t.keyFromVals(keyVals)
 	if err != nil {
 		return nil, false
 	}
@@ -523,14 +529,7 @@ func (t *Table) update(changes Row, keyVals []any, fire, logit bool) error {
 			return fmt.Errorf("%w: %q", ErrKeyImmutable, kc)
 		}
 	}
-	probe := make(Row)
-	for i, kc := range t.schema.Key {
-		if i >= len(keyVals) {
-			return fmt.Errorf("%w: need %d key values", ErrMissingKey, len(t.schema.Key))
-		}
-		probe[kc] = keyVals[i]
-	}
-	k, err := t.keyOf(probe)
+	k, err := t.keyFromVals(keyVals)
 	if err != nil {
 		return err
 	}
@@ -591,14 +590,7 @@ func (t *Table) Delete(keyVals ...any) error {
 
 // delete is the shared delete path; see insert for fire/logit.
 func (t *Table) delete(keyVals []any, fire, logit bool) error {
-	probe := make(Row)
-	for i, kc := range t.schema.Key {
-		if i >= len(keyVals) {
-			return fmt.Errorf("%w: need %d key values", ErrMissingKey, len(t.schema.Key))
-		}
-		probe[kc] = keyVals[i]
-	}
-	k, err := t.keyOf(probe)
+	k, err := t.keyFromVals(keyVals)
 	if err != nil {
 		return err
 	}
@@ -669,6 +661,39 @@ func (t *Table) SelectEq(col string, v any) []Row {
 	}
 	t.mu.RUnlock()
 	return t.Select(func(r Row) bool { return r[col] == v })
+}
+
+// applyOpLocked applies one already-validated op directly to the
+// table's maps; the caller holds t.mu (Tx.Commit applies its whole
+// buffer under the locks of every involved table). Returns the old and
+// new row for After triggers.
+func (t *Table) applyOpLocked(op LoggedOp) (old, new Row) {
+	switch op.Op {
+	case OpInsert:
+		row := op.Row.Clone()
+		k, _ := t.keyOf(row)
+		t.rows[k] = row
+		t.indexAdd(k, row)
+		return nil, row.Clone()
+	case OpUpdate:
+		k, _ := t.keyFromVals(op.Key)
+		cur := t.rows[k]
+		t.indexRemove(k, cur)
+		stored := cur.Clone()
+		for c, v := range op.Row {
+			stored[c] = v
+		}
+		t.rows[k] = stored
+		t.indexAdd(k, stored)
+		return cur, stored.Clone()
+	case OpDelete:
+		k, _ := t.keyFromVals(op.Key)
+		cur := t.rows[k]
+		delete(t.rows, k)
+		t.indexRemove(k, cur)
+		return cur, nil
+	}
+	return nil, nil
 }
 
 // Count reports the number of rows.

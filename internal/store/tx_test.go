@@ -141,6 +141,64 @@ func TestTxErrorsPropagate(t *testing.T) {
 	}
 }
 
+func TestTxReadYourWrites(t *testing.T) {
+	// A tx sees its own buffered ops: insert → update → delete of the
+	// same row works, and after an in-tx delete the key is free again.
+	db, cal, _ := twoTableDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("calendar", slotRow("d", 9, "free")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("calendar", Row{"status": "reserved"}, "d", int64(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("calendar", slotRow("d", 9, "again")); !errors.Is(err, ErrDupKey) {
+		t.Fatalf("dup of own insert: %v", err)
+	}
+	if err := tx.Delete("calendar", "d", int64(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("calendar", slotRow("d", 9, "reborn")); err != nil {
+		t.Fatalf("insert after own delete: %v", err)
+	}
+	// Nothing is visible outside the tx until Commit.
+	if cal.Count() != 0 {
+		t.Fatalf("buffered ops leaked: %d rows", cal.Count())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cal.Get("d", int64(9))
+	if !ok || got["status"] != "reborn" {
+		t.Fatalf("committed row = %v, %v", got, ok)
+	}
+}
+
+func TestTxCommitConflictAppliesNothing(t *testing.T) {
+	// A direct mutation between op record time and Commit invalidates
+	// the buffer; Commit must apply none of the tx's ops.
+	db, cal, links := twoTableDB(t)
+	if err := cal.Insert(slotRow("d", 8, "busy")); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert("links", Row{"id": "L9", "kind": "subscription", "prio": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("calendar", Row{"status": "reserved"}, "d", int64(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.Delete("d", int64(8)); err != nil { // concurrent writer wins
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("conflicted commit: %v", err)
+	}
+	if _, ok := links.Get("L9"); ok {
+		t.Fatal("conflicted commit applied part of the tx")
+	}
+}
+
 func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	db, cal, links := twoTableDB(t)
 	ts := time.Date(2003, 4, 22, 14, 30, 0, 0, time.UTC)

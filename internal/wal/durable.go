@@ -25,8 +25,11 @@ import (
 //	<dir>/wal-<firstLSN:016x>.log        log segments
 //	<dir>/checkpoint-<lsn:016x>.snap     checkpoint snapshots
 //
-// Only the newest checkpoint is kept; log segments wholly below it are
-// deleted when it commits.
+// The two newest checkpoints are kept (the older is the fallback when
+// the newest turns out corrupt), and log segments are trimmed only
+// below the OLDER retained checkpoint — so whichever retained
+// checkpoint recovery restores, the log still reaches from its LSN to
+// the tail.
 type Durable struct {
 	// DB is the live database. Use it exactly like a plain store.DB —
 	// the log rides on the store's MutationLogger hook.
@@ -161,9 +164,13 @@ func restoreNewestCheckpoint(dir string, db *store.DB) (uint64, error) {
 }
 
 // Checkpoint writes a snapshot of the current database, fsyncs it into
-// place, and trims log segments (and older checkpoints) below it.
-// Concurrent mutations are safe: the snapshot may include effects of
-// records above its LSN, which replay tolerates.
+// place, keeps the previous checkpoint as a fallback (deleting older
+// ones), and trims log segments below the older retained checkpoint so
+// a fallback restore still finds its log tail. Concurrent mutations
+// are safe: every mutation visible in the snapshot is already enqueued
+// in the log (Tx applies and enqueues under its table locks), and the
+// snapshot may include effects of records above its LSN, which replay
+// tolerates.
 func (d *Durable) Checkpoint() error {
 	d.cpMu.Lock()
 	defer d.cpMu.Unlock()
@@ -198,18 +205,27 @@ func (d *Durable) Checkpoint() error {
 		return fmt.Errorf("wal: checkpoint dir sync: %w", err)
 	}
 
-	// The checkpoint is durable; everything below it is redundant.
-	if err := d.wal.trimBelow(cpLSN + 1); err != nil {
-		return err
-	}
+	// The checkpoint is durable. Keep the previous checkpoint as the
+	// fallback for a corrupt newest, drop anything older, and trim only
+	// the log segments no retained checkpoint needs: the fallback must
+	// still be able to replay from its own LSN up to the tail.
 	cps, err := listCheckpoints(d.dir)
 	if err != nil {
 		return err
 	}
+	keepLSN := cpLSN
 	for _, cp := range cps {
-		if cp.first < cpLSN {
+		switch {
+		case cp.first >= cpLSN:
+			// The checkpoint just written (or a stray newer name).
+		case keepLSN == cpLSN:
+			keepLSN = cp.first // newest predecessor: the fallback
+		default:
 			_ = os.Remove(cp.path)
 		}
+	}
+	if err := d.wal.trimBelow(keepLSN + 1); err != nil {
+		return err
 	}
 	d.wal.stats.checkpoints.Add(1)
 	if d.wal.opt.Metrics != nil {

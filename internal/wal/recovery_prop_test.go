@@ -171,6 +171,64 @@ func genScript(rng *rand.Rand, nops int) []scriptUnit {
 	return units
 }
 
+// secondCycleUnits builds a post-recovery workload that is valid no
+// matter where the first crash cut: it touches only fresh high-id rows
+// (plus an ensure-table unit, since the first cut may even precede the
+// DDL record).
+func secondCycleUnits(rng *rand.Rand) []scriptUnit {
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	units := []scriptUnit{{name: "c2 ensure t1", apply: func(db *store.DB) error {
+		if _, err := db.Table("t1"); err == nil {
+			return nil
+		}
+		_, err := db.CreateTable(testSchema("t1"))
+		return err
+	}}}
+	next := int64(10_000 + rng.Intn(100))
+	row := func(id int64, val string) store.Row {
+		return store.Row{"id": id, "val": val, "ts": base}
+	}
+	for i := 0; i < 8; i++ {
+		id := next
+		next++
+		if i%3 != 2 {
+			units = append(units, scriptUnit{
+				name: fmt.Sprintf("c2 insert %d", id),
+				apply: func(db *store.DB) error {
+					t, err := db.Table("t1")
+					if err != nil {
+						return err
+					}
+					return t.Insert(row(id, "c2"))
+				},
+			})
+			continue
+		}
+		id2 := next
+		next++
+		units = append(units, scriptUnit{
+			name: fmt.Sprintf("c2 tx %d", id),
+			apply: func(db *store.DB) error {
+				tx := db.Begin()
+				if err := tx.Insert("t1", row(id, "a")); err != nil {
+					tx.Rollback()
+					return err
+				}
+				if err := tx.Insert("t1", row(id2, "b")); err != nil {
+					tx.Rollback()
+					return err
+				}
+				if err := tx.Update("t1", store.Row{"val": "c"}, id); err != nil {
+					tx.Rollback()
+					return err
+				}
+				return tx.Commit()
+			},
+		})
+	}
+	return units
+}
+
 func TestCrashRecoveryProperty(t *testing.T) {
 	const seeds = 12
 	for seed := int64(0); seed < seeds; seed++ {
@@ -234,13 +292,74 @@ func TestCrashRecoveryProperty(t *testing.T) {
 					}
 				}
 
-				d2 := mustOpen(t, dir, Options{})
-				defer d2.Close()
+				d2 := mustOpen(t, dir, Options{Sync: SyncPerCommit, SegmentBytes: 1 << 30})
 				got := snapshotOf(t, d2.DB)
 				want := snapshotOf(t, ref)
 				if !bytes.Equal(got, want) {
 					t.Fatalf("recovered state diverges after %s at %d/%d (%d/%d units complete)\ngot  %s\nwant %s",
 						mode, cut, total, completed, len(units), got, want)
+				}
+
+				// Second crash cycle: recovery truncated the tear and
+				// appends after it, so another workload + another tear
+				// must again lose exactly the incomplete tail — and
+				// nothing recovered or committed before it.
+				fi, err := os.Stat(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				valid := fi.Size() // post-truncation prefix
+				units2 := secondCycleUnits(rng)
+				boundaries2 := make([]int64, 0, len(units2))
+				for _, u := range units2 {
+					if err := u.apply(d2.DB); err != nil {
+						t.Fatalf("cycle2 unit %q: %v", u.name, err)
+					}
+					fi, err := os.Stat(seg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					boundaries2 = append(boundaries2, fi.Size())
+				}
+				crash(t, d2)
+				total2 := boundaries2[len(boundaries2)-1]
+				cut2 := valid + rng.Int63n(total2-valid+1)
+				if mode == "corrupt" && cut2 == total2 {
+					cut2 = total2 - 1
+				}
+				switch mode {
+				case "truncate":
+					if err := os.Truncate(seg, cut2); err != nil {
+						t.Fatal(err)
+					}
+				case "corrupt":
+					data, err := os.ReadFile(seg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					data[cut2] ^= 0x5a
+					if err := os.WriteFile(seg, data, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				completed2 := 0
+				for _, b := range boundaries2 {
+					if b <= cut2 {
+						completed2++
+					}
+				}
+				for _, u := range units2[:completed2] {
+					if err := u.apply(ref); err != nil {
+						t.Fatalf("cycle2 reference unit %q: %v", u.name, err)
+					}
+				}
+				d3 := mustOpen(t, dir, Options{})
+				defer d3.Close()
+				got = snapshotOf(t, d3.DB)
+				want = snapshotOf(t, ref)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("second-crash state diverges after %s at %d/%d (%d/%d units complete)\ngot  %s\nwant %s",
+						mode, cut2, total2, completed2, len(units2), got, want)
 				}
 			})
 		}

@@ -15,16 +15,26 @@ type ReplayResult struct {
 	LastLSN uint64
 	// Records and Txs count applied records / tx units.
 	Records, Txs int
-	// TornTail is true when replay stopped at an incomplete or corrupt
-	// record; SkippedBytes is how much of the log it discarded.
+	// TornTail is true when the physically last segment ended in an
+	// incomplete or corrupt record (the expected shape of a crash);
+	// SkippedBytes is how much garbage replay truncated away, across
+	// all segments.
 	TornTail     bool
 	SkippedBytes int64
 }
 
 // Replay applies every complete log record with LSN > after to db, in
-// order, stopping at the first torn or corrupt record (everything
-// after a tear is untrusted, including later segments). Mutations are
-// applied without firing triggers or re-logging.
+// order. A torn or corrupt frame is physically truncated off its
+// segment so the valid prefix stays appendable and a later recovery
+// never re-reads the garbage. A tear is terminal only in the
+// physically LAST segment (the normal crash shape); a tear in an
+// earlier segment is the healed remnant of a previous crash whose
+// recovery continued in the next segment, so replay proceeds there —
+// the fsync-acked records it holds must not be lost. Replay fails
+// loudly when the segments cannot reach the replay start or leave an
+// LSN gap after a tear: silently skipping a gap would present stale
+// data as current. Mutations are applied without firing triggers or
+// re-logging.
 //
 // Replay is tolerant of a checkpoint snapshot that is slightly ahead
 // of its recorded LSN (a mutation can reach the in-memory store just
@@ -39,6 +49,9 @@ func Replay(dir string, db *store.DB, after uint64) (ReplayResult, error) {
 	if err != nil {
 		return res, err
 	}
+	if len(segs) > 0 && segs[0].first > after+1 {
+		return res, fmt.Errorf("wal: log starts at LSN %d but replay must start at %d: segments missing", segs[0].first, after+1)
+	}
 	for i, seg := range segs {
 		// Skip segments that end at or below the checkpoint.
 		if i+1 < len(segs) && segs[i+1].first <= after+1 {
@@ -49,22 +62,25 @@ func Replay(dir string, db *store.DB, after uint64) (ReplayResult, error) {
 			return res, fmt.Errorf("wal: replay %s: %w", seg.path, err)
 		}
 		off := 0
+		torn := false
 		for {
-			payload, n, err := nextFrame(data[off:])
-			if err != nil {
-				if errors.Is(err, errTorn) {
-					res.TornTail = true
-					res.SkippedBytes += tailBytes(segs, i, int64(len(data)-off))
-					return res, nil
-				}
-				break // io.EOF: clean end of segment
+			payload, n, ferr := nextFrame(data[off:])
+			if ferr != nil {
+				torn = errors.Is(ferr, errTorn)
+				break // torn, or io.EOF: clean end of segment
 			}
 			rec, derr := decodeRecord(payload)
-			if derr != nil || (res.LastLSN > 0 && rec.LSN != res.LastLSN+1 && rec.LSN > after) {
-				// Undecodable or out-of-sequence: treat like a tear.
-				res.TornTail = true
-				res.SkippedBytes += tailBytes(segs, i, int64(len(data)-off))
-				return res, nil
+			if derr != nil || (res.LastLSN > 0 && rec.LSN <= res.LastLSN && rec.LSN > after) {
+				// Undecodable, or a replayed-duplicate LSN: an artifact
+				// of a half-finished earlier recovery. Treat as a tear.
+				torn = true
+				break
+			}
+			if res.LastLSN > 0 && rec.LSN > res.LastLSN+1 {
+				// A checksummed record ABOVE the expected LSN means
+				// acked records are missing; truncating cannot repair
+				// that, so refuse to come up with a silent hole.
+				return res, fmt.Errorf("wal: replay %s: LSN gap: got record %d, want %d", seg.path, rec.LSN, res.LastLSN+1)
 			}
 			off += n
 			if rec.LSN <= after {
@@ -79,20 +95,39 @@ func Replay(dir string, db *store.DB, after uint64) (ReplayResult, error) {
 				res.Txs++
 			}
 		}
+		if !torn {
+			continue
+		}
+		res.SkippedBytes += int64(len(data) - off)
+		if err := truncateTear(seg.path, int64(off)); err != nil {
+			return res, err
+		}
+		if i+1 == len(segs) {
+			res.TornTail = true
+			return res, nil
+		}
+		if segs[i+1].first != res.LastLSN+1 {
+			return res, fmt.Errorf("wal: tear in %s after LSN %d but next segment starts at %d: log gap", seg.path, res.LastLSN, segs[i+1].first)
+		}
 	}
 	return res, nil
 }
 
-// tailBytes sums the discarded remainder of the current segment plus
-// every later segment (untrusted once a tear is seen).
-func tailBytes(segs []segmentInfo, i int, rest int64) int64 {
-	total := rest
-	for _, s := range segs[i+1:] {
-		if fi, err := os.Stat(s.path); err == nil {
-			total += fi.Size()
-		}
+// truncateTear cuts a torn tail off a segment, keeping the first keep
+// bytes (the valid frame prefix), and syncs the result.
+func truncateTear(path string, keep int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: truncate tear: %w", err)
 	}
-	return total
+	defer f.Close()
+	if err := f.Truncate(keep); err != nil {
+		return fmt.Errorf("wal: truncate tear: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: truncate tear: %w", err)
+	}
+	return nil
 }
 
 // applyRecord applies one record to db with upsert/skip tolerance (see

@@ -158,10 +158,11 @@ type WAL struct {
 	recov Stats // recovery-side stats copied in by Open
 }
 
-// openWAL opens the log for appending, starting a fresh segment whose
-// first LSN is nextLSN (recovery has already replayed everything
-// below). An existing file with the same name can only be a segment
-// whose every record was torn, so truncating it is safe.
+// openWAL opens the log for appending; nextLSN is the first LSN it
+// will assign (recovery has already replayed — and truncated any torn
+// tail off — everything below). Writing continues in the newest
+// non-empty segment: an existing segment is never truncated, so
+// fsync-acked records survive any number of crash/recover cycles.
 func openWAL(dir string, opt Options, nextLSN uint64) (*WAL, error) {
 	opt = opt.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -174,7 +175,31 @@ func openWAL(dir string, opt Options, nextLSN uint64) (*WAL, error) {
 		kick:    make(chan struct{}, 1),
 		closeCh: make(chan struct{}),
 	}
-	if err := w.openSegment(nextLSN); err != nil {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	// The current segment is the newest one still holding records.
+	// Empty trailing segments (fully-torn tails truncated by replay)
+	// are removed: appending into a file whose name promises a
+	// different first LSN would break the naming invariant.
+	first, size := nextLSN, int64(0)
+	for len(segs) > 0 {
+		last := segs[len(segs)-1]
+		fi, err := os.Stat(last.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if fi.Size() > 0 {
+			first, size = last.first, fi.Size()
+			break
+		}
+		if err := os.Remove(last.path); err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		segs = segs[:len(segs)-1]
+	}
+	if err := w.openSegment(first, size); err != nil {
 		return nil, err
 	}
 	w.wg.Add(1)
@@ -227,16 +252,17 @@ type segmentInfo struct {
 	path  string
 }
 
-// openSegment creates (or truncates) the segment starting at first and
-// makes it current. Caller must not hold ioMu.
-func (w *WAL) openSegment(first uint64) error {
-	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(first)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+// openSegment opens (creating if absent, NEVER truncating) the segment
+// starting at first, in append mode, and makes it current. size is the
+// segment's existing valid length. Caller must not hold ioMu.
+func (w *WAL) openSegment(first uint64, size int64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(first)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	w.ioMu.Lock()
 	w.f = f
-	w.segSize = 0
+	w.segSize = size
 	w.segFirst = first
 	w.ioMu.Unlock()
 	return syncDir(w.dir)
@@ -429,7 +455,10 @@ func (w *WAL) rotateIfNeededLocked(nextLSN uint64) error {
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("wal: rotate close: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(nextLSN)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	// nextLSN is above every record ever written, so this name can only
+	// collide with an empty leftover file; append mode keeps even that
+	// case safe from truncating anything.
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(nextLSN)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}

@@ -219,6 +219,252 @@ func TestRollbackIsNotLogged(t *testing.T) {
 	}
 }
 
+// TestDoubleCrashKeepsAckedCommits is the double-crash regression: a
+// torn tail, a recovery, new fsync-acked commits, and a second crash.
+// Recovery must truncate the first tear and append after it, so the
+// second recovery still sees every post-first-crash commit — the old
+// code opened (and O_TRUNCed) a fresh segment that a tear in an
+// earlier segment then made unreachable.
+func TestDoubleCrashKeepsAckedCommits(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{Sync: SyncPerCommit})
+	tab, err := d.DB.CreateTable(testSchema("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(0, 0).UTC()
+	for i := int64(0); i < 5; i++ {
+		if err := tab.Insert(store.Row{"id": i, "val": "first", "ts": ts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crash(t, d)
+	// First crash: tear the last record.
+	seg := filepath.Join(dir, segmentName(1))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := mustOpen(t, dir, Options{Sync: SyncPerCommit})
+	if st := d2.Stats(); !st.TornTail {
+		t.Fatalf("first recovery saw no torn tail: %+v", st)
+	}
+	tab2, err := d2.DB.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tab2.Count(); n != 4 {
+		t.Fatalf("first recovery: %d rows, want 4", n)
+	}
+	// New acked commits after the first recovery.
+	for i := int64(10); i < 13; i++ {
+		if err := tab2.Insert(store.Row{"id": i, "val": "second", "ts": ts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := snapshotOf(t, d2.DB)
+	crash(t, d2) // second crash, no checkpoint
+
+	d3 := mustOpen(t, dir, Options{})
+	defer d3.Close()
+	if got := snapshotOf(t, d3.DB); !bytes.Equal(got, want) {
+		t.Fatalf("second recovery lost acked commits\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// frameBounds returns the end offset of every valid frame in data.
+func frameBounds(t *testing.T, data []byte) []int {
+	t.Helper()
+	var bounds []int
+	off := 0
+	for {
+		_, n, err := nextFrame(data[off:])
+		if err != nil {
+			return bounds
+		}
+		off += n
+		bounds = append(bounds, off)
+	}
+}
+
+// TestHealedTearInEarlierSegment covers directories written by the
+// pre-fix code: a tear in a NON-last segment followed by a later
+// segment holding acked records (an earlier recovery continued there).
+// Replay must truncate the tear and keep going — only a tear in the
+// physically last segment is terminal.
+func TestHealedTearInEarlierSegment(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{Sync: SyncPerCommit})
+	tab, err := d.DB.CreateTable(testSchema("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(0, 0).UTC()
+	for i := int64(0); i < 5; i++ {
+		if err := tab.Insert(store.Row{"id": i, "val": "v", "ts": ts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := snapshotOf(t, d.DB)
+	crash(t, d)
+
+	// Rebuild the old-code layout: segment 1 = frames [1..k] plus a
+	// garbage tail, segment k+1 = the remaining frames (records are
+	// LSN-sequential from 1, so frame k ends record k).
+	seg1 := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := frameBounds(t, data)
+	if len(bounds) != 6 { // DDL + 5 inserts
+		t.Fatalf("expected 6 frames, got %d", len(bounds))
+	}
+	k := 3
+	head := append(append([]byte(nil), data[:bounds[k-1]]...), "torn garbage"...)
+	tail := append([]byte(nil), data[bounds[k-1]:]...)
+	if err := os.WriteFile(seg1, head, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(uint64(k+1))), tail, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if got := snapshotOf(t, d2.DB); !bytes.Equal(got, want) {
+		t.Fatalf("healed-tear recovery lost the later segment\ngot  %s\nwant %s", got, want)
+	}
+	st := d2.Stats()
+	if st.TornTail {
+		t.Fatalf("healed mid-log tear reported as terminal: %+v", st)
+	}
+	if st.SkippedTailBytes == 0 {
+		t.Fatalf("expected truncated garbage to be counted: %+v", st)
+	}
+}
+
+// TestCheckpointFallbackKeepsLogTail: when the newest checkpoint is
+// corrupt, recovery falls back to the previous one — which must still
+// find log segments covering everything above its LSN, so the node
+// comes back with the LATEST committed state, not a stale or empty DB.
+func TestCheckpointFallbackKeepsLogTail(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so checkpoint trimming actually deletes files.
+	d := mustOpen(t, dir, Options{SegmentBytes: 128, Sync: SyncNone})
+	tab, err := d.DB.CreateTable(testSchema("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(0, 0).UTC()
+	insert := func(lo, hi int64) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			if err := tab.Insert(store.Row{"id": i, "val": "v", "ts": ts}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	insert(0, 20)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	insert(20, 40)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	insert(40, 50)
+	want := snapshotOf(t, d.DB)
+	crash(t, d)
+
+	// Corrupt the newest checkpoint in place.
+	cps, err := listCheckpoints(dir)
+	if err != nil || len(cps) < 2 {
+		t.Fatalf("want >=2 retained checkpoints, got %d (%v)", len(cps), err)
+	}
+	if err := os.WriteFile(cps[0].path, []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if got := snapshotOf(t, d2.DB); !bytes.Equal(got, want) {
+		t.Fatalf("fallback recovery is stale\ngot  %s\nwant %s", got, want)
+	}
+	if st := d2.Stats(); st.CheckpointLSN != cps[1].first {
+		t.Fatalf("recovered from checkpoint %d, want fallback %d", st.CheckpointLSN, cps[1].first)
+	}
+}
+
+// TestOpenFailsLoudOnMissingSegments: when the log no longer reaches
+// back to the replay start (segments deleted or misnamed), Open must
+// refuse rather than silently present stale data as current.
+func TestOpenFailsLoudOnMissingSegments(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{})
+	tab, err := d.DB.CreateTable(testSchema("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(store.Row{"id": int64(1), "val": "v", "ts": time.Unix(0, 0).UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil { // checkpoint at LSN 2
+		t.Fatal(err)
+	}
+	// Fake a gap: the only segment now claims to start above the
+	// checkpoint's replay start.
+	if err := os.Rename(filepath.Join(dir, segmentName(1)), filepath.Join(dir, segmentName(10))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded over a log gap")
+	}
+}
+
+// TestCheckpointExcludesOpenTxState: a checkpoint taken while a tx is
+// open must not capture its uncommitted (later rolled back) ops — the
+// store buffers tx mutations until Commit, so recovery can never
+// resurrect them.
+func TestCheckpointExcludesOpenTxState(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{Sync: SyncPerCommit})
+	tab, err := d.DB.CreateTable(testSchema("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(0, 0).UTC()
+	if err := tab.Insert(store.Row{"id": int64(1), "val": "committed", "ts": ts}); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotOf(t, d.DB)
+
+	tx := d.DB.Begin()
+	if err := tx.Insert("t", store.Row{"id": int64(2), "val": "uncommitted", "ts": ts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("t", store.Row{"val": "dirty"}, int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil { // mid-tx checkpoint
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	crash(t, d)
+
+	d2 := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if got := snapshotOf(t, d2.DB); !bytes.Equal(got, want) {
+		t.Fatalf("checkpoint captured open-tx state\ngot  %s\nwant %s", got, want)
+	}
+}
+
 func TestGroupCommitConcurrent(t *testing.T) {
 	dir := t.TempDir()
 	d := mustOpen(t, dir, Options{Sync: SyncGroup})
