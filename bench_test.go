@@ -11,38 +11,25 @@ package repro
 
 import (
 	"context"
-	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
 
-	"repro/internal/calendar"
+	"repro/internal/bench"
 	"repro/internal/directory"
 	"repro/internal/engine"
-	"repro/internal/experiments"
-	"repro/internal/links"
 	"repro/internal/listener"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/wal"
-	"repro/internal/wire"
-	"repro/internal/workload"
 )
 
-// benchExperiment runs one registered experiment per iteration.
+// benchExperiment runs one registered experiment per iteration. The
+// bodies live in internal/bench so sydbench -bench-json measures the
+// exact same code.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	reg, _ := experiments.All()
-	run, ok := reg[id]
-	if !ok {
-		b.Fatalf("unknown experiment %s", id)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := run(); err != nil {
-			b.Fatal(err)
-		}
-	}
+	bench.Experiment(b, id)
 }
 
 // Figure-equivalents (paper Figs. 1-4).
@@ -71,112 +58,18 @@ func BenchmarkA2_TriggerPlacement(b *testing.B) { benchExperiment(b, "A2") }
 
 // BenchmarkMicro_EngineInvoke measures one directory-resolved remote
 // invocation on an ideal network.
-func BenchmarkMicro_EngineInvoke(b *testing.B) {
-	ctx := context.Background()
-	w, err := experiments.NewWorld(workload.Users(2), sim.Config{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	eng := w.Nodes["u00"].Engine
-	svc := calendar.ServiceFor("u01")
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := eng.Invoke(ctx, svc, "ListMeetings", nil, nil); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkMicro_EngineInvoke(b *testing.B) { bench.MicroEngineInvoke(b) }
 
 // BenchmarkMicro_GroupInvoke measures a fan-out over 8 members.
-func BenchmarkMicro_GroupInvoke(b *testing.B) {
-	ctx := context.Background()
-	users := workload.Users(9)
-	w, err := experiments.NewWorld(users, sim.Config{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	services := make([]string, 8)
-	for i, u := range users[1:] {
-		services[i] = calendar.ServiceFor(u)
-	}
-	eng := w.Nodes[users[0]].Engine
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		results := eng.GroupInvoke(ctx, services, "ListMeetings", nil)
-		if !engine.AllOK(results) {
-			b.Fatal(engine.FirstError(results))
-		}
-	}
-}
+func BenchmarkMicro_GroupInvoke(b *testing.B) { bench.MicroGroupInvoke(b) }
 
 // BenchmarkMicro_NegotiationAnd measures a full two-phase
 // negotiation-and over three remote entities (reserve + release).
-func BenchmarkMicro_NegotiationAnd(b *testing.B) {
-	ctx := context.Background()
-	users := workload.Users(4)
-	w, err := experiments.NewWorld(users, sim.Config{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	slot := calendar.Slot{Day: "2003-04-21", Hour: 9}
-	targets := []links.EntityRef{
-		{User: "u01", Entity: slot.Entity()},
-		{User: "u02", Entity: slot.Entity()},
-		{User: "u03", Entity: slot.Entity()},
-	}
-	lm := w.Cals["u00"].Links()
-	eng := w.Nodes["u00"].Engine
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		meeting := fmt.Sprintf("bench-%d", i)
-		if _, err := lm.Negotiate(ctx, links.Spec{
-			Action:     calendar.ActionReserve,
-			Args:       wire.Args{"meeting": meeting, "priority": 0},
-			Targets:    targets,
-			Constraint: links.And,
-		}); err != nil {
-			b.Fatal(err)
-		}
-		for _, tgt := range targets {
-			if err := eng.Invoke(ctx, links.ServiceFor(tgt.User), "Apply", wire.Args{
-				"entity": tgt.Entity, "action": calendar.ActionRelease,
-				"args": map[string]any{"meeting": meeting},
-			}, nil); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-}
+func BenchmarkMicro_NegotiationAnd(b *testing.B) { bench.MicroNegotiationAnd(b) }
 
 // BenchmarkMicro_MeetingLifecycle measures setup + cancel of a
 // three-party meeting (the full link topology install and cascade).
-func BenchmarkMicro_MeetingLifecycle(b *testing.B) {
-	ctx := context.Background()
-	users := workload.Users(3)
-	w, err := experiments.NewWorld(users, sim.Config{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	day := time.Date(2003, 4, 21, 0, 0, 0, 0, time.UTC)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d := day.AddDate(0, 0, i%30).Format("2006-01-02")
-		m, err := w.Cals["u00"].SetupMeeting(ctx, calendar.Request{
-			Title: "bench", Day: d, Hour: 9 + i%8, PinSlot: true,
-			Must: users[1:],
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := w.Cals["u00"].CancelMeeting(ctx, m.ID); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkMicro_MeetingLifecycle(b *testing.B) { bench.MicroMeetingLifecycle(b) }
 
 // BenchmarkDirectoryCache contrasts the Invoke hot path with and
 // without the client-side route cache: "uncached" pays a directory

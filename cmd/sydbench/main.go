@@ -1,28 +1,86 @@
 // Command sydbench runs the experiment harness that regenerates every
 // figure- and table-equivalent of the paper (DESIGN.md §4):
 //
-//	sydbench            # run everything
-//	sydbench -run F4    # run one experiment
-//	sydbench -run E     # run every experiment whose id has the prefix
-//	sydbench -list      # list experiment ids and titles
-//	sydbench -metrics   # also print the per-method RPC metrics snapshot
+//	sydbench                      # run everything
+//	sydbench -run F4              # run one experiment
+//	sydbench -run E               # run every experiment whose id has the prefix
+//	sydbench -list                # list experiment ids and titles
+//	sydbench -metrics             # also print the per-method RPC metrics snapshot
+//	sydbench -bench-json out.json # run the benchmark trajectory suite instead,
+//	                              # writing ns/op, allocs/op, B/op per benchmark
+//	sydbench -bench-json out.json -bench Micro  # filter by name prefix
+//
+// The trajectory suite (internal/bench) is the same set of bodies
+// `go test -bench` measures; committing its output as BENCH_rpc.json
+// tracks the RPC hot path's cost across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
+
+// trajectoryFile is the JSON document -bench-json writes.
+type trajectoryFile struct {
+	Date       string         `json:"date"`
+	GoOS       string         `json:"goos"`
+	GoArch     string         `json:"goarch"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Benchmarks []bench.Result `json:"benchmarks"`
+}
+
+func runBenchJSON(path, filter string) int {
+	var out trajectoryFile
+	out.Date = time.Now().UTC().Format(time.RFC3339)
+	out.GoOS = runtime.GOOS
+	out.GoArch = runtime.GOARCH
+	out.GoMaxProcs = runtime.GOMAXPROCS(0)
+	for _, def := range bench.Trajectory() {
+		if filter != "" && !strings.HasPrefix(def.Name, filter) {
+			continue
+		}
+		r := bench.Run(def)
+		fmt.Printf("%-24s %10d iters  %12.0f ns/op  %8d B/op  %6d allocs/op\n",
+			r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		out.Benchmarks = append(out.Benchmarks, r)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "no benchmark matches -bench %q\n", filter)
+		return 2
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sydbench: encode results: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sydbench: write %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(out.Benchmarks), path)
+	return 0
+}
 
 func main() {
 	runFilter := flag.String("run", "", "experiment id or id prefix to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	showMetrics := flag.Bool("metrics", false, "print the per-service/method metrics snapshot after the runs")
+	benchJSON := flag.String("bench-json", "", "run the benchmark trajectory suite and write JSON results to this file")
+	benchFilter := flag.String("bench", "", "with -bench-json: benchmark name prefix filter")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		os.Exit(runBenchJSON(*benchJSON, *benchFilter))
+	}
 
 	reg, ids := experiments.All()
 	if *list {
@@ -55,6 +113,8 @@ func main() {
 	if *showMetrics {
 		fmt.Println("== RPC metrics (per service/method/code) ==")
 		fmt.Print(metrics.Default().Snapshot().Render())
+		fmt.Println("== wire frames ==")
+		fmt.Print(metrics.Wire().Snapshot().Render())
 	}
 	if failed > 0 {
 		os.Exit(1)

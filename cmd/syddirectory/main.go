@@ -27,10 +27,11 @@ func main() {
 	ttl := flag.Duration("ttl", directory.DefaultHeartbeatTTL, "heartbeat TTL before a silent device counts as offline")
 	statePath := flag.String("state", "", "optional path to persist the registry across restarts")
 	saveEvery := flag.Duration("save-every", 30*time.Second, "periodic save interval when -state is set")
+	poolSize := flag.Int("conn-pool", 0, "TCP connections per peer (0 = min(4, GOMAXPROCS))")
 	flag.Parse()
 
 	srv := loadOrNew(*statePath, *ttl)
-	net := transport.NewTCP()
+	net := transport.NewTCP(transport.WithPoolSize(*poolSize))
 	ln, err := net.Listen(*addr, srv.Handler())
 	if err != nil {
 		log.Fatalf("syddirectory: %v", err)

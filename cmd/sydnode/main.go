@@ -35,6 +35,7 @@ func main() {
 	fsyncPolicy := flag.String("fsync", "group", "with -data-dir: fsync policy — group (batched group commit), always (fsync per commit), none")
 	introspect := flag.Bool("introspect", true, "publish the sys.<user> introspection service (Services/Methods/Metrics)")
 	routeCacheTTL := flag.Duration("route-cache", 2*time.Second, "engine directory route cache TTL (0 disables)")
+	poolSize := flag.Int("conn-pool", 0, "TCP connections per peer (0 = min(4, GOMAXPROCS))")
 	flag.Parse()
 	if *user == "" {
 		log.Fatal("sydnode: -user is required")
@@ -58,7 +59,7 @@ func main() {
 	node, err := core.Start(ctx, core.Config{
 		User:           *user,
 		Priority:       *priority,
-		Net:            transport.NewTCP(),
+		Net:            transport.NewTCP(transport.WithPoolSize(*poolSize)),
 		DirAddr:        *dirAddr,
 		ListenAddr:     *addr,
 		HeartbeatEvery: 5 * time.Second,

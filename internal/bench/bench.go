@@ -1,0 +1,192 @@
+// Package bench holds the benchmark bodies shared between the
+// top-level `go test -bench` harness (bench_test.go) and the sydbench
+// -bench-json trajectory runner, so both entry points measure exactly
+// the same code. The trajectory suite — the kernel micro benchmarks
+// plus the four figure-equivalents — is what BENCH_rpc.json tracks
+// across PRs.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/links"
+	"repro/internal/sim"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Experiment runs one registered experiment per iteration (the F/E/T
+// figure- and table-equivalents; each run also verifies the
+// paper-shape assertions).
+func Experiment(b *testing.B, id string) {
+	b.Helper()
+	reg, _ := experiments.All()
+	run, ok := reg[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroEngineInvoke measures one directory-resolved remote invocation
+// on an ideal network.
+func MicroEngineInvoke(b *testing.B) {
+	ctx := context.Background()
+	w, err := experiments.NewWorld(workload.Users(2), sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := w.Nodes["u00"].Engine
+	svc := calendar.ServiceFor("u01")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Invoke(ctx, svc, "ListMeetings", nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroGroupInvoke measures a fan-out over 8 members.
+func MicroGroupInvoke(b *testing.B) {
+	ctx := context.Background()
+	users := workload.Users(9)
+	w, err := experiments.NewWorld(users, sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	services := make([]string, 8)
+	for i, u := range users[1:] {
+		services[i] = calendar.ServiceFor(u)
+	}
+	eng := w.Nodes[users[0]].Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := eng.GroupInvoke(ctx, services, "ListMeetings", nil)
+		if !engine.AllOK(results) {
+			b.Fatal(engine.FirstError(results))
+		}
+	}
+}
+
+// MicroNegotiationAnd measures a full two-phase negotiation-and over
+// three remote entities (reserve + release).
+func MicroNegotiationAnd(b *testing.B) {
+	ctx := context.Background()
+	users := workload.Users(4)
+	w, err := experiments.NewWorld(users, sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	slot := calendar.Slot{Day: "2003-04-21", Hour: 9}
+	targets := []links.EntityRef{
+		{User: "u01", Entity: slot.Entity()},
+		{User: "u02", Entity: slot.Entity()},
+		{User: "u03", Entity: slot.Entity()},
+	}
+	lm := w.Cals["u00"].Links()
+	eng := w.Nodes["u00"].Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meeting := fmt.Sprintf("bench-%d", i)
+		if _, err := lm.Negotiate(ctx, links.Spec{
+			Action:     calendar.ActionReserve,
+			Args:       wire.Args{"meeting": meeting, "priority": 0},
+			Targets:    targets,
+			Constraint: links.And,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for _, tgt := range targets {
+			if err := eng.Invoke(ctx, links.ServiceFor(tgt.User), "Apply", wire.Args{
+				"entity": tgt.Entity, "action": calendar.ActionRelease,
+				"args": map[string]any{"meeting": meeting},
+			}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// MicroMeetingLifecycle measures setup + cancel of a three-party
+// meeting (the full link topology install and cascade).
+func MicroMeetingLifecycle(b *testing.B) {
+	ctx := context.Background()
+	users := workload.Users(3)
+	w, err := experiments.NewWorld(users, sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := time.Date(2003, 4, 21, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := day.AddDate(0, 0, i%30).Format("2006-01-02")
+		m, err := w.Cals["u00"].SetupMeeting(ctx, calendar.Request{
+			Title: "bench", Day: d, Hour: 9 + i%8, PinSlot: true,
+			Must: users[1:],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Cals["u00"].CancelMeeting(ctx, m.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Def names one benchmark in the trajectory suite.
+type Def struct {
+	Name string
+	Run  func(*testing.B)
+}
+
+// Trajectory lists the benchmarks sydbench -bench-json runs, in order:
+// the kernel micro benchmarks, then the figure-equivalents F1-F4.
+func Trajectory() []Def {
+	return []Def{
+		{Name: "Micro_EngineInvoke", Run: MicroEngineInvoke},
+		{Name: "Micro_GroupInvoke", Run: MicroGroupInvoke},
+		{Name: "Micro_NegotiationAnd", Run: MicroNegotiationAnd},
+		{Name: "Micro_MeetingLifecycle", Run: MicroMeetingLifecycle},
+		{Name: "F1_LayeredInvocation", Run: func(b *testing.B) { Experiment(b, "F1") }},
+		{Name: "F2_LayerOverhead", Run: func(b *testing.B) { Experiment(b, "F2") }},
+		{Name: "F3_DirectoryOps", Run: func(b *testing.B) { Experiment(b, "F3") }},
+		{Name: "F4_NegotiationOr", Run: func(b *testing.B) { Experiment(b, "F4") }},
+	}
+}
+
+// Result is one benchmark's measurement in a trajectory run —
+// the JSON row BENCH_rpc.json stores.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// Run executes def with testing.Benchmark and converts the outcome.
+func Run(def Def) Result {
+	r := testing.Benchmark(def.Run)
+	return Result{
+		Name:        def.Name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}

@@ -26,7 +26,12 @@ type Client struct {
 }
 
 type cachedService struct {
-	info    ServiceInfo
+	info ServiceInfo
+	// full records whether info includes the method list (LookupService
+	// result). Route-only entries (ResolveService results) satisfy
+	// ResolveService but never LookupService, so a full lookup is never
+	// answered with a methods-less record.
+	full    bool
 	expires time.Time
 }
 
@@ -121,21 +126,35 @@ func (c *Client) UnregisterService(ctx context.Context, name string) error {
 // LookupService resolves a service name to its location and the
 // owner's liveness/proxy, consulting the local cache first.
 func (c *Client) LookupService(ctx context.Context, name string) (ServiceInfo, error) {
+	return c.lookup(ctx, "LookupService", name, true)
+}
+
+// ResolveService is LookupService minus the method list: the
+// route-only resolution the engine performs before every uncached
+// invocation. The server skips decoding the methods column and the
+// response omits it, keeping the per-call lookup lean on both sides.
+func (c *Client) ResolveService(ctx context.Context, name string) (ServiceInfo, error) {
+	return c.lookup(ctx, "ResolveService", name, false)
+}
+
+func (c *Client) lookup(ctx context.Context, method, name string, full bool) (ServiceInfo, error) {
 	if c.cacheTTL > 0 {
 		c.mu.Lock()
-		if e, ok := c.cache[name]; ok && c.nowFn().Before(e.expires) {
+		// A full (methods-bearing) entry satisfies either request; a
+		// route-only entry satisfies only route-only requests.
+		if e, ok := c.cache[name]; ok && (e.full || !full) && c.nowFn().Before(e.expires) {
 			c.mu.Unlock()
 			return e.info, nil
 		}
 		c.mu.Unlock()
 	}
 	var info ServiceInfo
-	if err := c.call(ctx, "LookupService", wire.Args{"name": name}, &info); err != nil {
+	if err := c.call(ctx, method, wire.Args{"name": name}, &info); err != nil {
 		return ServiceInfo{}, err
 	}
 	if c.cacheTTL > 0 {
 		c.mu.Lock()
-		c.cache[name] = cachedService{info: info, expires: c.nowFn().Add(c.cacheTTL)}
+		c.cache[name] = cachedService{info: info, full: full, expires: c.nowFn().Add(c.cacheTTL)}
 		c.mu.Unlock()
 	}
 	return info, nil

@@ -238,24 +238,39 @@ func (s *Server) unregisterService(name string) error {
 }
 
 func (s *Server) lookupService(name string) (ServiceInfo, error) {
-	r, ok := s.services.Get(name)
-	if !ok {
+	info, err := s.resolveService(name, true)
+	return info, err
+}
+
+// resolveService reads a service record without cloning rows. With
+// withMethods false it skips decoding the comma-joined method list —
+// the route-only read the engine's resolver issues on every uncached
+// invocation, so it stays allocation-lean.
+func (s *Server) resolveService(name string, withMethods bool) (ServiceInfo, error) {
+	var info ServiceInfo
+	var methods string
+	found := s.services.View(func(r store.Row) {
+		info.Name = r["name"].(string)
+		info.Owner = r["owner"].(string)
+		info.Addr = r["addr"].(string)
+		if withMethods {
+			methods = r["methods"].(string)
+		}
+	}, name)
+	if !found {
 		return ServiceInfo{}, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("unknown service %q", name)}
 	}
-	info := ServiceInfo{
-		Name:  r["name"].(string),
-		Owner: r["owner"].(string),
-		Addr:  r["addr"].(string),
+	if methods != "" {
+		info.Methods = splitComma(methods)
 	}
-	if m := r["methods"].(string); m != "" {
-		info.Methods = splitComma(m)
-	}
-	if u, err := s.lookupUser(info.Owner); err == nil {
-		info.OwnerOnline = u.Online
-		info.Proxy = u.Proxy
-	} else {
-		// Services without a registered owner (infrastructure
-		// services) are treated as always online.
+	// Join the owner's liveness and proxy. Services without a
+	// registered owner (infrastructure services) are treated as always
+	// online.
+	now := s.clock.Now()
+	if !s.users.View(func(r store.Row) {
+		info.OwnerOnline = !r["offline"].(bool) && now.Sub(r["lastSeen"].(time.Time)) <= s.ttl
+		info.Proxy = r["proxy"].(string)
+	}, info.Owner) {
 		info.OwnerOnline = true
 	}
 	return info, nil
@@ -419,6 +434,12 @@ func (s *Server) handle(ctx context.Context, req *transport.Request) *transport.
 		return ok(true)
 	case "LookupService":
 		info, err := s.lookupService(a.String("name"))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(info)
+	case "ResolveService":
+		info, err := s.resolveService(a.String("name"), false)
 		if err != nil {
 			return fail(err)
 		}

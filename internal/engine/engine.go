@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,7 @@ type Engine struct {
 	net        transport.Network
 	dir        *directory.Client
 	self       string
+	idPrefix   string // self + "-", precomputed for request-id minting
 	groupLimit int
 	dirCache   *DirCache
 	reqSeq     atomic.Uint64
@@ -77,7 +79,7 @@ func WithGroupLimit(n int) Option {
 
 // New creates an engine for the user self.
 func New(net transport.Network, dir *directory.Client, self string, opts ...Option) *Engine {
-	e := &Engine{net: net, dir: dir, self: self, groupLimit: DefaultGroupLimit}
+	e := &Engine{net: net, dir: dir, self: self, idPrefix: self + "-", groupLimit: DefaultGroupLimit}
 	for _, o := range opts {
 		o(e)
 	}
@@ -129,30 +131,26 @@ func (e *Engine) transportInvoker() Invoker {
 		if dest == "" {
 			return fmt.Errorf("engine: no destination for %s.%s (resolver stage missing)", call.Service, call.Method)
 		}
-		md := call.Meta
+		// Identity rides in the dedicated fields; everything else
+		// (request id, hops, deadline hint) is already in call.Meta —
+		// the credential stage keeps identity out of the map, so it can
+		// go on the wire as-is with no filter copy. The deadline hint is
+		// refreshed in place on every attempt (retries shrink it).
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem > 0 {
+				if call.Meta == nil {
+					call.Meta = make(wire.Metadata, 1)
+				}
+				call.Meta.SetDeadline(rem)
+			}
+		}
 		req := &transport.Request{
 			Service:    call.Service,
 			Method:     call.Method,
 			Args:       call.Args,
-			Caller:     md.Get(wire.MetaCaller),
-			Credential: md.Get(wire.MetaCredential),
-		}
-		// Identity rides in the dedicated fields; everything else
-		// (request id, hops, deadline hint) goes in wire metadata.
-		wmd := make(wire.Metadata, len(md))
-		for k, v := range md {
-			if k == wire.MetaCaller || k == wire.MetaCredential {
-				continue
-			}
-			wmd[k] = v
-		}
-		if dl, ok := ctx.Deadline(); ok {
-			if rem := time.Until(dl); rem > 0 {
-				wmd.SetDeadline(rem)
-			}
-		}
-		if len(wmd) > 0 {
-			req.Meta = wmd
+			Caller:     call.Caller,
+			Credential: call.Credential,
+			Meta:       call.Meta,
 		}
 
 		resp, err := e.net.Call(ctx, dest, req)
@@ -218,7 +216,10 @@ func (e *Engine) newCall(ctx context.Context, addr, service, method string, args
 		}
 	}
 	if md.Get(wire.MetaRequestID) == "" {
-		md[wire.MetaRequestID] = fmt.Sprintf("%s-%d", e.self, e.reqSeq.Add(1))
+		// Append-based minting: one allocation for the id string
+		// instead of fmt.Sprintf's boxing and formatting machinery.
+		var seq [20]byte
+		md[wire.MetaRequestID] = e.idPrefix + string(strconv.AppendUint(seq[:0], e.reqSeq.Add(1), 10))
 	}
 	md.SetHops(md.Hops() + 1)
 	return &Call{Service: service, Method: method, Args: args, Meta: md, Addr: addr}
@@ -271,8 +272,19 @@ func (e *Engine) groupRun(services []string, invokeOne func(svc string) GroupRes
 	if workers <= 0 {
 		workers = DefaultGroupLimit
 	}
-	if workers > len(services) {
-		workers = len(services)
+	if workers >= len(services) {
+		// Small groups (the common fan-out) skip the dispatch channel:
+		// one goroutine per member, no channel allocation or handoffs.
+		var wg sync.WaitGroup
+		wg.Add(len(services))
+		for i := range services {
+			go func(i int) {
+				defer wg.Done()
+				results[i] = invokeOne(services[i])
+			}(i)
+		}
+		wg.Wait()
+		return results
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup

@@ -18,8 +18,16 @@ type Call struct {
 	// Args are the named arguments (never mutated by the chain).
 	Args wire.Args
 	// Meta is the request metadata stamped onto the wire request
-	// (request id, caller, credential, hop count).
+	// (request id, hop count, deadline hint). Identity rides in the
+	// dedicated Caller/Credential fields, not in Meta, so the hot path
+	// never has to filter the map before it hits the wire.
 	Meta wire.Metadata
+	// Caller is the invoking SyD user stamped by the credential stage
+	// (wire.Request.Caller on the wire).
+	Caller string
+	// Credential is the TEA-sealed credential blob stamped by the
+	// credential stage (wire.Request.Credential on the wire).
+	Credential string
 	// Addr is an explicit destination forced by the caller
 	// (Engine.InvokeAddr); when set, directory resolution is skipped.
 	Addr string
@@ -59,20 +67,28 @@ func ChainInterceptors(ics ...Interceptor) Interceptor {
 
 // CredentialInterceptor stamps the engine's identity onto every
 // outbound call: the caller name and, when one has been set, the
-// TEA-sealed credential (§5.4). This is the interceptor form of the
-// credential injection Engine.Invoke used to do inline.
+// TEA-sealed credential (§5.4). Identity goes into the dedicated
+// Call.Caller/Call.Credential fields; interceptors that stuffed it
+// into Meta instead (the pre-field convention) are still honored —
+// those entries are moved into the fields so Meta stays identity-free
+// on the wire.
 func CredentialInterceptor(e *Engine) Interceptor {
 	return func(next Invoker) Invoker {
 		return func(ctx context.Context, call *Call, out any) error {
-			if call.Meta == nil {
-				call.Meta = make(wire.Metadata, 4)
+			if call.Caller == "" {
+				if c := call.Meta.Get(wire.MetaCaller); c != "" {
+					call.Caller = c
+					delete(call.Meta, wire.MetaCaller)
+				} else {
+					call.Caller = e.self
+				}
 			}
-			if call.Meta.Get(wire.MetaCaller) == "" {
-				call.Meta[wire.MetaCaller] = e.self
-			}
-			if call.Meta.Get(wire.MetaCredential) == "" {
-				if cred := e.getCredential(); cred != "" {
-					call.Meta[wire.MetaCredential] = cred
+			if call.Credential == "" {
+				if c := call.Meta.Get(wire.MetaCredential); c != "" {
+					call.Credential = c
+					delete(call.Meta, wire.MetaCredential)
+				} else if cred := e.getCredential(); cred != "" {
+					call.Credential = cred
 				}
 			}
 			return next(ctx, call, out)
@@ -108,7 +124,9 @@ func resolveInterceptor(e *Engine) Interceptor {
 				return next(ctx, call, out)
 			}
 			if call.Route == nil {
-				info, err := e.dir.LookupService(ctx, call.Service)
+				// Route-only resolution: the engine never needs the
+				// method list, so skip fetching and decoding it.
+				info, err := e.dir.ResolveService(ctx, call.Service)
 				if err != nil {
 					return err
 				}

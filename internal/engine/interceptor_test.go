@@ -24,7 +24,7 @@ func TestInterceptorOrderAndMetadata(t *testing.T) {
 	tag := func(name string) Interceptor {
 		return func(next Invoker) Invoker {
 			return func(ctx context.Context, call *Call, out any) error {
-				trace = append(trace, name+":pre(caller="+call.Meta.Get(wire.MetaCaller)+")")
+				trace = append(trace, name+":pre(caller="+call.Caller+")")
 				err := next(ctx, call, out)
 				trace = append(trace, name+":post")
 				return err
@@ -96,10 +96,12 @@ func TestRequestMetadataReachesHandler(t *testing.T) {
 	// them to the handler via Call.Meta.
 	w := newWorld(t)
 	var got wire.Metadata
+	var gotCaller string
 	l := listener.New("phil", nil)
 	obj := listener.NewObject()
 	obj.Handle("Inspect", func(ctx context.Context, call *listener.Call) (any, error) {
 		got = call.Meta.Clone()
+		gotCaller = call.Caller
 		return nil, nil
 	})
 	l.Register("meta.phil", obj)
@@ -119,8 +121,8 @@ func TestRequestMetadataReachesHandler(t *testing.T) {
 	if err := e.Invoke(ctx, "meta.phil", "Inspect", nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if got.Get(wire.MetaCaller) != "andy" {
-		t.Fatalf("caller = %q", got.Get(wire.MetaCaller))
+	if gotCaller != "andy" {
+		t.Fatalf("caller = %q", gotCaller)
 	}
 	if !strings.HasPrefix(got.Get(wire.MetaRequestID), "andy-") {
 		t.Fatalf("request id = %q", got.Get(wire.MetaRequestID))
@@ -138,6 +140,7 @@ func TestOnwardInvokeInheritsRequestContext(t *testing.T) {
 	w.addNode("phil")
 
 	var hopMeta wire.Metadata
+	var hopCaller string
 	relayL := listener.New("relay", nil)
 	relayObj := listener.NewObject()
 	relayE := New(w.net, w.dir, "relay")
@@ -154,6 +157,7 @@ func TestOnwardInvokeInheritsRequestContext(t *testing.T) {
 	sinkObj := listener.NewObject()
 	sinkObj.Handle("Sink", func(ctx context.Context, call *listener.Call) (any, error) {
 		hopMeta = call.Meta.Clone()
+		hopCaller = call.Caller
 		return nil, nil
 	})
 	sinkL.Register("probe.sink", sinkObj)
@@ -182,8 +186,8 @@ func TestOnwardInvokeInheritsRequestContext(t *testing.T) {
 	if err := e.Invoke(ctx, "relay.svc", "Forward", nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if hopMeta.Get(wire.MetaCaller) != "relay" {
-		t.Fatalf("onward caller = %q, want relay (no impersonation)", hopMeta.Get(wire.MetaCaller))
+	if hopCaller != "relay" {
+		t.Fatalf("onward caller = %q, want relay (no impersonation)", hopCaller)
 	}
 	if !strings.HasPrefix(hopMeta.Get(wire.MetaRequestID), "andy-") {
 		t.Fatalf("request id not inherited: %q", hopMeta.Get(wire.MetaRequestID))

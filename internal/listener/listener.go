@@ -34,10 +34,16 @@ type Call struct {
 	// *authenticated* identity, not the claimed one (user middleware
 	// running outside AuthMiddleware sees the claimed identity).
 	Caller string
+	// Credential is the TEA-sealed credential blob presented by the
+	// caller (empty for anonymous calls). AuthMiddleware verifies it
+	// for objects that require auth.
+	Credential string
 	// Args are the named arguments.
 	Args wire.Args
-	// Meta is the full request metadata view (request id, hop count,
-	// caller, credential, deadline hint).
+	// Meta is the request's wire metadata (request id, hop count,
+	// deadline hint). Identity lives in the Caller/Credential fields.
+	// The map is shared with the transport request — middleware and
+	// handlers must treat it as read-only.
 	Meta wire.Metadata
 	// RequireAuth mirrors the target object's RequireAuth flag so
 	// middleware can enforce or observe the auth requirement.
@@ -228,11 +234,10 @@ func (l *Listener) HandleRequest(ctx context.Context, req *transport.Request) *t
 		return l.stampMeta(req, transport.ErrorResponse(req, wire.CodeNoService, "node %s has no service %q", l.owner, req.Service))
 	}
 
-	meta := req.FullMeta()
 	// Re-arm the caller's deadline hint locally when the transport did
 	// not propagate a context deadline (real TCP serves requests with
 	// a background context).
-	if d := meta.Deadline(); d > 0 {
+	if d := req.Meta.Deadline(); d > 0 {
 		if _, has := ctx.Deadline(); !has {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, d)
@@ -244,8 +249,9 @@ func (l *Listener) HandleRequest(ctx context.Context, req *transport.Request) *t
 		Service:     req.Service,
 		Method:      req.Method,
 		Caller:      req.Caller,
+		Credential:  req.Credential,
 		Args:        req.Args,
-		Meta:        meta,
+		Meta:        req.Meta,
 		RequireAuth: obj.RequireAuth,
 		obj:         obj,
 	}

@@ -47,7 +47,7 @@ func AuthMiddleware(authn *auth.Authenticator) Middleware {
 					Msg: fmt.Sprintf("service %q requires auth but node has no authenticator", call.Service),
 				}
 			}
-			user, err := authn.Verify(call.Meta.Get(wire.MetaCredential))
+			user, err := authn.Verify(call.Credential)
 			if err != nil {
 				return nil, &wire.RemoteError{
 					Code: wire.CodeAuth, Service: call.Service, Method: call.Method,
@@ -55,9 +55,6 @@ func AuthMiddleware(authn *auth.Authenticator) Middleware {
 				}
 			}
 			call.Caller = user
-			if call.Meta != nil {
-				call.Meta[wire.MetaCaller] = user
-			}
 			return next(ctx, call)
 		}
 	}

@@ -276,6 +276,18 @@ func (t *Table) Schema() Schema { return t.schema }
 
 // keyOf builds the encoded primary key for a row.
 func (t *Table) keyOf(r Row) (rowKey, error) {
+	if len(t.schema.Key) == 1 {
+		v, ok := r[t.schema.Key[0]]
+		if !ok {
+			return "", fmt.Errorf("%w: %q", ErrMissingKey, t.schema.Key[0])
+		}
+		// Single string keys (the common shape: users by id, services
+		// by name) encode as themselves — skip the builder and the %v
+		// formatting round-trip.
+		if s, ok := v.(string); ok {
+			return rowKey(s), nil
+		}
+	}
 	var b strings.Builder
 	for i, k := range t.schema.Key {
 		v, ok := r[k]
@@ -299,6 +311,13 @@ func (t *Table) KeyOf(r Row) (string, error) {
 // keyFromVals builds the encoded primary key from key values given in
 // schema key order.
 func (t *Table) keyFromVals(keyVals []any) (rowKey, error) {
+	if len(t.schema.Key) == 1 && len(keyVals) == 1 {
+		// Same single-string fast path as keyOf (the encodings must
+		// stay identical).
+		if s, ok := keyVals[0].(string); ok {
+			return rowKey(s), nil
+		}
+	}
 	probe := make(Row, len(t.schema.Key))
 	for i, kc := range t.schema.Key {
 		if i >= len(keyVals) {
@@ -511,6 +530,26 @@ func (t *Table) Get(keyVals ...any) (Row, bool) {
 		return nil, false
 	}
 	return r.Clone(), true
+}
+
+// View calls fn with the stored row for keyVals while holding the
+// table's read lock, returning false when no row matches. fn sees the
+// live row, not a clone — it must not mutate it or retain a reference
+// past the call. Read-heavy infrastructure (directory lookups on the
+// invocation hot path) uses View to skip Get's defensive copy.
+func (t *Table) View(fn func(Row), keyVals ...any) bool {
+	k, err := t.keyFromVals(keyVals)
+	if err != nil {
+		return false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[k]
+	if !ok {
+		return false
+	}
+	fn(r)
+	return true
 }
 
 // Update applies changes to the row identified by keyVals. Primary-key

@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// coalescer batches the encoded frames of concurrent writers into
+// single socket writes, the same group-commit shape internal/wal uses
+// for fsyncs: while one writer's syscall is in flight, later writers
+// append their frames to a staging buffer; whoever finds the wire free
+// next drains the whole batch with one Write. Callers return only
+// after the write that carried their frame completes, so the
+// at-most-once delivery semantics of the v1 per-frame path are
+// preserved — a nil return still means "handed to the kernel".
+//
+// Under no contention the fast path degenerates to exactly one
+// syscall per frame with no extra copies beyond the staging append.
+type coalescer struct {
+	w     io.Writer // the socket; never written without holding the flush token
+	stats *metrics.WireStats
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []byte // staging buffer for the generation currently accepting frames
+	frames  int    // frames staged in buf
+	spare   []byte // recycled staging buffer for the next generation
+	inFlush bool   // a flush syscall is in flight
+	gen     uint64 // generation currently accepting frames
+	done    uint64 // highest generation fully flushed
+	err     error  // first write error; terminal
+}
+
+// maxStagingBuf caps recycled staging buffers (mirrors the wire
+// package's pool cap) so one burst of huge frames does not pin memory
+// for the connection's lifetime.
+const maxStagingBuf = 256 << 10
+
+func newCoalescer(w io.Writer, stats *metrics.WireStats) *coalescer {
+	// gen starts at 1 so that done (0) is strictly behind the first
+	// generation accepting frames.
+	c := &coalescer{w: w, stats: stats, gen: 1}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// write stages frame and returns once a flush that included it has
+// completed (or failed). frame is fully copied before write returns
+// control to the coalescer, so callers may release pooled buffers
+// immediately afterwards.
+func (c *coalescer) write(frame []byte) error {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.buf = append(c.buf, frame...)
+	c.frames++
+	myGen := c.gen
+	c.stats.RecordSend(1, len(frame))
+
+	// If an earlier generation's syscall is in flight our bytes ride
+	// the next flush; wait for the wire to free up (or for a peer from
+	// our generation to have flushed us).
+	for c.err == nil && c.done < myGen && c.inFlush {
+		c.cond.Wait()
+	}
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	if c.done >= myGen {
+		// A writer from this generation already drained the batch,
+		// our frame included.
+		c.mu.Unlock()
+		return nil
+	}
+
+	// Become the flush leader for this generation: swap the staging
+	// buffer so later writers stage the next batch while our syscall
+	// runs.
+	out, n := c.buf, c.frames
+	c.buf, c.spare = c.spare[:0], nil
+	c.frames = 0
+	c.inFlush = true
+	c.gen++
+	c.mu.Unlock()
+
+	_, werr := c.w.Write(out)
+
+	c.mu.Lock()
+	c.inFlush = false
+	c.done = myGen
+	if werr != nil && c.err == nil {
+		c.err = werr
+	}
+	if cap(out) <= maxStagingBuf && c.spare == nil {
+		c.spare = out[:0]
+	}
+	c.stats.RecordFlush(n)
+	err := c.err
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return err
+}
+
+// fail marks the coalescer dead (connection torn down) and wakes every
+// waiter with err.
+func (c *coalescer) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

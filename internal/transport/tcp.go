@@ -5,26 +5,76 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
-// TCP is the real-socket Network implementation. A single TCP
-// connection per (client, server-address) pair is multiplexed across
-// concurrent Calls using wire request IDs, mirroring the prototype's
-// "small foot-print" socket layer.
+// DefaultPoolSize is the per-peer connection pool size when none is
+// configured: min(4, GOMAXPROCS). A single multiplexed connection
+// serializes every concurrent caller behind one write path and one
+// in-order response stream; a small pool removes that head-of-line
+// blocking without the per-call dial cost of connection-per-request.
+func DefaultPoolSize() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// TCP is the real-socket Network implementation. Each (client,
+// server-address) pair gets a small pool of TCP connections;
+// concurrent Calls are multiplexed across them using wire request IDs
+// with round-robin pick, and each connection coalesces the frames of
+// concurrent writers into single socket writes (see coalescer).
 //
-// The zero value is ready to use. TCP is safe for concurrent use.
+// Use NewTCP; TCP is safe for concurrent use.
 type TCP struct {
+	poolSize int
+	stats    *metrics.WireStats
+
 	mu     sync.Mutex
-	conns  map[string]*tcpClientConn
+	pools  map[string]*connPool
 	closed bool
 }
 
+// TCPOption configures a TCP network.
+type TCPOption func(*TCP)
+
+// WithPoolSize sets the number of pooled connections per peer address
+// (n <= 0 keeps DefaultPoolSize).
+func WithPoolSize(n int) TCPOption {
+	return func(t *TCP) {
+		if n > 0 {
+			t.poolSize = n
+		}
+	}
+}
+
+// WithWireStats overrides the frame counter sink (tests; the default
+// is the process-wide metrics.Wire()).
+func WithWireStats(s *metrics.WireStats) TCPOption {
+	return func(t *TCP) { t.stats = s }
+}
+
 // NewTCP returns a ready TCP network.
-func NewTCP() *TCP {
-	return &TCP{conns: make(map[string]*tcpClientConn)}
+func NewTCP(opts ...TCPOption) *TCP {
+	t := &TCP{
+		poolSize: DefaultPoolSize(),
+		stats:    metrics.Wire(),
+		pools:    make(map[string]*connPool),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
 }
 
 // --- server side ----------------------------------------------------------
@@ -32,6 +82,7 @@ func NewTCP() *TCP {
 type tcpListener struct {
 	ln      net.Listener
 	handler Handler
+	stats   *metrics.WireStats
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -44,7 +95,7 @@ func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	l := &tcpListener{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	l := &tcpListener{ln: ln, handler: h, stats: t.stats, conns: make(map[net.Conn]struct{})}
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
@@ -96,12 +147,19 @@ func (l *tcpListener) serveConn(conn net.Conn) {
 		l.mu.Unlock()
 		conn.Close()
 	}()
-	var writeMu sync.Mutex
+	// One pooled-codec frame reader and one coalescing writer per
+	// connection: responses from concurrent handler goroutines batch
+	// into single socket writes.
+	fr := wire.NewFrameReader(conn)
+	cw := newCoalescer(conn, l.stats)
+	var readBytes int64
 	for {
-		env, err := wire.ReadFrame(conn)
+		env, err := fr.Read()
 		if err != nil {
 			return
 		}
+		l.stats.RecordRecv(1, int(fr.Bytes-readBytes))
+		readBytes = fr.Bytes
 		switch env.Kind {
 		case wire.KindRequest:
 			req := env.Request
@@ -117,9 +175,7 @@ func (l *tcpListener) serveConn(conn net.Conn) {
 					resp = ErrorResponse(req, wire.CodeInternal, "handler returned no response")
 				}
 				resp.ID = req.ID
-				writeMu.Lock()
-				defer writeMu.Unlock()
-				_ = wire.WriteFrame(conn, &wire.Envelope{Kind: wire.KindResponse, Response: resp})
+				_ = writeEnvelope(cw, &wire.Envelope{Kind: wire.KindResponse, Response: resp})
 			}()
 		case wire.KindEvent:
 			if env.Event != nil {
@@ -130,11 +186,34 @@ func (l *tcpListener) serveConn(conn net.Conn) {
 	}
 }
 
+// writeEnvelope encodes env with the pooled codec and hands it to the
+// connection's coalescing writer as one contiguous frame.
+func writeEnvelope(cw *coalescer, env *wire.Envelope) error {
+	f, err := wire.EncodeFrame(env)
+	if err != nil {
+		return err
+	}
+	err = cw.write(f.Bytes())
+	f.Release()
+	return err
+}
+
 // --- client side ----------------------------------------------------------
 
+// connPool is the bounded set of multiplexed connections to one peer
+// address. Slots dial lazily; pick is round-robin so one slow
+// response stream (a long negotiation) cannot head-of-line-block
+// unrelated calls on the other slots.
+type connPool struct {
+	next  atomic.Uint32
+	mu    sync.Mutex
+	slots []*tcpClientConn
+}
+
 type tcpClientConn struct {
-	conn    net.Conn
-	writeMu sync.Mutex
+	conn  net.Conn
+	w     *coalescer
+	stats *metrics.WireStats
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -142,35 +221,72 @@ type tcpClientConn struct {
 	dead    bool
 }
 
-func (t *TCP) getConn(addr string) (*tcpClientConn, error) {
+func (c *tcpClientConn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+func (t *TCP) pool(addr string) (*connPool, error) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.closed {
-		t.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if t.conns == nil {
-		t.conns = make(map[string]*tcpClientConn)
+	if t.pools == nil {
+		t.pools = make(map[string]*connPool)
 	}
-	if c, ok := t.conns[addr]; ok {
-		t.mu.Unlock()
+	p, ok := t.pools[addr]
+	if !ok {
+		p = &connPool{slots: make([]*tcpClientConn, t.poolSize)}
+		t.pools[addr] = p
+	}
+	return p, nil
+}
+
+// getConn returns a live pooled connection to addr, dialing the
+// picked slot if it is empty or its connection has died.
+func (t *TCP) getConn(addr string) (*tcpClientConn, error) {
+	p, err := t.pool(addr)
+	if err != nil {
+		return nil, err
+	}
+	slot := int(p.next.Add(1)-1) % len(p.slots)
+
+	p.mu.Lock()
+	if c := p.slots[slot]; c != nil && !c.isDead() {
+		p.mu.Unlock()
 		return c, nil
 	}
-	t.mu.Unlock()
+	p.mu.Unlock()
 
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
-	c := &tcpClientConn{conn: nc, pending: make(map[uint64]chan *Response)}
+	c := &tcpClientConn{
+		conn:    nc,
+		w:       newCoalescer(nc, t.stats),
+		stats:   t.stats,
+		pending: make(map[uint64]chan *Response),
+	}
 
-	t.mu.Lock()
-	if existing, ok := t.conns[addr]; ok {
-		// Lost the dial race; use the winner.
-		t.mu.Unlock()
+	p.mu.Lock()
+	if existing := p.slots[slot]; existing != nil && !existing.isDead() {
+		// Lost the dial race for this slot; use the winner.
+		p.mu.Unlock()
 		nc.Close()
 		return existing, nil
 	}
-	t.conns[addr] = c
+	p.slots[slot] = c
+	p.mu.Unlock()
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.fail()
+		return nil, ErrClosed
+	}
 	t.mu.Unlock()
 
 	go func() {
@@ -180,21 +296,35 @@ func (t *TCP) getConn(addr string) (*tcpClientConn, error) {
 	return c, nil
 }
 
+// dropConn clears c from its pool slot (reconnect-on-next-use
+// semantics, per pooled connection).
 func (t *TCP) dropConn(addr string, c *tcpClientConn) {
 	t.mu.Lock()
-	if t.conns[addr] == c {
-		delete(t.conns, addr)
-	}
+	p := t.pools[addr]
 	t.mu.Unlock()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	for i, s := range p.slots {
+		if s == c {
+			p.slots[i] = nil
+		}
+	}
+	p.mu.Unlock()
 }
 
 func (c *tcpClientConn) readLoop() {
+	fr := wire.NewFrameReader(c.conn)
+	var readBytes int64
 	for {
-		env, err := wire.ReadFrame(c.conn)
+		env, err := fr.Read()
 		if err != nil {
 			c.fail()
 			return
 		}
+		c.stats.RecordRecv(1, int(fr.Bytes-readBytes))
+		readBytes = fr.Bytes
 		if env.Kind != wire.KindResponse || env.Response == nil {
 			continue
 		}
@@ -205,6 +335,9 @@ func (c *tcpClientConn) readLoop() {
 		}
 		c.mu.Unlock()
 		if ok {
+			// The channel is buffered and ownership was transferred
+			// under the lock (the entry is gone from pending), so this
+			// send never blocks and never races a close.
 			ch <- env.Response
 		}
 	}
@@ -212,11 +345,16 @@ func (c *tcpClientConn) readLoop() {
 
 func (c *tcpClientConn) fail() {
 	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
 	c.dead = true
 	pend := c.pending
 	c.pending = make(map[uint64]chan *Response)
 	c.mu.Unlock()
 	c.conn.Close()
+	c.w.fail(ErrUnreachable)
 	for _, ch := range pend {
 		close(ch)
 	}
@@ -236,9 +374,7 @@ func (c *tcpClientConn) call(ctx context.Context, req *Request) (*Response, erro
 
 	r := *req
 	r.ID = id
-	c.writeMu.Lock()
-	err := wire.WriteFrame(c.conn, &wire.Envelope{Kind: wire.KindRequest, Request: &r})
-	c.writeMu.Unlock()
+	err := writeEnvelope(c.w, &wire.Envelope{Kind: wire.KindRequest, Request: &r})
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
@@ -254,11 +390,39 @@ func (c *tcpClientConn) call(ctx context.Context, req *Request) (*Response, erro
 		}
 		return resp, nil
 	case <-ctx.Done():
+		// Cancel/deliver handoff: whoever removes the pending entry
+		// under the lock owns the channel. If the entry is already
+		// gone, readLoop (or fail) owns it and a send/close is
+		// imminent — take that response rather than dropping an
+		// answered call on the floor.
 		c.mu.Lock()
+		_, stillPending := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
+		if !stillPending {
+			if resp, ok := <-ch; ok {
+				return resp, nil
+			}
+			return nil, ErrUnreachable
+		}
 		return nil, ctx.Err()
 	}
+}
+
+// send delivers a one-way event frame on this connection.
+func (c *tcpClientConn) send(ev *Event) error {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return ErrUnreachable
+	}
+	c.mu.Unlock()
+	err := writeEnvelope(c.w, &wire.Envelope{Kind: wire.KindEvent, Event: ev})
+	if err != nil {
+		c.fail()
+		return fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	return nil
 }
 
 // Call implements Network.
@@ -269,8 +433,8 @@ func (t *TCP) Call(ctx context.Context, addr string, req *Request) (*Response, e
 	}
 	resp, err := c.call(ctx, req)
 	if errors.Is(err, ErrUnreachable) {
-		// One reconnect attempt: the cached connection may have
-		// died while idle (server restart, device reconnect).
+		// One reconnect attempt: the pooled connection may have died
+		// while idle (server restart, device reconnect).
 		t.dropConn(addr, c)
 		c, err2 := t.getConn(addr)
 		if err2 != nil {
@@ -281,15 +445,24 @@ func (t *TCP) Call(ctx context.Context, addr string, req *Request) (*Response, e
 	return resp, err
 }
 
-// Send implements Network.
+// Send implements Network. Like Call it makes one reconnect attempt
+// when the pooled connection has died idle, so events to a restarted
+// peer are not silently lost.
 func (t *TCP) Send(ctx context.Context, addr string, ev *Event) error {
 	c, err := t.getConn(addr)
 	if err != nil {
 		return err
 	}
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	return wire.WriteFrame(c.conn, &wire.Envelope{Kind: wire.KindEvent, Event: ev})
+	err = c.send(ev)
+	if errors.Is(err, ErrUnreachable) {
+		t.dropConn(addr, c)
+		c, err2 := t.getConn(addr)
+		if err2 != nil {
+			return err2
+		}
+		return c.send(ev)
+	}
+	return err
 }
 
 // Close tears down all client connections. Listeners are closed
@@ -297,11 +470,18 @@ func (t *TCP) Send(ctx context.Context, addr string, ev *Event) error {
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	t.closed = true
-	conns := t.conns
-	t.conns = map[string]*tcpClientConn{}
+	pools := t.pools
+	t.pools = map[string]*connPool{}
 	t.mu.Unlock()
-	for _, c := range conns {
-		c.fail()
+	for _, p := range pools {
+		p.mu.Lock()
+		slots := append([]*tcpClientConn(nil), p.slots...)
+		p.mu.Unlock()
+		for _, c := range slots {
+			if c != nil {
+				c.fail()
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Frame path v2 (see DESIGN.md §wire, "frame path v2"): the v1 codec
+// paid a full json.Marshal allocation per frame, two conn.Write calls
+// (header, then body), and a fresh body buffer per read. V2 keeps the
+// wire format byte-identical — 4-byte big-endian length, JSON body —
+// but encodes prefix and body into one pooled buffer so a frame is a
+// single Write, and reads through a per-connection FrameReader that
+// reuses its scratch buffer. Transports coalesce the encoded frames
+// of concurrent callers into one syscall (internal/transport).
+
+// poolBufCap caps the capacity of buffers returned to the pools so a
+// single huge frame (a bulk snapshot, a big group result) does not pin
+// megabytes inside the pool forever.
+const poolBufCap = 64 << 10
+
+// FrameBuffer is a pooled, encoded frame: length prefix and JSON body
+// in one contiguous byte slice, ready for a single Write. Obtain with
+// EncodeFrame, hand Bytes to the socket, then Release.
+type FrameBuffer struct {
+	buf []byte
+}
+
+// Bytes returns the full encoded frame (prefix + body).
+func (f *FrameBuffer) Bytes() []byte { return f.buf }
+
+// Len returns the encoded frame size in bytes.
+func (f *FrameBuffer) Len() int { return len(f.buf) }
+
+// Release returns the buffer to the encode pool. The caller must not
+// touch Bytes afterwards.
+func (f *FrameBuffer) Release() {
+	if cap(f.buf) > poolBufCap {
+		// Oversized one-off: let the GC have it instead of bloating
+		// the pool.
+		f.buf = nil
+	}
+	f.buf = f.buf[:0]
+	framePool.Put(f)
+}
+
+var framePool = sync.Pool{New: func() any { return new(FrameBuffer) }}
+
+// frameWriter adapts a FrameBuffer to io.Writer for json.Encoder.
+type frameWriter FrameBuffer
+
+func (w *frameWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// EncodeFrame marshals env into a pooled FrameBuffer: the 4-byte
+// length prefix followed by the JSON body, as one contiguous slice.
+// The JSON encoder writes straight into the pooled buffer, so a warm
+// pool encodes without heap allocation beyond what encoding/json
+// itself needs.
+func EncodeFrame(env *Envelope) (*FrameBuffer, error) {
+	f := framePool.Get().(*FrameBuffer)
+	f.buf = append(f.buf[:0], 0, 0, 0, 0) // length backpatched below
+	enc := json.NewEncoder((*frameWriter)(f))
+	if err := enc.Encode(env); err != nil {
+		f.Release()
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	n := len(f.buf) - 4
+	if n > MaxFrameSize {
+		f.Release()
+		return nil, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(f.buf[:4], uint32(n))
+	return f, nil
+}
+
+// FrameReader decodes length-prefixed frames from one connection,
+// reusing an internal scratch buffer between reads (v1 ReadFrame
+// allocated a fresh body buffer per frame). Bind one FrameReader per
+// connection; it is not safe for concurrent use.
+type FrameReader struct {
+	r       *bufio.Reader
+	scratch []byte
+
+	// Frames and Bytes count everything successfully read; the
+	// transport layer feeds them into metrics.
+	Frames int64
+	Bytes  int64
+}
+
+// NewFrameReader creates a FrameReader over r. If r is already a
+// *bufio.Reader it is used directly.
+func NewFrameReader(r io.Reader) *FrameReader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 32<<10)
+	}
+	return &FrameReader{r: br}
+}
+
+// Read decodes the next frame. The returned Envelope does not alias
+// the scratch buffer (JSON decoding copies what it keeps), so it
+// remains valid across subsequent Reads.
+func (fr *FrameReader) Read() (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(fr.scratch) < n {
+		fr.scratch = make([]byte, n)
+	}
+	body := fr.scratch[:n]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrShortFrame
+		}
+		return nil, err
+	}
+	if cap(fr.scratch) > poolBufCap {
+		// Do not let one oversized frame pin a huge scratch buffer
+		// for the connection's lifetime.
+		fr.scratch = nil
+	}
+	env := new(Envelope)
+	if err := json.Unmarshal(body, env); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	fr.Frames++
+	fr.Bytes += int64(4 + n)
+	return env, nil
+}

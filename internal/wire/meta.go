@@ -55,7 +55,11 @@ func (m Metadata) Clone() Metadata {
 
 // Hops returns the hop counter, 0 when absent or malformed.
 func (m Metadata) Hops() int {
-	n, _ := strconv.Atoi(m.Get(MetaHops))
+	s := m.Get(MetaHops)
+	if s == "" {
+		return 0 // fast path: no error allocation for the common case
+	}
+	n, _ := strconv.Atoi(s)
 	return n
 }
 
@@ -66,7 +70,11 @@ func (m Metadata) SetHops(n int) {
 
 // Deadline returns the deadline hint as a duration, 0 when absent.
 func (m Metadata) Deadline() time.Duration {
-	ms, err := strconv.ParseInt(m.Get(MetaDeadline), 10, 64)
+	s := m.Get(MetaDeadline)
+	if s == "" {
+		return 0 // fast path: no error allocation for the common case
+	}
+	ms, err := strconv.ParseInt(s, 10, 64)
 	if err != nil || ms <= 0 {
 		return 0
 	}

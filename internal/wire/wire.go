@@ -147,20 +147,16 @@ func CodeOf(err error) ErrCode {
 }
 
 // WriteFrame encodes env as JSON and writes a length-prefixed frame.
+// The prefix and body go out in a single Write (one syscall on a raw
+// socket) via a pooled encode buffer; transports that coalesce
+// concurrent writers use EncodeFrame directly.
 func WriteFrame(w io.Writer, env *Envelope) error {
-	body, err := json.Marshal(env)
+	f, err := EncodeFrame(env)
 	if err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
-	}
-	if len(body) > MaxFrameSize {
-		return ErrFrameTooLarge
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = w.Write(body)
+	_, err = w.Write(f.Bytes())
+	f.Release()
 	return err
 }
 
@@ -197,9 +193,16 @@ func Marshal(v any) (json.RawMessage, error) {
 	return b, nil
 }
 
-// Unmarshal decodes a Response result into v.
+// Unmarshal decodes a Response result into v. Decoding into a
+// *json.RawMessage is a plain copy (no validity scan): results come
+// from our own encoder, and GroupInvoke takes this path once per
+// member, so the aggregation fan-in stays allocation-lean.
 func Unmarshal(raw json.RawMessage, v any) error {
 	if len(raw) == 0 {
+		return nil
+	}
+	if rm, ok := v.(*json.RawMessage); ok {
+		*rm = append((*rm)[:0], raw...)
 		return nil
 	}
 	return json.Unmarshal(raw, v)
