@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/calendar"
 	"repro/internal/core"
+	"repro/internal/links"
 	"repro/internal/metrics"
 	"repro/internal/notify"
 	"repro/internal/transport"
@@ -36,6 +37,10 @@ func main() {
 	introspect := flag.Bool("introspect", true, "publish the sys.<user> introspection service (Services/Methods/Metrics)")
 	routeCacheTTL := flag.Duration("route-cache", 2*time.Second, "engine directory route cache TTL (0 disables)")
 	poolSize := flag.Int("conn-pool", 0, "TCP connections per peer (0 = min(4, GOMAXPROCS))")
+	lockTTL := flag.Duration("lock-ttl", 0, "negotiation mark (phase-1 lock) TTL before an unresolved lock may be stolen (0 = links default)")
+	commitRetry := flag.Duration("commit-retry", 0, "base backoff between commit-retry sweeper rounds for in-doubt negotiations (0 = links default)")
+	commitRetryMax := flag.Int("commit-retry-max", 0, "commit-retry rounds before a journaled negotiation is expired as a permanent failure (0 = links default)")
+	presumeAbort := flag.Duration("presume-abort-after", 0, "how long an in-doubt participant pins a mark while its coordinator is unreachable before presuming abort (0 = links default)")
 	flag.Parse()
 	if *user == "" {
 		log.Fatal("sydnode: -user is required")
@@ -65,6 +70,12 @@ func main() {
 		HeartbeatEvery: 5 * time.Second,
 		ExpireEvery:    30 * time.Second,
 		DirCacheTTL:    2 * time.Second,
+		LockTTL:        *lockTTL,
+		LinkTuning: links.Tuning{
+			RetryBase:         *commitRetry,
+			MaxAttempts:       *commitRetryMax,
+			PresumeAbortAfter: *presumeAbort,
+		},
 	}, opts...)
 	cancel()
 	if err != nil {

@@ -194,7 +194,11 @@ func (c *Calendar) SetupMeeting(ctx context.Context, req Request) (*Meeting, err
 			Targets:    slotRefs(others, m.Slot),
 			Constraint: links.Or, K: 1,
 		})
-		if nerr == nil {
+		// An in-doubt outcome is not a rejection: the targets in
+		// res.Accepted did commit their reservations (only stragglers
+		// are still being re-driven), so they count as reserved either
+		// way.
+		if nerr == nil || links.IsInDoubt(nerr) {
 			for _, ref := range res.Accepted {
 				m.Reserved = append(m.Reserved, ref.User)
 			}
@@ -218,7 +222,7 @@ func (c *Calendar) SetupMeeting(ctx context.Context, req Request) (*Meeting, err
 			Targets:    slotRefs(members, m.Slot),
 			Constraint: links.Or, K: g.K,
 		})
-		if gerr == nil {
+		if gerr == nil || links.IsInDoubt(gerr) {
 			for _, ref := range res.Accepted {
 				m.Reserved = append(m.Reserved, ref.User)
 			}
@@ -472,7 +476,14 @@ func (c *Calendar) TryConfirm(ctx context.Context, meetingID string) (*Meeting, 
 			Targets:    slotRefs([]string{u}, m.Slot),
 			Constraint: links.And,
 		})
-		if err != nil || !res.OK {
+		// Only an acknowledged commit counts: a plain failure or an
+		// in-doubt outcome whose ack never arrived leaves u missing
+		// (a later TryConfirm round retries; the participant side is
+		// idempotent, so a retried reserve that already landed acks).
+		if err != nil && !links.IsInDoubt(err) {
+			continue
+		}
+		if !res.OK && !containsRef(res.Accepted, u) {
 			continue
 		}
 		m.Missing = removeString(m.Missing, u)

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/links"
 )
 
 // Meeting status values.
@@ -221,6 +223,16 @@ func (m *Meeting) canAdminister(user string) bool {
 	}
 	for _, d := range m.Delegates {
 		if d == user {
+			return true
+		}
+	}
+	return false
+}
+
+// containsRef reports whether refs includes an entry for user.
+func containsRef(refs []links.EntityRef, user string) bool {
+	for _, r := range refs {
+		if r.User == user {
 			return true
 		}
 	}

@@ -79,6 +79,14 @@ type Config struct {
 	WALSync wal.SyncPolicy
 	// WALFlushEvery widens group-commit batches; see wal.Options.
 	WALFlushEvery time.Duration
+	// LockTTL overrides the negotiation lock table's mark TTL when > 0
+	// (how long a phase-1 lock survives without Commit/Abort before it
+	// may be stolen).
+	LockTTL time.Duration
+	// LinkTuning overrides the negotiation recovery schedule (commit
+	// retry backoff, attempts, presumed-abort horizon). Zero fields
+	// keep the links defaults.
+	LinkTuning links.Tuning
 }
 
 // Option mutates a Config before the node boots — the functional-
@@ -235,6 +243,15 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		closeDurable()
 		return nil, err
 	}
+	if cfg.Metrics != nil {
+		lm.SetMetrics(cfg.Metrics)
+	}
+	if cfg.LockTTL > 0 {
+		lm.Locks.SetTTL(cfg.LockTTL)
+	}
+	if cfg.LinkTuning != (links.Tuning{}) {
+		lm.SetTuning(cfg.LinkTuning)
+	}
 
 	n := &Node{
 		User:     cfg.User,
@@ -287,6 +304,9 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 			defer cancel()
 			_ = lm.ExpireSweep(swCtx, now)
 			_ = lm.RetryPendingDeletes(swCtx)
+			// Negotiation fault recovery rides the same schedule: re-send
+			// journaled commits and resolve in-doubt participant marks.
+			_ = lm.FaultSweep(swCtx, now)
 		})
 	}
 	if durable != nil && cfg.CheckpointEvery > 0 {

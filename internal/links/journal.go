@@ -1,0 +1,391 @@
+package links
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// The commit journal makes phase 2 of the §4.3 negotiation protocol
+// crash- and loss-tolerant. Once the constraint is satisfied the
+// coordinator has decided COMMIT; it persists that decision (the
+// negotiation id, action, args, and every marked target with its lock
+// token) in SyD_NegotiationJournal *before* changing anything. A lost
+// Commit, a partitioned target, or a coordinator crash then leaves a
+// journal row behind, and the periodic sweep (the same schedule the
+// paper uses for link expiry, §4.2 op 6) re-sends Commit with
+// exponential backoff until every target acknowledges. Only when the
+// pending set drains is the row retired; a row that exhausts its
+// attempts is expired to a loud, metrics-counted failure.
+
+// Tuning bounds the recovery machinery. Zero fields take defaults.
+type Tuning struct {
+	// RetryBase is the sweeper's first backoff after a failed or
+	// partial commit round; it doubles each round.
+	RetryBase time.Duration
+	// RetryCap caps the exponential backoff.
+	RetryCap time.Duration
+	// MaxAttempts is the number of sweeper rounds before a journal
+	// row is expired as a permanent (loud) failure.
+	MaxAttempts int
+	// PresumeAbortAfter is how long an in-doubt participant keeps a
+	// mark alive while the coordinator is unreachable before it
+	// presumes abort and releases the lock. It should comfortably
+	// exceed the coordinator's retry horizon.
+	PresumeAbortAfter time.Duration
+	// DecidedTTL is how long a participant remembers decided tokens
+	// so duplicate Commit/Abort deliveries are recognized.
+	DecidedTTL time.Duration
+}
+
+// Default tuning values.
+const (
+	DefaultRetryBase         = 500 * time.Millisecond
+	DefaultRetryCap          = 30 * time.Second
+	DefaultMaxAttempts       = 12
+	DefaultPresumeAbortAfter = 5 * time.Minute
+	DefaultDecidedTTL        = 10 * time.Minute
+)
+
+// DefaultTuning returns the stock recovery schedule.
+func DefaultTuning() Tuning {
+	return Tuning{
+		RetryBase:         DefaultRetryBase,
+		RetryCap:          DefaultRetryCap,
+		MaxAttempts:       DefaultMaxAttempts,
+		PresumeAbortAfter: DefaultPresumeAbortAfter,
+		DecidedTTL:        DefaultDecidedTTL,
+	}
+}
+
+// normalize fills zero fields with defaults.
+func (t Tuning) normalize() Tuning {
+	d := DefaultTuning()
+	if t.RetryBase <= 0 {
+		t.RetryBase = d.RetryBase
+	}
+	if t.RetryCap <= 0 {
+		t.RetryCap = d.RetryCap
+	}
+	if t.MaxAttempts <= 0 {
+		t.MaxAttempts = d.MaxAttempts
+	}
+	if t.PresumeAbortAfter <= 0 {
+		t.PresumeAbortAfter = d.PresumeAbortAfter
+	}
+	if t.DecidedTTL <= 0 {
+		t.DecidedTTL = d.DecidedTTL
+	}
+	return t
+}
+
+// SetTuning installs a recovery schedule (zero fields keep defaults).
+func (m *Manager) SetTuning(t Tuning) {
+	m.mu.Lock()
+	m.tuning = t.normalize()
+	m.mu.Unlock()
+}
+
+func (m *Manager) tune() Tuning {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.tuning
+}
+
+// NewNegotiationID mints a globally unique negotiation id.
+func NewNegotiationID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("links: rand: " + err.Error())
+	}
+	return "N-" + hex.EncodeToString(b[:])
+}
+
+// journalTarget is one marked target awaiting its Commit ack.
+type journalTarget struct {
+	Ref   EntityRef `json:"ref"`
+	Token string    `json:"token"`
+}
+
+// journalRec is the decoded form of one SyD_NegotiationJournal row.
+type journalRec struct {
+	ID        string
+	Action    string
+	Args      wire.Args
+	Local     *LocalChange
+	LocalDone bool
+	Pending   []journalTarget
+	Committed []EntityRef
+	Failed    []EntityRef
+	Attempts  int
+	NextRetry time.Time
+	Created   time.Time
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("links: journal encode: " + err.Error())
+	}
+	return string(b)
+}
+
+func (r *journalRec) row() store.Row {
+	localJSON := ""
+	if r.Local != nil {
+		localJSON = mustJSON(r.Local)
+	}
+	done := int64(0)
+	if r.LocalDone {
+		done = 1
+	}
+	return store.Row{
+		"id":         r.ID,
+		"action":     r.Action,
+		"args":       mustJSON(r.Args),
+		"local":      localJSON,
+		"local_done": done,
+		"pending":    mustJSON(r.Pending),
+		"committed":  mustJSON(r.Committed),
+		"failed":     mustJSON(r.Failed),
+		"attempts":   int64(r.Attempts),
+		"next_retry": r.NextRetry,
+		"created":    r.Created,
+	}
+}
+
+func journalFromRow(row store.Row) (*journalRec, error) {
+	r := &journalRec{
+		ID:        row["id"].(string),
+		Action:    row["action"].(string),
+		LocalDone: row["local_done"].(int64) != 0,
+		Attempts:  int(row["attempts"].(int64)),
+		NextRetry: row["next_retry"].(time.Time),
+		Created:   row["created"].(time.Time),
+	}
+	if err := json.Unmarshal([]byte(row["args"].(string)), &r.Args); err != nil {
+		return nil, fmt.Errorf("links: journal %s args: %w", r.ID, err)
+	}
+	if s := row["local"].(string); s != "" {
+		r.Local = &LocalChange{}
+		if err := json.Unmarshal([]byte(s), r.Local); err != nil {
+			return nil, fmt.Errorf("links: journal %s local: %w", r.ID, err)
+		}
+	}
+	for col, dst := range map[string]any{
+		"pending": &r.Pending, "committed": &r.Committed, "failed": &r.Failed,
+	} {
+		if s := row[col].(string); s != "" {
+			if err := json.Unmarshal([]byte(s), dst); err != nil {
+				return nil, fmt.Errorf("links: journal %s %s: %w", r.ID, col, err)
+			}
+		}
+	}
+	return r, nil
+}
+
+// journalBegin persists the COMMIT decision before phase 2 touches
+// anything. The row lands in the store (and therefore the WAL when
+// durability is on) before the first Commit leaves the coordinator.
+func (m *Manager) journalBegin(rec *journalRec) error {
+	err := m.journalT.Insert(rec.row())
+	if errors.Is(err, store.ErrDupKey) {
+		return m.journalT.Update(rec.row(), rec.ID)
+	}
+	return err
+}
+
+// journalUpdate rewrites a journal row after progress.
+func (m *Manager) journalUpdate(rec *journalRec) {
+	_ = m.journalT.Update(rec.row(), rec.ID)
+}
+
+// journalRetire removes a resolved negotiation's row.
+func (m *Manager) journalRetire(id string) {
+	_ = m.journalT.Delete(id)
+}
+
+// journalGet fetches and decodes one journal row.
+func (m *Manager) journalGet(id string) (*journalRec, bool) {
+	row, ok := m.journalT.Get(id)
+	if !ok {
+		return nil, false
+	}
+	rec, err := journalFromRow(row)
+	if err != nil {
+		return nil, false
+	}
+	return rec, true
+}
+
+// JournalPending lists the negotiation ids with unresolved journal
+// rows, sorted (diagnostics and tests).
+func (m *Manager) JournalPending() []string {
+	rows := m.journalT.Select(nil)
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r["id"].(string))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Outcome reports the coordinator-side decision for a negotiation id:
+// "commit" while its journal row is live (the decision was COMMIT and
+// recovery is still driving it), "abort" otherwise. Participants call
+// this through the QueryOutcome RPC; "abort" is the presumed answer
+// for any negotiation that never journaled a commit decision or whose
+// row has been retired (a retired row means every target acked, so no
+// in-doubt participant can still be asking about it).
+func (m *Manager) Outcome(nid, token string) string {
+	rec, ok := m.journalGet(nid)
+	if !ok {
+		return OutcomeAbort
+	}
+	if token == "" {
+		return OutcomeCommit
+	}
+	for _, t := range rec.Pending {
+		if t.Token == token {
+			return OutcomeCommit
+		}
+	}
+	// A token the journal does not list was never part of the decided
+	// set (e.g. the Mark response was lost and the coordinator gave up
+	// on that target) — presume abort for it.
+	return OutcomeAbort
+}
+
+// commitQoS is the per-attempt QoS the sweeper uses when re-sending
+// Commit: one quick in-attempt retry; the sweep's own exponential
+// backoff paces the rounds.
+func commitQoS(t Tuning) engine.QoS {
+	return engine.QoS{Retries: 1, Backoff: t.RetryBase / 8, AttemptTimeout: 5 * time.Second}
+}
+
+// transientErr reports whether a commit failure may heal by itself
+// (unreachable device, lost message, timeout). Everything else —
+// conflict, bad args, auth — is definitive: re-sending cannot succeed.
+func transientErr(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	return wire.CodeOf(err) == wire.CodeUnavailable
+}
+
+// backoffAfter computes the sweeper's next-retry delay for a row that
+// has been attempted n times (n >= 1).
+func backoffAfter(t Tuning, n int) time.Duration {
+	d := t.RetryBase
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= t.RetryCap {
+			return t.RetryCap
+		}
+	}
+	if d > t.RetryCap {
+		d = t.RetryCap
+	}
+	return d
+}
+
+// RetryCommits drives phase-2 recovery: every journal row whose
+// next_retry has passed gets one more round of Commit sends via the
+// engine's QoS machinery. Rows whose pending set drains are retired;
+// rows that exhaust MaxAttempts are expired as loud failures. Returns
+// the number of rows resolved (retired or expired) this sweep. Called
+// from the same periodic schedule as ExpireSweep.
+func (m *Manager) RetryCommits(ctx context.Context, now time.Time) int {
+	tun := m.tune()
+	rows := m.journalT.Select(func(r store.Row) bool {
+		return !r["next_retry"].(time.Time).After(now)
+	})
+	resolved := 0
+	for _, row := range rows {
+		rec, err := journalFromRow(row)
+		if err != nil {
+			// Undecodable row: expire it loudly rather than spin.
+			m.journalRetire(row["id"].(string))
+			m.count("journal-expire", wire.CodeInternal)
+			resolved++
+			continue
+		}
+		rec.Attempts++
+		if rec.Attempts > tun.MaxAttempts {
+			// Give up: the negotiation stays divergent. Count it where
+			// operators will see it; the row itself is dropped so the
+			// sweep does not grind on a dead deployment forever.
+			m.journalRetire(rec.ID)
+			m.count("journal-expire", wire.CodeUnavailable)
+			resolved++
+			continue
+		}
+		if m.redriveJournal(ctx, rec) {
+			resolved++
+			continue
+		}
+		rec.NextRetry = now.Add(backoffAfter(tun, rec.Attempts))
+		m.journalUpdate(rec)
+	}
+	return resolved
+}
+
+// redriveJournal re-runs the commit phase for one journal row: the
+// local change first (a recovered coordinator may have crashed before
+// applying its own side), then every pending target. Reports true when
+// the row was retired.
+func (m *Manager) redriveJournal(ctx context.Context, rec *journalRec) bool {
+	if rec.Local != nil && !rec.LocalDone {
+		if err := m.applyLocal(rec.Local.Entity, rec.Local.Action, rec.Local.Args); err == nil {
+			rec.LocalDone = true
+		}
+	}
+	var still []journalTarget
+	for _, tgt := range rec.Pending {
+		err := m.commitTarget(ctx, rec.ID, tgt.Ref, tgt.Token, rec.Action, rec.Args, true)
+		switch {
+		case err == nil:
+			rec.Committed = append(rec.Committed, tgt.Ref)
+			m.count("commit-retry", wire.CodeOK)
+		case transientErr(err):
+			still = append(still, tgt)
+			m.count("commit-retry", wire.CodeUnavailable)
+		default:
+			// Definitive rejection: the participant's lock was stolen
+			// or it already decided abort. Re-sending cannot help.
+			rec.Failed = append(rec.Failed, tgt.Ref)
+			m.count("commit-retry", wire.CodeOf(err))
+		}
+	}
+	rec.Pending = still
+	if len(rec.Pending) == 0 && (rec.Local == nil || rec.LocalDone) {
+		m.journalRetire(rec.ID)
+		if len(rec.Failed) > 0 {
+			m.count("outcome", wire.CodeConflict) // resolved partial: divergence is permanent
+		} else {
+			m.count("outcome-recovered", wire.CodeOK)
+		}
+		return true
+	}
+	m.journalUpdate(rec)
+	return false
+}
+
+// FaultSweep runs every periodic recovery duty in one call: link
+// expiry retries left to the caller; this covers commit re-delivery
+// and participant-side in-doubt resolution. Returns resolved journal
+// rows + resolved pending marks.
+func (m *Manager) FaultSweep(ctx context.Context, now time.Time) int {
+	n := m.RetryCommits(ctx, now)
+	n += m.ResolvePendingMarks(ctx, now)
+	return n
+}

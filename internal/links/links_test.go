@@ -334,7 +334,7 @@ func TestNegotiationTraceShape(t *testing.T) {
 				}
 			}
 			for _, q := range phases[i+1:] {
-				if q != "change" && q != "unlock" {
+				if q != "journal" && q != "change" && q != "unlock" {
 					t.Fatalf("phase %q after constraint", q)
 				}
 			}

@@ -47,6 +47,24 @@ func NewLockTable(clk clock.Clock, ttl time.Duration) *LockTable {
 	return &LockTable{clk: clk, ttl: ttl, locks: make(map[string]lockEntry)}
 }
 
+// SetTTL changes the TTL applied to future TryLock/Extend calls
+// (deployment tuning; live locks keep their current deadline).
+func (lt *LockTable) SetTTL(ttl time.Duration) {
+	if ttl <= 0 {
+		ttl = DefaultLockTTL
+	}
+	lt.mu.Lock()
+	lt.ttl = ttl
+	lt.mu.Unlock()
+}
+
+// TTL returns the table's current lock TTL.
+func (lt *LockTable) TTL() time.Duration {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.ttl
+}
+
 // newToken returns a fresh opaque lock token.
 func newToken() string {
 	var b [12]byte
@@ -93,6 +111,36 @@ func (lt *LockTable) Holds(entity, token string) bool {
 	defer lt.mu.Unlock()
 	e, ok := lt.locks[entity]
 	return ok && e.token == token && lt.clk.Now().Before(e.deadline)
+}
+
+// Extend pushes entity's lock deadline one full TTL into the future if
+// token still owns the entry — even an expired entry, as long as no
+// other negotiation has stolen it. An in-doubt participant uses this to
+// pin its mark while it resolves the outcome with the coordinator, so
+// a decided-but-undelivered Commit cannot race a TTL steal.
+func (lt *LockTable) Extend(entity, token string) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	e, ok := lt.locks[entity]
+	if !ok || e.token != token {
+		return false
+	}
+	e.deadline = lt.clk.Now().Add(lt.ttl)
+	lt.locks[entity] = e
+	return true
+}
+
+// Holder returns the token recorded for entity's lock and whether that
+// lock is still live. A (token, false) return means the entry expired
+// but has not been re-granted yet.
+func (lt *LockTable) Holder(entity string) (token string, live bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	e, ok := lt.locks[entity]
+	if !ok {
+		return "", false
+	}
+	return e.token, lt.clk.Now().Before(e.deadline)
 }
 
 // Locked reports whether entity is currently locked by anyone.

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -51,10 +52,23 @@ type Manager struct {
 	waitingT *store.Table
 	methodsT *store.Table
 	pendingT *store.Table
+	journalT *store.Table
 
 	mu      sync.RWMutex
 	actions map[string]Action
 	hook    EventHook
+	met     *metrics.Registry
+	tuning  Tuning
+
+	// Participant-side fault-tolerance state (see participant.go).
+	partMu   sync.Mutex
+	pendMark map[string]*pendingMark // token -> mark awaiting Commit/Abort
+	decided  map[string]decision     // token -> recently decided outcome
+
+	// commitFault, when set, intercepts phase-2 commit sends — the
+	// chaos harness uses it to model a coordinator that crashes or
+	// loses connectivity mid-commit.
+	commitFault func(nid string, ref EntityRef) error
 }
 
 // NewManager creates the links manager for user self, creating the
@@ -63,7 +77,7 @@ func NewManager(self string, db *store.DB, eng *engine.Engine, clk clock.Clock) 
 	if clk == nil {
 		clk = clock.System
 	}
-	lt, wt, mt, pt, err := createLinkDB(db)
+	lt, wt, mt, pt, jt, err := createLinkDB(db)
 	if err != nil {
 		return nil, err
 	}
@@ -76,8 +90,53 @@ func NewManager(self string, db *store.DB, eng *engine.Engine, clk clock.Clock) 
 		waitingT: wt,
 		methodsT: mt,
 		pendingT: pt,
+		journalT: jt,
 		actions:  make(map[string]Action),
+		tuning:   DefaultTuning(),
+		pendMark: make(map[string]*pendingMark),
+		decided:  make(map[string]decision),
 	}, nil
+}
+
+// SetMetrics wires negotiation outcome/retry counters into reg (nil
+// disables). Core attaches the node registry so sydbench -metrics and
+// the sys.<user> introspection service surface the counters.
+func (m *Manager) SetMetrics(reg *metrics.Registry) {
+	m.mu.Lock()
+	m.met = reg
+	m.mu.Unlock()
+}
+
+func (m *Manager) registry() *metrics.Registry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.met
+}
+
+// count records a negotiation-protocol observation (zero duration —
+// these series are used as counters).
+func (m *Manager) count(method string, code wire.ErrCode) {
+	m.registry().Observe(metrics.LayerLinks, "negotiate", method, code, 0)
+}
+
+// SetCommitFault installs (or, with nil, removes) a phase-2 fault
+// injector: commitTarget consults it before sending and treats a
+// non-nil error as the send's outcome. Chaos tests use it to model a
+// coordinator crash between commits; production code leaves it unset.
+func (m *Manager) SetCommitFault(f func(nid string, ref EntityRef) error) {
+	m.mu.Lock()
+	m.commitFault = f
+	m.mu.Unlock()
+}
+
+func (m *Manager) commitFaultFor(nid string, ref EntityRef) error {
+	m.mu.RLock()
+	f := m.commitFault
+	m.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f(nid, ref)
 }
 
 // Self returns the owning user id.
@@ -578,6 +637,13 @@ func (m *Manager) TriggerEntity(ctx context.Context, entity, event string, args 
 		if l.Type == Negotiation {
 			for _, r := range res {
 				if r.Err != nil && veto == nil {
+					if IsInDoubt(r.Err) {
+						// Not a veto: the COMMIT decision is journaled
+						// and recovery is re-driving the stragglers. The
+						// caller may proceed; the error still surfaces.
+						veto = r.Err
+						continue
+					}
 					veto = fmt.Errorf("links: negotiation link %s vetoed %s on %s: %w", l.ID, event, entity, r.Err)
 				}
 			}

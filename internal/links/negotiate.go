@@ -2,6 +2,7 @@ package links
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -43,12 +44,66 @@ type Step struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// State classifies how a negotiation resolved.
+type State string
+
+// Negotiation states.
+const (
+	// StateCommitted: every marked target applied the change.
+	StateCommitted State = "committed"
+	// StateAborted: no target applied the change (constraint failure
+	// or every commit definitively rejected before anything landed).
+	StateAborted State = "aborted"
+	// StateInDoubt: phase 2 diverged — some targets committed, others
+	// are still pending (the journal sweeper keeps re-sending) or were
+	// definitively rejected. Never reported as a clean success.
+	StateInDoubt State = "in-doubt"
+)
+
 // Result is a negotiation outcome.
 type Result struct {
-	OK       bool        `json:"ok"`
+	OK bool `json:"ok"`
+	// State is the honest protocol outcome. OK is true only for
+	// StateCommitted; a phase-2 divergence is StateInDoubt with
+	// OK=false and a typed *InDoubtError from Negotiate.
+	State State `json:"state,omitempty"`
+	// NID is the negotiation id (journal key; present whenever the
+	// negotiation reached phase 1).
+	NID      string      `json:"nid,omitempty"`
 	Accepted []EntityRef `json:"accepted"` // targets changed
-	Rejected []EntityRef `json:"rejected"` // targets that could not be marked
-	Trace    []Step      `json:"trace"`
+	Rejected []EntityRef `json:"rejected"` // targets that could not be marked or definitively refused commit
+	// InDoubt lists marked targets whose Commit has not been
+	// acknowledged yet; the commit-retry sweeper is driving them.
+	InDoubt []EntityRef `json:"inDoubt,omitempty"`
+	Trace   []Step      `json:"trace"`
+}
+
+// InDoubtError is returned by Negotiate when the commit phase
+// diverged: the COMMIT decision is journaled and the retry sweeper
+// will keep re-sending, but at return time not every target has
+// acknowledged. Callers must not treat the change as fully applied —
+// and must not treat it as absent either.
+type InDoubtError struct {
+	NID       string
+	Committed []EntityRef
+	Pending   []EntityRef
+	Failed    []EntityRef
+}
+
+// Error implements error.
+func (e *InDoubtError) Error() string {
+	return fmt.Sprintf("links: negotiation %s in doubt: %d committed, %d pending retry, %d failed",
+		e.NID, len(e.Committed), len(e.Pending), len(e.Failed))
+}
+
+// Code aligns InDoubtError with the wire error taxonomy.
+func (e *InDoubtError) Code() wire.ErrCode { return wire.CodeInDoubt }
+
+// IsInDoubt reports whether err (anywhere in its chain) is an
+// InDoubtError.
+func IsInDoubt(err error) bool {
+	var ide *InDoubtError
+	return errors.As(err, &ide)
 }
 
 // ErrConstraint is returned (wrapped in a RemoteError) when the marked
@@ -80,7 +135,7 @@ type markResult struct {
 // and every locked target are changed and unlocked; on failure every
 // acquired lock is released and nothing changes anywhere.
 func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
-	res := &Result{}
+	res := &Result{NID: NewNegotiationID(), State: StateAborted}
 	k := spec.K
 	if k <= 0 {
 		k = 1
@@ -96,6 +151,7 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 		res.Trace = append(res.Trace, Step{Phase: "mark", Entity: m.self + "/" + spec.Local.Entity, OK: err == nil, Detail: errDetail(err)})
 		if err != nil {
 			res.Rejected = append(res.Rejected, EntityRef{User: m.self, Entity: spec.Local.Entity})
+			m.count("outcome", wire.CodeConflict)
 			return res, fmt.Errorf("links: activator mark failed: %w", err)
 		}
 		localToken = tok
@@ -110,9 +166,9 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 	var marks []markResult
 	if spec.Constraint == And {
 		sort.Slice(targets, func(i, j int) bool { return targets[i].Less(targets[j]) })
-		marks = m.markSequential(ctx, targets, spec.Action, spec.Args, res)
+		marks = m.markSequential(ctx, res.NID, targets, spec.Action, spec.Args, res)
 	} else {
-		marks = m.markParallel(ctx, targets, spec.Action, spec.Args, res)
+		marks = m.markParallel(ctx, res.NID, targets, spec.Action, spec.Args, res)
 	}
 
 	locked := 0
@@ -145,7 +201,37 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 				res.Trace = append(res.Trace, Step{Phase: "abort", Entity: mr.ref.String(), OK: true})
 			}
 		}
+		m.count("outcome", wire.CodeConflict)
 		return res, errConstraint(spec.Constraint, k, locked, len(targets))
+	}
+
+	// The constraint holds: the decision is COMMIT. Persist it — with
+	// every marked target and its lock token — before changing
+	// anything, so a crash or lost Commit from here on is recoverable
+	// by the retry sweeper instead of silently divergent.
+	var rec *journalRec
+	if locked > 0 {
+		rec = &journalRec{
+			ID: res.NID, Action: spec.Action, Args: spec.Args,
+			Local: spec.Local, Created: m.clk.Now(), NextRetry: m.clk.Now(),
+		}
+		for _, mr := range marks {
+			if mr.err == nil {
+				rec.Pending = append(rec.Pending, journalTarget{Ref: mr.ref, Token: mr.token})
+			}
+		}
+		if err := m.journalBegin(rec); err != nil {
+			// Without a journal row recovery is impossible; abort
+			// while nothing has changed rather than risk divergence.
+			for _, mr := range marks {
+				if mr.err == nil {
+					m.abortTarget(ctx, mr.ref, mr.token)
+				}
+			}
+			m.count("outcome", wire.CodeInternal)
+			return res, fmt.Errorf("links: journal negotiation intent: %w", err)
+		}
+		res.Trace = append(res.Trace, Step{Phase: "journal", Detail: res.NID, OK: true})
 	}
 
 	// Change A; change the locked entities; unlock.
@@ -154,29 +240,81 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 		res.Trace = append(res.Trace, Step{Phase: "change", Entity: m.self + "/" + spec.Local.Entity, OK: err == nil, Detail: errDetail(err)})
 		if err != nil {
 			// Local apply failed after its own check passed under
-			// lock — abort everyone to keep targets unchanged.
+			// lock — nothing has been committed anywhere yet, so the
+			// decision can still be flipped to abort everywhere.
 			for _, mr := range marks {
 				if mr.err == nil {
 					m.abortTarget(ctx, mr.ref, mr.token)
 				}
 			}
+			if rec != nil {
+				m.journalRetire(rec.ID)
+			}
+			m.count("outcome", wire.CodeInternal)
 			return res, fmt.Errorf("links: activator change failed: %w", err)
 		}
+		if rec != nil {
+			rec.LocalDone = true
+			m.journalUpdate(rec)
+		}
 	}
+
+	var pendingRefs, failedRefs []EntityRef
+	var stillPending []journalTarget
 	for _, mr := range marks {
 		if mr.err != nil {
 			continue
 		}
-		err := m.commitTarget(ctx, mr.ref, mr.token, spec.Action, spec.Args)
+		err := m.commitTarget(ctx, res.NID, mr.ref, mr.token, spec.Action, spec.Args, false)
 		res.Trace = append(res.Trace, Step{Phase: "change", Entity: mr.ref.String(), OK: err == nil, Detail: errDetail(err)})
-		if err == nil {
+		switch {
+		case err == nil:
 			res.Accepted = append(res.Accepted, mr.ref)
-		} else {
+			res.Trace = append(res.Trace, Step{Phase: "unlock", Entity: mr.ref.String(), OK: true})
+		case transientErr(err):
+			// The Commit (or its ack) was lost: the target may or may
+			// not have applied. The sweeper re-sends until it answers.
+			pendingRefs = append(pendingRefs, mr.ref)
+			stillPending = append(stillPending, journalTarget{Ref: mr.ref, Token: mr.token})
+		default:
+			// Definitive rejection (stale/stolen token, decided
+			// abort): re-sending cannot change it.
+			failedRefs = append(failedRefs, mr.ref)
 			res.Rejected = append(res.Rejected, mr.ref)
 		}
-		res.Trace = append(res.Trace, Step{Phase: "unlock", Entity: mr.ref.String(), OK: true})
+	}
+
+	if rec != nil {
+		rec.Committed = res.Accepted
+		rec.Failed = failedRefs
+		rec.Pending = stillPending
+		if len(stillPending) == 0 {
+			m.journalRetire(rec.ID)
+		} else {
+			tun := m.tune()
+			rec.Attempts = 1
+			rec.NextRetry = m.clk.Now().Add(backoffAfter(tun, 1))
+			m.journalUpdate(rec)
+		}
+	}
+
+	if len(pendingRefs) > 0 || len(failedRefs) > 0 {
+		// Phase 2 diverged: never report a clean success.
+		res.InDoubt = pendingRefs
+		if len(res.Accepted) == 0 && len(pendingRefs) == 0 && spec.Local == nil {
+			// Nothing landed anywhere: honest outcome is a full abort.
+			res.State = StateAborted
+		} else {
+			res.State = StateInDoubt
+		}
+		m.count("outcome", wire.CodeInDoubt)
+		return res, &InDoubtError{
+			NID: res.NID, Committed: res.Accepted, Pending: pendingRefs, Failed: failedRefs,
+		}
 	}
 	res.OK = true
+	res.State = StateCommitted
+	m.count("outcome", wire.CodeOK)
 	return res, nil
 }
 
@@ -190,7 +328,7 @@ func errDetail(err error) string {
 // markSequential marks targets one at a time in the given order,
 // stopping at the first failure (And semantics: any failure already
 // dooms the constraint).
-func (m *Manager) markSequential(ctx context.Context, targets []EntityRef, action string, args wire.Args, res *Result) []markResult {
+func (m *Manager) markSequential(ctx context.Context, nid string, targets []EntityRef, action string, args wire.Args, res *Result) []markResult {
 	marks := make([]markResult, 0, len(targets))
 	failed := false
 	for _, ref := range targets {
@@ -198,7 +336,7 @@ func (m *Manager) markSequential(ctx context.Context, targets []EntityRef, actio
 			marks = append(marks, markResult{ref: ref, err: fmt.Errorf("links: skipped after earlier mark failure")})
 			continue
 		}
-		tok, err := m.markTarget(ctx, ref, action, args)
+		tok, err := m.markTarget(ctx, nid, ref, action, args)
 		res.appendMark(ref, err)
 		marks = append(marks, markResult{ref: ref, token: tok, err: err})
 		if err != nil {
@@ -209,14 +347,14 @@ func (m *Manager) markSequential(ctx context.Context, targets []EntityRef, actio
 }
 
 // markParallel marks all targets concurrently (Or/Xor semantics).
-func (m *Manager) markParallel(ctx context.Context, targets []EntityRef, action string, args wire.Args, res *Result) []markResult {
+func (m *Manager) markParallel(ctx context.Context, nid string, targets []EntityRef, action string, args wire.Args, res *Result) []markResult {
 	marks := make([]markResult, len(targets))
 	var wg sync.WaitGroup
 	for i, ref := range targets {
 		wg.Add(1)
 		go func(i int, ref EntityRef) {
 			defer wg.Done()
-			tok, err := m.markTarget(ctx, ref, action, args)
+			tok, err := m.markTarget(ctx, nid, ref, action, args)
 			marks[i] = markResult{ref: ref, token: tok, err: err}
 		}(i, ref)
 	}
@@ -266,8 +404,10 @@ func (m *Manager) applyLocal(entity, action string, args wire.Args) error {
 	return nil
 }
 
-// markTarget marks a (possibly remote) target entity.
-func (m *Manager) markTarget(ctx context.Context, ref EntityRef, action string, args wire.Args) (string, error) {
+// markTarget marks a (possibly remote) target entity. The negotiation
+// id rides along so the participant can resolve the outcome itself if
+// neither Commit nor Abort ever reaches it.
+func (m *Manager) markTarget(ctx context.Context, nid string, ref EntityRef, action string, args wire.Args) (string, error) {
 	if ref.User == m.self {
 		return m.markLocal(ref.Entity, action, args)
 	}
@@ -275,7 +415,7 @@ func (m *Manager) markTarget(ctx context.Context, ref EntityRef, action string, 
 		Token string `json:"token"`
 	}
 	err := m.eng.Invoke(ctx, ServiceFor(ref.User), "Mark", wire.Args{
-		"entity": ref.Entity, "action": action, "args": map[string]any(args),
+		"entity": ref.Entity, "action": action, "args": map[string]any(args), "nid": nid,
 	}, &out)
 	if err != nil {
 		return "", err
@@ -284,16 +424,39 @@ func (m *Manager) markTarget(ctx context.Context, ref EntityRef, action string, 
 }
 
 // commitTarget applies the change at a marked target and releases its
-// lock.
-func (m *Manager) commitTarget(ctx context.Context, ref EntityRef, token, action string, args wire.Args) error {
-	if ref.User == m.self {
-		err := m.applyLocal(ref.Entity, action, args)
-		m.Locks.Unlock(lockKey(ref.Entity), token)
+// lock. With qos set (the retry sweeper's path) the Commit rides
+// engine.InvokeQoS so one sweep absorbs short transient blips; the
+// first in-line attempt uses a plain Invoke — a failure there is
+// journaled, not blocking.
+func (m *Manager) commitTarget(ctx context.Context, nid string, ref EntityRef, token, action string, args wire.Args, qos bool) error {
+	if err := m.commitFaultFor(nid, ref); err != nil {
 		return err
 	}
-	return m.eng.Invoke(ctx, ServiceFor(ref.User), "Commit", wire.Args{
-		"entity": ref.Entity, "token": token, "action": action, "args": map[string]any(args),
-	}, nil)
+	if ref.User == m.self {
+		if committed, known := m.decidedOutcome(token); known {
+			if committed {
+				return nil
+			}
+			return &wire.RemoteError{Code: wire.CodeConflict, Msg: "links: negotiation already aborted locally"}
+		}
+		if !m.Locks.Holds(lockKey(ref.Entity), token) {
+			if holder, live := m.Locks.Holder(lockKey(ref.Entity)); live && holder != token {
+				m.noteDecided(token, false)
+				return &wire.RemoteError{Code: wire.CodeConflict, Msg: "links: stale token: lock was re-granted"}
+			}
+		}
+		err := m.applyLocal(ref.Entity, action, args)
+		m.Locks.Unlock(lockKey(ref.Entity), token)
+		m.noteDecided(token, err == nil)
+		return err
+	}
+	callArgs := wire.Args{
+		"entity": ref.Entity, "token": token, "action": action, "args": map[string]any(args), "nid": nid,
+	}
+	if qos {
+		return m.eng.InvokeQoS(ctx, commitQoS(m.tune()), ServiceFor(ref.User), "Commit", callArgs, nil)
+	}
+	return m.eng.Invoke(ctx, ServiceFor(ref.User), "Commit", callArgs, nil)
 }
 
 // abortTarget releases a marked target without changing it.

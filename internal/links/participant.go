@@ -1,0 +1,184 @@
+package links
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Participant-side fault tolerance. A mark (phase-1 lock + check) puts
+// the participant in doubt: it holds a locked entity whose fate is
+// decided elsewhere. Three mechanisms keep that safe under loss and
+// coordinator crashes:
+//
+//   - pending marks: every Mark taken for a remote coordinator is
+//     remembered (token, negotiation id, coordinator, action, args)
+//     until Commit or Abort arrives, so the participant can resolve
+//     the outcome itself;
+//   - decided tokens: recently committed/aborted tokens are cached so
+//     a re-delivered Commit acks instead of double-applying and a
+//     re-delivered Abort stays a no-op;
+//   - the resolution sweep: pending marks whose lock TTL is lapsing
+//     are extended (a decided-but-undelivered Commit must not lose its
+//     lock to a TTL steal) and the coordinator is asked via the
+//     QueryOutcome RPC; presumed-abort applies when the coordinator is
+//     gone past the PresumeAbortAfter horizon or disclaims the
+//     negotiation.
+
+// QueryOutcome answers.
+const (
+	OutcomeCommit = "commit"
+	OutcomeAbort  = "abort"
+)
+
+// pendingMark is one phase-1 lock this node granted to a remote
+// coordinator and whose outcome is not yet known.
+type pendingMark struct {
+	Token       string
+	Entity      string
+	Action      string
+	Args        wire.Args
+	NID         string
+	Coordinator string
+	Created     time.Time
+}
+
+// decision is a recently decided token outcome.
+type decision struct {
+	committed bool
+	at        time.Time
+}
+
+// notePendingMark records a freshly granted mark (Mark handler).
+func (m *Manager) notePendingMark(p *pendingMark) {
+	m.partMu.Lock()
+	m.pendMark[p.Token] = p
+	m.partMu.Unlock()
+}
+
+// dropPendingMark forgets a mark once its outcome is decided.
+func (m *Manager) dropPendingMark(token string) {
+	m.partMu.Lock()
+	delete(m.pendMark, token)
+	m.partMu.Unlock()
+}
+
+// noteDecided records a token's outcome for duplicate-delivery
+// detection. The first decision wins: a Commit that raced a presumed
+// abort must not flip the recorded outcome.
+func (m *Manager) noteDecided(token string, committed bool) {
+	m.partMu.Lock()
+	if _, exists := m.decided[token]; !exists {
+		m.decided[token] = decision{committed: committed, at: m.clk.Now()}
+	}
+	delete(m.pendMark, token)
+	m.partMu.Unlock()
+}
+
+// decidedOutcome looks a token up in the decided cache.
+func (m *Manager) decidedOutcome(token string) (committed, known bool) {
+	m.partMu.Lock()
+	defer m.partMu.Unlock()
+	d, ok := m.decided[token]
+	return d.committed, ok
+}
+
+// PendingMarks reports how many marks are awaiting an outcome
+// (diagnostics and tests).
+func (m *Manager) PendingMarks() int {
+	m.partMu.Lock()
+	defer m.partMu.Unlock()
+	return len(m.pendMark)
+}
+
+// gcDecided drops decided entries older than the tuning's DecidedTTL.
+func (m *Manager) gcDecided(now time.Time, ttl time.Duration) {
+	m.partMu.Lock()
+	for tok, d := range m.decided {
+		if now.Sub(d.at) > ttl {
+			delete(m.decided, tok)
+		}
+	}
+	m.partMu.Unlock()
+}
+
+// queryOutcome asks a negotiation's coordinator whether it committed.
+func (m *Manager) queryOutcome(ctx context.Context, coordinator, nid, token string) (string, error) {
+	if coordinator == m.self {
+		return m.Outcome(nid, token), nil
+	}
+	var out struct {
+		Outcome string `json:"outcome"`
+	}
+	err := m.eng.InvokeQoS(ctx, commitQoS(m.tune()), ServiceFor(coordinator), "QueryOutcome", wire.Args{
+		"nid": nid, "token": token,
+	}, &out)
+	if err != nil {
+		return "", err
+	}
+	return out.Outcome, nil
+}
+
+// ResolvePendingMarks is the participant half of the recovery sweep:
+// for every mark still awaiting its outcome it re-arms the lock TTL
+// (an in-doubt entity must not be stolen from under a decided commit)
+// and asks the coordinator how the negotiation ended. A "commit"
+// answer applies the change now — the coordinator's own retry will be
+// acked as a duplicate; an "abort" answer (including a coordinator
+// that does not know the negotiation) releases the lock. If the
+// coordinator stays unreachable past PresumeAbortAfter, abort is
+// presumed: the lock is released and later Commits for the token are
+// rejected. Returns the number of marks resolved.
+func (m *Manager) ResolvePendingMarks(ctx context.Context, now time.Time) int {
+	tun := m.tune()
+	m.gcDecided(now, tun.DecidedTTL)
+
+	m.partMu.Lock()
+	marks := make([]*pendingMark, 0, len(m.pendMark))
+	for _, p := range m.pendMark {
+		marks = append(marks, p)
+	}
+	m.partMu.Unlock()
+
+	resolved := 0
+	for _, p := range marks {
+		// The mark may have been decided between the snapshot and now.
+		if _, known := m.decidedOutcome(p.Token); known {
+			m.dropPendingMark(p.Token)
+			continue
+		}
+		if !m.Locks.Extend(lockKey(p.Entity), p.Token) {
+			// The lock is gone (stolen after a real expiry): the
+			// entity may already belong to another negotiation, so
+			// this mark can only resolve to abort.
+			m.noteDecided(p.Token, false)
+			m.count("presume-abort", wire.CodeConflict)
+			resolved++
+			continue
+		}
+		outcome, err := m.queryOutcome(ctx, p.Coordinator, p.NID, p.Token)
+		if err != nil {
+			if now.Sub(p.Created) > tun.PresumeAbortAfter {
+				m.Locks.Unlock(lockKey(p.Entity), p.Token)
+				m.noteDecided(p.Token, false)
+				m.count("presume-abort", wire.CodeUnavailable)
+				resolved++
+			}
+			continue // coordinator unreachable; keep the lock pinned
+		}
+		if outcome == OutcomeCommit {
+			// Decision was COMMIT: apply under the still-held lock.
+			applyErr := m.applyLocal(p.Entity, p.Action, p.Args)
+			m.Locks.Unlock(lockKey(p.Entity), p.Token)
+			m.noteDecided(p.Token, applyErr == nil)
+			m.count("resolve", wire.CodeOK)
+		} else {
+			m.Locks.Unlock(lockKey(p.Entity), p.Token)
+			m.noteDecided(p.Token, false)
+			m.count("resolve", wire.CodeConflict)
+		}
+		resolved++
+	}
+	return resolved
+}

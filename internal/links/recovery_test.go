@@ -1,0 +1,216 @@
+package links_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/links"
+	"repro/internal/wire"
+)
+
+// TestDuplicateCommitIdempotent: a re-delivered Commit (the first ack
+// was lost) must acknowledge without applying the action a second time.
+func TestDuplicateCommitIdempotent(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	ctx := context.Background()
+
+	var tok struct {
+		Token string `json:"token"`
+	}
+	err := h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Mark", wire.Args{
+		"entity": "s", "action": "note", "args": map[string]any{"text": "hi"}, "nid": "N-dup",
+	}, &tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := wire.Args{
+		"entity": "s", "token": tok.Token, "action": "note",
+		"args": map[string]any{"text": "hi"}, "nid": "N-dup",
+	}
+	if err := h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Commit", commit, nil); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	// Same Commit again — e.g. the coordinator's sweeper re-sent it
+	// because the first response was dropped.
+	if err := h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Commit", commit, nil); err != nil {
+		t.Fatalf("duplicate commit not acked: %v", err)
+	}
+	if n := h.nodes["b"].noteCount(); n != 1 {
+		t.Fatalf("action applied %d times, want 1", n)
+	}
+	// The mark is decided; nothing is left pending on the participant.
+	if n := h.nodes["b"].Links.PendingMarks(); n != 0 {
+		t.Fatalf("%d pending marks after decided commit", n)
+	}
+}
+
+// TestStaleTokenCommitRejected: a Commit whose mark TTL lapsed and
+// whose lock was re-granted to another negotiation must be rejected —
+// applying it would clobber the new holder's claim.
+func TestStaleTokenCommitRejected(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	ctx := context.Background()
+
+	var tok struct {
+		Token string `json:"token"`
+	}
+	err := h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Mark", wire.Args{
+		"entity": "s", "action": "reserve", "args": map[string]any{"meeting": "OLD"}, "nid": "N-old",
+	}, &tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator stalls past the lock TTL; another negotiation
+	// steals the lock and reserves the slot.
+	h.clk.Advance(links.DefaultLockTTL + time.Second)
+	if _, err := h.nodes["a"].Links.Negotiate(ctx, links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "NEW"},
+		Targets: refs("b", "s"), Constraint: links.And,
+	}); err != nil {
+		t.Fatalf("stealing negotiation failed: %v", err)
+	}
+	if got := h.nodes["b"].status("s"); got != "NEW" {
+		t.Fatalf("slot = %q, want NEW", got)
+	}
+	// The stale Commit finally arrives. It must not apply.
+	err = h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Commit", wire.Args{
+		"entity": "s", "token": tok.Token, "action": "reserve",
+		"args": map[string]any{"meeting": "OLD"}, "nid": "N-old",
+	}, nil)
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("stale commit err = %v, want conflict", err)
+	}
+	if got := h.nodes["b"].status("s"); got != "NEW" {
+		t.Fatalf("stale commit clobbered slot: %q", got)
+	}
+}
+
+// TestCoordinatorCrashRecovery: the coordinator commits to x, crashes
+// before reaching y (injected fault), and restarts on the same device
+// database. The journaled COMMIT decision survives the crash and the
+// retry sweeper finishes the diverged negotiation.
+func TestCoordinatorCrashRecovery(t *testing.T) {
+	h := newHarness(t, "a", "x", "y")
+	ctx := context.Background()
+	lm := h.nodes["a"].Links
+
+	// Crash model: every commit send to y fails as if the coordinator
+	// lost connectivity mid-phase-2.
+	lm.SetCommitFault(func(nid string, ref links.EntityRef) error {
+		if ref.User == "y" {
+			return &wire.RemoteError{Code: wire.CodeUnavailable, Msg: "injected crash"}
+		}
+		return nil
+	})
+	res, err := lm.Negotiate(ctx, links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "M"},
+		Targets: refs("x", "s", "y", "s"), Constraint: links.And,
+	})
+	if !links.IsInDoubt(err) {
+		t.Fatalf("err = %v, want in-doubt", err)
+	}
+	if res.OK || res.State != links.StateInDoubt {
+		t.Fatalf("res.OK=%v state=%s, want !OK in-doubt", res.OK, res.State)
+	}
+	if len(res.Accepted) != 1 || res.Accepted[0].User != "x" {
+		t.Fatalf("accepted = %v", res.Accepted)
+	}
+	if len(res.InDoubt) != 1 || res.InDoubt[0].User != "y" {
+		t.Fatalf("inDoubt = %v", res.InDoubt)
+	}
+	if h.nodes["x"].status("s") != "M" || h.nodes["y"].status("s") != "" {
+		t.Fatalf("pre-crash state x=%q y=%q", h.nodes["x"].status("s"), h.nodes["y"].status("s"))
+	}
+
+	// "Restart": a fresh links manager over the same device database —
+	// everything in memory is gone, only the store (and with -data-dir,
+	// the WAL behind it) survives.
+	lm2, err := links.NewManager("a", h.nodes["a"].DB, h.nodes["a"].Engine, h.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := lm2.JournalPending()
+	if len(pending) != 1 || pending[0] != res.NID {
+		t.Fatalf("journal after restart = %v, want [%s]", pending, res.NID)
+	}
+	// The periodic sweep on the restarted coordinator re-sends the
+	// journaled Commit and drains the row.
+	h.clk.Advance(time.Second)
+	if n := lm2.RetryCommits(ctx, h.clk.Now()); n != 1 {
+		t.Fatalf("RetryCommits resolved %d rows, want 1", n)
+	}
+	if got := h.nodes["y"].status("s"); got != "M" {
+		t.Fatalf("y never committed after recovery: %q", got)
+	}
+	if p := lm2.JournalPending(); len(p) != 0 {
+		t.Fatalf("journal not retired: %v", p)
+	}
+}
+
+// TestQueryOutcomePresumedAbort: a participant whose coordinator dies
+// after Mark pins the lock while in doubt, then presumes abort once
+// the coordinator stays unreachable past PresumeAbortAfter — and a
+// Commit arriving after the presumed abort is rejected.
+func TestQueryOutcomePresumedAbort(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	ctx := context.Background()
+	h.nodes["b"].Links.SetTuning(links.Tuning{PresumeAbortAfter: time.Minute})
+
+	var tok struct {
+		Token string `json:"token"`
+	}
+	err := h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Mark", wire.Args{
+		"entity": "s", "action": "reserve", "args": map[string]any{"meeting": "GHOST"}, "nid": "N-ghost",
+	}, &tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := h.nodes["b"].Links.PendingMarks(); n != 1 {
+		t.Fatalf("pending marks = %d, want 1", n)
+	}
+	// The coordinator dies without a journaled commit.
+	h.net.SetDown("node-a", true)
+
+	// Inside the horizon the mark stays pinned: the sweep keeps the
+	// lock alive (even across the nominal TTL) and resolves nothing.
+	h.clk.Advance(30 * time.Second)
+	h.nodes["b"].Links.ResolvePendingMarks(ctx, h.clk.Now())
+	if n := h.nodes["b"].Links.PendingMarks(); n != 1 {
+		t.Fatalf("mark resolved inside horizon: pending = %d", n)
+	}
+	if _, err := h.nodes["b"].Links.Negotiate(ctx, links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "OTHER"},
+		Targets: refs("b", "s"), Constraint: links.And,
+	}); wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("pinned lock not respected: %v", err)
+	}
+
+	// Past the horizon: presume abort, release the lock.
+	h.clk.Advance(time.Minute)
+	h.nodes["b"].Links.ResolvePendingMarks(ctx, h.clk.Now())
+	if n := h.nodes["b"].Links.PendingMarks(); n != 0 {
+		t.Fatalf("mark not resolved past horizon: pending = %d", n)
+	}
+	if got := h.nodes["b"].status("s"); got != "" {
+		t.Fatalf("presumed abort applied the change: %q", got)
+	}
+
+	// The ghost coordinator returns and re-sends its Commit: too late —
+	// the presumed abort is sticky.
+	h.net.SetDown("node-a", false)
+	err = h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Commit", wire.Args{
+		"entity": "s", "token": tok.Token, "action": "reserve",
+		"args": map[string]any{"meeting": "GHOST"}, "nid": "N-ghost",
+	}, nil)
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("post-abort commit err = %v, want conflict", err)
+	}
+	// The slot is free for a fresh negotiation.
+	if _, err := h.nodes["b"].Links.Negotiate(ctx, links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "FRESH"},
+		Targets: refs("b", "s"), Constraint: links.And,
+	}); err != nil {
+		t.Fatalf("slot still wedged after presumed abort: %v", err)
+	}
+}

@@ -24,39 +24,122 @@ func (m *Manager) Object() *listener.Object {
 
 	// Mark: phase-1 lock + condition check (§4.3 "Mark X ... an
 	// attempted change, which triggers any associated link without
-	// actual change on X").
+	// actual change on X"). The negotiation id and caller are recorded
+	// with the mark so the participant can later resolve the outcome
+	// itself (QueryOutcome) if Commit/Abort never arrives.
 	obj.Handle("Mark", func(ctx context.Context, call *listener.Call) (any, error) {
 		entity := call.Args.String("entity")
 		action := call.Args.String("action")
 		if entity == "" || action == "" {
 			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "Mark needs entity and action"}
 		}
-		tok, err := m.markLocal(entity, action, argsOf(call))
+		args := argsOf(call)
+		tok, err := m.markLocal(entity, action, args)
 		if err != nil {
 			return nil, err
+		}
+		if nid := call.Args.String("nid"); nid != "" && call.Caller != "" {
+			m.notePendingMark(&pendingMark{
+				Token: tok, Entity: entity, Action: action, Args: args,
+				NID: nid, Coordinator: call.Caller, Created: m.clk.Now(),
+			})
 		}
 		return map[string]string{"token": tok}, nil
 	})
 
-	// Commit: phase-2 apply + unlock.
+	// Commit: phase-2 apply + unlock, safe to re-deliver.
+	//
+	//   - A token already decided committed acks again (duplicate
+	//     delivery — the first Commit's response was lost) without
+	//     double-applying.
+	//   - A token already decided aborted (explicit Abort or presumed
+	//     abort) is rejected.
+	//   - A live lock held by the token applies normally.
+	//   - An expired lock that was re-granted to another negotiation
+	//     is REJECTED — applying would overwrite the thief's claim.
+	//   - An expired-but-unstolen (or crash-cleared) lock becomes a
+	//     late commit: the entity is re-locked and the action's Check
+	//     re-run, so a commit delayed past the TTL still lands when —
+	//     and only when — the entity is still compatible with it.
 	obj.Handle("Commit", func(ctx context.Context, call *listener.Call) (any, error) {
 		entity := call.Args.String("entity")
 		token := call.Args.String("token")
-		if !m.Locks.Holds(lockKey(entity), token) {
-			return nil, &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: stale or missing lock on %s", entity)}
+		if committed, known := m.decidedOutcome(token); known {
+			if committed {
+				m.count("commit-dup", wire.CodeOK)
+				return true, nil
+			}
+			return nil, &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: negotiation already aborted on %s", entity)}
 		}
-		err := m.applyLocal(entity, call.Args.String("action"), argsOf(call))
-		m.Locks.Unlock(lockKey(entity), token)
+		action := call.Args.String("action")
+		args := argsOf(call)
+		if m.Locks.Holds(lockKey(entity), token) {
+			err := m.applyLocal(entity, action, args)
+			m.Locks.Unlock(lockKey(entity), token)
+			m.noteDecided(token, err == nil)
+			if err != nil {
+				return nil, err
+			}
+			return true, nil
+		}
+		if holder, live := m.Locks.Holder(lockKey(entity)); live && holder != token {
+			// The mark's TTL lapsed and another negotiation took the
+			// entity: the stale token must not clobber it.
+			m.noteDecided(token, false)
+			m.count("commit-stale", wire.CodeConflict)
+			return nil, &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: stale token: lock on %s was re-granted", entity)}
+		}
+		// Late commit: no live lock. Re-acquire and re-check before
+		// applying, since the entity may have changed since the mark.
+		tok, ok := m.Locks.TryLock(lockKey(entity), call.Caller)
+		if !ok {
+			return nil, &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: entity %s is locked", entity)}
+		}
+		a, err := m.action(action)
+		if err != nil {
+			m.Locks.Unlock(lockKey(entity), tok)
+			return nil, err
+		}
+		if a.Check != nil {
+			if err := a.Check(entity, args); err != nil {
+				m.Locks.Unlock(lockKey(entity), tok)
+				m.noteDecided(token, false)
+				m.count("commit-late", wire.CodeConflict)
+				return nil, err
+			}
+		}
+		err = m.applyLocal(entity, action, args)
+		m.Locks.Unlock(lockKey(entity), tok)
+		m.noteDecided(token, err == nil)
 		if err != nil {
 			return nil, err
+		}
+		m.count("commit-late", wire.CodeOK)
+		return true, nil
+	})
+
+	// Abort: release without change; duplicates are no-ops and later
+	// Commits for the token are rejected.
+	obj.Handle("Abort", func(ctx context.Context, call *listener.Call) (any, error) {
+		entity := call.Args.String("entity")
+		token := call.Args.String("token")
+		m.Locks.Unlock(lockKey(entity), token)
+		if token != "" {
+			m.noteDecided(token, false)
 		}
 		return true, nil
 	})
 
-	// Abort: release without change.
-	obj.Handle("Abort", func(ctx context.Context, call *listener.Call) (any, error) {
-		m.Locks.Unlock(lockKey(call.Args.String("entity")), call.Args.String("token"))
-		return true, nil
+	// QueryOutcome: the in-doubt resolution RPC. A participant whose
+	// lock TTL is about to lapse asks the coordinator whether the
+	// negotiation committed; the answer is presumed-abort for any
+	// negotiation without a live commit-journal row.
+	obj.Handle("QueryOutcome", func(ctx context.Context, call *listener.Call) (any, error) {
+		nid := call.Args.String("nid")
+		if nid == "" {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "QueryOutcome needs nid"}
+		}
+		return map[string]string{"outcome": m.Outcome(nid, call.Args.String("token"))}, nil
 	})
 
 	// Apply: unlocked check+apply (subscription information flow).

@@ -11,26 +11,33 @@ import (
 // Table names, matching the paper's nomenclature. SyD_PendingDelete is
 // our addition: tombstones for cascade deletions that could not reach a
 // disconnected participant (retried by the periodic sweep).
+// SyD_NegotiationJournal is the coordinator's commit journal: one row
+// per negotiation that decided COMMIT but has targets still awaiting
+// phase-2 delivery. Because it lives in the node's store it flows
+// through the mutation-logger hooks, so with durability on the journal
+// survives coordinator crashes and the retry sweeper finishes phase 2
+// after recovery.
 const (
 	LinkTable          = "SyD_Link"
 	WaitingLinkTable   = "SyD_WaitingLink"
 	LinkMethodTable    = "SyD_LinkMethod"
 	PendingDeleteTable = "SyD_PendingDelete"
+	NegotiationJournal = "SyD_NegotiationJournal"
 )
 
 // createLinkDB implements §4.2 op 1: "all link information is
 // maintained in a link database that is stored locally by the user...
 // created when he/she installs a SyD application with link-enabled
 // features". Idempotent.
-func createLinkDB(db *store.DB) (links, waiting, methods, pending *store.Table, err error) {
+func createLinkDB(db *store.DB) (links, waiting, methods, pending, journal *store.Table, err error) {
 	get := func(name string, s store.Schema) (*store.Table, error) {
 		if t, err := db.Table(name); err == nil {
 			return t, nil
 		}
 		return db.CreateTable(s)
 	}
-	fail := func(err error) (*store.Table, *store.Table, *store.Table, *store.Table, error) {
-		return nil, nil, nil, nil, err
+	fail := func(err error) (*store.Table, *store.Table, *store.Table, *store.Table, *store.Table, error) {
+		return nil, nil, nil, nil, nil, err
 	}
 	links, err = get(LinkTable, store.Schema{
 		Name: LinkTable,
@@ -102,7 +109,27 @@ func createLinkDB(db *store.DB) (links, waiting, methods, pending *store.Table, 
 	if err != nil {
 		return fail(err)
 	}
-	return links, waiting, methods, pending, nil
+	journal, err = get(NegotiationJournal, store.Schema{
+		Name: NegotiationJournal,
+		Columns: []store.Column{
+			{Name: "id", Type: store.String},        // negotiation id
+			{Name: "action", Type: store.String},    // action name
+			{Name: "args", Type: store.String},      // JSON wire.Args
+			{Name: "local", Type: store.String},     // JSON LocalChange ("" = none)
+			{Name: "local_done", Type: store.Int},   // 1 once the local change applied
+			{Name: "pending", Type: store.String},   // JSON []journalTarget awaiting ack
+			{Name: "committed", Type: store.String}, // JSON []EntityRef acked
+			{Name: "failed", Type: store.String},    // JSON []EntityRef definitively rejected
+			{Name: "attempts", Type: store.Int},     // sweeper retry rounds so far
+			{Name: "next_retry", Type: store.Time},  // earliest next sweeper attempt
+			{Name: "created", Type: store.Time},     // decision time
+		},
+		Key: []string{"id"},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return links, waiting, methods, pending, journal, nil
 }
 
 // linkToRow encodes a Link as a store row.

@@ -56,6 +56,7 @@ const (
 	LayerClient Layer = "client" // engine interceptor (includes transport time)
 	LayerServer Layer = "server" // listener middleware (handler time only)
 	LayerWAL    Layer = "wal"    // durability subsystem (internal/wal): commit, fsync, batch, recovery, checkpoint
+	LayerLinks  Layer = "links"  // negotiation protocol: outcomes, commit retries, journal expiry, participant resolution
 )
 
 type seriesKey struct {

@@ -24,7 +24,10 @@ import (
 )
 
 // Config controls fault and latency injection. The zero value is a
-// perfect, instantaneous network.
+// perfect, instantaneous network. Latency and loss are the *initial*
+// values; a live Net can be re-tuned mid-run with SetLoss and
+// SetLatency (chaos schedules flip faults on and off while traffic is
+// in flight).
 type Config struct {
 	// BaseLatency is added to every delivery.
 	BaseLatency time.Duration
@@ -59,8 +62,13 @@ type Net struct {
 	down      map[string]bool
 	parts     map[[2]string]bool // unordered pair, stored with a<=b
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// Mutable fault config; rngMu guards these together with rng so a
+	// mid-test SetLoss/SetLatency is seen by in-flight deliveries.
+	rngMu       sync.Mutex
+	rng         *rand.Rand
+	lossProb    float64
+	baseLatency time.Duration
+	jitter      time.Duration
 
 	requests  atomic.Int64
 	responses atomic.Int64
@@ -81,12 +89,31 @@ type endpoint struct {
 // New creates a simulated network with the given config.
 func New(cfg Config) *Net {
 	return &Net{
-		cfg:       cfg,
-		endpoints: make(map[string]*endpoint),
-		down:      make(map[string]bool),
-		parts:     make(map[[2]string]bool),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		cfg:         cfg,
+		endpoints:   make(map[string]*endpoint),
+		down:        make(map[string]bool),
+		parts:       make(map[[2]string]bool),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		lossProb:    cfg.LossProb,
+		baseLatency: cfg.BaseLatency,
+		jitter:      cfg.Jitter,
 	}
+}
+
+// SetLoss changes the message-loss probability on the live network.
+// Chaos tests flip this mid-run instead of rebuilding the world.
+func (n *Net) SetLoss(p float64) {
+	n.rngMu.Lock()
+	n.lossProb = p
+	n.rngMu.Unlock()
+}
+
+// SetLatency changes base latency and jitter on the live network.
+func (n *Net) SetLatency(base, jitter time.Duration) {
+	n.rngMu.Lock()
+	n.baseLatency = base
+	n.jitter = jitter
+	n.rngMu.Unlock()
 }
 
 // Listen implements transport.Network. An empty addr or an addr ending
@@ -177,20 +204,20 @@ func unavailable(format string, args ...any) error {
 
 // lose decides whether to drop a message and draws latency.
 func (n *Net) lose() bool {
-	if n.cfg.LossProb <= 0 {
-		return false
-	}
 	n.rngMu.Lock()
 	defer n.rngMu.Unlock()
-	return n.rng.Float64() < n.cfg.LossProb
+	if n.lossProb <= 0 {
+		return false
+	}
+	return n.rng.Float64() < n.lossProb
 }
 
 func (n *Net) latency() time.Duration {
-	d := n.cfg.BaseLatency
-	if n.cfg.Jitter > 0 {
-		n.rngMu.Lock()
-		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
-		n.rngMu.Unlock()
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	d := n.baseLatency
+	if n.jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.jitter)))
 	}
 	return d
 }

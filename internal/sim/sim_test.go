@@ -283,3 +283,47 @@ func TestJitterDeterministicPerSeed(t *testing.T) {
 		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", r1, d1, r2, d2)
 	}
 }
+
+func TestRuntimeMutableFaults(t *testing.T) {
+	n := New(Config{Seed: 7})
+	if _, err := n.Listen("phil", &okHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	call := func() error {
+		_, err := n.Call(context.Background(), "phil", &transport.Request{Service: "s", Method: "m"})
+		return err
+	}
+	// Loss-free at construction: every call lands.
+	for i := 0; i < 50; i++ {
+		if err := call(); err != nil {
+			t.Fatalf("loss-free call %d failed: %v", i, err)
+		}
+	}
+	// Flip loss on mid-run.
+	n.SetLoss(1)
+	if err := call(); wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("full loss delivered: %v", err)
+	}
+	// And back off: the same live network heals.
+	n.SetLoss(0)
+	if err := call(); err != nil {
+		t.Fatalf("healed call failed: %v", err)
+	}
+	// Latency is mutable the same way.
+	n.SetLatency(15*time.Millisecond, 0)
+	start := time.Now()
+	if err := call(); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 30*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 30ms", got)
+	}
+	n.SetLatency(0, 0)
+	start = time.Now()
+	if err := call(); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got > 10*time.Millisecond {
+		t.Fatalf("latency not removed: round trip %v", got)
+	}
+}

@@ -108,6 +108,7 @@ const (
 	CodeConflict    ErrCode = "conflict"    // negotiation/lock conflict
 	CodeUnavailable ErrCode = "unavailable" // device down / unreachable
 	CodeInternal    ErrCode = "internal"    // handler error
+	CodeInDoubt     ErrCode = "in-doubt"    // commit phase diverged; recovery sweeper is resolving
 )
 
 // RemoteError is the error type surfaced to engine callers for a
