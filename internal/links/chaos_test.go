@@ -131,7 +131,13 @@ func runChaos(t *testing.T, seed int64, rounds int) {
 			})
 		}
 
-		// Two coordinators race for the same slot on both participants.
+		// Two coordinators race for the same slot on both participants,
+		// with the periodic fault sweeps running CONCURRENTLY with the
+		// in-flight negotiations — as they do in production, where
+		// FaultSweep rides the ExpireEvery schedule. A sweep landing
+		// between a Mark grant and the coordinator's journal write must
+		// hear "unknown" and keep the mark pinned, never presume abort
+		// and hand one target to the thief while the other commits.
 		mA := fmt.Sprintf("MA-%d-%d", seed, i)
 		mB := fmt.Sprintf("MB-%d-%d", seed, i)
 		targets := refs("x", r.entity, "y", r.entity)
@@ -152,7 +158,26 @@ func runChaos(t *testing.T, seed int64, rounds int) {
 				Targets: targets, Constraint: links.And,
 			})
 		}()
+		sweepStop := make(chan struct{})
+		var sweepWG sync.WaitGroup
+		sweepWG.Add(1)
+		go func() {
+			defer sweepWG.Done()
+			for {
+				select {
+				case <-sweepStop:
+					return
+				default:
+				}
+				for _, n := range h.nodes {
+					n.Links.FaultSweep(ctx, h.clk.Now())
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
 		wg.Wait()
+		close(sweepStop)
+		sweepWG.Wait()
 
 		heal(r)
 		drain(i)

@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -240,13 +242,23 @@ func (m *Manager) JournalPending() []string {
 }
 
 // Outcome reports the coordinator-side decision for a negotiation id:
-// "commit" while its journal row is live (the decision was COMMIT and
-// recovery is still driving it), "abort" otherwise. Participants call
-// this through the QueryOutcome RPC; "abort" is the presumed answer
-// for any negotiation that never journaled a commit decision or whose
-// row has been retired (a retired row means every target acked, so no
-// in-doubt participant can still be asking about it).
+// "unknown" while the negotiation is still in flight on this
+// coordinator (no decision has been published — presuming abort here
+// would let a participant sweep release a mark the coordinator is
+// about to commit), "commit" while its journal row is live (the
+// decision was COMMIT and recovery is still driving it), "abort"
+// otherwise. Participants call this through the QueryOutcome RPC;
+// "abort" is the presumed answer for any negotiation that never
+// journaled a commit decision or whose row has been retired (a
+// retired row means every target acked, so no in-doubt participant
+// can still be asking about it). A coordinator that crashed mid-flight
+// restarts with an empty in-flight set, and answering abort for its
+// unjournaled negotiations is safe: journalBegin strictly precedes the
+// first Commit, so nothing was ever applied.
 func (m *Manager) Outcome(nid, token string) string {
+	if m.isInflight(nid) {
+		return OutcomeUnknown
+	}
 	rec, ok := m.journalGet(nid)
 	if !ok {
 		return OutcomeAbort
@@ -298,25 +310,44 @@ func backoffAfter(t Tuning, n int) time.Duration {
 	return d
 }
 
+// maxRetryRowsPerSweep bounds one sweep's journal work so a backlog of
+// rows with unreachable targets cannot exhaust the sweep context and
+// starve the participant-side mark resolution on the same tick; the
+// overflow (oldest rows go first) waits for the next tick.
+const maxRetryRowsPerSweep = 32
+
 // RetryCommits drives phase-2 recovery: every journal row whose
 // next_retry has passed gets one more round of Commit sends via the
 // engine's QoS machinery. Rows whose pending set drains are retired;
-// rows that exhaust MaxAttempts are expired as loud failures. Returns
-// the number of rows resolved (retired or expired) this sweep. Called
-// from the same periodic schedule as ExpireSweep.
+// rows that exhaust MaxAttempts are expired as loud failures. Rows are
+// redriven concurrently (and each row fans its Commits out
+// concurrently), so one sweep's wall clock is roughly a single QoS
+// round trip, not the sum over every unreachable target. Returns the
+// number of rows resolved (retired or expired) this sweep. Called from
+// the same periodic schedule as ExpireSweep.
 func (m *Manager) RetryCommits(ctx context.Context, now time.Time) int {
 	tun := m.tune()
 	rows := m.journalT.Select(func(r store.Row) bool {
 		return !r["next_retry"].(time.Time).After(now)
 	})
-	resolved := 0
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i]["next_retry"].(time.Time).Before(rows[j]["next_retry"].(time.Time))
+	})
+	if len(rows) > maxRetryRowsPerSweep {
+		rows = rows[:maxRetryRowsPerSweep]
+	}
+	var resolved atomic.Int64
+	var wg sync.WaitGroup
 	for _, row := range rows {
+		if ctx.Err() != nil {
+			break
+		}
 		rec, err := journalFromRow(row)
 		if err != nil {
 			// Undecodable row: expire it loudly rather than spin.
 			m.journalRetire(row["id"].(string))
 			m.count("journal-expire", wire.CodeInternal)
-			resolved++
+			resolved.Add(1)
 			continue
 		}
 		rec.Attempts++
@@ -326,32 +357,86 @@ func (m *Manager) RetryCommits(ctx context.Context, now time.Time) int {
 			// sweep does not grind on a dead deployment forever.
 			m.journalRetire(rec.ID)
 			m.count("journal-expire", wire.CodeUnavailable)
-			resolved++
+			resolved.Add(1)
 			continue
 		}
-		if m.redriveJournal(ctx, rec) {
-			resolved++
-			continue
-		}
-		rec.NextRetry = now.Add(backoffAfter(tun, rec.Attempts))
-		m.journalUpdate(rec)
+		wg.Add(1)
+		go func(rec *journalRec) {
+			defer wg.Done()
+			if m.redriveJournal(ctx, rec) {
+				resolved.Add(1)
+				return
+			}
+			rec.NextRetry = now.Add(backoffAfter(tun, rec.Attempts))
+			m.journalUpdate(rec)
+		}(rec)
 	}
-	return resolved
+	wg.Wait()
+	return int(resolved.Load())
+}
+
+// redriveLocal re-applies the coordinator's own journaled change. The
+// in-memory lock the original negotiation held is gone after a crash,
+// so this mirrors the participant late-commit path: re-lock the
+// entity, re-run the action's Check, and treat a failed Check as a
+// definitive rejection — another negotiation may have booked the
+// entity between the crash and the redrive, and the redrive must not
+// overwrite its claim. Returns done=true when the change reached a
+// definitive state (applied or rejected) and failed=true when that
+// state is a rejection; done=false means the entity is locked by a
+// live negotiation and the redrive should retry next sweep.
+func (m *Manager) redriveLocal(lc *LocalChange) (done, failed bool) {
+	tok, ok := m.Locks.TryLock(lockKey(lc.Entity), m.self)
+	if !ok {
+		return false, false
+	}
+	defer m.Locks.Unlock(lockKey(lc.Entity), tok)
+	a, err := m.action(lc.Action)
+	if err != nil {
+		m.count("redrive-local", wire.CodeOf(err))
+		return true, true
+	}
+	if a.Check != nil {
+		if err := a.Check(lc.Entity, lc.Args); err != nil {
+			m.count("redrive-local", wire.CodeConflict)
+			return true, true
+		}
+	}
+	if err := m.applyLocal(lc.Entity, lc.Action, lc.Args); err != nil {
+		m.count("redrive-local", wire.CodeOf(err))
+		return true, true
+	}
+	m.count("redrive-local", wire.CodeOK)
+	return true, false
 }
 
 // redriveJournal re-runs the commit phase for one journal row: the
 // local change first (a recovered coordinator may have crashed before
-// applying its own side), then every pending target. Reports true when
-// the row was retired.
+// applying its own side), then every pending target, fanned out
+// concurrently. Reports true when the row was retired.
 func (m *Manager) redriveJournal(ctx context.Context, rec *journalRec) bool {
 	if rec.Local != nil && !rec.LocalDone {
-		if err := m.applyLocal(rec.Local.Entity, rec.Local.Action, rec.Local.Args); err == nil {
+		done, failed := m.redriveLocal(rec.Local)
+		if done {
 			rec.LocalDone = true
+			if failed {
+				rec.Failed = append(rec.Failed, EntityRef{User: m.self, Entity: rec.Local.Entity})
+			}
 		}
 	}
+	errs := make([]error, len(rec.Pending))
+	var wg sync.WaitGroup
+	for i, tgt := range rec.Pending {
+		wg.Add(1)
+		go func(i int, tgt journalTarget) {
+			defer wg.Done()
+			errs[i] = m.commitTarget(ctx, rec.ID, tgt.Ref, tgt.Token, rec.Action, rec.Args, true)
+		}(i, tgt)
+	}
+	wg.Wait()
 	var still []journalTarget
-	for _, tgt := range rec.Pending {
-		err := m.commitTarget(ctx, rec.ID, tgt.Ref, tgt.Token, rec.Action, rec.Args, true)
+	for i, tgt := range rec.Pending {
+		err := errs[i]
 		switch {
 		case err == nil:
 			rec.Committed = append(rec.Committed, tgt.Ref)

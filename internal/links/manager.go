@@ -64,11 +64,22 @@ type Manager struct {
 	partMu   sync.Mutex
 	pendMark map[string]*pendingMark // token -> mark awaiting Commit/Abort
 	decided  map[string]decision     // token -> recently decided outcome
+	decidedT *store.Table            // durable decided-token outcomes
 
-	// commitFault, when set, intercepts phase-2 commit sends — the
-	// chaos harness uses it to model a coordinator that crashes or
-	// loses connectivity mid-commit.
+	// inflight tracks negotiations this coordinator is currently
+	// driving. Between the first Mark and the journalBegin of a
+	// negotiation no journal row exists, yet presuming abort for it
+	// would be wrong — a participant's fault sweep could release a mark
+	// the coordinator is about to commit. Outcome answers "unknown" for
+	// these ids so in-doubt participants wait instead.
+	inflight map[string]struct{}
+
+	// commitFault/markFault, when set, intercept phase-2 commit sends /
+	// phase-1 mark sends — the chaos harness and fault tests use them
+	// to model a coordinator that crashes or loses connectivity
+	// mid-protocol, or to interleave sweeps with a live phase 1.
 	commitFault func(nid string, ref EntityRef) error
+	markFault   func(nid string, ref EntityRef) error
 }
 
 // NewManager creates the links manager for user self, creating the
@@ -77,7 +88,7 @@ func NewManager(self string, db *store.DB, eng *engine.Engine, clk clock.Clock) 
 	if clk == nil {
 		clk = clock.System
 	}
-	lt, wt, mt, pt, jt, err := createLinkDB(db)
+	lt, wt, mt, pt, jt, dt, err := createLinkDB(db)
 	if err != nil {
 		return nil, err
 	}
@@ -91,10 +102,12 @@ func NewManager(self string, db *store.DB, eng *engine.Engine, clk clock.Clock) 
 		methodsT: mt,
 		pendingT: pt,
 		journalT: jt,
+		decidedT: dt,
 		actions:  make(map[string]Action),
 		tuning:   DefaultTuning(),
 		pendMark: make(map[string]*pendingMark),
 		decided:  make(map[string]decision),
+		inflight: make(map[string]struct{}),
 	}, nil
 }
 
@@ -137,6 +150,49 @@ func (m *Manager) commitFaultFor(nid string, ref EntityRef) error {
 		return nil
 	}
 	return f(nid, ref)
+}
+
+// SetMarkFault installs (or, with nil, removes) a phase-1 fault
+// injector: markTarget consults it before sending. Fault tests use it
+// to interleave participant sweeps with a live mark phase.
+func (m *Manager) SetMarkFault(f func(nid string, ref EntityRef) error) {
+	m.mu.Lock()
+	m.markFault = f
+	m.mu.Unlock()
+}
+
+func (m *Manager) markFaultFor(nid string, ref EntityRef) error {
+	m.mu.RLock()
+	f := m.markFault
+	m.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f(nid, ref)
+}
+
+// noteInflight registers a negotiation this coordinator is driving;
+// Outcome answers "unknown" for it until dropInflight.
+func (m *Manager) noteInflight(nid string) {
+	m.mu.Lock()
+	m.inflight[nid] = struct{}{}
+	m.mu.Unlock()
+}
+
+// dropInflight removes a negotiation from the in-flight set. It runs
+// only after the negotiation's fate is final and published: the journal
+// row exists (commit) or never will (abort).
+func (m *Manager) dropInflight(nid string) {
+	m.mu.Lock()
+	delete(m.inflight, nid)
+	m.mu.Unlock()
+}
+
+func (m *Manager) isInflight(nid string) bool {
+	m.mu.RLock()
+	_, ok := m.inflight[nid]
+	m.mu.RUnlock()
+	return ok
 }
 
 // Self returns the owning user id.
@@ -630,26 +686,33 @@ func (m *Manager) TriggerEntity(ctx context.Context, entity, event string, args 
 	}
 
 	var results []TriggerResult
-	var veto error
+	var veto, inDoubt error
 	for _, l := range toFire {
 		res := m.fireTriggers(ctx, l, event, args)
 		results = append(results, res...)
 		if l.Type == Negotiation {
 			for _, r := range res {
-				if r.Err != nil && veto == nil {
-					if IsInDoubt(r.Err) {
-						// Not a veto: the COMMIT decision is journaled
-						// and recovery is re-driving the stragglers. The
-						// caller may proceed; the error still surfaces.
-						veto = r.Err
-						continue
+				if r.Err == nil {
+					continue
+				}
+				if IsInDoubt(r.Err) {
+					// Not a veto: the COMMIT decision is journaled and
+					// recovery is re-driving the stragglers. The caller
+					// may proceed; the error still surfaces — but it
+					// must never mask a genuine veto from another link.
+					if inDoubt == nil {
+						inDoubt = r.Err
 					}
+				} else if veto == nil {
 					veto = fmt.Errorf("links: negotiation link %s vetoed %s on %s: %w", l.ID, event, entity, r.Err)
 				}
 			}
 		}
 	}
-	return results, veto
+	if veto != nil {
+		return results, veto
+	}
+	return results, inDoubt
 }
 
 // TriggerLink fires a specific link's triggers for event.

@@ -136,6 +136,13 @@ type markResult struct {
 // acquired lock is released and nothing changes anywhere.
 func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 	res := &Result{NID: NewNegotiationID(), State: StateAborted}
+	// Register the negotiation as in flight before the first Mark goes
+	// out: a participant fault sweep that asks about it while no
+	// journal row exists yet must hear "unknown", not a presumed abort
+	// that would release a mark this negotiation is about to commit.
+	// Dropped only on return, when the fate is final and published.
+	m.noteInflight(res.NID)
+	defer m.dropInflight(res.NID)
 	k := spec.K
 	if k <= 0 {
 		k = 1
@@ -197,7 +204,7 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 	if !satisfied {
 		for _, mr := range marks {
 			if mr.err == nil {
-				m.abortTarget(ctx, mr.ref, mr.token)
+				m.abortTarget(ctx, res.NID, mr.ref, mr.token)
 				res.Trace = append(res.Trace, Step{Phase: "abort", Entity: mr.ref.String(), OK: true})
 			}
 		}
@@ -211,9 +218,13 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 	// by the retry sweeper instead of silently divergent.
 	var rec *journalRec
 	if locked > 0 {
+		// NextRetry starts one backoff out: the inline phase 2 is being
+		// driven right now, and the sweeper must not redrive the same
+		// row concurrently with it.
 		rec = &journalRec{
 			ID: res.NID, Action: spec.Action, Args: spec.Args,
-			Local: spec.Local, Created: m.clk.Now(), NextRetry: m.clk.Now(),
+			Local: spec.Local, Created: m.clk.Now(),
+			NextRetry: m.clk.Now().Add(backoffAfter(m.tune(), 1)),
 		}
 		for _, mr := range marks {
 			if mr.err == nil {
@@ -225,7 +236,7 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 			// while nothing has changed rather than risk divergence.
 			for _, mr := range marks {
 				if mr.err == nil {
-					m.abortTarget(ctx, mr.ref, mr.token)
+					m.abortTarget(ctx, res.NID, mr.ref, mr.token)
 				}
 			}
 			m.count("outcome", wire.CodeInternal)
@@ -244,7 +255,7 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 			// decision can still be flipped to abort everywhere.
 			for _, mr := range marks {
 				if mr.err == nil {
-					m.abortTarget(ctx, mr.ref, mr.token)
+					m.abortTarget(ctx, res.NID, mr.ref, mr.token)
 				}
 			}
 			if rec != nil {
@@ -408,6 +419,9 @@ func (m *Manager) applyLocal(entity, action string, args wire.Args) error {
 // id rides along so the participant can resolve the outcome itself if
 // neither Commit nor Abort ever reaches it.
 func (m *Manager) markTarget(ctx context.Context, nid string, ref EntityRef, action string, args wire.Args) (string, error) {
+	if err := m.markFaultFor(nid, ref); err != nil {
+		return "", err
+	}
 	if ref.User == m.self {
 		return m.markLocal(ref.Entity, action, args)
 	}
@@ -433,22 +447,12 @@ func (m *Manager) commitTarget(ctx context.Context, nid string, ref EntityRef, t
 		return err
 	}
 	if ref.User == m.self {
-		if committed, known := m.decidedOutcome(token); known {
-			if committed {
-				return nil
-			}
-			return &wire.RemoteError{Code: wire.CodeConflict, Msg: "links: negotiation already aborted locally"}
-		}
-		if !m.Locks.Holds(lockKey(ref.Entity), token) {
-			if holder, live := m.Locks.Holder(lockKey(ref.Entity)); live && holder != token {
-				m.noteDecided(token, false)
-				return &wire.RemoteError{Code: wire.CodeConflict, Msg: "links: stale token: lock was re-granted"}
-			}
-		}
-		err := m.applyLocal(ref.Entity, action, args)
-		m.Locks.Unlock(lockKey(ref.Entity), token)
-		m.noteDecided(token, err == nil)
-		return err
+		// Same protocol as the remote Commit handler: duplicate ack,
+		// stale-token rejection, and — crucial after a coordinator
+		// restart wiped the in-memory lock table — the late-commit
+		// path that re-locks and re-runs Check instead of applying
+		// blindly over whatever booked the entity since.
+		return m.commitLocalToken(ref.Entity, token, nid, action, args, m.self)
 	}
 	callArgs := wire.Args{
 		"entity": ref.Entity, "token": token, "action": action, "args": map[string]any(args), "nid": nid,
@@ -460,13 +464,13 @@ func (m *Manager) commitTarget(ctx context.Context, nid string, ref EntityRef, t
 }
 
 // abortTarget releases a marked target without changing it.
-func (m *Manager) abortTarget(ctx context.Context, ref EntityRef, token string) {
+func (m *Manager) abortTarget(ctx context.Context, nid string, ref EntityRef, token string) {
 	if ref.User == m.self {
 		m.Locks.Unlock(lockKey(ref.Entity), token)
 		return
 	}
 	_ = m.eng.Invoke(ctx, ServiceFor(ref.User), "Abort", wire.Args{
-		"entity": ref.Entity, "token": token,
+		"entity": ref.Entity, "token": token, "nid": nid,
 	}, nil)
 }
 

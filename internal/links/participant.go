@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -26,10 +27,14 @@ import (
 //     gone past the PresumeAbortAfter horizon or disclaims the
 //     negotiation.
 
-// QueryOutcome answers.
+// QueryOutcome answers. OutcomeUnknown means the coordinator is alive
+// and the negotiation is still in flight — its fate is not decided (or
+// not published) yet, so the participant must keep the mark pinned and
+// ask again rather than presume abort.
 const (
-	OutcomeCommit = "commit"
-	OutcomeAbort  = "abort"
+	OutcomeCommit  = "commit"
+	OutcomeAbort   = "abort"
+	OutcomeUnknown = "unknown"
 )
 
 // pendingMark is one phase-1 lock this node granted to a remote
@@ -65,23 +70,56 @@ func (m *Manager) dropPendingMark(token string) {
 }
 
 // noteDecided records a token's outcome for duplicate-delivery
-// detection. The first decision wins: a Commit that raced a presumed
-// abort must not flip the recorded outcome.
-func (m *Manager) noteDecided(token string, committed bool) {
+// detection, in memory and in the durable SyD_NegotiationDecided table
+// (an applied-but-unacked Commit must survive a participant crash, or
+// the re-sent Commit would re-run Check/Apply against the already
+// applied state). The first decision wins — a Commit that raced a
+// presumed abort must not flip the recorded outcome, including a
+// decision persisted before a restart.
+func (m *Manager) noteDecided(token, nid string, committed bool) {
+	if _, known := m.decidedOutcome(token); known {
+		m.dropPendingMark(token)
+		return
+	}
 	m.partMu.Lock()
-	if _, exists := m.decided[token]; !exists {
+	_, exists := m.decided[token]
+	if !exists {
 		m.decided[token] = decision{committed: committed, at: m.clk.Now()}
 	}
 	delete(m.pendMark, token)
 	m.partMu.Unlock()
+	if exists {
+		return
+	}
+	c := int64(0)
+	if committed {
+		c = 1
+	}
+	// ErrDupKey means an earlier (possibly pre-restart) decision is
+	// already on record; it wins.
+	_ = m.decidedT.Insert(store.Row{"token": token, "nid": nid, "committed": c, "at": m.clk.Now()})
 }
 
-// decidedOutcome looks a token up in the decided cache.
+// decidedOutcome looks a token up in the decided cache, falling back to
+// the durable table (and re-warming the cache) after a restart.
 func (m *Manager) decidedOutcome(token string) (committed, known bool) {
 	m.partMu.Lock()
-	defer m.partMu.Unlock()
 	d, ok := m.decided[token]
-	return d.committed, ok
+	m.partMu.Unlock()
+	if ok {
+		return d.committed, true
+	}
+	row, ok := m.decidedT.Get(token)
+	if !ok {
+		return false, false
+	}
+	committed = row["committed"].(int64) != 0
+	m.partMu.Lock()
+	if _, exists := m.decided[token]; !exists {
+		m.decided[token] = decision{committed: committed, at: row["at"].(time.Time)}
+	}
+	m.partMu.Unlock()
+	return committed, true
 }
 
 // PendingMarks reports how many marks are awaiting an outcome
@@ -92,7 +130,8 @@ func (m *Manager) PendingMarks() int {
 	return len(m.pendMark)
 }
 
-// gcDecided drops decided entries older than the tuning's DecidedTTL.
+// gcDecided drops decided entries older than the tuning's DecidedTTL,
+// from the cache and from the durable table.
 func (m *Manager) gcDecided(now time.Time, ttl time.Duration) {
 	m.partMu.Lock()
 	for tok, d := range m.decided {
@@ -101,6 +140,11 @@ func (m *Manager) gcDecided(now time.Time, ttl time.Duration) {
 		}
 	}
 	m.partMu.Unlock()
+	for _, r := range m.decidedT.Select(func(r store.Row) bool {
+		return now.Sub(r["at"].(time.Time)) > ttl
+	}) {
+		_ = m.decidedT.Delete(r["token"].(string))
+	}
 }
 
 // queryOutcome asks a negotiation's coordinator whether it committed.
@@ -125,11 +169,13 @@ func (m *Manager) queryOutcome(ctx context.Context, coordinator, nid, token stri
 // (an in-doubt entity must not be stolen from under a decided commit)
 // and asks the coordinator how the negotiation ended. A "commit"
 // answer applies the change now — the coordinator's own retry will be
-// acked as a duplicate; an "abort" answer (including a coordinator
-// that does not know the negotiation) releases the lock. If the
-// coordinator stays unreachable past PresumeAbortAfter, abort is
-// presumed: the lock is released and later Commits for the token are
-// rejected. Returns the number of marks resolved.
+// acked as a duplicate; an "abort" answer (a coordinator that finally
+// decided abort, or one that restarted and does not know the
+// negotiation) releases the lock; an "unknown" answer (the negotiation
+// is still in flight) keeps the mark pinned. If the coordinator stays
+// unreachable past PresumeAbortAfter, abort is presumed: the lock is
+// released and later Commits for the token are rejected. Returns the
+// number of marks resolved.
 func (m *Manager) ResolvePendingMarks(ctx context.Context, now time.Time) int {
 	tun := m.tune()
 	m.gcDecided(now, tun.DecidedTTL)
@@ -152,7 +198,7 @@ func (m *Manager) ResolvePendingMarks(ctx context.Context, now time.Time) int {
 			// The lock is gone (stolen after a real expiry): the
 			// entity may already belong to another negotiation, so
 			// this mark can only resolve to abort.
-			m.noteDecided(p.Token, false)
+			m.noteDecided(p.Token, p.NID, false)
 			m.count("presume-abort", wire.CodeConflict)
 			resolved++
 			continue
@@ -161,21 +207,37 @@ func (m *Manager) ResolvePendingMarks(ctx context.Context, now time.Time) int {
 		if err != nil {
 			if now.Sub(p.Created) > tun.PresumeAbortAfter {
 				m.Locks.Unlock(lockKey(p.Entity), p.Token)
-				m.noteDecided(p.Token, false)
+				m.noteDecided(p.Token, p.NID, false)
 				m.count("presume-abort", wire.CodeUnavailable)
 				resolved++
 			}
 			continue // coordinator unreachable; keep the lock pinned
 		}
-		if outcome == OutcomeCommit {
+		switch outcome {
+		case OutcomeCommit:
 			// Decision was COMMIT: apply under the still-held lock.
 			applyErr := m.applyLocal(p.Entity, p.Action, p.Args)
 			m.Locks.Unlock(lockKey(p.Entity), p.Token)
-			m.noteDecided(p.Token, applyErr == nil)
+			m.noteDecided(p.Token, p.NID, applyErr == nil)
 			m.count("resolve", wire.CodeOK)
-		} else {
+		case OutcomeUnknown:
+			// The negotiation is still in flight at a live coordinator
+			// (e.g. this sweep landed between the Mark grant and the
+			// coordinator's journal write): its fate is not decided yet,
+			// so keep the mark pinned and ask again next sweep. The
+			// PresumeAbortAfter horizon still applies as a backstop so a
+			// wedged coordinator cannot pin the entity forever — it
+			// comfortably exceeds any live negotiation's duration.
+			if now.Sub(p.Created) > tun.PresumeAbortAfter {
+				m.Locks.Unlock(lockKey(p.Entity), p.Token)
+				m.noteDecided(p.Token, p.NID, false)
+				m.count("presume-abort", wire.CodeConflict)
+				resolved++
+			}
+			continue
+		default:
 			m.Locks.Unlock(lockKey(p.Entity), p.Token)
-			m.noteDecided(p.Token, false)
+			m.noteDecided(p.Token, p.NID, false)
 			m.count("resolve", wire.CodeConflict)
 		}
 		resolved++

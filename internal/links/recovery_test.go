@@ -148,6 +148,245 @@ func TestCoordinatorCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestSweepDuringPhase1DoesNotPresumeAbort: a participant fault sweep
+// that lands between its Mark grant and the coordinator's journal
+// write must hear "unknown" and keep the mark pinned. Presuming abort
+// there (no journal row yet, but the negotiation is live) would
+// release x's lock while the coordinator goes on to commit — the race
+// the coordinator's in-flight registry exists to close.
+func TestSweepDuringPhase1DoesNotPresumeAbort(t *testing.T) {
+	h := newHarness(t, "a", "x", "y")
+	ctx := context.Background()
+	lm := h.nodes["a"].Links
+
+	// And-marks run in entity order, so x is marked before the fault
+	// hook fires on y — exactly the window before journalBegin.
+	swept := false
+	lm.SetMarkFault(func(nid string, ref links.EntityRef) error {
+		if ref.User == "y" && !swept {
+			swept = true
+			h.nodes["x"].Links.ResolvePendingMarks(ctx, h.clk.Now())
+			if n := h.nodes["x"].Links.PendingMarks(); n != 1 {
+				t.Errorf("mid-phase-1 sweep resolved x's mark: pending = %d, want 1", n)
+			}
+		}
+		return nil
+	})
+	res, err := lm.Negotiate(ctx, links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "M"},
+		Targets: refs("x", "s", "y", "s"), Constraint: links.And,
+	})
+	if err != nil || !res.OK {
+		t.Fatalf("negotiate after mid-flight sweep: err=%v res=%+v", err, res)
+	}
+	if !swept {
+		t.Fatal("mark fault hook never ran")
+	}
+	if sx, sy := h.nodes["x"].status("s"), h.nodes["y"].status("s"); sx != "M" || sy != "M" {
+		t.Fatalf("commit diverged after mid-flight sweep: x=%q y=%q", sx, sy)
+	}
+}
+
+// TestRedriveRechecksRebookedEntity: the coordinator journals a COMMIT
+// decision and crashes before applying its own local change; while the
+// row waits for redrive, another negotiation books the same entity.
+// The redrive must re-lock and re-run Check — definitively failing the
+// stale local change — instead of blindly applying it over the new
+// booking.
+func TestRedriveRechecksRebookedEntity(t *testing.T) {
+	h := newHarness(t, "a", "y")
+	ctx := context.Background()
+	lm := h.nodes["a"].Links
+
+	// Crash model: the local Apply panics after journalBegin, so the
+	// journal row survives with the local change still undone.
+	crashed := false
+	lm.RegisterAction("crashy", links.Action{
+		Check: func(entity string, args wire.Args) error {
+			if cur := h.nodes["a"].status(entity); cur != "" && cur != args.String("meeting") {
+				return &wire.RemoteError{Code: wire.CodeConflict, Msg: "reserved"}
+			}
+			return nil
+		},
+		Apply: func(entity string, args wire.Args) error {
+			panic("injected crash between journal write and local apply")
+		},
+	})
+	func() {
+		defer func() {
+			if recover() != nil {
+				crashed = true
+			}
+		}()
+		_, _ = lm.Negotiate(ctx, links.Spec{
+			Action: "reserve", Args: wire.Args{"meeting": "OLD"},
+			Local:   &links.LocalChange{Entity: "s", Action: "crashy", Args: wire.Args{"meeting": "OLD"}},
+			Targets: refs("y", "s2"), Constraint: links.And,
+		})
+	}()
+	if !crashed {
+		t.Fatal("injected crash never fired")
+	}
+	if got := h.nodes["a"].status("s"); got != "" {
+		t.Fatalf("pre-crash status = %q, want empty", got)
+	}
+
+	// "Restart": fresh manager over the same device database. The
+	// journal row survives; the in-memory lock table does not.
+	lm2, err := links.NewManager("a", h.nodes["a"].DB, h.nodes["a"].Engine, h.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := lm2.JournalPending(); len(p) != 1 {
+		t.Fatalf("journal after restart = %v, want 1 row", p)
+	}
+	lm2.RegisterAction("crashy", links.Action{
+		Check: func(entity string, args wire.Args) error {
+			if cur := h.nodes["a"].status(entity); cur != "" && cur != args.String("meeting") {
+				return &wire.RemoteError{Code: wire.CodeConflict, Msg: "reserved"}
+			}
+			return nil
+		},
+		Apply: func(entity string, args wire.Args) error {
+			h.nodes["a"].setStatus(entity, args.String("meeting"))
+			return nil
+		},
+	})
+	lm2.RegisterAction("reserve", links.Action{
+		Check: func(entity string, args wire.Args) error {
+			if cur := h.nodes["a"].status(entity); cur != "" && cur != args.String("meeting") {
+				return &wire.RemoteError{Code: wire.CodeConflict, Msg: "reserved"}
+			}
+			return nil
+		},
+		Apply: func(entity string, args wire.Args) error {
+			h.nodes["a"].setStatus(entity, args.String("meeting"))
+			return nil
+		},
+	})
+	// Another negotiation books the entity before the redrive runs.
+	if _, err := lm2.Negotiate(ctx, links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "NEW"},
+		Targets: refs("a", "s"), Constraint: links.And,
+	}); err != nil {
+		t.Fatalf("rebooking negotiation failed: %v", err)
+	}
+
+	h.clk.Advance(time.Second)
+	if n := lm2.RetryCommits(ctx, h.clk.Now()); n != 1 {
+		t.Fatalf("RetryCommits resolved %d rows, want 1", n)
+	}
+	if got := h.nodes["a"].status("s"); got != "NEW" {
+		t.Fatalf("redrive clobbered rebooked entity: %q, want NEW", got)
+	}
+	// The journaled COMMIT still lands at the unaffected remote target.
+	if got := h.nodes["y"].status("s2"); got != "OLD" {
+		t.Fatalf("remote target never redriven: %q, want OLD", got)
+	}
+	if p := lm2.JournalPending(); len(p) != 0 {
+		t.Fatalf("journal not retired: %v", p)
+	}
+}
+
+// TestDecidedOutcomeSurvivesRestart: a participant applies a Commit,
+// the ack is lost, and the participant crashes before the coordinator
+// re-sends. After a restart over the same device database the re-sent
+// Commit must still be acked as a duplicate from the durable decided
+// table — not re-applied through the late-commit path.
+func TestDecidedOutcomeSurvivesRestart(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	ctx := context.Background()
+
+	var tok struct {
+		Token string `json:"token"`
+	}
+	err := h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Mark", wire.Args{
+		"entity": "s", "action": "note", "args": map[string]any{"text": "hi"}, "nid": "N-restart",
+	}, &tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := wire.Args{
+		"entity": "s", "token": tok.Token, "action": "note",
+		"args": map[string]any{"text": "hi"}, "nid": "N-restart",
+	}
+	if err := h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Commit", commit, nil); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	if n := h.nodes["b"].noteCount(); n != 1 {
+		t.Fatalf("action applied %d times, want 1", n)
+	}
+
+	// The participant crashes and restarts: in-memory decided cache and
+	// pending marks are gone, the store survives.
+	lm2, err := links.NewManager("b", h.nodes["b"].DB, h.nodes["b"].Engine, h.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	lm2.RegisterAction("note", links.Action{
+		Apply: func(entity string, args wire.Args) error {
+			applied++
+			return nil
+		},
+	})
+	h.nodes["b"].Listener.Register(links.ServiceFor("b"), lm2.Object())
+
+	// The coordinator's sweeper re-sends the Commit whose ack was lost.
+	if err := h.nodes["a"].Engine.Invoke(ctx, links.ServiceFor("b"), "Commit", commit, nil); err != nil {
+		t.Fatalf("re-sent commit after restart not acked: %v", err)
+	}
+	if applied != 0 {
+		t.Fatalf("re-sent commit re-applied the action %d times after restart", applied)
+	}
+}
+
+// TestInDoubtDoesNotMaskVeto: when one negotiation link ends in doubt
+// (recoverable — the journal sweeper is re-driving it) and another is
+// definitively vetoed, TriggerEntity must surface the veto. Reporting
+// the in-doubt error instead would tell the caller "you may proceed"
+// while a link categorically refused the change.
+func TestInDoubtDoesNotMaskVeto(t *testing.T) {
+	h := newHarness(t, "a", "x", "y")
+	ctx := context.Background()
+	lm := h.nodes["a"].Links
+	h.nodes["y"].setStatus("s", "BUSY")
+
+	l1 := newLink("L-indoubt", links.Negotiation, links.Permanent,
+		links.EntityRef{User: "a", Entity: "e"}, refs("x", "s"))
+	l1.Priority = 2
+	l1.Triggers = []links.Trigger{{Event: "change", Action: "reserve", Args: wire.Args{"meeting": "T1"}}}
+	l2 := newLink("L-veto", links.Negotiation, links.Permanent,
+		links.EntityRef{User: "a", Entity: "e"}, refs("y", "s"))
+	l2.Priority = 1
+	l2.Triggers = []links.Trigger{{Event: "change", Action: "reserve", Args: wire.Args{"meeting": "T2"}}}
+	if err := lm.AddLink(l1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.AddLink(l2); err != nil {
+		t.Fatal(err)
+	}
+
+	// L-indoubt (fires first: higher priority) diverges in phase 2;
+	// L-veto is definitively rejected at its busy target.
+	lm.SetCommitFault(func(nid string, ref links.EntityRef) error {
+		if ref.User == "x" {
+			return &wire.RemoteError{Code: wire.CodeUnavailable, Msg: "injected loss"}
+		}
+		return nil
+	})
+	_, err := lm.TriggerEntity(ctx, "e", "change", nil)
+	if err == nil {
+		t.Fatal("vetoed trigger returned no error")
+	}
+	if links.IsInDoubt(err) {
+		t.Fatalf("in-doubt error masked the veto: %v", err)
+	}
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("err = %v, want conflict veto", err)
+	}
+}
+
 // TestQueryOutcomePresumedAbort: a participant whose coordinator dies
 // after Mark pins the lock while in doubt, then presumes abort once
 // the coordinator stays unreachable past PresumeAbortAfter — and a

@@ -9,6 +9,72 @@ import (
 	"repro/internal/wire"
 )
 
+// commitLocalToken is the participant-side Commit protocol, shared by
+// the Commit RPC handler and the coordinator's own self-target path
+// (inline phase 2 and journal redrive alike):
+//
+//   - A token already decided committed acks again (duplicate
+//     delivery — the first Commit's response was lost) without
+//     double-applying.
+//   - A token already decided aborted (explicit Abort or presumed
+//     abort) is rejected.
+//   - A live lock held by the token applies normally.
+//   - An expired lock that was re-granted to another negotiation
+//     is REJECTED — applying would overwrite the thief's claim.
+//   - An expired-but-unstolen (or crash-cleared) lock becomes a
+//     late commit: the entity is re-locked and the action's Check
+//     re-run, so a commit delayed past the TTL still lands when —
+//     and only when — the entity is still compatible with it.
+func (m *Manager) commitLocalToken(entity, token, nid, action string, args wire.Args, caller string) error {
+	if committed, known := m.decidedOutcome(token); known {
+		if committed {
+			m.count("commit-dup", wire.CodeOK)
+			return nil
+		}
+		return &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: negotiation already aborted on %s", entity)}
+	}
+	if m.Locks.Holds(lockKey(entity), token) {
+		err := m.applyLocal(entity, action, args)
+		m.Locks.Unlock(lockKey(entity), token)
+		m.noteDecided(token, nid, err == nil)
+		return err
+	}
+	if holder, live := m.Locks.Holder(lockKey(entity)); live && holder != token {
+		// The mark's TTL lapsed and another negotiation took the
+		// entity: the stale token must not clobber it.
+		m.noteDecided(token, nid, false)
+		m.count("commit-stale", wire.CodeConflict)
+		return &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: stale token: lock on %s was re-granted", entity)}
+	}
+	// Late commit: no live lock. Re-acquire and re-check before
+	// applying, since the entity may have changed since the mark.
+	tok, ok := m.Locks.TryLock(lockKey(entity), caller)
+	if !ok {
+		return &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: entity %s is locked", entity)}
+	}
+	a, err := m.action(action)
+	if err != nil {
+		m.Locks.Unlock(lockKey(entity), tok)
+		return err
+	}
+	if a.Check != nil {
+		if err := a.Check(entity, args); err != nil {
+			m.Locks.Unlock(lockKey(entity), tok)
+			m.noteDecided(token, nid, false)
+			m.count("commit-late", wire.CodeConflict)
+			return err
+		}
+	}
+	err = m.applyLocal(entity, action, args)
+	m.Locks.Unlock(lockKey(entity), tok)
+	m.noteDecided(token, nid, err == nil)
+	if err != nil {
+		return err
+	}
+	m.count("commit-late", wire.CodeOK)
+	return nil
+}
+
 // Object returns the listener object exposing this manager to remote
 // negotiators and cascade operations. Register it as links.<user>.
 func (m *Manager) Object() *listener.Object {
@@ -47,74 +113,16 @@ func (m *Manager) Object() *listener.Object {
 		return map[string]string{"token": tok}, nil
 	})
 
-	// Commit: phase-2 apply + unlock, safe to re-deliver.
-	//
-	//   - A token already decided committed acks again (duplicate
-	//     delivery — the first Commit's response was lost) without
-	//     double-applying.
-	//   - A token already decided aborted (explicit Abort or presumed
-	//     abort) is rejected.
-	//   - A live lock held by the token applies normally.
-	//   - An expired lock that was re-granted to another negotiation
-	//     is REJECTED — applying would overwrite the thief's claim.
-	//   - An expired-but-unstolen (or crash-cleared) lock becomes a
-	//     late commit: the entity is re-locked and the action's Check
-	//     re-run, so a commit delayed past the TTL still lands when —
-	//     and only when — the entity is still compatible with it.
+	// Commit: phase-2 apply + unlock, safe to re-deliver (see
+	// commitLocalToken for the full decision table).
 	obj.Handle("Commit", func(ctx context.Context, call *listener.Call) (any, error) {
 		entity := call.Args.String("entity")
 		token := call.Args.String("token")
-		if committed, known := m.decidedOutcome(token); known {
-			if committed {
-				m.count("commit-dup", wire.CodeOK)
-				return true, nil
-			}
-			return nil, &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: negotiation already aborted on %s", entity)}
-		}
+		nid := call.Args.String("nid")
 		action := call.Args.String("action")
-		args := argsOf(call)
-		if m.Locks.Holds(lockKey(entity), token) {
-			err := m.applyLocal(entity, action, args)
-			m.Locks.Unlock(lockKey(entity), token)
-			m.noteDecided(token, err == nil)
-			if err != nil {
-				return nil, err
-			}
-			return true, nil
-		}
-		if holder, live := m.Locks.Holder(lockKey(entity)); live && holder != token {
-			// The mark's TTL lapsed and another negotiation took the
-			// entity: the stale token must not clobber it.
-			m.noteDecided(token, false)
-			m.count("commit-stale", wire.CodeConflict)
-			return nil, &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: stale token: lock on %s was re-granted", entity)}
-		}
-		// Late commit: no live lock. Re-acquire and re-check before
-		// applying, since the entity may have changed since the mark.
-		tok, ok := m.Locks.TryLock(lockKey(entity), call.Caller)
-		if !ok {
-			return nil, &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: entity %s is locked", entity)}
-		}
-		a, err := m.action(action)
-		if err != nil {
-			m.Locks.Unlock(lockKey(entity), tok)
+		if err := m.commitLocalToken(entity, token, nid, action, argsOf(call), call.Caller); err != nil {
 			return nil, err
 		}
-		if a.Check != nil {
-			if err := a.Check(entity, args); err != nil {
-				m.Locks.Unlock(lockKey(entity), tok)
-				m.noteDecided(token, false)
-				m.count("commit-late", wire.CodeConflict)
-				return nil, err
-			}
-		}
-		err = m.applyLocal(entity, action, args)
-		m.Locks.Unlock(lockKey(entity), tok)
-		m.noteDecided(token, err == nil)
-		if err != nil {
-			return nil, err
-		}
-		m.count("commit-late", wire.CodeOK)
 		return true, nil
 	})
 
@@ -125,7 +133,7 @@ func (m *Manager) Object() *listener.Object {
 		token := call.Args.String("token")
 		m.Locks.Unlock(lockKey(entity), token)
 		if token != "" {
-			m.noteDecided(token, false)
+			m.noteDecided(token, call.Args.String("nid"), false)
 		}
 		return true, nil
 	})

@@ -17,27 +17,33 @@ import (
 // through the mutation-logger hooks, so with durability on the journal
 // survives coordinator crashes and the retry sweeper finishes phase 2
 // after recovery.
+// SyD_NegotiationDecided is the participant's durable memory of decided
+// lock tokens: a participant that applied a Commit, lost the ack, and
+// crashed must still recognize the re-sent Commit as a duplicate after
+// restart — the in-memory decided cache is gone, but the row (written
+// alongside the applied mutation, through the same store/WAL) survives.
 const (
 	LinkTable          = "SyD_Link"
 	WaitingLinkTable   = "SyD_WaitingLink"
 	LinkMethodTable    = "SyD_LinkMethod"
 	PendingDeleteTable = "SyD_PendingDelete"
 	NegotiationJournal = "SyD_NegotiationJournal"
+	NegotiationDecided = "SyD_NegotiationDecided"
 )
 
 // createLinkDB implements §4.2 op 1: "all link information is
 // maintained in a link database that is stored locally by the user...
 // created when he/she installs a SyD application with link-enabled
 // features". Idempotent.
-func createLinkDB(db *store.DB) (links, waiting, methods, pending, journal *store.Table, err error) {
+func createLinkDB(db *store.DB) (links, waiting, methods, pending, journal, decided *store.Table, err error) {
 	get := func(name string, s store.Schema) (*store.Table, error) {
 		if t, err := db.Table(name); err == nil {
 			return t, nil
 		}
 		return db.CreateTable(s)
 	}
-	fail := func(err error) (*store.Table, *store.Table, *store.Table, *store.Table, *store.Table, error) {
-		return nil, nil, nil, nil, nil, err
+	fail := func(err error) (*store.Table, *store.Table, *store.Table, *store.Table, *store.Table, *store.Table, error) {
+		return nil, nil, nil, nil, nil, nil, err
 	}
 	links, err = get(LinkTable, store.Schema{
 		Name: LinkTable,
@@ -129,7 +135,20 @@ func createLinkDB(db *store.DB) (links, waiting, methods, pending, journal *stor
 	if err != nil {
 		return fail(err)
 	}
-	return links, waiting, methods, pending, journal, nil
+	decided, err = get(NegotiationDecided, store.Schema{
+		Name: NegotiationDecided,
+		Columns: []store.Column{
+			{Name: "token", Type: store.String}, // lock token the decision is keyed on
+			{Name: "nid", Type: store.String},   // negotiation id (diagnostics)
+			{Name: "committed", Type: store.Int},
+			{Name: "at", Type: store.Time}, // decision time (GC horizon)
+		},
+		Key: []string{"token"},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return links, waiting, methods, pending, journal, decided, nil
 }
 
 // linkToRow encodes a Link as a store row.
