@@ -1,0 +1,158 @@
+// Command benchgate compares a fresh sydbench -bench-json run against
+// the committed baseline (BENCH_rpc.json) and gates CI on it:
+//
+//	sydbench -bench-json fresh.json
+//	benchgate -baseline BENCH_rpc.json -current fresh.json
+//
+// Per benchmark it compares ns/op and allocs/op. A drift beyond the
+// soft threshold (default ±30%) is reported as a warning — CI runners
+// are noisy, so soft drifts never fail the build. Only a hard
+// regression (default >2x the baseline) exits non-zero. Benchmarks
+// present on one side only are reported but never fatal, so adding a
+// benchmark does not require touching the gate.
+//
+// To refresh the baseline after an intentional change, run
+// `go run ./cmd/sydbench -bench-json BENCH_rpc.json` on a quiet
+// machine and commit the result (see DESIGN.md §4).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// trajectory mirrors the document sydbench -bench-json writes.
+type trajectory struct {
+	Date       string         `json:"date"`
+	Benchmarks []bench.Result `json:"benchmarks"`
+}
+
+func load(path string) (*trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(t.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &t, nil
+}
+
+// verdict classifies one metric's drift from baseline.
+type verdict int
+
+const (
+	ok verdict = iota
+	soft
+	hard
+)
+
+func classify(base, cur, softFrac, hardRatio float64) verdict {
+	if base <= 0 {
+		return ok
+	}
+	ratio := cur / base
+	switch {
+	case ratio > hardRatio:
+		return hard
+	case ratio > 1+softFrac || ratio < 1-softFrac:
+		return soft
+	default:
+		return ok
+	}
+}
+
+// line is one comparison row for the report.
+type line struct {
+	name, metric string
+	base, cur    float64
+	v            verdict
+}
+
+func (l line) String() string {
+	tag := map[verdict]string{ok: "ok  ", soft: "WARN", hard: "FAIL"}[l.v]
+	return fmt.Sprintf("%s  %-24s %-10s %12.1f -> %12.1f  (%+.1f%%)",
+		tag, l.name, l.metric, l.base, l.cur, 100*(l.cur-l.base)/l.base)
+}
+
+// compare produces one row per (benchmark, metric) pair present in both
+// runs, plus the names missing from either side.
+func compare(baseline, current *trajectory, softFrac, hardRatio float64) (rows []line, onlyBase, onlyCur []string) {
+	baseBy := make(map[string]bench.Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		baseBy[r.Name] = r
+	}
+	seen := make(map[string]bool, len(current.Benchmarks))
+	for _, cur := range current.Benchmarks {
+		seen[cur.Name] = true
+		base, found := baseBy[cur.Name]
+		if !found {
+			onlyCur = append(onlyCur, cur.Name)
+			continue
+		}
+		rows = append(rows,
+			line{cur.Name, "ns/op", base.NsPerOp, cur.NsPerOp,
+				classify(base.NsPerOp, cur.NsPerOp, softFrac, hardRatio)},
+			line{cur.Name, "allocs/op", float64(base.AllocsPerOp), float64(cur.AllocsPerOp),
+				classify(float64(base.AllocsPerOp), float64(cur.AllocsPerOp), softFrac, hardRatio)})
+	}
+	for _, r := range baseline.Benchmarks {
+		if !seen[r.Name] {
+			onlyBase = append(onlyBase, r.Name)
+		}
+	}
+	return rows, onlyBase, onlyCur
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_rpc.json", "committed baseline trajectory file")
+	currentPath := flag.String("current", "", "fresh sydbench -bench-json output to gate")
+	softPct := flag.Float64("soft", 30, "warn when a metric drifts more than this percent either way")
+	hardRatio := flag.Float64("hard", 2.0, "fail when a metric exceeds baseline by more than this ratio")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	rows, onlyBase, onlyCur := compare(baseline, current, *softPct/100, *hardRatio)
+	fails := 0
+	for _, l := range rows {
+		fmt.Println(l)
+		if l.v == hard {
+			fails++
+		}
+	}
+	for _, name := range onlyBase {
+		fmt.Printf("note  %-24s only in baseline (removed?)\n", name)
+	}
+	for _, name := range onlyCur {
+		fmt.Printf("note  %-24s only in current run (new benchmark; refresh the baseline)\n", name)
+	}
+	fmt.Printf("baseline %s (%s) vs current (%s): %d comparisons, %d hard regressions\n",
+		*baselinePath, baseline.Date, current.Date, len(rows), fails)
+	if fails > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed past %.1fx — if intentional, refresh %s\n",
+			fails, *hardRatio, *baselinePath)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func traj(rs ...bench.Result) *trajectory {
+	return &trajectory{Date: "test", Benchmarks: rs}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		base, cur float64
+		want      verdict
+	}{
+		{1000, 1000, ok},
+		{1000, 1290, ok},   // +29% inside soft band
+		{1000, 1310, soft}, // +31% soft
+		{1000, 650, soft},  // -35% improvement still reported
+		{1000, 2001, hard}, // >2x
+		{0, 50, ok},        // zero baseline never gates
+		{31, 33, ok},       // allocs jitter
+		{31, 63, hard},     // allocs doubled
+	}
+	for _, c := range cases {
+		if got := classify(c.base, c.cur, 0.30, 2.0); got != c.want {
+			t.Errorf("classify(%v -> %v) = %v, want %v", c.base, c.cur, got, c.want)
+		}
+	}
+}
+
+func TestCompareCoversBothMetricsAndMissingNames(t *testing.T) {
+	baseline := traj(
+		bench.Result{Name: "A", NsPerOp: 1000, AllocsPerOp: 10},
+		bench.Result{Name: "Gone", NsPerOp: 5, AllocsPerOp: 1},
+	)
+	current := traj(
+		bench.Result{Name: "A", NsPerOp: 2500, AllocsPerOp: 10},
+		bench.Result{Name: "New", NsPerOp: 7, AllocsPerOp: 2},
+	)
+	rows, onlyBase, onlyCur := compare(baseline, current, 0.30, 2.0)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (ns/op + allocs/op for A)", len(rows))
+	}
+	if rows[0].metric != "ns/op" || rows[0].v != hard {
+		t.Errorf("ns/op row = %+v, want hard regression", rows[0])
+	}
+	if rows[1].metric != "allocs/op" || rows[1].v != ok {
+		t.Errorf("allocs/op row = %+v, want ok", rows[1])
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "Gone" {
+		t.Errorf("onlyBase = %v, want [Gone]", onlyBase)
+	}
+	if len(onlyCur) != 1 || onlyCur[0] != "New" {
+		t.Errorf("onlyCur = %v, want [New]", onlyCur)
+	}
+}

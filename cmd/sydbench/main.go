@@ -6,6 +6,7 @@
 //	sydbench -run E               # run every experiment whose id has the prefix
 //	sydbench -list                # list experiment ids and titles
 //	sydbench -metrics             # also print the per-method RPC metrics snapshot
+//	sydbench -trace 5             # trace the runs, print the 5 slowest flame trees
 //	sydbench -bench-json out.json # run the benchmark trajectory suite instead,
 //	                              # writing ns/op, allocs/op, B/op per benchmark
 //	sydbench -bench-json out.json -bench Micro  # filter by name prefix
@@ -27,6 +28,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // trajectoryFile is the JSON document -bench-json writes.
@@ -76,10 +78,17 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "print the per-service/method metrics snapshot after the runs")
 	benchJSON := flag.String("bench-json", "", "run the benchmark trajectory suite and write JSON results to this file")
 	benchFilter := flag.String("bench", "", "with -bench-json: benchmark name prefix filter")
+	traceN := flag.Int("trace", 0, "trace the experiments and print the N slowest stitched traces as flame trees")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		os.Exit(runBenchJSON(*benchJSON, *benchFilter))
+	}
+
+	if *traceN > 0 {
+		// Head-sample everything: the harness wants complete trees, and
+		// experiment volume is small enough for the per-node rings.
+		trace.EnableDefault(1.0, 0)
 	}
 
 	reg, ids := experiments.All()
@@ -109,6 +118,10 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches -run %q (use -list)\n", *runFilter)
 		os.Exit(2)
+	}
+	if *traceN > 0 {
+		fmt.Printf("== %d slowest traces ==\n", *traceN)
+		fmt.Print(trace.Default().RenderSlowest(*traceN))
 	}
 	if *showMetrics {
 		fmt.Println("== RPC metrics (per service/method/code) ==")

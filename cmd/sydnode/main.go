@@ -11,6 +11,8 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -21,9 +23,39 @@ import (
 	"repro/internal/links"
 	"repro/internal/metrics"
 	"repro/internal/notify"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wal"
 )
+
+// serveDebug exposes the stock net/http/pprof handlers plus a
+// plaintext dump of the node's retained traces (stitched flame trees,
+// slowest first) and a JSONL export for offline analysis.
+func serveDebug(addr string, tracer *trace.Tracer) {
+	mux := http.DefaultServeMux // pprof registered itself here
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if tracer == nil {
+			http.Error(w, "tracing is off (start with -trace-sample or -trace-slow)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, t := range trace.Stitch(tracer.Snapshot()) {
+			w.Write([]byte(t.Render()))
+		}
+	})
+	mux.HandleFunc("/traces.jsonl", func(w http.ResponseWriter, r *http.Request) {
+		if tracer == nil {
+			http.Error(w, "tracing is off (start with -trace-sample or -trace-slow)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = trace.WriteJSONL(w, tracer.Snapshot())
+	})
+	log.Printf("sydnode: debug server (pprof, /traces) on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("sydnode: debug server: %v", err)
+	}
+}
 
 func main() {
 	user := flag.String("user", "", "SyD user id (required)")
@@ -41,6 +73,9 @@ func main() {
 	commitRetry := flag.Duration("commit-retry", 0, "base backoff between commit-retry sweeper rounds for in-doubt negotiations (0 = links default)")
 	commitRetryMax := flag.Int("commit-retry-max", 0, "commit-retry rounds before a journaled negotiation is expired as a permanent failure (0 = links default)")
 	presumeAbort := flag.Duration("presume-abort-after", 0, "how long an in-doubt participant pins a mark while its coordinator is unreachable before presuming abort (0 = links default)")
+	traceSample := flag.Float64("trace-sample", 0, "head-sample this fraction of traces (0..1; slow and in-doubt traces are always kept when tracing is on)")
+	traceSlow := flag.Duration("trace-slow", 0, "retain any trace containing a span at least this slow; enables tracing when set (0 disables slow retention)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and a plaintext /traces dump on this address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.Parse()
 	if *user == "" {
 		log.Fatal("sydnode: -user is required")
@@ -59,6 +94,12 @@ func main() {
 	}
 	if *dataDir != "" {
 		opts = append(opts, core.WithDurability(*dataDir, sync, *checkpointEvery))
+	}
+	var tracer *trace.Tracer
+	if *traceSample > 0 || *traceSlow > 0 {
+		tracer = trace.New(*user,
+			trace.WithSampleRate(*traceSample), trace.WithSlowThreshold(*traceSlow))
+		opts = append(opts, core.WithTracer(tracer))
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	node, err := core.Start(ctx, core.Config{
@@ -97,6 +138,9 @@ func main() {
 				log.Printf("sydnode: restored device state from %s", *statePath)
 			}
 		}
+	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, tracer)
 	}
 	log.Printf("sydnode: %s serving on %s (directory %s)", *user, node.Addr(), *dirAddr)
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/listener"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wal"
 )
@@ -58,6 +59,12 @@ type Config struct {
 	// Metrics, when set, records per-method client and server metrics
 	// through the interceptor/middleware chains.
 	Metrics *metrics.Registry
+	// Tracer, when set, records distributed trace spans through the
+	// interceptor/middleware chains, the links negotiation machinery,
+	// and the WAL flusher. When nil and process-wide tracing is on
+	// (trace.EnableDefault), a per-node tracer is created and attached
+	// to trace.Default() automatically.
+	Tracer *trace.Tracer
 	// Interceptors are appended to the engine's client chain,
 	// outermost first.
 	Interceptors []engine.Interceptor
@@ -96,6 +103,11 @@ type Option func(*Config)
 // WithMetrics records client and server metrics into reg.
 func WithMetrics(reg *metrics.Registry) Option {
 	return func(c *Config) { c.Metrics = reg }
+}
+
+// WithTracer records trace spans into t across the node's layers.
+func WithTracer(t *trace.Tracer) Option {
+	return func(c *Config) { c.Tracer = t }
 }
 
 // WithRouteCache enables the engine's directory route cache with ttl.
@@ -143,6 +155,8 @@ type Node struct {
 	// Durable is the database's durability layer when Config.DataDir
 	// was set (nil otherwise). Node.Close checkpoints and closes it.
 	Durable *wal.Durable
+	// Tracer is the node's span recorder (nil when tracing is off).
+	Tracer *trace.Tracer
 
 	cfg Config
 	ln  transport.Listener
@@ -166,6 +180,13 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 	if clk == nil {
 		clk = clock.System
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		if rate, slow, on := trace.DefaultSampling(); on {
+			tracer = trace.Default().Tracer(cfg.User,
+				trace.WithSampleRate(rate), trace.WithSlowThreshold(slow))
+		}
+	}
 
 	// The device database: durable (recovered from DataDir) or plain
 	// in-memory. Recovery runs before the kernel modules attach, so
@@ -179,6 +200,7 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 			Sync:       cfg.WALSync,
 			FlushEvery: cfg.WALFlushEvery,
 			Metrics:    cfg.Metrics,
+			Tracer:     tracer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: open data dir: %w", err)
@@ -199,7 +221,11 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		mw = append(mw, listener.MetricsMiddleware(cfg.Metrics))
 	}
 	mw = append(mw, cfg.Middleware...)
-	lis := listener.New(cfg.User, cfg.Auth, listener.WithMiddleware(mw...))
+	lisOpts := []listener.ListenerOption{listener.WithMiddleware(mw...)}
+	if tracer != nil {
+		lisOpts = append(lisOpts, listener.WithTracer(tracer))
+	}
+	lis := listener.New(cfg.User, cfg.Auth, lisOpts...)
 	addr := cfg.ListenAddr
 	if addr == "" {
 		addr = "node-" + cfg.User
@@ -233,6 +259,9 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 	if cfg.RouteCacheTTL > 0 {
 		engOpts = append(engOpts, engine.WithDirCache(engine.NewDirCache(cfg.RouteCacheTTL)))
 	}
+	if tracer != nil {
+		engOpts = append(engOpts, engine.WithTracer(tracer))
+	}
 	eng := engine.New(cfg.Net, dir, cfg.User, engOpts...)
 	events := event.New(cfg.User, cfg.Net, clk)
 	lis.SetEventSink(events.Dispatch)
@@ -245,6 +274,12 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 	}
 	if cfg.Metrics != nil {
 		lm.SetMetrics(cfg.Metrics)
+	}
+	if tracer != nil {
+		lm.SetTracer(tracer)
+		if durable != nil {
+			lm.SetLSNSource(durable.LastLSN)
+		}
 	}
 	if cfg.LockTTL > 0 {
 		lm.Locks.SetTTL(cfg.LockTTL)
@@ -263,6 +298,7 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		Dir:      dir,
 		Clock:    clk,
 		Durable:  durable,
+		Tracer:   tracer,
 		cfg:      cfg,
 		ln:       ln,
 	}
@@ -284,7 +320,7 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		return nil, err
 	}
 	if cfg.PublishIntrospection {
-		if err := n.RegisterService(ctx, IntrospectionService(cfg.User), listener.Introspection(lis, cfg.Metrics)); err != nil {
+		if err := n.RegisterService(ctx, IntrospectionService(cfg.User), listener.Introspection(lis, cfg.Metrics, tracer)); err != nil {
 			ln.Close()
 			closeDurable()
 			return nil, err

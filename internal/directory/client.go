@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -144,12 +145,19 @@ func (c *Client) lookup(ctx context.Context, method, name string, full bool) (Se
 		// route-only entry satisfies only route-only requests.
 		if e, ok := c.cache[name]; ok && (e.full || !full) && c.nowFn().Before(e.expires) {
 			c.mu.Unlock()
+			trace.EventCtx(ctx, "dir.cache", trace.String("service", name), trace.Bool("hit", true))
 			return e.info, nil
 		}
 		c.mu.Unlock()
 	}
+	ctx, span := trace.Start(ctx, "dir.lookup")
+	if span != nil {
+		span.Annotate(trace.String("service", name), trace.Bool("hit", false))
+	}
 	var info ServiceInfo
-	if err := c.call(ctx, method, wire.Args{"name": name}, &info); err != nil {
+	err := c.call(ctx, method, wire.Args{"name": name}, &info)
+	span.FinishErr(err)
+	if err != nil {
 		return ServiceInfo{}, err
 	}
 	if c.cacheTTL > 0 {

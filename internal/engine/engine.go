@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/auth"
 	"repro/internal/directory"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -42,6 +43,7 @@ type Engine struct {
 	idPrefix   string // self + "-", precomputed for request-id minting
 	groupLimit int
 	dirCache   *DirCache
+	tracer     *trace.Tracer
 	reqSeq     atomic.Uint64
 
 	mu         sync.RWMutex
@@ -65,6 +67,14 @@ func WithInterceptors(ics ...Interceptor) Option {
 // WithDirCache installs cache as the engine's directory route cache.
 func WithDirCache(cache *DirCache) Option {
 	return func(e *Engine) { e.dirCache = cache }
+}
+
+// WithTracer installs the node's tracer: a stock TraceInterceptor
+// stage joins the chain and GroupInvoke opens a fan-out root span.
+// Without a tracer the chain carries no tracing stage at all — the
+// hot path stays allocation-identical to the untraced build.
+func WithTracer(t *trace.Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
 }
 
 // WithGroupLimit bounds GroupInvoke's fan-out concurrency (n <= 0
@@ -103,8 +113,11 @@ func (e *Engine) Use(ics ...Interceptor) {
 func (e *Engine) rebuild() {
 	e.chainMu.Lock()
 	defer e.chainMu.Unlock()
-	chain := make([]Interceptor, 0, len(e.extra)+3)
+	chain := make([]Interceptor, 0, len(e.extra)+4)
 	chain = append(chain, e.extra...)
+	if e.tracer != nil {
+		chain = append(chain, TraceInterceptor(e.tracer))
+	}
 	chain = append(chain, CredentialInterceptor(e))
 	if e.dirCache != nil {
 		chain = append(chain, e.dirCache.Interceptor())
@@ -311,11 +324,23 @@ func (e *Engine) groupRun(services []string, invokeOne func(svc string) GroupRes
 // Fan-out is bounded by the engine's group limit (WithGroupLimit,
 // default DefaultGroupLimit) so huge groups cannot exhaust the node.
 func (e *Engine) GroupInvoke(ctx context.Context, services []string, method string, args wire.Args) []GroupResult {
-	return e.groupRun(services, func(svc string) GroupResult {
+	// The fan-out root span: each member Invoke below opens its own
+	// rpc.client child through the chain, so a stitched trace shows one
+	// rpc.group node with one child per target.
+	ctx, span := e.tracer.StartSpan(ctx, "rpc.group")
+	if span != nil {
+		span.Annotate(trace.String("method", method), trace.Int("targets", len(services)))
+	}
+	results := e.groupRun(services, func(svc string) GroupResult {
 		var raw json.RawMessage
 		err := e.Invoke(ctx, svc, method, args, &raw)
 		return GroupResult{Service: svc, Err: err, Raw: raw}
 	})
+	if span != nil {
+		span.Annotate(trace.Int("ok", OKCount(results)))
+		span.FinishErr(FirstError(results))
+	}
+	return results
 }
 
 // validGroupPattern requires exactly one "%s" verb and nothing else

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/directory"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -104,6 +105,34 @@ func MetricsInterceptor(reg *metrics.Registry) Interceptor {
 			start := time.Now()
 			err := next(ctx, call, out)
 			reg.Observe(metrics.LayerClient, call.Service, call.Method, wire.CodeOf(err), time.Since(start))
+			return err
+		}
+	}
+}
+
+// TraceInterceptor opens one client span per logical invocation and
+// injects its ids into the call metadata so the far side can continue
+// the trace. It sits above the resolver, so a single span covers
+// resolution, failover, and every transport attempt; the destination
+// and failover verdict are annotated after the fact, once the resolver
+// has chosen them.
+func TraceInterceptor(t *trace.Tracer) Interceptor {
+	return func(next Invoker) Invoker {
+		return func(ctx context.Context, call *Call, out any) error {
+			ctx, s := t.StartSpan(ctx, "rpc.client")
+			if s == nil {
+				return next(ctx, call, out)
+			}
+			s.Annotate(trace.String("service", call.Service), trace.String("method", call.Method))
+			s.Inject(call.Meta)
+			err := next(ctx, call, out)
+			if call.Dest != "" {
+				s.Annotate(trace.String("dest", call.Dest))
+			}
+			if call.FailedOver {
+				s.Annotate(trace.Bool("failover", true))
+			}
+			s.FinishErr(err)
 			return err
 		}
 	}

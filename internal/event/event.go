@@ -23,6 +23,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/engine"
 	"repro/internal/listener"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -114,6 +115,7 @@ func (h *Handler) RemoteSubscribers(name string) []string {
 // subscribers via one-way sends (best effort; a down subscriber does
 // not fail the raise).
 func (h *Handler) Raise(ctx context.Context, name string, args wire.Args) {
+	ctx, span := trace.Start(ctx, "event.raise")
 	ev := &wire.Event{Name: name, Source: h.self, Args: args}
 	h.Dispatch(ev)
 
@@ -123,6 +125,10 @@ func (h *Handler) Raise(ctx context.Context, name string, args wire.Args) {
 		targets[u] = addr
 	}
 	h.mu.RUnlock()
+	if span != nil {
+		span.Annotate(trace.String("event", name), trace.Int("subscribers", len(targets)))
+		defer span.Finish()
+	}
 	for _, addr := range targets {
 		_ = h.net.Send(ctx, addr, ev)
 	}

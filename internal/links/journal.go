@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -131,6 +132,11 @@ type journalRec struct {
 	Attempts  int
 	NextRetry time.Time
 	Created   time.Time
+	// TraceID/SpanID tie the row to the originating negotiation's
+	// trace: recovery sweeps — possibly after a restart — rejoin the
+	// trace so redrive attempts render under the original root.
+	TraceID string
+	SpanID  string
 }
 
 func mustJSON(v any) string {
@@ -162,6 +168,8 @@ func (r *journalRec) row() store.Row {
 		"attempts":   int64(r.Attempts),
 		"next_retry": r.NextRetry,
 		"created":    r.Created,
+		"trace_id":   r.TraceID,
+		"span_id":    r.SpanID,
 	}
 }
 
@@ -173,6 +181,13 @@ func journalFromRow(row store.Row) (*journalRec, error) {
 		Attempts:  int(row["attempts"].(int64)),
 		NextRetry: row["next_retry"].(time.Time),
 		Created:   row["created"].(time.Time),
+	}
+	// Rows journaled before tracing existed lack these columns.
+	if s, ok := row["trace_id"].(string); ok {
+		r.TraceID = s
+	}
+	if s, ok := row["span_id"].(string); ok {
+		r.SpanID = s
 	}
 	if err := json.Unmarshal([]byte(row["args"].(string)), &r.Args); err != nil {
 		return nil, fmt.Errorf("links: journal %s args: %w", r.ID, err)
@@ -363,7 +378,16 @@ func (m *Manager) RetryCommits(ctx context.Context, now time.Time) int {
 		wg.Add(1)
 		go func(rec *journalRec) {
 			defer wg.Done()
-			if m.redriveJournal(ctx, rec) {
+			// Rejoin the originating negotiation's trace so the redrive
+			// renders under the same root, even across a restart.
+			rctx := ctx
+			if span := m.tracerRef().JoinTrace(rec.TraceID, rec.SpanID, "links.Redrive"); span != nil {
+				span.Annotate(trace.String("nid", rec.ID), trace.Int("attempt", rec.Attempts),
+					trace.Int("pending", len(rec.Pending)))
+				rctx = trace.ContextWithSpan(ctx, span)
+				defer span.Finish()
+			}
+			if m.redriveJournal(rctx, rec) {
 				resolved.Add(1)
 				return
 			}

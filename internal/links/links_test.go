@@ -67,7 +67,7 @@ func newHarness(t *testing.T, users ...string) *harness {
 	return h
 }
 
-func (h *harness) addNode(user string) *tnode {
+func (h *harness) addNode(user string, opts ...core.Option) *tnode {
 	h.t.Helper()
 	ctx := context.Background()
 	n, err := core.Start(ctx, core.Config{
@@ -75,7 +75,7 @@ func (h *harness) addNode(user string) *tnode {
 		Net:     h.net,
 		DirAddr: "dir",
 		Clock:   h.clk,
-	})
+	}, opts...)
 	if err != nil {
 		h.t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -58,6 +59,8 @@ type Manager struct {
 	actions map[string]Action
 	hook    EventHook
 	met     *metrics.Registry
+	tracer  *trace.Tracer
+	lsnSrc  func() uint64 // WAL position source for journal trace events
 	tuning  Tuning
 
 	// Participant-side fault-tolerance state (see participant.go).
@@ -130,6 +133,41 @@ func (m *Manager) registry() *metrics.Registry {
 // these series are used as counters).
 func (m *Manager) count(method string, code wire.ErrCode) {
 	m.registry().Observe(metrics.LayerLinks, "negotiate", method, code, 0)
+}
+
+// SetTracer wires the node tracer in (nil disables). Negotiations open
+// a links.Negotiate root with Mark/Commit/Abort children; the journal
+// sweeps rejoin the originating trace through the ids persisted with
+// each row, so redrives and in-doubt resolutions land in the same tree.
+func (m *Manager) SetTracer(t *trace.Tracer) {
+	m.mu.Lock()
+	m.tracer = t
+	m.mu.Unlock()
+}
+
+func (m *Manager) tracerRef() *trace.Tracer {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.tracer
+}
+
+// SetLSNSource wires a WAL-position source (core passes the durable
+// store's LastLSN) so journal.begin trace events carry the log position
+// the decision landed at. Nil disables the annotation.
+func (m *Manager) SetLSNSource(f func() uint64) {
+	m.mu.Lock()
+	m.lsnSrc = f
+	m.mu.Unlock()
+}
+
+func (m *Manager) lastLSN() (uint64, bool) {
+	m.mu.RLock()
+	f := m.lsnSrc
+	m.mu.RUnlock()
+	if f == nil {
+		return 0, false
+	}
+	return f(), true
 }
 
 // SetCommitFault installs (or, with nil, removes) a phase-2 fault
@@ -730,9 +768,13 @@ func (m *Manager) fireTriggers(ctx context.Context, l *Link, event string, args 
 	for _, t := range l.TriggersFor(event) {
 		merged := t.MergedArgs(args)
 		res := TriggerResult{LinkID: l.ID, Trigger: t}
+		tctx, span := trace.Start(ctx, "links.Trigger")
+		if span != nil {
+			span.Annotate(trace.String("link", l.ID), trace.String("event", event), trace.String("type", string(l.Type)))
+		}
 		switch {
 		case t.Action != "" && l.Type == Negotiation:
-			r, err := m.Negotiate(ctx, Spec{
+			r, err := m.Negotiate(tctx, Spec{
 				Action:     t.Action,
 				Args:       merged,
 				Targets:    l.Targets,
@@ -744,7 +786,7 @@ func (m *Manager) fireTriggers(ctx context.Context, l *Link, event string, args 
 		case t.Action != "" && l.Type == Subscription:
 			// Best-effort information flow to every subscriber.
 			for _, tgt := range l.Targets {
-				err := m.applyRemote(ctx, tgt, t.Action, merged)
+				err := m.applyRemote(tctx, tgt, t.Action, merged)
 				if err != nil && res.Err == nil {
 					res.Err = err
 				}
@@ -762,7 +804,7 @@ func (m *Manager) fireTriggers(ctx context.Context, l *Link, event string, args 
 				callArgs["link"] = l.ID
 				callArgs["source"] = m.self
 				callArgs["targetEntity"] = tgt.Entity
-				err := m.eng.Invoke(ctx, svc, t.Method, callArgs, nil)
+				err := m.eng.Invoke(tctx, svc, t.Method, callArgs, nil)
 				if err != nil && res.Err == nil {
 					res.Err = err
 				}
@@ -770,6 +812,7 @@ func (m *Manager) fireTriggers(ctx context.Context, l *Link, event string, args 
 		default:
 			res.Err = fmt.Errorf("links: trigger on %s has neither action nor method", l.ID)
 		}
+		span.FinishErr(res.Err)
 		out = append(out, res)
 	}
 	return out

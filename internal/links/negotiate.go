@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -135,6 +136,21 @@ type markResult struct {
 // and every locked target are changed and unlocked; on failure every
 // acquired lock is released and nothing changes anywhere.
 func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
+	ctx, span := m.tracerRef().StartSpan(ctx, "links.Negotiate")
+	res, err := m.negotiate(ctx, span, spec)
+	if span != nil {
+		span.Annotate(
+			trace.String("nid", res.NID),
+			trace.String("state", string(res.State)),
+			trace.String("constraint", string(spec.Constraint)),
+			trace.Int("targets", len(spec.Targets)),
+		)
+		span.FinishErr(err)
+	}
+	return res, err
+}
+
+func (m *Manager) negotiate(ctx context.Context, span *trace.Span, spec Spec) (*Result, error) {
 	res := &Result{NID: NewNegotiationID(), State: StateAborted}
 	// Register the negotiation as in flight before the first Mark goes
 	// out: a participant fault sweep that asks about it while no
@@ -226,6 +242,11 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 			Local: spec.Local, Created: m.clk.Now(),
 			NextRetry: m.clk.Now().Add(backoffAfter(m.tune(), 1)),
 		}
+		if span != nil {
+			// The row carries the trace identity so recovery sweeps —
+			// possibly after a restart — rejoin this negotiation's trace.
+			rec.TraceID, rec.SpanID = span.TraceID, span.SpanID
+		}
 		for _, mr := range marks {
 			if mr.err == nil {
 				rec.Pending = append(rec.Pending, journalTarget{Ref: mr.ref, Token: mr.token})
@@ -243,6 +264,13 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 			return res, fmt.Errorf("links: journal negotiation intent: %w", err)
 		}
 		res.Trace = append(res.Trace, Step{Phase: "journal", Detail: res.NID, OK: true})
+		if span != nil {
+			attrs := []trace.Attr{trace.Int("targets", len(rec.Pending))}
+			if lsn, ok := m.lastLSN(); ok {
+				attrs = append(attrs, trace.Int64("lsn", int64(lsn)))
+			}
+			span.AddEvent("journal.begin", attrs...)
+		}
 	}
 
 	// Change A; change the locked entities; unlock.
@@ -301,11 +329,13 @@ func (m *Manager) Negotiate(ctx context.Context, spec Spec) (*Result, error) {
 		rec.Pending = stillPending
 		if len(stillPending) == 0 {
 			m.journalRetire(rec.ID)
+			span.AddEvent("journal.retire")
 		} else {
 			tun := m.tune()
 			rec.Attempts = 1
 			rec.NextRetry = m.clk.Now().Add(backoffAfter(tun, 1))
 			m.journalUpdate(rec)
+			span.AddEvent("journal.pending", trace.Int("targets", len(stillPending)))
 		}
 	}
 
@@ -419,6 +449,16 @@ func (m *Manager) applyLocal(entity, action string, args wire.Args) error {
 // id rides along so the participant can resolve the outcome itself if
 // neither Commit nor Abort ever reaches it.
 func (m *Manager) markTarget(ctx context.Context, nid string, ref EntityRef, action string, args wire.Args) (string, error) {
+	ctx, span := trace.Start(ctx, "links.Mark")
+	if span != nil {
+		span.Annotate(trace.String("target", ref.String()))
+	}
+	tok, err := m.markTargetInner(ctx, nid, ref, action, args)
+	span.FinishErr(err)
+	return tok, err
+}
+
+func (m *Manager) markTargetInner(ctx context.Context, nid string, ref EntityRef, action string, args wire.Args) (string, error) {
 	if err := m.markFaultFor(nid, ref); err != nil {
 		return "", err
 	}
@@ -443,6 +483,19 @@ func (m *Manager) markTarget(ctx context.Context, nid string, ref EntityRef, act
 // first in-line attempt uses a plain Invoke — a failure there is
 // journaled, not blocking.
 func (m *Manager) commitTarget(ctx context.Context, nid string, ref EntityRef, token, action string, args wire.Args, qos bool) error {
+	ctx, span := trace.Start(ctx, "links.Commit")
+	if span != nil {
+		span.Annotate(trace.String("target", ref.String()))
+		if qos {
+			span.Annotate(trace.Bool("redrive", true))
+		}
+	}
+	err := m.commitTargetInner(ctx, nid, ref, token, action, args, qos)
+	span.FinishErr(err)
+	return err
+}
+
+func (m *Manager) commitTargetInner(ctx context.Context, nid string, ref EntityRef, token, action string, args wire.Args, qos bool) error {
 	if err := m.commitFaultFor(nid, ref); err != nil {
 		return err
 	}
@@ -452,7 +505,7 @@ func (m *Manager) commitTarget(ctx context.Context, nid string, ref EntityRef, t
 		// restart wiped the in-memory lock table — the late-commit
 		// path that re-locks and re-runs Check instead of applying
 		// blindly over whatever booked the entity since.
-		return m.commitLocalToken(ref.Entity, token, nid, action, args, m.self)
+		return m.commitLocalToken(ctx, ref.Entity, token, nid, action, args, m.self)
 	}
 	callArgs := wire.Args{
 		"entity": ref.Entity, "token": token, "action": action, "args": map[string]any(args), "nid": nid,
@@ -465,6 +518,11 @@ func (m *Manager) commitTarget(ctx context.Context, nid string, ref EntityRef, t
 
 // abortTarget releases a marked target without changing it.
 func (m *Manager) abortTarget(ctx context.Context, nid string, ref EntityRef, token string) {
+	ctx, span := trace.Start(ctx, "links.Abort")
+	if span != nil {
+		span.Annotate(trace.String("target", ref.String()))
+		defer span.Finish()
+	}
 	if ref.User == m.self {
 		m.Locks.Unlock(lockKey(ref.Entity), token)
 		return
@@ -477,6 +535,16 @@ func (m *Manager) abortTarget(ctx context.Context, nid string, ref EntityRef, to
 // CheckAvailable runs the action's Check (no lock, no change) against
 // a possibly-remote entity — the availability probe of §4.2 op 2.
 func (m *Manager) CheckAvailable(ctx context.Context, ref EntityRef, action string, args wire.Args) error {
+	ctx, span := trace.Start(ctx, "links.Check")
+	if span != nil {
+		span.Annotate(trace.String("target", ref.String()), trace.String("action", action))
+	}
+	err := m.checkAvailableInner(ctx, ref, action, args)
+	span.FinishErr(err)
+	return err
+}
+
+func (m *Manager) checkAvailableInner(ctx context.Context, ref EntityRef, action string, args wire.Args) error {
 	if ref.User == m.self {
 		a, err := m.action(action)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -47,6 +48,10 @@ type pendingMark struct {
 	NID         string
 	Coordinator string
 	Created     time.Time
+	// TraceID/SpanID come from the Mark RPC's server span so the
+	// resolution sweep's spans stitch into the negotiation's trace.
+	TraceID string
+	SpanID  string
 }
 
 // decision is a recently decided token outcome.
@@ -149,6 +154,11 @@ func (m *Manager) gcDecided(now time.Time, ttl time.Duration) {
 
 // queryOutcome asks a negotiation's coordinator whether it committed.
 func (m *Manager) queryOutcome(ctx context.Context, coordinator, nid, token string) (string, error) {
+	ctx, span := trace.Start(ctx, "links.QueryOutcome")
+	if span != nil {
+		span.Annotate(trace.String("coordinator", coordinator), trace.String("nid", nid))
+		defer span.Finish()
+	}
 	if coordinator == m.self {
 		return m.Outcome(nid, token), nil
 	}
@@ -194,53 +204,78 @@ func (m *Manager) ResolvePendingMarks(ctx context.Context, now time.Time) int {
 			m.dropPendingMark(p.Token)
 			continue
 		}
-		if !m.Locks.Extend(lockKey(p.Entity), p.Token) {
-			// The lock is gone (stolen after a real expiry): the
-			// entity may already belong to another negotiation, so
-			// this mark can only resolve to abort.
-			m.noteDecided(p.Token, p.NID, false)
-			m.count("presume-abort", wire.CodeConflict)
+		if m.resolveMark(ctx, p, now, tun) {
 			resolved++
-			continue
 		}
-		outcome, err := m.queryOutcome(ctx, p.Coordinator, p.NID, p.Token)
-		if err != nil {
-			if now.Sub(p.Created) > tun.PresumeAbortAfter {
-				m.Locks.Unlock(lockKey(p.Entity), p.Token)
-				m.noteDecided(p.Token, p.NID, false)
-				m.count("presume-abort", wire.CodeUnavailable)
-				resolved++
-			}
-			continue // coordinator unreachable; keep the lock pinned
-		}
-		switch outcome {
-		case OutcomeCommit:
-			// Decision was COMMIT: apply under the still-held lock.
-			applyErr := m.applyLocal(p.Entity, p.Action, p.Args)
-			m.Locks.Unlock(lockKey(p.Entity), p.Token)
-			m.noteDecided(p.Token, p.NID, applyErr == nil)
-			m.count("resolve", wire.CodeOK)
-		case OutcomeUnknown:
-			// The negotiation is still in flight at a live coordinator
-			// (e.g. this sweep landed between the Mark grant and the
-			// coordinator's journal write): its fate is not decided yet,
-			// so keep the mark pinned and ask again next sweep. The
-			// PresumeAbortAfter horizon still applies as a backstop so a
-			// wedged coordinator cannot pin the entity forever — it
-			// comfortably exceeds any live negotiation's duration.
-			if now.Sub(p.Created) > tun.PresumeAbortAfter {
-				m.Locks.Unlock(lockKey(p.Entity), p.Token)
-				m.noteDecided(p.Token, p.NID, false)
-				m.count("presume-abort", wire.CodeConflict)
-				resolved++
-			}
-			continue
-		default:
-			m.Locks.Unlock(lockKey(p.Entity), p.Token)
-			m.noteDecided(p.Token, p.NID, false)
-			m.count("resolve", wire.CodeConflict)
-		}
-		resolved++
 	}
 	return resolved
+}
+
+// resolveMark drives one in-doubt mark through the resolution protocol,
+// reporting whether it reached a decision. A "links.Resolve" span joins
+// the negotiation's trace (always retained — resolution only runs when
+// an outcome went undelivered) so the post-mortem shows how the doubt
+// ended.
+func (m *Manager) resolveMark(ctx context.Context, p *pendingMark, now time.Time, tun Tuning) bool {
+	span := m.tracerRef().JoinTrace(p.TraceID, p.SpanID, "links.Resolve")
+	if span != nil {
+		span.Annotate(trace.String("nid", p.NID), trace.String("entity", p.Entity))
+		ctx = trace.ContextWithSpan(ctx, span)
+		defer span.Finish()
+	}
+	if !m.Locks.Extend(lockKey(p.Entity), p.Token) {
+		// The lock is gone (stolen after a real expiry): the
+		// entity may already belong to another negotiation, so
+		// this mark can only resolve to abort.
+		m.noteDecided(p.Token, p.NID, false)
+		m.count("presume-abort", wire.CodeConflict)
+		span.Annotate(trace.String("outcome", "presume-abort"))
+		return true
+	}
+	outcome, err := m.queryOutcome(ctx, p.Coordinator, p.NID, p.Token)
+	if err != nil {
+		if now.Sub(p.Created) > tun.PresumeAbortAfter {
+			m.Locks.Unlock(lockKey(p.Entity), p.Token)
+			m.noteDecided(p.Token, p.NID, false)
+			m.count("presume-abort", wire.CodeUnavailable)
+			span.Annotate(trace.String("outcome", "presume-abort"))
+			return true
+		}
+		// Coordinator unreachable; keep the lock pinned.
+		span.SetError(err)
+		span.Annotate(trace.String("outcome", "pinned"))
+		return false
+	}
+	switch outcome {
+	case OutcomeCommit:
+		// Decision was COMMIT: apply under the still-held lock.
+		applyErr := m.applyLocal(p.Entity, p.Action, p.Args)
+		m.Locks.Unlock(lockKey(p.Entity), p.Token)
+		m.noteDecided(p.Token, p.NID, applyErr == nil)
+		m.count("resolve", wire.CodeOK)
+		span.Annotate(trace.String("outcome", OutcomeCommit))
+	case OutcomeUnknown:
+		// The negotiation is still in flight at a live coordinator
+		// (e.g. this sweep landed between the Mark grant and the
+		// coordinator's journal write): its fate is not decided yet,
+		// so keep the mark pinned and ask again next sweep. The
+		// PresumeAbortAfter horizon still applies as a backstop so a
+		// wedged coordinator cannot pin the entity forever — it
+		// comfortably exceeds any live negotiation's duration.
+		if now.Sub(p.Created) > tun.PresumeAbortAfter {
+			m.Locks.Unlock(lockKey(p.Entity), p.Token)
+			m.noteDecided(p.Token, p.NID, false)
+			m.count("presume-abort", wire.CodeConflict)
+			span.Annotate(trace.String("outcome", "presume-abort"))
+			return true
+		}
+		span.Annotate(trace.String("outcome", "pinned"))
+		return false
+	default:
+		m.Locks.Unlock(lockKey(p.Entity), p.Token)
+		m.noteDecided(p.Token, p.NID, false)
+		m.count("resolve", wire.CodeConflict)
+		span.Annotate(trace.String("outcome", OutcomeAbort))
+	}
+	return true
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/listener"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -25,10 +26,11 @@ import (
 //     late commit: the entity is re-locked and the action's Check
 //     re-run, so a commit delayed past the TTL still lands when —
 //     and only when — the entity is still compatible with it.
-func (m *Manager) commitLocalToken(entity, token, nid, action string, args wire.Args, caller string) error {
+func (m *Manager) commitLocalToken(ctx context.Context, entity, token, nid, action string, args wire.Args, caller string) error {
 	if committed, known := m.decidedOutcome(token); known {
 		if committed {
 			m.count("commit-dup", wire.CodeOK)
+			trace.EventCtx(ctx, "links.decided", trace.String("kind", "duplicate-commit"))
 			return nil
 		}
 		return &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: negotiation already aborted on %s", entity)}
@@ -37,6 +39,7 @@ func (m *Manager) commitLocalToken(entity, token, nid, action string, args wire.
 		err := m.applyLocal(entity, action, args)
 		m.Locks.Unlock(lockKey(entity), token)
 		m.noteDecided(token, nid, err == nil)
+		trace.EventCtx(ctx, "links.decided", trace.String("kind", "commit"), trace.Bool("ok", err == nil))
 		return err
 	}
 	if holder, live := m.Locks.Holder(lockKey(entity)); live && holder != token {
@@ -44,6 +47,7 @@ func (m *Manager) commitLocalToken(entity, token, nid, action string, args wire.
 		// entity: the stale token must not clobber it.
 		m.noteDecided(token, nid, false)
 		m.count("commit-stale", wire.CodeConflict)
+		trace.EventCtx(ctx, "links.decided", trace.String("kind", "stale-token"))
 		return &wire.RemoteError{Code: wire.CodeConflict, Msg: fmt.Sprintf("links: stale token: lock on %s was re-granted", entity)}
 	}
 	// Late commit: no live lock. Re-acquire and re-check before
@@ -62,12 +66,14 @@ func (m *Manager) commitLocalToken(entity, token, nid, action string, args wire.
 			m.Locks.Unlock(lockKey(entity), tok)
 			m.noteDecided(token, nid, false)
 			m.count("commit-late", wire.CodeConflict)
+			trace.EventCtx(ctx, "links.decided", trace.String("kind", "late-commit-rejected"))
 			return err
 		}
 	}
 	err = m.applyLocal(entity, action, args)
 	m.Locks.Unlock(lockKey(entity), tok)
 	m.noteDecided(token, nid, err == nil)
+	trace.EventCtx(ctx, "links.decided", trace.String("kind", "late-commit"), trace.Bool("ok", err == nil))
 	if err != nil {
 		return err
 	}
@@ -105,10 +111,16 @@ func (m *Manager) Object() *listener.Object {
 			return nil, err
 		}
 		if nid := call.Args.String("nid"); nid != "" && call.Caller != "" {
-			m.notePendingMark(&pendingMark{
+			p := &pendingMark{
 				Token: tok, Entity: entity, Action: action, Args: args,
 				NID: nid, Coordinator: call.Caller, Created: m.clk.Now(),
-			})
+			}
+			// Remember the request's trace so a later resolution sweep
+			// stitches its spans under this Mark.
+			if span := trace.FromContext(ctx); span != nil {
+				p.TraceID, p.SpanID = span.TraceID, span.SpanID
+			}
+			m.notePendingMark(p)
 		}
 		return map[string]string{"token": tok}, nil
 	})
@@ -120,7 +132,7 @@ func (m *Manager) Object() *listener.Object {
 		token := call.Args.String("token")
 		nid := call.Args.String("nid")
 		action := call.Args.String("action")
-		if err := m.commitLocalToken(entity, token, nid, action, argsOf(call), call.Caller); err != nil {
+		if err := m.commitLocalToken(ctx, entity, token, nid, action, argsOf(call), call.Caller); err != nil {
 			return nil, err
 		}
 		return true, nil
@@ -134,6 +146,7 @@ func (m *Manager) Object() *listener.Object {
 		m.Locks.Unlock(lockKey(entity), token)
 		if token != "" {
 			m.noteDecided(token, call.Args.String("nid"), false)
+			trace.EventCtx(ctx, "links.decided", trace.String("kind", "abort"))
 		}
 		return true, nil
 	})

@@ -129,6 +129,8 @@ func createLinkDB(db *store.DB) (links, waiting, methods, pending, journal, deci
 			{Name: "attempts", Type: store.Int},     // sweeper retry rounds so far
 			{Name: "next_retry", Type: store.Time},  // earliest next sweeper attempt
 			{Name: "created", Type: store.Time},     // decision time
+			{Name: "trace_id", Type: store.String},  // originating trace ("" = untraced)
+			{Name: "span_id", Type: store.String},   // Negotiate root span id
 		},
 		Key: []string{"id"},
 	})

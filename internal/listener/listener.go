@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/auth"
 	"repro/internal/directory"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -87,8 +88,9 @@ func (o *Object) Methods() []string {
 
 // Listener is a node's service registry + transport handler.
 type Listener struct {
-	owner string
-	authn *auth.Authenticator // optional
+	owner  string
+	authn  *auth.Authenticator // optional
+	tracer *trace.Tracer       // optional
 
 	mu       sync.RWMutex
 	services map[string]*Object
@@ -104,6 +106,12 @@ type ListenerOption func(*Listener)
 // outermost first, ahead of the stock AuthMiddleware.
 func WithMiddleware(mw ...Middleware) ListenerOption {
 	return func(l *Listener) { l.chain = append(l.chain, mw...) }
+}
+
+// WithTracer installs the node's tracer: a stock TraceMiddleware
+// stage joins the dispatch chain, just outside AuthMiddleware.
+func WithTracer(t *trace.Tracer) ListenerOption {
+	return func(l *Listener) { l.tracer = t }
 }
 
 // New creates a Listener for the device owned by owner. authn may be
@@ -133,11 +141,14 @@ func (l *Listener) Use(mw ...Middleware) {
 
 // rebuild recomposes the dispatch chain:
 //
-//	user middleware → AuthMiddleware → method lookup + invoke
+//	user middleware → TraceMiddleware → AuthMiddleware → method lookup + invoke
 func (l *Listener) rebuild() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	m := AuthMiddleware(l.authn)(l.terminal)
+	if l.tracer != nil {
+		m = TraceMiddleware(l.tracer)(m)
+	}
 	m = ChainMiddleware(l.chain...)(m)
 	l.dispatch = m
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/auth"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -60,6 +61,27 @@ func AuthMiddleware(authn *auth.Authenticator) Middleware {
 	}
 }
 
+// TraceMiddleware opens one server span per dispatched invocation,
+// continuing the trace carried in the request metadata (trace-id /
+// span-id injected by the client's TraceInterceptor) or rooting a new
+// one when the caller was untraced. The span rides ctx, so handlers
+// that invoke onward — the links manager marking participants, a
+// trigger firing — hang their spans underneath it.
+func TraceMiddleware(t *trace.Tracer) Middleware {
+	return func(next Method) Method {
+		return func(ctx context.Context, call *Call) (any, error) {
+			ctx, s := t.StartRemote(ctx, "rpc.server", call.Meta)
+			if s == nil {
+				return next(ctx, call)
+			}
+			s.Annotate(trace.String("service", call.Service), trace.String("method", call.Method))
+			result, err := next(ctx, call)
+			s.FinishErr(err)
+			return result, err
+		}
+	}
+}
+
 // MetricsMiddleware records per-(service, method, error-code) counts
 // and latency for every dispatched invocation, including auth
 // rejections and unknown-method errors surfaced beneath it.
@@ -81,7 +103,8 @@ func MetricsMiddleware(reg *metrics.Registry) Middleware {
 //	Services  -> sorted service names registered on the listener
 //	Methods   -> {"service": name} -> sorted method names
 //	Metrics   -> metrics.Snapshot of reg (empty when reg is nil)
-func Introspection(l *Listener, reg *metrics.Registry) *Object {
+//	Traces    -> the node tracer's retained spans + drop counter
+func Introspection(l *Listener, reg *metrics.Registry, tr *trace.Tracer) *Object {
 	obj := NewObject()
 	obj.Handle("Services", func(ctx context.Context, call *Call) (any, error) {
 		return l.Services(), nil
@@ -101,6 +124,17 @@ func Introspection(l *Listener, reg *metrics.Registry) *Object {
 	})
 	obj.Handle("Metrics", func(ctx context.Context, call *Call) (any, error) {
 		return reg.Snapshot(), nil
+	})
+	obj.Handle("Traces", func(ctx context.Context, call *Call) (any, error) {
+		spans := tr.Snapshot()
+		if max := call.Args.Int("max"); max > 0 && len(spans) > max {
+			spans = spans[len(spans)-max:]
+		}
+		return map[string]any{
+			"node":    tr.Node(),
+			"dropped": tr.Dropped(),
+			"spans":   spans,
+		}, nil
 	})
 	return obj
 }

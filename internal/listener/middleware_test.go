@@ -167,7 +167,7 @@ func TestIntrospectionObject(t *testing.T) {
 	reg := metrics.NewRegistry()
 	l := New("phil", nil, WithMiddleware(MetricsMiddleware(reg)))
 	l.Register("cal.phil", echoObject())
-	l.Register("sys.phil", Introspection(l, reg))
+	l.Register("sys.phil", Introspection(l, reg, nil))
 	ctx := context.Background()
 
 	// Generate one observation, then inspect through the service itself.

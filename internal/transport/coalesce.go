@@ -49,13 +49,15 @@ func newCoalescer(w io.Writer, stats *metrics.WireStats) *coalescer {
 // write stages frame and returns once a flush that included it has
 // completed (or failed). frame is fully copied before write returns
 // control to the coalescer, so callers may release pooled buffers
-// immediately afterwards.
-func (c *coalescer) write(frame []byte) error {
+// immediately afterwards. flushed reports how many frames the caller's
+// own flush carried when it became the leader (0 when its bytes rode a
+// peer's syscall) — tracing uses it to mark coalesced writes.
+func (c *coalescer) write(frame []byte) (flushed int, err error) {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return err
+		return 0, err
 	}
 	c.buf = append(c.buf, frame...)
 	c.frames++
@@ -71,13 +73,13 @@ func (c *coalescer) write(frame []byte) error {
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return err
+		return 0, err
 	}
 	if c.done >= myGen {
 		// A writer from this generation already drained the batch,
 		// our frame included.
 		c.mu.Unlock()
-		return nil
+		return 0, nil
 	}
 
 	// Become the flush leader for this generation: swap the staging
@@ -102,10 +104,10 @@ func (c *coalescer) write(frame []byte) error {
 		c.spare = out[:0]
 	}
 	c.stats.RecordFlush(n)
-	err := c.err
+	err = c.err
 	c.cond.Broadcast()
 	c.mu.Unlock()
-	return err
+	return n, err
 }
 
 // fail marks the coalescer dead (connection torn down) and wakes every

@@ -42,7 +42,7 @@ func TestCoalescerBatchesConcurrentWriters(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := c.write([]byte("frame-payload")); err != nil {
+			if _, err := c.write([]byte("frame-payload")); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -74,7 +74,7 @@ func TestCoalescerSequentialWritesOneSyscallEach(t *testing.T) {
 	w := &blockingWriter{}
 	c := newCoalescer(w, stats)
 	for i := 0; i < 5; i++ {
-		if err := c.write([]byte("x")); err != nil {
+		if _, err := c.write([]byte("x")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -87,11 +87,11 @@ func TestCoalescerWriteErrorIsTerminal(t *testing.T) {
 	boom := errors.New("boom")
 	w := &blockingWriter{fail: boom}
 	c := newCoalescer(w, &metrics.WireStats{})
-	if err := c.write([]byte("a")); !errors.Is(err, boom) {
+	if _, err := c.write([]byte("a")); !errors.Is(err, boom) {
 		t.Fatalf("first write err = %v, want boom", err)
 	}
 	// Later writers fail fast without touching the writer.
-	if err := c.write([]byte("b")); !errors.Is(err, boom) {
+	if _, err := c.write([]byte("b")); !errors.Is(err, boom) {
 		t.Fatalf("second write err = %v, want boom", err)
 	}
 }
@@ -105,7 +105,7 @@ func TestCoalescerFailWakesWaiters(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = c.write([]byte("frame"))
+			_, errs[i] = c.write([]byte("frame"))
 		}(i)
 	}
 	time.Sleep(10 * time.Millisecond) // let the leader enter its flush

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -175,7 +176,7 @@ func (l *tcpListener) serveConn(conn net.Conn) {
 					resp = ErrorResponse(req, wire.CodeInternal, "handler returned no response")
 				}
 				resp.ID = req.ID
-				_ = writeEnvelope(cw, &wire.Envelope{Kind: wire.KindResponse, Response: resp})
+				_, _ = writeEnvelope(cw, &wire.Envelope{Kind: wire.KindResponse, Response: resp})
 			}()
 		case wire.KindEvent:
 			if env.Event != nil {
@@ -187,15 +188,16 @@ func (l *tcpListener) serveConn(conn net.Conn) {
 }
 
 // writeEnvelope encodes env with the pooled codec and hands it to the
-// connection's coalescing writer as one contiguous frame.
-func writeEnvelope(cw *coalescer, env *wire.Envelope) error {
+// connection's coalescing writer as one contiguous frame. flushed is
+// the coalescer's leader batch size (see coalescer.write).
+func writeEnvelope(cw *coalescer, env *wire.Envelope) (flushed int, err error) {
 	f, err := wire.EncodeFrame(env)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	err = cw.write(f.Bytes())
+	flushed, err = cw.write(f.Bytes())
 	f.Release()
-	return err
+	return flushed, err
 }
 
 // --- client side ----------------------------------------------------------
@@ -374,13 +376,18 @@ func (c *tcpClientConn) call(ctx context.Context, req *Request) (*Response, erro
 
 	r := *req
 	r.ID = id
-	err := writeEnvelope(c.w, &wire.Envelope{Kind: wire.KindRequest, Request: &r})
+	flushed, err := writeEnvelope(c.w, &wire.Envelope{Kind: wire.KindRequest, Request: &r})
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
 		c.fail()
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	if flushed > 1 {
+		// This writer led a coalesced flush: its syscall carried
+		// other requests' frames too.
+		trace.EventCtx(ctx, "coalesce.flush", trace.Int("frames", flushed))
 	}
 
 	select {
@@ -417,7 +424,7 @@ func (c *tcpClientConn) send(ev *Event) error {
 		return ErrUnreachable
 	}
 	c.mu.Unlock()
-	err := writeEnvelope(c.w, &wire.Envelope{Kind: wire.KindEvent, Event: ev})
+	_, err := writeEnvelope(c.w, &wire.Envelope{Kind: wire.KindEvent, Event: ev})
 	if err != nil {
 		c.fail()
 		return fmt.Errorf("%w: %v", ErrUnreachable, err)
@@ -427,6 +434,17 @@ func (c *tcpClientConn) send(ev *Event) error {
 
 // Call implements Network.
 func (t *TCP) Call(ctx context.Context, addr string, req *Request) (*Response, error) {
+	ctx, span := trace.Start(ctx, "transport.send")
+	if span == nil {
+		return t.doCall(ctx, addr, req)
+	}
+	span.Annotate(trace.String("addr", addr))
+	resp, err := t.doCall(ctx, addr, req)
+	span.FinishErr(err)
+	return resp, err
+}
+
+func (t *TCP) doCall(ctx context.Context, addr string, req *Request) (*Response, error) {
 	c, err := t.getConn(addr)
 	if err != nil {
 		return nil, err
@@ -435,6 +453,7 @@ func (t *TCP) Call(ctx context.Context, addr string, req *Request) (*Response, e
 	if errors.Is(err, ErrUnreachable) {
 		// One reconnect attempt: the pooled connection may have died
 		// while idle (server restart, device reconnect).
+		trace.EventCtx(ctx, "transport.reconnect", trace.String("addr", addr))
 		t.dropConn(addr, c)
 		c, err2 := t.getConn(addr)
 		if err2 != nil {

@@ -237,6 +237,10 @@ func (d *Durable) Checkpoint() error {
 // Stats snapshots the log's counters.
 func (d *Durable) Stats() Stats { return d.wal.Stats() }
 
+// LastLSN reports the log's highest assigned LSN — trace events use it
+// to tie a negotiation's journal writes to the durability stream.
+func (d *Durable) LastLSN() uint64 { return d.wal.LastLSN() }
+
 // Close checkpoints (best effort — the log alone already carries every
 // committed mutation) and closes the log. The DB stays readable.
 func (d *Durable) Close() error {

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -84,6 +86,9 @@ type Options struct {
 	Sync SyncPolicy
 	// Metrics, when set, receives wal-layer commit/fsync/batch series.
 	Metrics *metrics.Registry
+	// Tracer, when set, records one "wal.flush" span per group-commit
+	// flush (batch size and LSN range annotated).
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -350,9 +355,22 @@ func (w *WAL) flushOnce() {
 	if len(batch) == 0 {
 		return
 	}
+	// The flusher runs off any request path, so the flush span is a
+	// root of its own: retained when sampled or slower than the
+	// tracer's threshold (a stalled fsync is exactly what -trace-slow
+	// is for).
+	_, span := w.opt.Tracer.StartSpan(context.Background(), "wal.flush")
+	if span != nil {
+		span.Annotate(
+			trace.Int("records", len(batch)),
+			trace.Int64("lsn-first", int64(batch[0].lsn)),
+			trace.Int64("lsn-last", int64(batch[len(batch)-1].lsn)),
+		)
+	}
 	w.ioMu.Lock()
 	err := w.writeBatchLocked(batch)
 	w.ioMu.Unlock()
+	span.FinishErr(err)
 	if err != nil {
 		// writeBatchLocked acked everything it finished; whatever is
 		// left gets the error.
