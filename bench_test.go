@@ -33,10 +33,11 @@ func benchExperiment(b *testing.B, id string) {
 }
 
 // Figure-equivalents (paper Figs. 1-4).
-func BenchmarkF1_LayeredInvocation(b *testing.B) { benchExperiment(b, "F1") }
-func BenchmarkF2_LayerOverhead(b *testing.B)     { benchExperiment(b, "F2") }
-func BenchmarkF3_DirectoryOps(b *testing.B)      { benchExperiment(b, "F3") }
-func BenchmarkF4_NegotiationOr(b *testing.B)     { benchExperiment(b, "F4") }
+func BenchmarkF1_LayeredInvocation(b *testing.B)    { benchExperiment(b, "F1") }
+func BenchmarkF2_LayerOverhead(b *testing.B)        { benchExperiment(b, "F2") }
+func BenchmarkF3_DirectoryOps(b *testing.B)         { benchExperiment(b, "F3") }
+func BenchmarkF3s_DirectoryOpsSharded(b *testing.B) { benchExperiment(b, "F3s") }
+func BenchmarkF4_NegotiationOr(b *testing.B)        { benchExperiment(b, "F4") }
 
 // Scenario-equivalents (paper §4.4 and §5).
 func BenchmarkE1_CancelCascade(b *testing.B)      { benchExperiment(b, "E1") }
@@ -59,6 +60,10 @@ func BenchmarkA2_TriggerPlacement(b *testing.B) { benchExperiment(b, "A2") }
 // BenchmarkMicro_EngineInvoke measures one directory-resolved remote
 // invocation on an ideal network.
 func BenchmarkMicro_EngineInvoke(b *testing.B) { bench.MicroEngineInvoke(b) }
+
+// BenchmarkMicro_DirectoryLookupSharded measures one route-only
+// resolution against a 4-shard directory behind the control plane.
+func BenchmarkMicro_DirectoryLookupSharded(b *testing.B) { bench.MicroDirectoryLookupSharded(b) }
 
 // BenchmarkMicro_GroupInvoke measures a fan-out over 8 members.
 func BenchmarkMicro_GroupInvoke(b *testing.B) { bench.MicroGroupInvoke(b) }

@@ -60,6 +60,7 @@ func serveDebug(addr string, tracer *trace.Tracer) {
 func main() {
 	user := flag.String("user", "", "SyD user id (required)")
 	dirAddr := flag.String("dir", "127.0.0.1:7000", "directory server address")
+	cpAddr := flag.String("control-plane", "", "sharded-directory control plane address (overrides -dir; use syddirectory -shards N)")
 	addr := flag.String("addr", "127.0.0.1:0", "address to bind")
 	priority := flag.Int("priority", 0, "user priority (§6)")
 	statePath := flag.String("state", "", "optional path to persist the device database across restarts (legacy whole-DB snapshot; prefer -data-dir)")
@@ -103,15 +104,16 @@ func main() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	node, err := core.Start(ctx, core.Config{
-		User:           *user,
-		Priority:       *priority,
-		Net:            transport.NewTCP(transport.WithPoolSize(*poolSize)),
-		DirAddr:        *dirAddr,
-		ListenAddr:     *addr,
-		HeartbeatEvery: 5 * time.Second,
-		ExpireEvery:    30 * time.Second,
-		DirCacheTTL:    2 * time.Second,
-		LockTTL:        *lockTTL,
+		User:             *user,
+		Priority:         *priority,
+		Net:              transport.NewTCP(transport.WithPoolSize(*poolSize)),
+		DirAddr:          *dirAddr,
+		ControlPlaneAddr: *cpAddr,
+		ListenAddr:       *addr,
+		HeartbeatEvery:   5 * time.Second,
+		ExpireEvery:      30 * time.Second,
+		DirCacheTTL:      2 * time.Second,
+		LockTTL:          *lockTTL,
 		LinkTuning: links.Tuning{
 			RetryBase:         *commitRetry,
 			MaxAttempts:       *commitRetryMax,
@@ -142,7 +144,11 @@ func main() {
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, tracer)
 	}
-	log.Printf("sydnode: %s serving on %s (directory %s)", *user, node.Addr(), *dirAddr)
+	dirDesc := "directory " + *dirAddr
+	if *cpAddr != "" {
+		dirDesc = "sharded directory via control plane " + *cpAddr
+	}
+	log.Printf("sydnode: %s serving on %s (%s)", *user, node.Addr(), dirDesc)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -58,6 +58,30 @@ func MicroEngineInvoke(b *testing.B) {
 	}
 }
 
+// MicroDirectoryLookupSharded measures one route-only directory
+// resolution against a 4-shard directory behind the control plane —
+// the uncached data-plane hop a cold engine pays per invocation,
+// including the shard-map routing and the epoch check on the reply.
+func MicroDirectoryLookupSharded(b *testing.B) {
+	ctx := context.Background()
+	users := workload.Users(4)
+	w, err := experiments.NewShardedWorld(users, sim.Config{}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, len(users))
+	for i, u := range users {
+		names[i] = calendar.ServiceFor(u)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Dir.ResolveService(ctx, names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // MicroGroupInvoke measures a fan-out over 8 members.
 func MicroGroupInvoke(b *testing.B) {
 	ctx := context.Background()
@@ -159,6 +183,7 @@ type Def struct {
 func Trajectory() []Def {
 	return []Def{
 		{Name: "Micro_EngineInvoke", Run: MicroEngineInvoke},
+		{Name: "Micro_DirectoryLookupSharded", Run: MicroDirectoryLookupSharded},
 		{Name: "Micro_GroupInvoke", Run: MicroGroupInvoke},
 		{Name: "Micro_NegotiationAnd", Run: MicroNegotiationAnd},
 		{Name: "Micro_MeetingLifecycle", Run: MicroMeetingLifecycle},

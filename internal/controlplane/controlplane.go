@@ -1,0 +1,264 @@
+// Package controlplane owns the directory's shard topology: which
+// shard nodes exist, which key ranges each one serves, and the epoch
+// that versions every published routing table.
+//
+// The directory itself (internal/directory) is the data plane — it
+// answers bind/lookup RPCs. The control plane is deliberately thin:
+// it holds one authoritative Table (an epoch plus the shard list),
+// hands it to anyone who asks (ShardMap RPC), and bumps the epoch
+// whenever the topology — or anything routing-relevant — changes.
+// Clients cache the table and route each directory op to the shard
+// that owns the op's key; data-plane responses carry the shard's
+// current epoch, so a client holding a stale table notices on its
+// very next RPC and refreshes immediately instead of waiting out a
+// TTL.
+//
+// Key → shard assignment is consistent hashing over a ring of virtual
+// points, so both sides of the protocol can compute ownership locally
+// from the shard list alone: the table ships only {epoch, shards} and
+// never a key-range manifest.
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ServiceName is the service identifier the control plane answers to.
+const ServiceName = "syd.control"
+
+// ringReplicas is the number of virtual points each shard contributes
+// to the hash ring. 64 keeps the key distribution within a few percent
+// of uniform for small shard counts while the ring stays tiny.
+const ringReplicas = 64
+
+// Shard is one directory shard node as published in the table.
+type Shard struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Table is one epoch-versioned routing table: the shard list plus the
+// consistent-hash ring derived from it. Tables are immutable once
+// built — the controller publishes a fresh Table on every change.
+type Table struct {
+	Epoch  uint64
+	Shards []Shard
+
+	ring []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into Shards
+}
+
+// NewTable builds the routing table for a shard list at an epoch,
+// deriving the hash ring. The shard list is copied.
+func NewTable(epoch uint64, shards []Shard) *Table {
+	t := &Table{Epoch: epoch, Shards: append([]Shard(nil), shards...)}
+	t.ring = make([]ringPoint, 0, len(t.Shards)*ringReplicas)
+	for i, s := range t.Shards {
+		for r := 0; r < ringReplicas; r++ {
+			t.ring = append(t.ring, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", s.ID, r)), shard: i})
+		}
+	}
+	sort.Slice(t.ring, func(i, j int) bool { return t.ring[i].hash < t.ring[j].hash })
+	return t
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	// FNV clusters near-identical keys (user ids and service names are
+	// sequential, short, and share long prefixes); a murmur3-style
+	// finalizer avalanches the bits so ring placement is uniform.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the shard that owns key: the first ring point at or
+// after the key's hash, wrapping. A single-shard table owns all keys.
+func (t *Table) Owner(key string) Shard {
+	if len(t.Shards) == 1 {
+		return t.Shards[0]
+	}
+	h := hashKey(key)
+	i := sort.Search(len(t.ring), func(i int) bool { return t.ring[i].hash >= h })
+	if i == len(t.ring) {
+		i = 0
+	}
+	return t.Shards[t.ring[i].shard]
+}
+
+// Owns reports whether shardID owns key under this table.
+func (t *Table) Owns(shardID, key string) bool { return t.Owner(key).ID == shardID }
+
+// Addrs returns every shard address, in shard order.
+func (t *Table) Addrs() []string {
+	out := make([]string, len(t.Shards))
+	for i, s := range t.Shards {
+		out[i] = s.Addr
+	}
+	return out
+}
+
+// tableWire is the JSON shape of a Table on the wire (the ring is
+// recomputed by the receiver).
+type tableWire struct {
+	Epoch  uint64  `json:"epoch"`
+	Shards []Shard `json:"shards"`
+}
+
+// --- controller ------------------------------------------------------------
+
+// Controller is the authoritative control-plane node: it owns the
+// current Table and publishes a fresh one (epoch+1) on every change.
+// In-process shard servers subscribe to receive each new table
+// synchronously; remote clients pull via the ShardMap RPC.
+type Controller struct {
+	mu    sync.Mutex
+	table *Table
+	subs  []func(*Table)
+}
+
+// NewController creates a controller publishing the given shards at
+// epoch 1.
+func NewController(shards []Shard) *Controller {
+	return &Controller{table: NewTable(1, shards)}
+}
+
+// Current returns the latest published table.
+func (c *Controller) Current() *Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.table
+}
+
+// Subscribe registers fn to be called (synchronously, in publish
+// order) with the current table now and with every future one.
+func (c *Controller) Subscribe(fn func(*Table)) {
+	c.mu.Lock()
+	c.subs = append(c.subs, fn)
+	t := c.table
+	c.mu.Unlock()
+	fn(t)
+}
+
+// publish installs a new table and fans it out to subscribers.
+func (c *Controller) publish(t *Table) {
+	c.mu.Lock()
+	c.table = t
+	subs := append([]func(*Table){}, c.subs...)
+	c.mu.Unlock()
+	for _, fn := range subs {
+		fn(t)
+	}
+}
+
+// Bump republishes the current shard list under epoch+1 — the
+// invalidation broadcast: every data-plane response starts carrying
+// the new epoch, so clients drop their cached routes at the next RPC.
+func (c *Controller) Bump() uint64 {
+	c.mu.Lock()
+	next := NewTable(c.table.Epoch+1, c.table.Shards)
+	c.mu.Unlock()
+	c.publish(next)
+	return next.Epoch
+}
+
+// SetShards replaces the shard list and publishes it under epoch+1.
+func (c *Controller) SetShards(shards []Shard) uint64 {
+	c.mu.Lock()
+	next := NewTable(c.table.Epoch+1, shards)
+	c.mu.Unlock()
+	c.publish(next)
+	return next.Epoch
+}
+
+// Handler returns the transport.Handler serving the control-plane
+// RPCs: ShardMap (pull the table) and Bump (force an epoch advance).
+func (c *Controller) Handler() transport.Handler {
+	return transport.HandlerFunc(func(ctx context.Context, req *transport.Request) *transport.Response {
+		ok := func(v any) *transport.Response {
+			raw, err := wire.Marshal(v)
+			if err != nil {
+				return transport.ErrorResponse(req, wire.CodeInternal, "encode: %v", err)
+			}
+			return &transport.Response{ID: req.ID, OK: true, Result: raw}
+		}
+		switch req.Method {
+		case "ShardMap":
+			t := c.Current()
+			return ok(tableWire{Epoch: t.Epoch, Shards: t.Shards})
+		case "Bump":
+			return ok(c.Bump())
+		default:
+			return transport.ErrorResponse(req, wire.CodeNoMethod, "control plane has no method %q", req.Method)
+		}
+	})
+}
+
+// --- client ----------------------------------------------------------------
+
+// Client is the typed stub directory clients use to pull routing
+// tables from the control plane.
+type Client struct {
+	net  transport.Network
+	addr string
+}
+
+// NewClient creates a control-plane client for the controller at addr.
+func NewClient(net transport.Network, addr string) *Client {
+	return &Client{net: net, addr: addr}
+}
+
+// Addr returns the control plane's network address.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) call(ctx context.Context, method string, out any) error {
+	resp, err := c.net.Call(ctx, c.addr, &transport.Request{
+		Service: ServiceName,
+		Method:  method,
+	})
+	if err != nil {
+		return fmt.Errorf("controlplane %s: %w", method, err)
+	}
+	if !resp.OK {
+		return &wire.RemoteError{Code: resp.Code, Service: ServiceName, Method: method, Msg: resp.Error}
+	}
+	if out != nil {
+		return wire.Unmarshal(resp.Result, out)
+	}
+	return nil
+}
+
+// ShardMap pulls the current routing table.
+func (c *Client) ShardMap(ctx context.Context) (*Table, error) {
+	var w tableWire
+	if err := c.call(ctx, "ShardMap", &w); err != nil {
+		return nil, err
+	}
+	if len(w.Shards) == 0 {
+		return nil, fmt.Errorf("controlplane: empty shard map")
+	}
+	return NewTable(w.Epoch, w.Shards), nil
+}
+
+// Bump forces an epoch advance and returns the new epoch.
+func (c *Client) Bump(ctx context.Context) (uint64, error) {
+	var epoch uint64
+	err := c.call(ctx, "Bump", &epoch)
+	return epoch, err
+}

@@ -1,0 +1,135 @@
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func fourShards() []Shard {
+	return []Shard{
+		{ID: "shard0", Addr: "dir0"},
+		{ID: "shard1", Addr: "dir1"},
+		{ID: "shard2", Addr: "dir2"},
+		{ID: "shard3", Addr: "dir3"},
+	}
+}
+
+func TestOwnerDeterministicAndStable(t *testing.T) {
+	a := NewTable(1, fourShards())
+	b := NewTable(7, fourShards()) // epoch does not affect placement
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("user%03d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("placement of %q varies with epoch", key)
+		}
+		if !a.Owns(a.Owner(key).ID, key) {
+			t.Fatalf("Owns disagrees with Owner for %q", key)
+		}
+	}
+}
+
+func TestOwnerDistribution(t *testing.T) {
+	tab := NewTable(1, fourShards())
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[tab.Owner(fmt.Sprintf("u%04d", i)).ID]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d shards received keys: %v", len(counts), counts)
+	}
+	for id, n := range counts {
+		// Consistent hashing with 64 virtual points is lumpy but every
+		// shard must carry a real share (within 3x of fair).
+		if n < keys/12 || n > keys*3/4 {
+			t.Fatalf("shard %s holds %d/%d keys: %v", id, n, keys, counts)
+		}
+	}
+}
+
+func TestSingleShardOwnsEverything(t *testing.T) {
+	tab := NewTable(1, []Shard{{ID: "only", Addr: "dir"}})
+	for _, k := range []string{"", "a", "cal.phil", "team"} {
+		if tab.Owner(k).ID != "only" {
+			t.Fatalf("key %q not owned by the single shard", k)
+		}
+	}
+}
+
+func TestShardRemovalMovesOnlyItsKeys(t *testing.T) {
+	before := NewTable(1, fourShards())
+	after := NewTable(2, fourShards()[:3]) // shard3 removed
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		was, is := before.Owner(key), after.Owner(key)
+		if was.ID != "shard3" && was != is {
+			t.Fatalf("key %q moved from surviving shard %s to %s", key, was.ID, is.ID)
+		}
+		if was.ID == "shard3" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed shard owned no keys — distribution test should have caught this")
+	}
+}
+
+func TestControllerPublishAndBump(t *testing.T) {
+	ctl := NewController(fourShards())
+	var got []*Table
+	ctl.Subscribe(func(tab *Table) { got = append(got, tab) })
+	if len(got) != 1 || got[0].Epoch != 1 {
+		t.Fatalf("subscribe did not deliver the current table: %v", got)
+	}
+	if e := ctl.Bump(); e != 2 {
+		t.Fatalf("Bump = %d, want 2", e)
+	}
+	if e := ctl.SetShards(fourShards()[:2]); e != 3 {
+		t.Fatalf("SetShards = %d, want 3", e)
+	}
+	if len(got) != 3 || got[2].Epoch != 3 || len(got[2].Shards) != 2 {
+		t.Fatalf("subscriber missed publishes: %+v", got)
+	}
+}
+
+func TestClientShardMapAndBumpOverRPC(t *testing.T) {
+	net := sim.New(sim.Config{})
+	ctl := NewController(fourShards())
+	if _, err := net.Listen("cp", ctl.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	c := NewClient(net, "cp")
+	tab, err := c.ShardMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Epoch != 1 || len(tab.Shards) != 4 {
+		t.Fatalf("table = %+v", tab)
+	}
+	// The pulled table routes identically to the authoritative one.
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("svc%d", i)
+		if tab.Owner(key) != ctl.Current().Owner(key) {
+			t.Fatalf("pulled table disagrees on %q", key)
+		}
+	}
+	epoch, err := c.Bump(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("Bump over RPC = %d, want 2", epoch)
+	}
+	tab2, err := c.ShardMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Epoch != 2 {
+		t.Fatalf("epoch after bump = %d", tab2.Epoch)
+	}
+}

@@ -39,6 +39,13 @@ type Config struct {
 	Net transport.Network
 	// DirAddr is the directory server's address.
 	DirAddr string
+	// ControlPlaneAddr, when set, routes directory traffic through the
+	// sharded directory published by the control plane at this address
+	// (DirAddr is then ignored). The node pulls the epoch-versioned
+	// shard map, routes each directory op to the owning shard, and
+	// flushes its route caches the moment a response carries a newer
+	// epoch.
+	ControlPlaneAddr string
 	// ListenAddr is the address to bind; empty lets the transport
 	// pick ("sim-N" on the simulated network, a free port on TCP).
 	ListenAddr string
@@ -113,6 +120,12 @@ func WithTracer(t *trace.Tracer) Option {
 // WithRouteCache enables the engine's directory route cache with ttl.
 func WithRouteCache(ttl time.Duration) Option {
 	return func(c *Config) { c.RouteCacheTTL = ttl }
+}
+
+// WithControlPlane routes directory traffic through the sharded
+// directory published by the control plane at addr.
+func WithControlPlane(addr string) Option {
+	return func(c *Config) { c.ControlPlaneAddr = addr }
 }
 
 // WithInterceptors appends client interceptors to the engine chain.
@@ -245,7 +258,12 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 	if cfg.DirCacheTTL > 0 {
 		dirOpts = append(dirOpts, directory.WithCacheTTL(cfg.DirCacheTTL))
 	}
-	dir := directory.NewClient(cfg.Net, cfg.DirAddr, dirOpts...)
+	var dir *directory.Client
+	if cfg.ControlPlaneAddr != "" {
+		dir = directory.NewShardedClient(cfg.Net, cfg.ControlPlaneAddr, dirOpts...)
+	} else {
+		dir = directory.NewClient(cfg.Net, cfg.DirAddr, dirOpts...)
+	}
 	// Client chain mirrors the server: metrics outermost, then user
 	// interceptors, then the engine's stock credential/cache/resolver
 	// stages.
@@ -257,7 +275,14 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		engOpts = append(engOpts, engine.WithInterceptors(cfg.Interceptors...))
 	}
 	if cfg.RouteCacheTTL > 0 {
-		engOpts = append(engOpts, engine.WithDirCache(engine.NewDirCache(cfg.RouteCacheTTL)))
+		dc := engine.NewDirCache(cfg.RouteCacheTTL)
+		if dir.Sharded() {
+			// A shard-map epoch bump observed by the directory client
+			// invalidates the engine's warm routes immediately — no
+			// TTL wait.
+			dir.OnEpochChange(dc.SetEpoch)
+		}
+		engOpts = append(engOpts, engine.WithDirCache(dc))
 	}
 	if tracer != nil {
 		engOpts = append(engOpts, engine.WithTracer(tracer))

@@ -323,7 +323,7 @@ func TestListUsersSorted(t *testing.T) {
 
 func TestUnknownMethod(t *testing.T) {
 	c, _, _ := newDirectory(t)
-	err := c.call(ctxT(t), "Bogus", wire.Args{}, nil)
+	err := c.call(ctxT(t), "x", "Bogus", wire.Args{}, nil)
 	if wire.CodeOf(err) != wire.CodeNoMethod {
 		t.Fatalf("err = %v", err)
 	}

@@ -1,0 +1,524 @@
+package directory
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/controlplane"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// shardedDir is a 4-shard directory deployment on a sim network:
+// shard servers at dir0..dirN-1 behind a controller at "cp".
+type shardedDir struct {
+	net     *sim.Net
+	fake    *clock.Fake
+	ctl     *controlplane.Controller
+	servers []*Server
+	shards  []controlplane.Shard
+	client  *Client
+}
+
+func newShardedDirectory(t *testing.T, shards int, opts ...ClientOption) *shardedDir {
+	t.Helper()
+	fake := clock.NewFake(time.Date(2003, 4, 22, 9, 0, 0, 0, time.UTC))
+	net := sim.New(sim.Config{})
+	d := &shardedDir{net: net, fake: fake}
+	for i := 0; i < shards; i++ {
+		id := fmt.Sprintf("shard%d", i)
+		srv := NewServer(WithClock(fake), WithTTL(10*time.Second), WithShard(id))
+		ln, err := net.Listen(fmt.Sprintf("dir%d", i), srv.Handler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.servers = append(d.servers, srv)
+		d.shards = append(d.shards, controlplane.Shard{ID: id, Addr: ln.Addr()})
+	}
+	d.ctl = controlplane.NewController(d.shards)
+	for _, srv := range d.servers {
+		d.ctl.Subscribe(srv.SetTable)
+	}
+	if _, err := net.Listen("cp", d.ctl.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	d.client = NewShardedClient(net, "cp", opts...)
+	return d
+}
+
+// userCount reads one shard's user-table size directly.
+func (d *shardedDir) userCount(i int) int {
+	return len(d.servers[i].users.Select(nil))
+}
+
+func TestShardedOpsRouteAndSpread(t *testing.T) {
+	d := newShardedDirectory(t, 4)
+	ctx := ctxT(t)
+	const n = 32
+	for i := 0; i < n; i++ {
+		u := fmt.Sprintf("u%02d", i)
+		if err := d.client.RegisterUser(ctx, u, "node-"+u, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.client.RegisterService(ctx, "cal."+u, u, "node-"+u, []string{"A"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every record is findable through the sharded client.
+	for i := 0; i < n; i++ {
+		u := fmt.Sprintf("u%02d", i)
+		info, err := d.client.LookupUser(ctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Addr != "node-"+u || info.Priority != i {
+			t.Fatalf("user %s = %+v", u, info)
+		}
+		svc, err := d.client.ResolveService(ctx, "cal."+u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if svc.Addr != "node-"+u || !svc.OwnerOnline {
+			t.Fatalf("service cal.%s = %+v", u, svc)
+		}
+	}
+	// The data actually spread across shards, and each user landed on
+	// the shard the table says owns it.
+	total, populated := 0, 0
+	for i := range d.servers {
+		c := d.userCount(i)
+		total += c
+		if c > 0 {
+			populated++
+		}
+	}
+	if total != n || populated < 2 {
+		t.Fatalf("users spread: total=%d populated_shards=%d", total, populated)
+	}
+	// ListUsers merges shards and stays sorted.
+	users, err := d.client.ListUsers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != n {
+		t.Fatalf("ListUsers = %d users", len(users))
+	}
+	for i := 1; i < len(users); i++ {
+		if users[i-1].ID >= users[i].ID {
+			t.Fatalf("ListUsers unsorted at %d: %s >= %s", i, users[i-1].ID, users[i].ID)
+		}
+	}
+}
+
+func TestShardedServiceCoLocatesWithOwner(t *testing.T) {
+	d := newShardedDirectory(t, 4)
+	tab := d.ctl.Current()
+	for _, owner := range []string{"phil", "andy", "suzy", "u42"} {
+		for _, svc := range []string{"cal." + owner, "links." + owner, "sys." + owner} {
+			if tab.Owner(ShardKey(svc)) != tab.Owner(owner) {
+				t.Fatalf("service %s routes to %s, owner %s to %s",
+					svc, tab.Owner(ShardKey(svc)).ID, owner, tab.Owner(owner).ID)
+			}
+		}
+	}
+}
+
+func TestShardedGroupAcrossShards(t *testing.T) {
+	d := newShardedDirectory(t, 4)
+	ctx := ctxT(t)
+	members := []string{"u01", "u02", "u03", "u04", "u05", "u06", "u07", "u08"}
+	for _, m := range members {
+		if err := d.client.RegisterUser(ctx, m, "node-"+m, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.client.CreateGroup(ctx, "team", members[:6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.client.AddMember(ctx, "team", members[6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.client.RemoveMember(ctx, "team", members[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.client.GroupMembers(ctx, "team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 || got[0] != "u02" || got[5] != "u07" {
+		t.Fatalf("members = %v", got)
+	}
+	// The group lives on exactly one shard (keyed by group name).
+	owners := 0
+	for _, srv := range d.servers {
+		if len(srv.groupMembers("team")) > 0 {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("group stored on %d shards, want 1", owners)
+	}
+}
+
+func TestWrongShardRedirectRetriesOnce(t *testing.T) {
+	d := newShardedDirectory(t, 4)
+	ctx := ctxT(t)
+	// Prime the client's table at epoch 1.
+	if err := d.client.RegisterUser(ctx, "primer", "node-primer", 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.client.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", d.client.Epoch())
+	}
+	// Shrink the topology: shard3 leaves. Every server learns the
+	// epoch-2 table immediately; the client still holds epoch 1.
+	old := d.ctl.Current()
+	if e := d.ctl.SetShards(d.shards[:3]); e != 2 {
+		t.Fatalf("SetShards = %d", e)
+	}
+	// A key shard3 used to own now routes elsewhere. The client's
+	// stale table sends the op to shard3, which answers wrong-shard;
+	// the client must refresh and retry transparently.
+	moved := ""
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("m%03d", i)
+		if old.Owner(k).ID == "shard3" && d.ctl.Current().Owner(k).ID != "shard3" {
+			moved = k
+			break
+		}
+	}
+	if moved == "" {
+		t.Fatal("no key moved off shard3")
+	}
+	if err := d.client.RegisterUser(ctx, moved, "node-"+moved, 0); err != nil {
+		t.Fatalf("redirected register failed: %v", err)
+	}
+	if d.client.Epoch() != 2 {
+		t.Fatalf("client epoch after redirect = %d, want 2", d.client.Epoch())
+	}
+	info, err := d.client.LookupUser(ctx, moved)
+	if err != nil || info.Addr != "node-"+moved {
+		t.Fatalf("lookup after redirect: %+v, %v", info, err)
+	}
+	// And the record landed on the epoch-2 owner, not shard3.
+	ownerIdx := -1
+	for i, s := range d.shards[:3] {
+		if s.ID == d.ctl.Current().Owner(moved).ID {
+			ownerIdx = i
+		}
+	}
+	found := false
+	for _, r := range d.servers[ownerIdx].users.Select(nil) {
+		if r["id"] == moved {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("record for %q not on owning shard %s", moved, d.shards[ownerIdx].ID)
+	}
+}
+
+func TestEpochBumpInvalidatesClientCacheWithoutTTLWait(t *testing.T) {
+	d := newShardedDirectory(t, 4, WithCacheTTL(time.Hour))
+	now := time.Unix(0, 0)
+	d.client.nowFn = func() time.Time { return now } // TTL never expires
+	ctx := ctxT(t)
+
+	var hookEpochs []uint64
+	d.client.OnEpochChange(func(e uint64) { hookEpochs = append(hookEpochs, e) })
+
+	if err := d.client.RegisterUser(ctx, "phil", "node-phil", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.client.RegisterService(ctx, "cal.phil", "phil", "node-phil", nil); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := d.client.ResolveService(ctx, "cal.phil")
+	if err != nil || svc.Addr != "node-phil" {
+		t.Fatalf("resolve: %+v, %v", svc, err)
+	}
+	// Cached: resolving again makes no RPC.
+	before := d.net.Stats().Requests
+	if _, err := d.client.ResolveService(ctx, "cal.phil"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.net.Stats().Requests; got != before {
+		t.Fatalf("cached resolve made %d RPCs", got-before)
+	}
+
+	// The service moves (re-registered elsewhere by another client),
+	// and the control plane bumps the epoch to broadcast the change.
+	other := NewShardedClient(d.net, "cp")
+	if err := other.RegisterService(ctx, "cal.phil", "phil", "node-phil-2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if e := d.ctl.Bump(); e != 2 {
+		t.Fatalf("Bump = %d", e)
+	}
+
+	// The stale client's next RPC — any op at all — carries the new
+	// epoch, which flushes its cache immediately. No TTL wait.
+	if _, err := d.client.LookupUser(ctx, "phil"); err != nil {
+		t.Fatal(err)
+	}
+	svc, err = d.client.ResolveService(ctx, "cal.phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Addr != "node-phil-2" {
+		t.Fatalf("stale route survived epoch bump: %+v", svc)
+	}
+	if len(hookEpochs) == 0 || hookEpochs[len(hookEpochs)-1] != 2 {
+		t.Fatalf("OnEpochChange hooks = %v, want last 2", hookEpochs)
+	}
+}
+
+func TestResolveBatchAcrossShards(t *testing.T) {
+	d := newShardedDirectory(t, 4)
+	ctx := ctxT(t)
+	var names []string
+	for i := 0; i < 12; i++ {
+		u := fmt.Sprintf("u%02d", i)
+		if err := d.client.RegisterUser(ctx, u, "node-"+u, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.client.RegisterService(ctx, "cal."+u, u, "node-"+u, nil); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, "cal."+u)
+	}
+	before := d.net.Stats().Requests
+	got, err := d.client.ResolveBatch(ctx, append(names, "cal.ghost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpcs := d.net.Stats().Requests - before
+	if int(rpcs) > 4 {
+		t.Fatalf("batch used %d RPCs for 4 shards", rpcs)
+	}
+	if len(got) != len(names) {
+		t.Fatalf("resolved %d/%d names: %v", len(got), len(names), got)
+	}
+	for _, n := range names {
+		if got[n].Addr != "node-"+ShardKey(n) {
+			t.Fatalf("route for %s = %+v", n, got[n])
+		}
+	}
+	if _, ok := got["cal.ghost"]; ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestShardedProxyBroadcastAndAssignment(t *testing.T) {
+	d := newShardedDirectory(t, 4)
+	ctx := ctxT(t)
+	if err := d.client.RegisterProxy(ctx, "p1", "proxy-1"); err != nil {
+		t.Fatal(err)
+	}
+	// Every shard learned the proxy, so users on any shard get one.
+	for i := 0; i < 8; i++ {
+		u := fmt.Sprintf("u%02d", i)
+		if err := d.client.RegisterUser(ctx, u, "node-"+u, 0); err != nil {
+			t.Fatal(err)
+		}
+		info, err := d.client.LookupUser(ctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Proxy != "proxy-1" {
+			t.Fatalf("user %s proxy = %q", u, info.Proxy)
+		}
+	}
+}
+
+func TestShardedSnapshotRestorePerShard(t *testing.T) {
+	d := newShardedDirectory(t, 4)
+	ctx := ctxT(t)
+	if err := d.client.RegisterProxy(ctx, "p1", "proxy-1"); err != nil {
+		t.Fatal(err)
+	}
+	var members []string
+	for i := 0; i < 16; i++ {
+		u := fmt.Sprintf("u%02d", i)
+		if err := d.client.RegisterUser(ctx, u, "node-"+u, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.client.RegisterService(ctx, "cal."+u, u, "node-"+u, []string{"A", "B"}); err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, u)
+	}
+	if err := d.client.CreateGroup(ctx, "team", members); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.client.SetOffline(ctx, "u03", true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each shard snapshots independently; a new deployment restores
+	// shard-for-shard and serves the same bindings.
+	net2 := sim.New(sim.Config{})
+	shards2 := make([]controlplane.Shard, len(d.servers))
+	restored := make([]*Server, len(d.servers))
+	total := 0
+	for i, srv := range d.servers {
+		var buf bytes.Buffer
+		if err := srv.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		srv2, err := RestoreServer(&buf, WithClock(d.fake), WithTTL(10*time.Second), WithShard(srv.ShardID()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net2.Listen(fmt.Sprintf("dir%d", i), srv2.Handler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards2[i] = controlplane.Shard{ID: srv.ShardID(), Addr: ln.Addr()}
+		restored[i] = srv2
+		total += len(srv2.users.Select(nil))
+	}
+	if total != 16 {
+		t.Fatalf("restored shards hold %d users, want 16", total)
+	}
+	ctl2 := controlplane.NewController(shards2)
+	for _, srv := range restored {
+		ctl2.Subscribe(srv.SetTable)
+	}
+	if _, err := net2.Listen("cp", ctl2.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewShardedClient(net2, "cp")
+
+	// Proxy bindings, offline flags, and priorities survived.
+	for i := 0; i < 16; i++ {
+		u := fmt.Sprintf("u%02d", i)
+		info, err := c2.LookupUser(ctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Proxy != "proxy-1" || info.Priority != i {
+			t.Fatalf("restored %s = %+v", u, info)
+		}
+		if u == "u03" && info.Online {
+			t.Fatal("offline flag lost in restore")
+		}
+		svc, err := c2.LookupService(ctx, "cal."+u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(svc.Methods) != 2 || svc.Addr != "node-"+u {
+			t.Fatalf("restored service cal.%s = %+v", u, svc)
+		}
+	}
+	got, err := c2.GroupMembers(ctx, "team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("restored group has %d members", len(got))
+	}
+}
+
+// gatedHandler blocks every request until released, recording arrival.
+type gatedHandler struct {
+	inner   transport.Handler
+	arrived chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedHandler) HandleRequest(ctx context.Context, req *transport.Request) *transport.Response {
+	select {
+	case g.arrived <- struct{}{}:
+	default:
+	}
+	<-g.release
+	return g.inner.HandleRequest(ctx, req)
+}
+
+func (g *gatedHandler) HandleEvent(ev *transport.Event) { g.inner.HandleEvent(ev) }
+
+func TestLookupSingleflightCollapsesColdMisses(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	net := sim.New(sim.Config{})
+	srv := NewServer(WithClock(fake), WithTTL(time.Hour))
+	gate := &gatedHandler{
+		inner:   srv.Handler(),
+		arrived: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	ln, err := net.Listen("dir", gate.inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t)
+	setup := NewClient(net, ln.Addr())
+	if err := setup.RegisterService(ctx, "cal.phil", "", "node-phil", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-listen behind the gate for the actual test client.
+	gln, err := net.Listen("dir-gated", gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(net, gln.Addr(), WithCacheTTL(time.Minute))
+
+	before := net.Stats().Requests
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	infos := make([]ServiceInfo, workers)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		infos[0], errs[0] = c.ResolveService(ctx, "cal.phil")
+	}()
+	<-gate.arrived // the leader's RPC is in flight; its flight entry exists
+	for i := 1; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			infos[i], errs[i] = c.ResolveService(ctx, "cal.phil")
+		}(i)
+	}
+	close(gate.release)
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if infos[i].Addr != "node-phil" {
+			t.Fatalf("worker %d info = %+v", i, infos[i])
+		}
+	}
+	if got := net.Stats().Requests - before; got != 1 {
+		t.Fatalf("%d concurrent cold misses made %d directory RPCs, want 1", workers, got)
+	}
+}
+
+func TestShardedClientFullVsRouteCacheEntries(t *testing.T) {
+	// A route-only (ResolveService) cache entry must not answer a
+	// LookupService (methods-bearing) request in sharded mode either.
+	d := newShardedDirectory(t, 4, WithCacheTTL(time.Minute))
+	ctx := ctxT(t)
+	if err := d.client.RegisterService(ctx, "cal.phil", "", "node-phil", []string{"A", "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.client.ResolveService(ctx, "cal.phil"); err != nil {
+		t.Fatal(err)
+	}
+	full, err := d.client.LookupService(ctx, "cal.phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Methods) != 2 {
+		t.Fatalf("route-only cache entry served a full lookup: %+v", full)
+	}
+}

@@ -311,3 +311,85 @@ func TestDirectoryStatePersistsAcrossRestart(t *testing.T) {
 	}
 	fmt.Println("restart output:", strings.TrimSpace(out))
 }
+
+// TestShardedDirectoryEndToEnd drives the full meeting lifecycle over
+// real TCP with syddirectory running 4 shards behind its control
+// plane: sydnode and sydcal route every directory op through the
+// epoch-versioned shard map instead of a single server.
+func TestShardedDirectoryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns real processes")
+	}
+	bins := buildBinaries(t)
+	dirBin := filepath.Join(bins, "syddirectory")
+	nodeBin := filepath.Join(bins, "sydnode")
+	calBin := filepath.Join(bins, "sydcal")
+
+	cpAddr := freePort(t)
+	shardAddrs := []string{freePort(t), freePort(t), freePort(t), freePort(t)}
+	statePath := filepath.Join(t.TempDir(), "dir-state.json")
+	start(t, dirBin, "-addr", cpAddr, "-shards", "4",
+		"-shard-addrs", strings.Join(shardAddrs, ","), "-state", statePath)
+	waitTCP(t, cpAddr)
+	for _, a := range shardAddrs {
+		waitTCP(t, a)
+	}
+
+	philAddr := freePort(t)
+	andyAddr := freePort(t)
+	start(t, nodeBin, "-user", "phil", "-control-plane", cpAddr, "-addr", philAddr, "-priority", "2")
+	start(t, nodeBin, "-user", "andy", "-control-plane", cpAddr, "-addr", andyAddr)
+	waitTCP(t, philAddr)
+	waitTCP(t, andyAddr)
+
+	cal := func(args ...string) string {
+		return run(t, calBin, append([]string{"-control-plane", cpAddr}, args...)...)
+	}
+
+	// Registration fans out across shards; the merged user list still
+	// shows both devices online through the sharded client.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		out := cal("users")
+		if strings.Contains(out, "phil") && strings.Contains(out, "andy") {
+			if !strings.Contains(out, "online") {
+				t.Fatalf("users not online:\n%s", out)
+			}
+			if !strings.Contains(out, "prio=2") {
+				t.Fatalf("priority lost:\n%s", out)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("nodes never registered:\n%s", out)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The meeting lifecycle crosses shards: cal.phil and cal.andy
+	// almost certainly live on different shard servers.
+	out := cal("schedule", "-user", "phil", "-title", "standup",
+		"-from", "2003-04-21", "-to", "2003-04-21", "-must", "andy")
+	if !strings.Contains(out, "confirmed") {
+		t.Fatalf("schedule:\n%s", out)
+	}
+	fields := strings.Fields(out)
+	if len(fields) < 2 {
+		t.Fatalf("schedule output shape:\n%s", out)
+	}
+	meetingID := fields[1]
+	for _, u := range []string{"phil", "andy"} {
+		out = cal("meetings", "-user", u)
+		if !strings.Contains(out, meetingID) || !strings.Contains(out, "confirmed") {
+			t.Fatalf("%s meetings after schedule:\n%s", u, out)
+		}
+	}
+	out = cal("cancel", "-user", "phil", "-as", "phil", "-id", meetingID)
+	if !strings.Contains(out, "cancelled") {
+		t.Fatalf("cancel:\n%s", out)
+	}
+	out = cal("free", "-user", "andy", "-from", "2003-04-21", "-to", "2003-04-21")
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 9 {
+		t.Fatalf("andy free slots after cancel = %d lines:\n%s", lines, out)
+	}
+}

@@ -25,6 +25,14 @@ type DirCache struct {
 	ttl   time.Duration
 	nowFn func() time.Time
 
+	// epoch is the newest directory shard-map epoch this cache has
+	// been told about (via SetEpoch, wired to the directory client's
+	// OnEpochChange hook). Entries remember the epoch they were stored
+	// under; an entry from an older epoch is treated as a miss, so an
+	// epoch bump invalidates every stale route at once without waiting
+	// out the TTL.
+	epoch atomic.Uint64
+
 	mu      sync.RWMutex
 	entries map[string]dirCacheEntry
 
@@ -36,6 +44,7 @@ type DirCache struct {
 type dirCacheEntry struct {
 	info    directory.ServiceInfo
 	expires time.Time
+	epoch   uint64
 }
 
 // DirCacheOption configures a DirCache.
@@ -60,23 +69,51 @@ func NewDirCache(ttl time.Duration, opts ...DirCacheOption) *DirCache {
 	return c
 }
 
-// lookup returns the unexpired cached route for name.
+// lookup returns the unexpired cached route for name. Entries stored
+// under an older shard-map epoch than the cache's current one are
+// stale by definition (the topology or a binding changed) and miss.
 func (c *DirCache) lookup(name string) (directory.ServiceInfo, bool) {
 	c.mu.RLock()
 	e, ok := c.entries[name]
 	c.mu.RUnlock()
-	if !ok || !c.nowFn().Before(e.expires) {
+	if !ok || !c.nowFn().Before(e.expires) || e.epoch < c.epoch.Load() {
 		return directory.ServiceInfo{}, false
 	}
 	return e.info, true
 }
 
-// store caches a freshly resolved route for name.
+// store caches a freshly resolved route for name under the current
+// epoch.
 func (c *DirCache) store(name string, info directory.ServiceInfo) {
 	c.mu.Lock()
-	c.entries[name] = dirCacheEntry{info: info, expires: c.nowFn().Add(c.ttl)}
+	c.entries[name] = dirCacheEntry{info: info, expires: c.nowFn().Add(c.ttl), epoch: c.epoch.Load()}
 	c.mu.Unlock()
 }
+
+// SetEpoch informs the cache of a newer shard-map epoch. All entries
+// stored under older epochs become misses immediately; the map itself
+// is dropped so they don't linger. Older (out-of-order) observations
+// are ignored.
+func (c *DirCache) SetEpoch(epoch uint64) {
+	for {
+		cur := c.epoch.Load()
+		if epoch <= cur {
+			return
+		}
+		if !c.epoch.CompareAndSwap(cur, epoch) {
+			continue
+		}
+		c.mu.Lock()
+		n := len(c.entries)
+		c.entries = make(map[string]dirCacheEntry)
+		c.mu.Unlock()
+		c.invalidations.Add(int64(n))
+		return
+	}
+}
+
+// Epoch returns the newest shard-map epoch the cache has observed.
+func (c *DirCache) Epoch() uint64 { return c.epoch.Load() }
 
 // Invalidate drops the cached route for name.
 func (c *DirCache) Invalidate(name string) {

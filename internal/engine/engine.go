@@ -252,6 +252,15 @@ func (e *Engine) InvokeAddr(ctx context.Context, addr, service, method string, a
 	return e.invoker()(ctx, e.newCall(ctx, addr, service, method, args), out)
 }
 
+// invokeRouted is Invoke with the directory route already resolved
+// (group fan-out pre-resolves members in one batched pass); the
+// resolver stage skips its per-call lookup.
+func (e *Engine) invokeRouted(ctx context.Context, route directory.ServiceInfo, service, method string, args wire.Args, out any) error {
+	call := e.newCall(ctx, "", service, method, args)
+	call.Route = &route
+	return e.invoker()(ctx, call, out)
+}
+
 // isUnavailable reports whether err means "the endpoint cannot be
 // reached at all" (as opposed to the service answering with an error).
 func isUnavailable(err error) bool {
@@ -331,9 +340,18 @@ func (e *Engine) GroupInvoke(ctx context.Context, services []string, method stri
 	if span != nil {
 		span.Annotate(trace.String("method", method), trace.Int("targets", len(services)))
 	}
+	routes := e.groupRoutes(ctx, services)
 	results := e.groupRun(services, func(svc string) GroupResult {
 		var raw json.RawMessage
-		err := e.Invoke(ctx, svc, method, args, &raw)
+		var err error
+		if info, ok := routes[svc]; ok && e.dirCache == nil {
+			err = e.invokeRouted(ctx, info, svc, method, args, &raw)
+		} else {
+			// With a route cache the batch results were stored there, so
+			// the plain path hits the cache and keeps its invalidation
+			// semantics (unreachable / failover drop the entry).
+			err = e.Invoke(ctx, svc, method, args, &raw)
+		}
 		return GroupResult{Service: svc, Err: err, Raw: raw}
 	})
 	if span != nil {
@@ -341,6 +359,40 @@ func (e *Engine) GroupInvoke(ctx context.Context, services []string, method stri
 		span.FinishErr(FirstError(results))
 	}
 	return results
+}
+
+// groupRoutes pre-resolves the members of a group fan-out in one
+// directory pass: names not already in the route cache go out as a
+// single ResolveBatch (one RPC per directory shard) instead of one
+// resolver round-trip per member. Resolved routes land in the route
+// cache when one is installed. Best-effort: on any failure the members
+// simply fall back to per-call resolution, which surfaces the error.
+func (e *Engine) groupRoutes(ctx context.Context, services []string) map[string]directory.ServiceInfo {
+	if len(services) < 2 {
+		return nil
+	}
+	need := services
+	if e.dirCache != nil {
+		need = make([]string, 0, len(services))
+		for _, s := range services {
+			if _, ok := e.dirCache.lookup(s); !ok {
+				need = append(need, s)
+			}
+		}
+	}
+	if len(need) < 2 {
+		return nil
+	}
+	routes, err := e.dir.ResolveBatch(ctx, need)
+	if err != nil && len(routes) == 0 {
+		return nil
+	}
+	if e.dirCache != nil {
+		for name, info := range routes {
+			e.dirCache.store(name, info)
+		}
+	}
+	return routes
 }
 
 // validGroupPattern requires exactly one "%s" verb and nothing else

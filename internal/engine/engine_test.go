@@ -368,9 +368,10 @@ func TestGroupInvokeScalesLinearlyInMessages(t *testing.T) {
 	if !AllOK(results) {
 		t.Fatalf("results = %+v", results)
 	}
-	// n lookups + n invocations.
-	if got := w.net.Stats().Requests; got != 2*n {
-		t.Fatalf("requests = %d, want %d", got, 2*n)
+	// One batched resolution pass + n invocations: group fan-out no
+	// longer pays a directory round-trip per member.
+	if got := w.net.Stats().Requests; got != n+1 {
+		t.Fatalf("requests = %d, want %d", got, n+1)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/calendar"
 	"repro/internal/clock"
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/directory"
 	"repro/internal/metrics"
@@ -97,6 +98,12 @@ type World struct {
 	Mail  *notify.Mailbox
 	Cals  map[string]*calendar.Calendar
 	Nodes map[string]*core.Node
+
+	// Controller and CPAddr are set on sharded worlds
+	// (NewShardedWorld): the control plane publishing the shard map,
+	// and its simulated address.
+	Controller *controlplane.Controller
+	CPAddr     string
 }
 
 // NewWorld boots a directory plus one calendar node per user on a
@@ -124,13 +131,57 @@ func NewWorld(users []string, cfg sim.Config) (*World, error) {
 	return w, nil
 }
 
+// NewShardedWorld is NewWorld against a sharded directory: shards
+// shard servers at "dir0".."dirN-1" behind a control plane at "cp",
+// with every node routing through the epoch-versioned shard map.
+func NewShardedWorld(users []string, cfg sim.Config, shards int) (*World, error) {
+	net := sim.New(cfg)
+	clk := clock.NewFake(time.Date(2003, 4, 21, 8, 0, 0, 0, time.UTC))
+	list := make([]controlplane.Shard, shards)
+	servers := make([]*directory.Server, shards)
+	for i := 0; i < shards; i++ {
+		id := fmt.Sprintf("shard%d", i)
+		srv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(time.Hour), directory.WithShard(id))
+		ln, err := net.Listen(fmt.Sprintf("dir%d", i), srv.Handler())
+		if err != nil {
+			return nil, err
+		}
+		list[i] = controlplane.Shard{ID: id, Addr: ln.Addr()}
+		servers[i] = srv
+	}
+	ctl := controlplane.NewController(list)
+	for _, srv := range servers {
+		ctl.Subscribe(srv.SetTable)
+	}
+	if _, err := net.Listen("cp", ctl.Handler()); err != nil {
+		return nil, err
+	}
+	w := &World{
+		Net:        net,
+		Clk:        clk,
+		Dir:        directory.NewShardedClient(net, "cp"),
+		Mail:       notify.NewMailbox(),
+		Cals:       map[string]*calendar.Calendar{},
+		Nodes:      map[string]*core.Node{},
+		Controller: ctl,
+		CPAddr:     "cp",
+	}
+	for _, u := range users {
+		if err := w.AddUser(u, 0); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
 // AddUser boots one more calendar node. Nodes record per-method
 // metrics into the process default registry, so a sydbench run (or a
 // test) can snapshot every layer's counts and latencies afterwards.
 func (w *World) AddUser(user string, priority int) error {
 	ctx := context.Background()
 	n, err := core.Start(ctx, core.Config{
-		User: user, Net: w.Net, DirAddr: "dir", Clock: w.Clk, Priority: priority,
+		User: user, Net: w.Net, DirAddr: "dir", ControlPlaneAddr: w.CPAddr,
+		Clock: w.Clk, Priority: priority,
 	}, core.WithMetrics(metrics.Default()))
 	if err != nil {
 		return err
@@ -150,20 +201,21 @@ type Runner func() (*Result, error)
 // All returns every experiment keyed by id, plus the sorted id list.
 func All() (map[string]Runner, []string) {
 	m := map[string]Runner{
-		"F1": RunF1,
-		"F2": RunF2,
-		"F3": RunF3,
-		"F4": RunF4,
-		"E1": RunE1,
-		"E2": RunE2,
-		"E3": RunE3,
-		"E4": RunE4,
-		"E5": RunE5,
-		"E6": RunE6,
-		"T1": RunT1,
-		"T2": RunT2,
-		"A1": RunA1,
-		"A2": RunA2,
+		"F1":  RunF1,
+		"F2":  RunF2,
+		"F3":  RunF3,
+		"F3s": RunF3Sharded,
+		"F4":  RunF4,
+		"E1":  RunE1,
+		"E2":  RunE2,
+		"E3":  RunE3,
+		"E4":  RunE4,
+		"E5":  RunE5,
+		"E6":  RunE6,
+		"T1":  RunT1,
+		"T2":  RunT2,
+		"A1":  RunA1,
+		"A2":  RunA2,
 	}
 	ids := make([]string, 0, len(m))
 	for id := range m {

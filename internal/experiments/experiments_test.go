@@ -17,7 +17,7 @@ func ctxBackground() context.Context { return context.Background() }
 // error when a paper-shape expectation is violated).
 func TestAllExperimentsRun(t *testing.T) {
 	reg, ids := All()
-	if len(ids) != 14 {
+	if len(ids) != 15 {
 		t.Fatalf("registered %d experiments: %v", len(ids), ids)
 	}
 	for _, id := range ids {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/links"
 	"repro/internal/wire"
 )
@@ -39,19 +40,36 @@ type chaosRound struct {
 	entity    string
 	latBase   time.Duration
 	latJitter time.Duration
+	bumpEpoch bool // sharded runs only: bump the shard-map epoch mid-flight
 }
 
 func TestChaosNegotiations(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runChaos(t, seed, 55) // 55 rounds x 2 racing negotiations x 3 seeds = 330 total
+			h := newHarness(t, "a", "b", "x", "y")
+			runChaos(t, h, nil, seed, 55) // 55 rounds x 2 racing negotiations x 3 seeds = 330 total
 		})
 	}
 }
 
-func runChaos(t *testing.T, seed int64, rounds int) {
-	h := newHarness(t, "a", "b", "x", "y")
+// TestChaosNegotiationsSharded reruns the chaos schedule against a
+// 4-shard directory behind the control plane, with shard-map epoch
+// bumps landing mid-negotiation on ~30% of rounds. The negotiation
+// invariants must hold unchanged: an epoch bump flushes every node's
+// route cache but must never break an in-flight two-phase commit or
+// the journal redrive that heals it.
+func TestChaosNegotiationsSharded(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			h, ctl := newShardedHarness(t, "a", "b", "x", "y")
+			runChaos(t, h, ctl, seed, 55)
+		})
+	}
+}
+
+func runChaos(t *testing.T, h *harness, ctl *controlplane.Controller, seed int64, rounds int) {
 	ctx := context.Background()
 	tun := links.Tuning{RetryBase: 100 * time.Millisecond, PresumeAbortAfter: 30 * time.Second}
 	for _, n := range h.nodes {
@@ -111,6 +129,9 @@ func runChaos(t *testing.T, seed int64, rounds int) {
 			r.latBase = time.Duration(rng.Intn(3)) * time.Millisecond
 			r.latJitter = time.Duration(rng.Intn(2)) * time.Millisecond
 		}
+		if ctl != nil && rng.Float64() < 0.3 {
+			r.bumpEpoch = true
+		}
 
 		// Arm the faults on the live network.
 		h.net.SetLoss(r.loss)
@@ -163,6 +184,7 @@ func runChaos(t *testing.T, seed int64, rounds int) {
 		sweepWG.Add(1)
 		go func() {
 			defer sweepWG.Done()
+			first := true
 			for {
 				select {
 				case <-sweepStop:
@@ -172,6 +194,13 @@ func runChaos(t *testing.T, seed int64, rounds int) {
 				for _, n := range h.nodes {
 					n.Links.FaultSweep(ctx, h.clk.Now())
 				}
+				if first && r.bumpEpoch {
+					// Epoch bump lands while both negotiations are in
+					// flight: every node's next directory response
+					// flushes its route cache mid-two-phase-commit.
+					ctl.Bump()
+				}
+				first = false
 				time.Sleep(time.Millisecond)
 			}
 		}()

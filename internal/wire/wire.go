@@ -109,6 +109,7 @@ const (
 	CodeUnavailable ErrCode = "unavailable" // device down / unreachable
 	CodeInternal    ErrCode = "internal"    // handler error
 	CodeInDoubt     ErrCode = "in-doubt"    // commit phase diverged; recovery sweeper is resolving
+	CodeWrongShard  ErrCode = "wrong-shard" // directory op routed to a shard that does not own the key
 )
 
 // RemoteError is the error type surfaced to engine callers for a
