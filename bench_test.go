@@ -39,6 +39,11 @@ func BenchmarkF3_DirectoryOps(b *testing.B)         { benchExperiment(b, "F3") }
 func BenchmarkF3s_DirectoryOpsSharded(b *testing.B) { benchExperiment(b, "F3s") }
 func BenchmarkF4_NegotiationOr(b *testing.B)        { benchExperiment(b, "F4") }
 
+// BenchmarkF4_FailoverRecovery measures a complete replication
+// failover round: primary dies, the follower wins the expired lease,
+// boots over the shipped WAL, and the directory re-points.
+func BenchmarkF4_FailoverRecovery(b *testing.B) { bench.F4FailoverRecovery(b) }
+
 // Scenario-equivalents (paper §4.4 and §5).
 func BenchmarkE1_CancelCascade(b *testing.B)      { benchExperiment(b, "E1") }
 func BenchmarkE2_TentativeConfirm(b *testing.B)   { benchExperiment(b, "E2") }
@@ -75,6 +80,11 @@ func BenchmarkMicro_NegotiationAnd(b *testing.B) { bench.MicroNegotiationAnd(b) 
 // BenchmarkMicro_MeetingLifecycle measures setup + cancel of a
 // three-party meeting (the full link topology install and cascade).
 func BenchmarkMicro_MeetingLifecycle(b *testing.B) { bench.MicroMeetingLifecycle(b) }
+
+// BenchmarkMicro_WALShip measures one replication shipping round: a
+// logged mutation read back as WAL frames and applied by a follower
+// receiver.
+func BenchmarkMicro_WALShip(b *testing.B) { bench.MicroWALShip(b) }
 
 // BenchmarkDirectoryCache contrasts the Invoke hot path with and
 // without the client-side route cache: "uncached" pays a directory

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/controlplane"
 	"repro/internal/directory"
+	"repro/internal/replication"
 	"repro/internal/transport"
 )
 
@@ -46,6 +48,7 @@ func main() {
 	poolSize := flag.Int("conn-pool", 0, "TCP connections per peer (0 = min(4, GOMAXPROCS))")
 	shards := flag.Int("shards", 1, "number of directory shards (1 = single unsharded server)")
 	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard bind addresses (defaults to consecutive ports above -addr)")
+	healthSweep := flag.Duration("health-sweep", 0, "run the replication health sweeper this often: expired leases whose primary is gone get the best follower promoted (0 = off)")
 	flag.Parse()
 
 	net := transport.NewTCP(transport.WithPoolSize(*poolSize))
@@ -58,6 +61,7 @@ func main() {
 			log.Fatalf("syddirectory: %v", err)
 		}
 		log.Printf("syddirectory: serving on %s (heartbeat TTL %v)", ln.Addr(), *ttl)
+		startSweeper(net, directory.NewClient(net, ln.Addr()), *healthSweep)
 		run([]saver{{srv, *statePath}}, *saveEvery, ln.Close)
 		return
 	}
@@ -92,6 +96,7 @@ func main() {
 		log.Fatalf("syddirectory: control plane: %v", err)
 	}
 	closers = append(closers, cln.Close)
+	startSweeper(net, directory.NewShardedClient(net, cln.Addr()), *healthSweep)
 	log.Printf("syddirectory: control plane on %s, %d shards (heartbeat TTL %v)", cln.Addr(), *shards, *ttl)
 	for _, s := range shardList {
 		log.Printf("syddirectory: %s on %s", s.ID, s.Addr)
@@ -105,6 +110,24 @@ func main() {
 		}
 		return first
 	})
+}
+
+// startSweeper runs the replication health sweeper against this
+// directory when -health-sweep is set: the control-plane backstop that
+// promotes a follower when a dead primary's followers cannot see the
+// expiry themselves.
+func startSweeper(net transport.Network, dir *directory.Client, every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	sweeper, err := replication.NewSweeper(replication.SweeperConfig{
+		Net: net, Dir: dir, Grace: every, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("syddirectory: health sweeper: %v", err)
+	}
+	sweeper.Start(context.Background(), every)
+	log.Printf("syddirectory: replication health sweeper every %v", every)
 }
 
 // saver pairs a shard server with its persistence path ("" = none).

@@ -13,10 +13,16 @@ import (
 	"time"
 
 	"repro/internal/calendar"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/directory"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/links"
+	"repro/internal/replication"
 	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/wal"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -172,6 +178,137 @@ func MicroMeetingLifecycle(b *testing.B) {
 	}
 }
 
+// slotSchema is the replicated table the replication benchmarks write.
+var slotSchema = store.Schema{
+	Name: "slots",
+	Columns: []store.Column{
+		{Name: "entity", Type: store.String},
+		{Name: "holder", Type: store.String},
+	},
+	Key: []string{"entity"},
+}
+
+// MicroWALShip measures one replication shipping round: a logged
+// store mutation on the primary's durable database, read back as raw
+// WAL frames and verified-then-applied by a follower receiver — the
+// per-commit cost of keeping a warm standby current.
+func MicroWALShip(b *testing.B) {
+	prim, err := wal.Open(b.TempDir(), wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer prim.Close()
+	tbl := prim.DB.MustCreateTable(slotSchema)
+	recv, err := wal.OpenReceiver(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer recv.Close()
+	ship := func() {
+		batch, err := prim.ReadFrames(recv.AppliedLSN()+1, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(batch.Frames) > 0 {
+			if _, err := recv.AppendFrames(batch.Frames); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	ship() // drain the DDL record before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.Insert(store.Row{"entity": fmt.Sprintf("e%d", i), "holder": "bench"}); err != nil {
+			b.Fatal(err)
+		}
+		ship()
+	}
+	b.StopTimer()
+	if recv.AppliedLSN() != prim.LastLSN() {
+		b.Fatalf("follower at %d, primary at %d", recv.AppliedLSN(), prim.LastLSN())
+	}
+}
+
+// F4FailoverRecovery measures a complete failover round: a replicated
+// primary with acked state dies, its follower wins the expired lease,
+// boots a full node over the shipped WAL, and the directory re-points
+// — the end-to-end recovery cost of the replication subsystem (the
+// lease wait itself is skipped via a manual clock; what is measured is
+// the machinery, not the configured TTL).
+func F4FailoverRecovery(b *testing.B) {
+	ctx := context.Background()
+	const ttl = 30 * time.Second
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net := sim.New(sim.Config{})
+		clk := clock.NewFake(time.Date(2003, 4, 21, 9, 0, 0, 0, time.UTC))
+		srv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(100*time.Hour))
+		if _, err := net.Listen("dir", srv.Handler()); err != nil {
+			b.Fatal(err)
+		}
+		x, err := core.Start(ctx, core.Config{
+			User: "x", Net: net, DirAddr: "dir", Clock: clk,
+			DataDir: b.TempDir(), LeaseTTL: ttl, Replicas: []string{"r1"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl := x.DB.MustCreateTable(slotSchema)
+		if err := tbl.Insert(store.Row{"entity": "s0", "holder": "M0"}); err != nil {
+			b.Fatal(err)
+		}
+		promoted := make(chan *core.Node, 1)
+		fdir := b.TempDir()
+		f, err := replication.StartFollower(ctx, replication.FollowerConfig{
+			User: "x", Net: net, Dir: directory.NewClient(net, "dir"),
+			DataDir: fdir, ListenAddr: "r1", LeaseTTL: ttl, Clock: clk,
+			Promote: func(pctx context.Context, holder string) (string, error) {
+				n, err := core.Start(pctx, core.Config{
+					User: "x", Net: net, DirAddr: "dir", Clock: clk,
+					DataDir: fdir, LeaseTTL: ttl, LeaseHolder: holder,
+				})
+				if err != nil {
+					return "", err
+				}
+				promoted <- n
+				return n.Addr(), nil
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f.AppliedLSN() < x.Durable.LastLSN() {
+			if err := f.PullOnce(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		x.Events.Close()
+		net.SetDown("node-x", true)
+		clk.Advance(ttl + time.Second)
+		did, err := f.CheckLease(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !did {
+			b.Fatal("follower did not promote")
+		}
+		x2 := <-promoted
+		t2, err := x2.DB.Table("slots")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r, ok := t2.Get("s0"); !ok || r["holder"].(string) != "M0" {
+			b.Fatalf("replicated slot lost: %v", r)
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = x2.Close(cctx)
+		cancel()
+		_ = f.Close()
+		_ = x.Durable.Close()
+	}
+}
+
 // Def names one benchmark in the trajectory suite.
 type Def struct {
 	Name string
@@ -191,6 +328,8 @@ func Trajectory() []Def {
 		{Name: "F2_LayerOverhead", Run: func(b *testing.B) { Experiment(b, "F2") }},
 		{Name: "F3_DirectoryOps", Run: func(b *testing.B) { Experiment(b, "F3") }},
 		{Name: "F4_NegotiationOr", Run: func(b *testing.B) { Experiment(b, "F4") }},
+		{Name: "Micro_WALShip", Run: MicroWALShip},
+		{Name: "F4_FailoverRecovery", Run: F4FailoverRecovery},
 	}
 }
 

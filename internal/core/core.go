@@ -22,6 +22,7 @@ import (
 	"repro/internal/links"
 	"repro/internal/listener"
 	"repro/internal/metrics"
+	"repro/internal/replication"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -101,6 +102,19 @@ type Config struct {
 	// retry backoff, attempts, presumed-abort horizon). Zero fields
 	// keep the links defaults.
 	LinkTuning links.Tuning
+	// LeaseTTL, when > 0, turns on replication: the node acquires the
+	// directory lease for User at boot (failing Start if a rival holds
+	// it — the split-brain check), renews it on a LeaseTTL/3 cadence,
+	// fences its own listener when the lease is invalid, and serves
+	// WAL shipping under repl.<User>. Requires DataDir.
+	LeaseTTL time.Duration
+	// Replicas lists follower addresses reported to the directory on
+	// every lease renewal — the promotion candidate set.
+	Replicas []string
+	// LeaseHolder overrides the lease identity (defaults to the bound
+	// listen address). A promoted follower passes the holder id it won
+	// the lease under so its renewals keep matching.
+	LeaseHolder string
 }
 
 // Option mutates a Config before the node boots — the functional-
@@ -154,6 +168,16 @@ func WithDurability(dataDir string, sync wal.SyncPolicy, checkpointEvery time.Du
 	}
 }
 
+// WithReplication turns on WAL shipping and lease-based failover:
+// the node holds the directory lease for its user, renewing every
+// leaseTTL/3, and ships its log to the followers at replicas.
+func WithReplication(leaseTTL time.Duration, replicas ...string) Option {
+	return func(c *Config) {
+		c.LeaseTTL = leaseTTL
+		c.Replicas = replicas
+	}
+}
+
 // Node is a running SyD device node.
 type Node struct {
 	User string
@@ -168,6 +192,9 @@ type Node struct {
 	// Durable is the database's durability layer when Config.DataDir
 	// was set (nil otherwise). Node.Close checkpoints and closes it.
 	Durable *wal.Durable
+	// Repl is the node's replication primary when Config.LeaseTTL was
+	// set (nil otherwise).
+	Repl *replication.Primary
 	// Tracer is the node's span recorder (nil when tracing is off).
 	Tracer *trace.Tracer
 
@@ -313,6 +340,41 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		lm.SetTuning(cfg.LinkTuning)
 	}
 
+	// Replication: acquire the lease BEFORE registering with the
+	// directory. A restarted old primary whose follower was promoted
+	// fails right here with a lease conflict — it never re-publishes
+	// its address, so clients keep resolving the promoted node.
+	var repl *replication.Primary
+	if cfg.LeaseTTL > 0 {
+		if durable == nil {
+			ln.Close()
+			return nil, fmt.Errorf("core: replication (LeaseTTL) requires DataDir")
+		}
+		holder := cfg.LeaseHolder
+		if holder == "" {
+			holder = ln.Addr()
+		}
+		repl, err = replication.NewPrimary(replication.PrimaryConfig{
+			User:     cfg.User,
+			Durable:  durable,
+			Dir:      dir,
+			Holder:   holder,
+			Replicas: cfg.Replicas,
+			LeaseTTL: cfg.LeaseTTL,
+			Clock:    clk,
+			Metrics:  cfg.Metrics,
+		})
+		if err == nil {
+			err = repl.Renew(ctx)
+		}
+		if err != nil {
+			ln.Close()
+			closeDurable()
+			return nil, fmt.Errorf("core: replication: %w", err)
+		}
+		lis.Use(repl.FenceMiddleware())
+	}
+
 	n := &Node{
 		User:     cfg.User,
 		DB:       db,
@@ -323,6 +385,7 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		Dir:      dir,
 		Clock:    clk,
 		Durable:  durable,
+		Repl:     repl,
 		Tracer:   tracer,
 		cfg:      cfg,
 		ln:       ln,
@@ -350,6 +413,20 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 			closeDurable()
 			return nil, err
 		}
+	}
+	if repl != nil {
+		if err := n.RegisterService(ctx, replication.ServiceFor(cfg.User), repl.Object()); err != nil {
+			ln.Close()
+			closeDurable()
+			return nil, err
+		}
+		// Renew well inside the TTL so one dropped renewal does not
+		// expire the lease.
+		events.Every(cfg.LeaseTTL/3, func(time.Time) {
+			rnCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = repl.Renew(rnCtx)
+		})
 	}
 
 	if cfg.HeartbeatEvery > 0 {

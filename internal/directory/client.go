@@ -515,3 +515,55 @@ func (c *Client) RegisterProxy(ctx context.Context, id, addr string) error {
 		return c.callAddr(ctx, shardAddr, "RegisterProxy", wire.Args{"id": id, "addr": addr}, nil)
 	})
 }
+
+// --- lease ops -------------------------------------------------------------
+
+// RenewLease acquires or renews the replication lease on user for
+// holder, reporting the follower addresses a promoter should consult.
+// A nil replicas leaves the stored candidate set unchanged. Fails with
+// CodeConflict while another holder's lease is live — the caller must
+// stop acting as primary immediately.
+func (c *Client) RenewLease(ctx context.Context, user, holder string, ttl time.Duration, replicas []string) (LeaseInfo, error) {
+	var info LeaseInfo
+	args := wire.Args{"id": user, "holder": holder, "ttl": int64(ttl)}
+	if replicas != nil {
+		args["replicas"] = replicas
+	}
+	err := c.call(ctx, user, "RenewLease", args, &info)
+	return info, err
+}
+
+// GetLease reads the replication lease on user. CodeNoService when
+// the user is not replicated.
+func (c *Client) GetLease(ctx context.Context, user string) (LeaseInfo, error) {
+	var info LeaseInfo
+	err := c.call(ctx, user, "GetLease", wire.Args{"id": user}, &info)
+	return info, err
+}
+
+// ListLeases returns every replication lease (merged across shards) —
+// the health sweeper's work list.
+func (c *Client) ListLeases(ctx context.Context) ([]LeaseInfo, error) {
+	var infos []LeaseInfo
+	err := c.fanout(ctx, "ListLeases", wire.Args{}, func(addr string) error {
+		var part []LeaseInfo
+		if err := c.callAddr(ctx, addr, "ListLeases", wire.Args{}, &part); err != nil {
+			return err
+		}
+		infos = append(infos, part...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].User < infos[j].User })
+	return infos, nil
+}
+
+// Repoint rebinds a promoted node in one RPC: the user record and
+// every service it owns flip to addr, so clients resolve the new
+// primary as soon as their caches invalidate (epoch bump) instead of
+// waiting out directory TTLs.
+func (c *Client) Repoint(ctx context.Context, user, addr string) error {
+	return c.call(ctx, user, "Repoint", wire.Args{"id": user, "addr": addr}, nil)
+}

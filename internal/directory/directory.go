@@ -92,6 +92,11 @@ type Server struct {
 	services *store.Table
 	members  *store.Table
 	proxies  *store.Table
+	leases   *store.Table
+
+	// leaseMu makes lease check-and-set indivisible (two followers
+	// racing to take over an expired lease must not both win).
+	leaseMu sync.Mutex
 
 	// shardID is this node's identity in the shard map ("" when the
 	// server is the whole, unsharded directory); table is the current
@@ -180,6 +185,7 @@ func NewServer(opts ...Option) *Server {
 			},
 			Key: []string{"id"},
 		}),
+		leases: db.MustCreateTable(leaseSchema),
 	}
 	if err := s.members.CreateIndex("group"); err != nil {
 		panic(err)
@@ -438,6 +444,11 @@ func RestoreServer(r io.Reader, opts ...Option) (*Server, error) {
 	if s.proxies, err = db.Table("proxies"); err != nil {
 		return nil, err
 	}
+	// Snapshots written before replication existed have no leases
+	// table — create it rather than refusing the restore.
+	if s.leases, err = db.Table("leases"); err != nil {
+		s.leases = db.MustCreateTable(leaseSchema)
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -463,6 +474,8 @@ func routingKey(method string, a wire.Args) string {
 		return ShardKey(a.String("name"))
 	case "CreateGroup", "AddMember", "RemoveMember", "GroupMembers":
 		return a.String("group")
+	case "RenewLease", "GetLease", "Repoint":
+		return a.String("id") // co-located with the user record; ListLeases fans out
 	}
 	return ""
 }
@@ -605,6 +618,25 @@ func (s *Server) dispatch(ctx context.Context, req *transport.Request) *transpor
 		return ok(s.groupMembers(a.String("group")))
 	case "RegisterProxy":
 		if err := s.registerProxy(a.String("id"), a.String("addr")); err != nil {
+			return fail(err)
+		}
+		return ok(true)
+	case "RenewLease":
+		info, err := s.renewLease(a.String("id"), a.String("holder"), time.Duration(a.Int64("ttl")), a.Strings("replicas"))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(info)
+	case "GetLease":
+		info, err := s.getLease(a.String("id"))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(info)
+	case "ListLeases":
+		return ok(s.listLeases())
+	case "Repoint":
+		if err := s.repoint(a.String("id"), a.String("addr")); err != nil {
 			return fail(err)
 		}
 		return ok(true)

@@ -1,0 +1,149 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Replication leases. The directory is the single lease arbiter: a
+// primary for user <id> holds the lease by renewing it before it
+// expires, and a follower may only promote itself by acquiring the
+// expired lease here. Expiry is computed on the directory's clock —
+// holders never compare their own clocks against the deadline, they
+// only learn "you still hold it" (renewal succeeds) or "someone else
+// does" (CodeConflict), which removes clock skew from the safety
+// argument.
+
+// leaseSchema is the replication-lease table. Keyed by the replicated
+// user id so ShardKey co-locates a lease with the user record it
+// protects.
+var leaseSchema = store.Schema{
+	Name: "leases",
+	Columns: []store.Column{
+		{Name: "id", Type: store.String},
+		{Name: "holder", Type: store.String},
+		{Name: "deadline", Type: store.Time},
+		{Name: "replicas", Type: store.String}, // comma-joined
+	},
+	Key: []string{"id"},
+}
+
+// LeaseInfo is the directory record for one replication lease.
+type LeaseInfo struct {
+	// User is the replicated identity the lease protects.
+	User string `json:"user"`
+	// Holder identifies the node currently allowed to act as primary.
+	Holder string `json:"holder"`
+	// Deadline is when the lease expires on the directory's clock.
+	Deadline time.Time `json:"deadline"`
+	// Replicas lists the follower addresses the holder last reported —
+	// the candidate set for promotion when the lease expires.
+	Replicas []string `json:"replicas,omitempty"`
+	// Expired is computed server-side at read time.
+	Expired bool `json:"expired"`
+}
+
+// renewLease acquires or renews the lease on id for holder. It fails
+// with CodeConflict while a different holder's lease is still live;
+// an expired lease is taken over (leaseMu makes the check-and-set
+// indivisible when two followers race to promote). replicas, when
+// non-nil, replaces the stored candidate set.
+func (s *Server) renewLease(id, holder string, ttl time.Duration, replicas []string) (LeaseInfo, error) {
+	if id == "" || holder == "" {
+		return LeaseInfo{}, fmt.Errorf("directory: lease id and holder are required")
+	}
+	if ttl <= 0 {
+		return LeaseInfo{}, fmt.Errorf("directory: lease ttl must be positive")
+	}
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	now := s.clock.Now()
+	deadline := now.Add(ttl)
+	if r, ok := s.leases.Get(id); ok {
+		if cur := r["holder"].(string); cur != holder && r["deadline"].(time.Time).After(now) {
+			return LeaseInfo{}, &wire.RemoteError{
+				Code: wire.CodeConflict,
+				Msg: fmt.Sprintf("directory: lease on %q held by %q until %s",
+					id, cur, r["deadline"].(time.Time).Format(time.RFC3339)),
+			}
+		}
+		ch := store.Row{"holder": holder, "deadline": deadline}
+		if replicas != nil {
+			ch["replicas"] = strings.Join(replicas, ",")
+		}
+		if err := s.leases.Update(ch, id); err != nil {
+			return LeaseInfo{}, err
+		}
+	} else {
+		row := store.Row{"id": id, "holder": holder, "deadline": deadline, "replicas": strings.Join(replicas, ",")}
+		if err := s.leases.Insert(row); err != nil {
+			return LeaseInfo{}, err
+		}
+	}
+	return LeaseInfo{User: id, Holder: holder, Deadline: deadline, Replicas: replicas}, nil
+}
+
+// getLease reads the lease on id. CodeNoService when no lease exists.
+func (s *Server) getLease(id string) (LeaseInfo, error) {
+	r, ok := s.leases.Get(id)
+	if !ok {
+		return LeaseInfo{}, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("no lease on %q", id)}
+	}
+	return leaseInfo(r, s.clock.Now()), nil
+}
+
+// listLeases returns every lease this server (shard) holds.
+func (s *Server) listLeases() []LeaseInfo {
+	now := s.clock.Now()
+	rows := s.leases.Select(nil)
+	out := make([]LeaseInfo, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, leaseInfo(r, now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+func leaseInfo(r store.Row, now time.Time) LeaseInfo {
+	var replicas []string
+	if joined := r["replicas"].(string); joined != "" {
+		replicas = strings.Split(joined, ",")
+	}
+	deadline := r["deadline"].(time.Time)
+	return LeaseInfo{
+		User:     r["id"].(string),
+		Holder:   r["holder"].(string),
+		Deadline: deadline,
+		Replicas: replicas,
+		Expired:  !deadline.After(now),
+	}
+}
+
+// repoint rebinds a promoted node in one RPC: the user record's
+// address flips to the new node (keeping its proxy binding, exactly
+// like re-registration) and every service the user owns follows.
+// ShardKey co-locates a user with its services, so one shard-local
+// call re-points everything a client can resolve — no waiting for
+// directory cache TTLs beyond the epoch bump.
+func (s *Server) repoint(id, addr string) error {
+	if id == "" || addr == "" {
+		return fmt.Errorf("directory: repoint id and addr are required")
+	}
+	if _, ok := s.users.Get(id); !ok {
+		return &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("unknown user %q", id)}
+	}
+	if err := s.users.Update(store.Row{"addr": addr, "offline": false, "lastSeen": s.clock.Now()}, id); err != nil {
+		return err
+	}
+	for _, r := range s.services.SelectEq("owner", id) {
+		if err := s.services.Update(store.Row{"addr": addr}, r["name"].(string)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

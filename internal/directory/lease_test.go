@@ -1,0 +1,198 @@
+package directory
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+func TestLeaseAcquireRenewConflict(t *testing.T) {
+	c, clk, _ := newDirectory(t)
+	ctx := ctxT(t)
+
+	// First acquisition creates the lease.
+	info, err := c.RenewLease(ctx, "phil", "node-1", 30*time.Second, []string{"r1", "r2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Holder != "node-1" || !info.Deadline.Equal(clk.Now().Add(30*time.Second)) {
+		t.Fatalf("info = %+v", info)
+	}
+
+	// A different holder cannot take a live lease.
+	_, err = c.RenewLease(ctx, "phil", "node-2", 30*time.Second, nil)
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("rival renew err = %v, want CodeConflict", err)
+	}
+
+	// The holder renews freely; nil replicas keeps the stored set.
+	clk.Advance(20 * time.Second)
+	if _, err := c.RenewLease(ctx, "phil", "node-1", 30*time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetLease(ctx, "phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Replicas, []string{"r1", "r2"}) || got.Expired {
+		t.Fatalf("lease after renew = %+v", got)
+	}
+}
+
+func TestLeaseExpiryTakeover(t *testing.T) {
+	c, clk, _ := newDirectory(t)
+	ctx := ctxT(t)
+	if _, err := c.RenewLease(ctx, "phil", "node-1", 10*time.Second, []string{"r1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Still live at the deadline boundary? Expiry is deadline-inclusive:
+	// !deadline.After(now) — at exactly +10s the lease is expired.
+	clk.Advance(10 * time.Second)
+	got, err := c.GetLease(ctx, "phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Expired {
+		t.Fatalf("lease at deadline = %+v, want expired", got)
+	}
+
+	// An expired lease is taken over; new holder's replicas replace.
+	if _, err := c.RenewLease(ctx, "phil", "node-2", 10*time.Second, []string{"r2"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.GetLease(ctx, "phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Holder != "node-2" || !reflect.DeepEqual(got.Replicas, []string{"r2"}) {
+		t.Fatalf("lease after takeover = %+v", got)
+	}
+
+	// The old holder is now the rival and gets fenced.
+	_, err = c.RenewLease(ctx, "phil", "node-1", 10*time.Second, nil)
+	if wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("old holder renew err = %v, want CodeConflict", err)
+	}
+}
+
+func TestLeaseGetUnknown(t *testing.T) {
+	c, _, _ := newDirectory(t)
+	_, err := c.GetLease(ctxT(t), "ghost")
+	if wire.CodeOf(err) != wire.CodeNoService {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLeaseList(t *testing.T) {
+	c, clk, _ := newDirectory(t)
+	ctx := ctxT(t)
+	if _, err := c.RenewLease(ctx, "zoe", "n-z", 5*time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RenewLease(ctx, "abe", "n-a", 60*time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(6 * time.Second)
+	leases, err := c.ListLeases(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 2 || leases[0].User != "abe" || leases[1].User != "zoe" {
+		t.Fatalf("leases = %+v", leases)
+	}
+	if leases[0].Expired || !leases[1].Expired {
+		t.Fatalf("expiry flags = %+v", leases)
+	}
+}
+
+func TestRepointRebindsUserAndServices(t *testing.T) {
+	c, _, _ := newDirectory(t)
+	ctx := ctxT(t)
+	if err := c.RegisterUser(ctx, "phil", "node-old", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{"cal.phil", "links.phil"} {
+		if err := c.RegisterService(ctx, svc, "phil", "node-old", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := c.Repoint(ctx, "phil", "node-new"); err != nil {
+		t.Fatal(err)
+	}
+
+	u, err := c.LookupUser(ctx, "phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Addr != "node-new" || !u.Online {
+		t.Fatalf("user after repoint = %+v", u)
+	}
+	for _, svc := range []string{"cal.phil", "links.phil"} {
+		si, err := c.LookupService(ctx, svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if si.Addr != "node-new" {
+			t.Fatalf("%s addr = %q, want node-new", svc, si.Addr)
+		}
+	}
+
+	if err := c.Repoint(ctx, "ghost", "nowhere"); wire.CodeOf(err) != wire.CodeNoService {
+		t.Fatalf("repoint unknown user err = %v", err)
+	}
+}
+
+// TestLeaseSurvivesSnapshotRestore covers both directions: leases are
+// in the snapshot, and a pre-replication snapshot (no leases table)
+// still restores.
+func TestLeaseSurvivesSnapshotRestore(t *testing.T) {
+	c, clk, _ := newDirectory(t)
+	ctx := ctxT(t)
+	if _, err := c.RenewLease(ctx, "phil", "node-1", 30*time.Second, []string{"r1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := lastServer.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreServer(&buf, WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.getLease("phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Holder != "node-1" || !reflect.DeepEqual(got.Replicas, []string{"r1"}) {
+		t.Fatalf("restored lease = %+v", got)
+	}
+
+	// A snapshot from a server that predates replication: a DB holding
+	// the four original tables but no leases table.
+	old := store.NewDB()
+	for _, name := range []string{"users", "services", "members", "proxies"} {
+		old.MustCreateTable(store.Schema{
+			Name:    name,
+			Columns: []store.Column{{Name: "id", Type: store.String}},
+			Key:     []string{"id"},
+		})
+	}
+	buf.Reset()
+	if err := old.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err = RestoreServer(&buf, WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.renewLease("zoe", "n", time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+}

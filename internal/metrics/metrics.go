@@ -57,6 +57,7 @@ const (
 	LayerServer Layer = "server" // listener middleware (handler time only)
 	LayerWAL    Layer = "wal"    // durability subsystem (internal/wal): commit, fsync, batch, recovery, checkpoint
 	LayerLinks  Layer = "links"  // negotiation protocol: outcomes, commit retries, journal expiry, participant resolution
+	LayerRepl   Layer = "repl"   // replication: WAL shipping, snapshot bootstrap, lease renewal, promotion
 )
 
 type seriesKey struct {

@@ -141,6 +141,58 @@ func listCheckpoints(dir string) ([]segmentInfo, error) {
 	return cps, nil
 }
 
+// writeCheckpointFile writes a checkpoint snapshot atomically (tmp +
+// fsync + rename + dir sync).
+func writeCheckpointFile(dir string, data []byte, cpLSN uint64) error {
+	final := filepath.Join(dir, checkpointName(cpLSN))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("wal: checkpoint dir sync: %w", err)
+	}
+	return nil
+}
+
+// pruneCheckpoints keeps the checkpoint at cpLSN plus its newest
+// predecessor (the corrupt-newest fallback), deletes older ones, and
+// returns the oldest retained LSN — segments below keepLSN+1 are safe
+// to trim.
+func pruneCheckpoints(dir string, cpLSN uint64) (keepLSN uint64, err error) {
+	cps, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	keepLSN = cpLSN
+	for _, cp := range cps {
+		switch {
+		case cp.first >= cpLSN:
+			// The checkpoint just written (or a stray newer name).
+		case keepLSN == cpLSN:
+			keepLSN = cp.first // newest predecessor: the fallback
+		default:
+			_ = os.Remove(cp.path)
+		}
+	}
+	return keepLSN, nil
+}
+
 // restoreNewestCheckpoint loads the newest checkpoint that restores
 // cleanly into db and returns its LSN (0 when none). A corrupt newer
 // checkpoint is skipped — store.Restore rolls back its partial tables,
@@ -181,48 +233,16 @@ func (d *Durable) Checkpoint() error {
 	if err := d.DB.Snapshot(&buf); err != nil {
 		return fmt.Errorf("wal: checkpoint snapshot: %w", err)
 	}
-	final := filepath.Join(d.dir, checkpointName(cpLSN))
-	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: checkpoint: %w", err)
+	if err := writeCheckpointFile(d.dir, buf.Bytes(), cpLSN); err != nil {
+		return err
 	}
-	if _, err := f.Write(buf.Bytes()); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: checkpoint write: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: checkpoint sync: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("wal: checkpoint close: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("wal: checkpoint rename: %w", err)
-	}
-	if err := syncDir(d.dir); err != nil {
-		return fmt.Errorf("wal: checkpoint dir sync: %w", err)
-	}
-
 	// The checkpoint is durable. Keep the previous checkpoint as the
 	// fallback for a corrupt newest, drop anything older, and trim only
 	// the log segments no retained checkpoint needs: the fallback must
 	// still be able to replay from its own LSN up to the tail.
-	cps, err := listCheckpoints(d.dir)
+	keepLSN, err := pruneCheckpoints(d.dir, cpLSN)
 	if err != nil {
 		return err
-	}
-	keepLSN := cpLSN
-	for _, cp := range cps {
-		switch {
-		case cp.first >= cpLSN:
-			// The checkpoint just written (or a stray newer name).
-		case keepLSN == cpLSN:
-			keepLSN = cp.first // newest predecessor: the fallback
-		default:
-			_ = os.Remove(cp.path)
-		}
 	}
 	if err := d.wal.trimBelow(keepLSN + 1); err != nil {
 		return err

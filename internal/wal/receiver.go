@@ -1,0 +1,325 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// ErrBadFrames reports a shipped batch that failed verification (torn
+// or corrupt frame, or an LSN out of sequence). The whole batch is
+// rejected — nothing is written or applied — so the follower simply
+// re-requests from its unchanged applied LSN.
+var ErrBadFrames = errors.New("wal: shipped batch torn, corrupt, or out of sequence")
+
+// Receiver is the follower side of WAL shipping: it appends shipped
+// frames to its own segment files (same layout and naming as the
+// primary's log, byte-identical frames) and applies each record to its
+// database through the replay path. A Receiver's data directory is a
+// valid WAL directory — promotion closes the Receiver and boots a full
+// node with wal.Open over the same directory.
+//
+// A Receiver is not safe for concurrent use; the follower's pull loop
+// is its single writer.
+type Receiver struct {
+	dir      string
+	segBytes int64
+
+	mu       sync.Mutex
+	db       *store.DB
+	f        *os.File // current segment (nil until first append)
+	segSize  int64
+	segFirst uint64
+	applied  uint64
+	// bytesSinceCheckpoint triggers periodic follower checkpoints so
+	// promotion replay and disk usage stay bounded.
+	bytesSinceCheckpoint int64
+	closed               bool
+}
+
+// OpenReceiver recovers (or initializes) a follower data directory:
+// restore the newest checkpoint, replay the log tail above it (torn
+// tails truncated exactly as Open does), and resume appending where
+// the last shipped record left off — a restarted follower re-requests
+// from its applied LSN, mid-segment.
+func OpenReceiver(dir string) (*Receiver, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("wal: receiver data directory required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	db := store.NewDB()
+	cpLSN, err := restoreNewestCheckpoint(dir, db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Replay(dir, db, cpLSN)
+	if err != nil {
+		return nil, err
+	}
+	r := &Receiver{dir: dir, segBytes: 4 << 20, db: db, applied: res.LastLSN}
+	if err := r.openTail(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// openTail opens the newest non-empty segment for appending (removing
+// empty trailing segments, mirroring openWAL's invariant that a
+// segment's name is the first LSN it holds).
+func (r *Receiver) openTail() error {
+	segs, err := listSegments(r.dir)
+	if err != nil {
+		return err
+	}
+	first, size := r.applied+1, int64(0)
+	for len(segs) > 0 {
+		last := segs[len(segs)-1]
+		fi, err := os.Stat(last.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if fi.Size() > 0 {
+			first, size = last.first, fi.Size()
+			break
+		}
+		if err := os.Remove(last.path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		segs = segs[:len(segs)-1]
+	}
+	f, err := os.OpenFile(filepath.Join(r.dir, segmentName(first)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	r.f = f
+	r.segSize = size
+	r.segFirst = first
+	return syncDir(r.dir)
+}
+
+// DB returns the follower's live database. The pointer changes after
+// InstallSnapshot.
+func (r *Receiver) DB() *store.DB {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.db
+}
+
+// AppliedLSN reports the highest LSN durably applied.
+func (r *Receiver) AppliedLSN() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// AppendFrames verifies, persists, and applies one shipped batch. The
+// whole batch is verified first — every frame's CRC, every LSN
+// contiguous from applied+1 (an already-applied prefix from a
+// duplicated delivery is skipped) — and any defect rejects the entire
+// batch with ErrBadFrames before a byte is written. On success the new
+// frames are appended to the follower's segment files byte-identically,
+// fsynced once, then applied to the database. Returns the number of
+// records applied.
+func (r *Receiver) AppendFrames(frames []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, ErrClosed
+	}
+
+	// Pass 1: verify the whole batch.
+	var recs []record
+	start := -1 // byte offset where new (unapplied) frames begin
+	off := 0
+	want := r.applied + 1
+	for off < len(frames) {
+		payload, n, ferr := nextFrame(frames[off:])
+		if ferr != nil {
+			return 0, fmt.Errorf("%w: frame at offset %d", ErrBadFrames, off)
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadFrames, derr)
+		}
+		switch {
+		case rec.LSN < want:
+			// Duplicate delivery of an already-applied prefix.
+		case rec.LSN == want:
+			if start < 0 {
+				start = off
+			}
+			recs = append(recs, rec)
+			want++
+		default:
+			return 0, fmt.Errorf("%w: LSN gap: got %d, want %d", ErrBadFrames, rec.LSN, want)
+		}
+		off += n
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+
+	// Pass 2: persist. Rotation at batch boundaries, like group commit.
+	buf := frames[start:]
+	if r.segSize >= r.segBytes {
+		if err := r.rotate(recs[0].LSN); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := r.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: receiver write: %w", err)
+	}
+	if err := r.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: receiver sync: %w", err)
+	}
+	r.segSize += int64(len(buf))
+	r.bytesSinceCheckpoint += int64(len(buf))
+
+	// Pass 3: apply in order. A failure here is fatal to the follower —
+	// disk and memory have diverged — so surface it loudly.
+	for _, rec := range recs {
+		if err := applyRecord(r.db, rec); err != nil {
+			return 0, fmt.Errorf("wal: receiver apply %d: %w", rec.LSN, err)
+		}
+		r.applied = rec.LSN
+	}
+	return len(recs), nil
+}
+
+// rotate closes the current segment and starts a new one whose name is
+// the first LSN it will hold.
+func (r *Receiver) rotate(nextLSN uint64) error {
+	if err := r.f.Sync(); err != nil {
+		return fmt.Errorf("wal: receiver rotate sync: %w", err)
+	}
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("wal: receiver rotate close: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(r.dir, segmentName(nextLSN)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: receiver rotate: %w", err)
+	}
+	r.f = f
+	r.segSize = 0
+	r.segFirst = nextLSN
+	return syncDir(r.dir)
+}
+
+// InstallSnapshot replaces the follower's state wholesale with a
+// bootstrap snapshot at lsn: all prior segments and checkpoints are
+// superseded, the snapshot becomes the follower's checkpoint, and
+// shipping resumes at lsn+1.
+func (r *Receiver) InstallSnapshot(data []byte, lsn uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	db := store.NewDB()
+	if err := db.Restore(bytes.NewReader(data)); err != nil {
+		return fmt.Errorf("wal: install snapshot: %w", err)
+	}
+	// Persist the new checkpoint first, then drop the superseded
+	// history: a crash in between leaves both and recovery restores the
+	// newest checkpoint, which is the one just written.
+	if err := writeCheckpointFile(r.dir, data, lsn); err != nil {
+		return err
+	}
+	segs, err := listSegments(r.dir)
+	if err != nil {
+		return err
+	}
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+	for _, seg := range segs {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: install snapshot: %w", err)
+		}
+	}
+	cps, err := listCheckpoints(r.dir)
+	if err != nil {
+		return err
+	}
+	for _, cp := range cps {
+		if cp.first != lsn {
+			_ = os.Remove(cp.path)
+		}
+	}
+	if err := syncDir(r.dir); err != nil {
+		return fmt.Errorf("wal: install snapshot: %w", err)
+	}
+	r.db = db
+	r.applied = lsn
+	r.bytesSinceCheckpoint = 0
+	return r.openTail()
+}
+
+// MaybeCheckpoint writes a follower checkpoint once thresholdBytes of
+// shipped frames have accumulated since the last one, pruning old
+// checkpoints and trimming fully-covered segments. Returns whether a
+// checkpoint was taken.
+func (r *Receiver) MaybeCheckpoint(thresholdBytes int64) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.bytesSinceCheckpoint < thresholdBytes {
+		return false, nil
+	}
+	return true, r.checkpointLocked()
+}
+
+// Checkpoint writes a follower checkpoint unconditionally.
+func (r *Receiver) Checkpoint() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	return r.checkpointLocked()
+}
+
+func (r *Receiver) checkpointLocked() error {
+	var buf bytes.Buffer
+	if err := r.db.Snapshot(&buf); err != nil {
+		return fmt.Errorf("wal: receiver checkpoint: %w", err)
+	}
+	if err := writeCheckpointFile(r.dir, buf.Bytes(), r.applied); err != nil {
+		return err
+	}
+	keepLSN, err := pruneCheckpoints(r.dir, r.applied)
+	if err != nil {
+		return err
+	}
+	if _, err := trimSegmentsBelow(r.dir, keepLSN+1, r.segFirst); err != nil {
+		return err
+	}
+	r.bytesSinceCheckpoint = 0
+	return nil
+}
+
+// Close fsyncs and closes the current segment. The database stays
+// readable; the directory is ready for wal.Open (promotion).
+func (r *Receiver) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.f == nil {
+		return nil
+	}
+	if err := r.f.Sync(); err != nil {
+		r.f.Close()
+		return fmt.Errorf("wal: receiver close sync: %w", err)
+	}
+	return r.f.Close()
+}

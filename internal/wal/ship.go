@@ -1,0 +1,129 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// WAL shipping: the primary side of replication reads raw framed
+// records back off the segment files so they can be streamed to a
+// follower byte-identically. The follower appends the same frames to
+// its own segment files (wal.Receiver), so a promoted follower's data
+// directory is a valid WAL directory that Open recovers like any
+// other.
+
+// ErrSnapshotNeeded reports that the requested LSN has been trimmed by
+// a checkpoint: the follower is too far behind to catch up from the
+// log and must bootstrap from a snapshot instead.
+var ErrSnapshotNeeded = errors.New("wal: requested LSN already trimmed; snapshot bootstrap needed")
+
+// ShipBatch is one contiguous run of raw framed records read for
+// shipping.
+type ShipBatch struct {
+	// Frames holds complete frames for LSNs [from, Last], byte-identical
+	// to the primary's segment contents. Empty when the log has nothing
+	// at or above from.
+	Frames []byte
+	// Last is the LSN of the last frame included (from-1 when Frames is
+	// empty).
+	Last uint64
+	// Remaining counts bytes of complete frames above Last still on
+	// disk — the follower's lag once this batch is applied.
+	Remaining int64
+}
+
+// lsnOf decodes just the LSN from a record payload.
+func lsnOf(payload []byte) (uint64, error) {
+	var rec struct {
+		LSN uint64 `json:"lsn"`
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, fmt.Errorf("wal: ship decode: %w", err)
+	}
+	return rec.LSN, nil
+}
+
+// ReadFrames reads complete frames with LSN >= from, in order, until
+// roughly maxBytes are collected. An in-flight (torn) tail frame is
+// never shipped — only frames whose CRC verifies. The scan continues
+// past maxBytes summing sizes only, so Remaining reports the
+// follower's true byte lag. Concurrent appends are safe (frames are
+// written sequentially and CRC-framed); a segment trimmed between
+// listing and reading surfaces as ErrSnapshotNeeded unless frames were
+// already collected.
+func ReadFrames(dir string, from uint64, maxBytes int) (ShipBatch, error) {
+	if from == 0 {
+		from = 1
+	}
+	batch := ShipBatch{Last: from - 1}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return batch, err
+	}
+	if len(segs) > 0 && from < segs[0].first {
+		return batch, ErrSnapshotNeeded
+	}
+	for i, seg := range segs {
+		// Skip segments entirely below from.
+		if i+1 < len(segs) && segs[i+1].first <= from {
+			continue
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Trimmed between listing and reading. Whatever was
+				// collected is still contiguous; with nothing collected
+				// the follower needs a snapshot.
+				if len(batch.Frames) == 0 {
+					return batch, ErrSnapshotNeeded
+				}
+				return batch, nil
+			}
+			return batch, fmt.Errorf("wal: ship read %s: %w", seg.path, err)
+		}
+		off := 0
+		for {
+			payload, n, ferr := nextFrame(data[off:])
+			if ferr != nil {
+				// io.EOF: clean end of segment. errTorn: the in-flight
+				// tail of the live segment — stop, never ship it.
+				break
+			}
+			lsn, lerr := lsnOf(payload)
+			if lerr != nil {
+				return batch, lerr
+			}
+			if lsn >= from {
+				if len(batch.Frames) < maxBytes {
+					batch.Frames = append(batch.Frames, data[off:off+n]...)
+					batch.Last = lsn
+				} else {
+					batch.Remaining += int64(n)
+				}
+			}
+			off += n
+		}
+	}
+	return batch, nil
+}
+
+// ReadFrames ships committed records starting at from; see the
+// package-level ReadFrames.
+func (d *Durable) ReadFrames(from uint64, maxBytes int) (ShipBatch, error) {
+	return ReadFrames(d.dir, from, maxBytes)
+}
+
+// SnapshotAt captures a bootstrap snapshot for a lagging follower: the
+// database serialized at (or slightly ahead of — replay tolerates
+// that, exactly as it does for checkpoints) the returned LSN.
+func (d *Durable) SnapshotAt() ([]byte, uint64, error) {
+	lsn := d.wal.LastLSN()
+	var buf bytes.Buffer
+	if err := d.DB.Snapshot(&buf); err != nil {
+		return nil, 0, fmt.Errorf("wal: ship snapshot: %w", err)
+	}
+	return buf.Bytes(), lsn, nil
+}

@@ -491,20 +491,32 @@ func (w *WAL) rotateIfNeededLocked(nextLSN uint64) error {
 // keepLSN (covered by a checkpoint). The current segment is never
 // deleted.
 func (w *WAL) trimBelow(keepLSN uint64) error {
-	segs, err := listSegments(w.dir)
-	if err != nil {
-		return err
-	}
 	w.ioMu.Lock()
 	defer w.ioMu.Unlock()
+	removed, err := trimSegmentsBelow(w.dir, keepLSN, w.segFirst)
+	if removed > 0 {
+		w.stats.trims.Add(uint64(removed))
+	}
+	return err
+}
+
+// trimSegmentsBelow deletes whole segments every record of which is
+// below keepLSN; the segment starting at curFirst (the live one) and
+// anything after it is never touched. Shared by the primary's WAL and
+// the follower's Receiver.
+func trimSegmentsBelow(dir string, keepLSN, curFirst uint64) (int, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
 	removed := 0
 	for i, s := range segs {
-		if s.first >= w.segFirst {
+		if s.first >= curFirst {
 			break // current or future segment
 		}
 		// Records in segs[i] span [s.first, next.first): deletable only
 		// if the whole span is below keepLSN.
-		next := w.segFirst
+		next := curFirst
 		if i+1 < len(segs) {
 			next = segs[i+1].first
 		}
@@ -512,15 +524,14 @@ func (w *WAL) trimBelow(keepLSN uint64) error {
 			break
 		}
 		if err := os.Remove(s.path); err != nil {
-			return fmt.Errorf("wal: trim: %w", err)
+			return removed, fmt.Errorf("wal: trim: %w", err)
 		}
 		removed++
 	}
 	if removed > 0 {
-		w.stats.trims.Add(uint64(removed))
-		return syncDir(w.dir)
+		return removed, syncDir(dir)
 	}
-	return nil
+	return 0, nil
 }
 
 // Close drains the queue, syncs, and closes the current segment.
