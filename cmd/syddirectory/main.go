@@ -38,6 +38,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/replication"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -49,9 +50,14 @@ func main() {
 	shards := flag.Int("shards", 1, "number of directory shards (1 = single unsharded server)")
 	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard bind addresses (defaults to consecutive ports above -addr)")
 	healthSweep := flag.Duration("health-sweep", 0, "run the replication health sweeper this often: expired leases whose primary is gone get the best follower promoted (0 = off)")
+	wireCodec := flag.String("wire-codec", "json", "frame body codec to send: json or v3 (negotiated per connection; json stays the fallback)")
 	flag.Parse()
 
-	net := transport.NewTCP(transport.WithPoolSize(*poolSize))
+	codec, err := wire.ParseCodec(*wireCodec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := transport.NewTCP(transport.WithPoolSize(*poolSize), transport.WithWireCodec(codec))
 
 	if *shards <= 1 {
 		// Single-server mode: exactly the pre-shard deployment.

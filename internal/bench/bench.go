@@ -151,6 +151,104 @@ func MicroNegotiationAnd(b *testing.B) {
 	}
 }
 
+// MicroNegotiationAndBatched measures the same two-phase
+// negotiation-and as MicroNegotiationAnd, but with all three entities
+// co-located on one remote node — the fleet shape the per-node
+// batching path collapses into a single MarkBatch/CommitBatch RPC pair
+// instead of three Marks and three Commits.
+func MicroNegotiationAndBatched(b *testing.B) {
+	ctx := context.Background()
+	users := workload.Users(2)
+	w, err := experiments.NewWorld(users, sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := "2003-04-21"
+	targets := []links.EntityRef{
+		{User: "u01", Entity: calendar.Slot{Day: day, Hour: 9}.Entity()},
+		{User: "u01", Entity: calendar.Slot{Day: day, Hour: 10}.Entity()},
+		{User: "u01", Entity: calendar.Slot{Day: day, Hour: 11}.Entity()},
+	}
+	lm := w.Cals["u00"].Links()
+	eng := w.Nodes["u00"].Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meeting := fmt.Sprintf("bench-%d", i)
+		if _, err := lm.Negotiate(ctx, links.Spec{
+			Action:     calendar.ActionReserve,
+			Args:       wire.Args{"meeting": meeting, "priority": 0},
+			Targets:    targets,
+			Constraint: links.And,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for _, tgt := range targets {
+			if err := eng.Invoke(ctx, links.ServiceFor(tgt.User), "Apply", wire.Args{
+				"entity": tgt.Entity, "action": calendar.ActionRelease,
+				"args": map[string]any{"meeting": meeting},
+			}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// replayReader serves the same byte sequence forever — an endless
+// stream of identical frames for decoder benchmarks.
+type replayReader struct {
+	data []byte
+	off  int
+}
+
+func (r *replayReader) Read(p []byte) (int, error) {
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// MicroWireCodecV3 measures one codec-v3 frame round trip — encode a
+// representative negotiation request into a pooled FrameBuffer, then
+// decode an identical frame through a warm FrameReader — the per-frame
+// cost every RPC between two v3 nodes pays.
+func MicroWireCodecV3(b *testing.B) {
+	env := &wire.Envelope{Kind: wire.KindRequest, Request: &wire.Request{
+		ID:      42,
+		Service: "links.u01",
+		Method:  "Mark",
+		Caller:  "u00",
+		Args: wire.Args{
+			"entity": "slot:2003-04-21:9",
+			"action": "reserve",
+			"nid":    "N-4f3a2b1c-9",
+			"args":   map[string]any{"meeting": "bench", "priority": int64(0)},
+		},
+		Meta: wire.Metadata{"request-id": "r-4f3a2b1c", "hops": "1"},
+	}}
+	seed, err := wire.EncodeFrameCodec(env, wire.CodecV3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := &replayReader{data: append([]byte(nil), seed.Bytes()...)}
+	seed.Release()
+	fr := wire.NewFrameReader(stream)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := wire.EncodeFrameCodec(env, wire.CodecV3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Release()
+		if _, err := fr.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // MicroMeetingLifecycle measures setup + cancel of a three-party
 // meeting (the full link topology install and cascade).
 func MicroMeetingLifecycle(b *testing.B) {
@@ -323,6 +421,8 @@ func Trajectory() []Def {
 		{Name: "Micro_DirectoryLookupSharded", Run: MicroDirectoryLookupSharded},
 		{Name: "Micro_GroupInvoke", Run: MicroGroupInvoke},
 		{Name: "Micro_NegotiationAnd", Run: MicroNegotiationAnd},
+		{Name: "Micro_NegotiationAndBatched", Run: MicroNegotiationAndBatched},
+		{Name: "Micro_WireCodecV3", Run: MicroWireCodecV3},
 		{Name: "Micro_MeetingLifecycle", Run: MicroMeetingLifecycle},
 		{Name: "F1_LayeredInvocation", Run: func(b *testing.B) { Experiment(b, "F1") }},
 		{Name: "F2_LayerOverhead", Run: func(b *testing.B) { Experiment(b, "F2") }},

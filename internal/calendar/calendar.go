@@ -165,15 +165,15 @@ type SlotInfo struct {
 
 // slotInfo reads a slot row ("" meeting = free).
 func (c *Calendar) slotInfo(s Slot) SlotInfo {
-	r, ok := c.slots.Get(s.Day, int64(s.Hour))
-	if !ok {
-		return SlotInfo{Slot: s}
-	}
-	return SlotInfo{
-		Slot:     s,
-		Meeting:  r["meeting"].(string),
-		Priority: int(r["priority"].(int64)),
-	}
+	info := SlotInfo{Slot: s}
+	// View, not Get: slot probes run inside every negotiation check and
+	// free-slot scan, and cloning the row just to read two columns is
+	// measurable there.
+	c.slots.View(func(r store.Row) {
+		info.Meeting = r["meeting"].(string)
+		info.Priority = int(r["priority"].(int64))
+	}, s.Day, int64(s.Hour))
+	return info
 }
 
 // Slot reports the occupancy of one slot.
@@ -182,16 +182,15 @@ func (c *Calendar) Slot(s Slot) SlotInfo { return c.slotInfo(s) }
 // setSlot writes slot occupancy (meeting "" frees the slot).
 func (c *Calendar) setSlot(s Slot, meeting string, priority int) error {
 	if meeting == "" {
-		if _, ok := c.slots.Get(s.Day, int64(s.Hour)); ok {
+		if c.slots.Has(s.Day, int64(s.Hour)) {
 			return c.slots.Delete(s.Day, int64(s.Hour))
 		}
 		return nil
 	}
-	row := store.Row{"day": s.Day, "hour": int64(s.Hour), "meeting": meeting, "priority": int64(priority)}
-	if _, ok := c.slots.Get(s.Day, int64(s.Hour)); ok {
+	if c.slots.Has(s.Day, int64(s.Hour)) {
 		return c.slots.Update(store.Row{"meeting": meeting, "priority": int64(priority)}, s.Day, int64(s.Hour))
 	}
-	return c.slots.Insert(row)
+	return c.slots.Insert(store.Row{"day": s.Day, "hour": int64(s.Hour), "meeting": meeting, "priority": int64(priority)})
 }
 
 // FreeSlots lists this user's free slots in [fromDay, toDay] at the

@@ -177,11 +177,16 @@ func NewShardedWorld(users []string, cfg sim.Config, shards int) (*World, error)
 // AddUser boots one more calendar node. Nodes record per-method
 // metrics into the process default registry, so a sydbench run (or a
 // test) can snapshot every layer's counts and latencies afterwards.
+// Nodes run with the engine route cache at sydnode's production
+// default TTL, so measured worlds match a deployed fleet; the cache
+// invalidates eagerly on unreachable peers and proxy failover, which
+// keeps the failover experiments honest.
 func (w *World) AddUser(user string, priority int) error {
 	ctx := context.Background()
 	n, err := core.Start(ctx, core.Config{
 		User: user, Net: w.Net, DirAddr: "dir", ControlPlaneAddr: w.CPAddr,
 		Clock: w.Clk, Priority: priority,
+		RouteCacheTTL: 2 * time.Second,
 	}, core.WithMetrics(metrics.Default()))
 	if err != nil {
 		return err

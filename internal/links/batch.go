@@ -1,0 +1,473 @@
+package links
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/listener"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Per-node negotiation batching. A Spec whose targets include several
+// entities owned by the same node used to cost one Mark RPC, one
+// Commit (or Abort) RPC, and one journal-redrive Commit per *entity*.
+// The coordinator now groups targets by owning node and sends one
+// MarkBatch / CommitBatch / AbortBatch per node, each carrying
+// per-entity results so every per-entity semantic survives intact:
+//
+//   - partial failures stay per-entity (each entry carries its own
+//     error and wire code, reconstructed coordinator-side so
+//     transient/definitive classification is unchanged);
+//   - decided-token idempotency is untouched (CommitBatch runs the
+//     same commitLocalToken decision table per entry);
+//   - fault injectors stay per-entity (consulted once per (nid, ref)
+//     during batch assembly, exactly as the per-entity send would);
+//   - mixed fleets keep working: a peer that answers CodeNoMethod
+//     (predates the batch RPCs) gets the per-entity protocol.
+//
+// Runs of one target, self-owned runs, and managers with batching
+// disabled use the per-entity path unchanged — including its
+// per-target links.Mark / links.Commit / links.Abort spans.
+
+// errSkippedMark is the And-semantics skip: once any mark fails the
+// constraint is doomed, so later targets are not marked at all. The
+// text matches the historical per-entity path.
+func errSkippedMark() error {
+	return fmt.Errorf("links: skipped after earlier mark failure")
+}
+
+// batchMarkResult is one MarkBatch entry outcome on the wire.
+type batchMarkResult struct {
+	Token string       `json:"token,omitempty"`
+	Error string       `json:"error,omitempty"`
+	Code  wire.ErrCode `json:"code,omitempty"`
+}
+
+// batchCommitResult is one CommitBatch entry outcome on the wire.
+type batchCommitResult struct {
+	OK    bool         `json:"ok"`
+	Error string       `json:"error,omitempty"`
+	Code  wire.ErrCode `json:"code,omitempty"`
+}
+
+// batchEntry is one CommitBatch/AbortBatch entry on the wire.
+type batchEntry struct {
+	Entity string `json:"entity"`
+	Token  string `json:"token"`
+}
+
+// remoteEntryErr rebuilds the error a per-entity RPC would have
+// surfaced for a failed batch entry: the engine turns every non-OK
+// response into a *wire.RemoteError{Code, Msg}, so reconstructing one
+// keeps transientErr and every caller-side classification identical.
+func remoteEntryErr(code wire.ErrCode, msg string) error {
+	if code == wire.CodeOK || code == "" {
+		code = wire.CodeInternal
+	}
+	return &wire.RemoteError{Code: code, Msg: msg}
+}
+
+// SetBatchRPC enables or disables the per-node batch RPCs (enabled by
+// default). Tests use it to pin the per-entity path for equivalence
+// checks; disabling it never changes outcomes, only the RPC count.
+func (m *Manager) SetBatchRPC(on bool) {
+	m.mu.Lock()
+	m.batchOff = !on
+	m.mu.Unlock()
+}
+
+func (m *Manager) batchEnabled() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return !m.batchOff
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side: phase 1.
+
+// markRun marks one same-node run of targets. stop carries the And
+// semantics: after the first failure later entries are skipped, not
+// marked. The per-entity path serves singleton runs, self-owned runs,
+// and peers without the batch RPCs.
+func (m *Manager) markRun(ctx context.Context, nid string, run []EntityRef, action string, args wire.Args, stop bool) []markResult {
+	if len(run) == 1 || run[0].User == m.self || !m.batchEnabled() {
+		return m.markRunSerial(ctx, nid, run, action, args, stop)
+	}
+	out := make([]markResult, len(run))
+	// Consult the fault injector exactly once per (nid, ref), in target
+	// order, before anything is sent — the same observable schedule as
+	// the per-entity path. With stop set, a faulted entry dooms every
+	// later one to the skip error without marking it.
+	clean := make([]int, 0, len(run))
+	failed := false
+	for i, ref := range run {
+		if failed && stop {
+			out[i] = markResult{ref: ref, err: errSkippedMark()}
+			continue
+		}
+		if err := m.markFaultFor(nid, ref); err != nil {
+			out[i] = markResult{ref: ref, err: err}
+			failed = true
+			continue
+		}
+		clean = append(clean, i)
+	}
+	if len(clean) == 0 {
+		return out
+	}
+	refs := make([]EntityRef, len(clean))
+	for j, i := range clean {
+		refs[j] = run[i]
+	}
+	results, err := m.markBatchRPC(ctx, nid, refs, action, args, stop)
+	if wire.CodeOf(err) == wire.CodeNoMethod {
+		// Old fleet member: nothing executed (the method is unknown), so
+		// the per-entity protocol is safe to drive from scratch.
+		serial := m.markRunSerial(ctx, nid, refs, action, args, stop)
+		for j, i := range clean {
+			out[i] = serial[j]
+		}
+		return out
+	}
+	if err != nil {
+		// The batch itself failed (unreachable node, timeout). Per-entity
+		// semantics: the first unsent entry carries the send error; with
+		// stop set the rest are skips, without it every send would have
+		// failed the same way.
+		for j, i := range clean {
+			if j == 0 || !stop {
+				out[i] = markResult{ref: run[i], err: err}
+			} else {
+				out[i] = markResult{ref: run[i], err: errSkippedMark()}
+			}
+		}
+		return out
+	}
+	for j, i := range clean {
+		r := results[j]
+		if r.Error != "" || r.Token == "" {
+			out[i] = markResult{ref: run[i], err: remoteEntryErr(r.Code, r.Error)}
+			continue
+		}
+		out[i] = markResult{ref: run[i], token: r.Token}
+	}
+	return out
+}
+
+// markRunSerial is the historical per-entity mark loop for one run.
+func (m *Manager) markRunSerial(ctx context.Context, nid string, run []EntityRef, action string, args wire.Args, stop bool) []markResult {
+	out := make([]markResult, 0, len(run))
+	failed := false
+	for _, ref := range run {
+		if failed && stop {
+			out = append(out, markResult{ref: ref, err: errSkippedMark()})
+			continue
+		}
+		tok, err := m.markTarget(ctx, nid, ref, action, args)
+		out = append(out, markResult{ref: ref, token: tok, err: err})
+		if err != nil {
+			failed = true
+		}
+	}
+	return out
+}
+
+// markBatchRPC sends one MarkBatch covering a same-node run and
+// returns the per-entry results (aligned with refs).
+func (m *Manager) markBatchRPC(ctx context.Context, nid string, refs []EntityRef, action string, args wire.Args, stop bool) ([]batchMarkResult, error) {
+	ctx, span := trace.Start(ctx, "links.MarkBatch")
+	if span != nil {
+		span.Annotate(trace.String("node", refs[0].User), trace.Int("targets", len(refs)))
+	}
+	entities := make([]string, len(refs))
+	for i, ref := range refs {
+		entities[i] = ref.Entity
+	}
+	var out struct {
+		Results []batchMarkResult `json:"results"`
+	}
+	err := m.eng.Invoke(ctx, ServiceFor(refs[0].User), "MarkBatch", wire.Args{
+		"entities": entities, "action": action, "args": map[string]any(args),
+		"nid": nid, "stop": stop,
+	}, &out)
+	if err == nil && len(out.Results) != len(entities) {
+		err = &wire.RemoteError{Code: wire.CodeInternal,
+			Msg: fmt.Sprintf("links: MarkBatch returned %d results for %d entities", len(out.Results), len(entities))}
+	}
+	span.FinishErr(err)
+	if err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side: phase 2.
+
+// commitGrouped runs the commit phase for tgts, one CommitBatch per
+// owning node (per-entity for singleton/self/legacy runs), node groups
+// fanned out concurrently. The returned errors align with tgts, so
+// callers classify exactly as they did with per-entity sends.
+func (m *Manager) commitGrouped(ctx context.Context, nid string, tgts []journalTarget, action string, args wire.Args, qos bool) []error {
+	errs := make([]error, len(tgts))
+	var wg sync.WaitGroup
+	for _, idxs := range groupByUser(tgts) {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			run := make([]journalTarget, len(idxs))
+			for j, i := range idxs {
+				run[j] = tgts[i]
+			}
+			got := m.commitRun(ctx, nid, run, action, args, qos)
+			for j, i := range idxs {
+				errs[i] = got[j]
+			}
+		}(idxs)
+	}
+	wg.Wait()
+	return errs
+}
+
+// commitRun commits one same-node run of marked targets.
+func (m *Manager) commitRun(ctx context.Context, nid string, run []journalTarget, action string, args wire.Args, qos bool) []error {
+	errs := make([]error, len(run))
+	if len(run) == 1 || run[0].Ref.User == m.self || !m.batchEnabled() {
+		for i, t := range run {
+			errs[i] = m.commitTarget(ctx, nid, t.Ref, t.Token, action, args, qos)
+		}
+		return errs
+	}
+	clean := make([]int, 0, len(run))
+	for i, t := range run {
+		if err := m.commitFaultFor(nid, t.Ref); err != nil {
+			errs[i] = err
+			continue
+		}
+		clean = append(clean, i)
+	}
+	if len(clean) == 0 {
+		return errs
+	}
+	entries := make([]batchEntry, len(clean))
+	for j, i := range clean {
+		entries[j] = batchEntry{Entity: run[i].Ref.Entity, Token: run[i].Token}
+	}
+	results, err := m.commitBatchRPC(ctx, nid, run[clean[0]].Ref.User, entries, action, args, qos)
+	if wire.CodeOf(err) == wire.CodeNoMethod {
+		for _, i := range clean {
+			errs[i] = m.commitTarget(ctx, nid, run[i].Ref, run[i].Token, action, args, qos)
+		}
+		return errs
+	}
+	if err != nil {
+		for _, i := range clean {
+			errs[i] = err
+		}
+		return errs
+	}
+	for j, i := range clean {
+		r := results[j]
+		if r.OK {
+			continue
+		}
+		errs[i] = remoteEntryErr(r.Code, r.Error)
+	}
+	return errs
+}
+
+// commitBatchRPC sends one CommitBatch for a same-node run; qos rides
+// the sweeper's InvokeQoS exactly like per-entity redrive commits.
+func (m *Manager) commitBatchRPC(ctx context.Context, nid, user string, entries []batchEntry, action string, args wire.Args, qos bool) ([]batchCommitResult, error) {
+	ctx, span := trace.Start(ctx, "links.CommitBatch")
+	if span != nil {
+		span.Annotate(trace.String("node", user), trace.Int("targets", len(entries)))
+		if qos {
+			span.Annotate(trace.Bool("redrive", true))
+		}
+	}
+	var out struct {
+		Results []batchCommitResult `json:"results"`
+	}
+	callArgs := wire.Args{
+		"entries": entries, "action": action, "args": map[string]any(args), "nid": nid,
+	}
+	var err error
+	if qos {
+		err = m.eng.InvokeQoS(ctx, commitQoS(m.tune()), ServiceFor(user), "CommitBatch", callArgs, &out)
+	} else {
+		err = m.eng.Invoke(ctx, ServiceFor(user), "CommitBatch", callArgs, &out)
+	}
+	if err == nil && len(out.Results) != len(entries) {
+		err = &wire.RemoteError{Code: wire.CodeInternal,
+			Msg: fmt.Sprintf("links: CommitBatch returned %d results for %d entries", len(out.Results), len(entries))}
+	}
+	span.FinishErr(err)
+	if err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side: abort.
+
+// abortMarked releases every successfully marked target, one
+// AbortBatch per node. Errors are ignored, matching abortTarget: an
+// unreachable participant resolves the doubt itself via the pending
+// mark sweep.
+func (m *Manager) abortMarked(ctx context.Context, nid string, marks []markResult) {
+	var tgts []journalTarget
+	for _, mr := range marks {
+		if mr.err == nil {
+			tgts = append(tgts, journalTarget{Ref: mr.ref, Token: mr.token})
+		}
+	}
+	for _, idxs := range groupByUser(tgts) {
+		run := make([]journalTarget, len(idxs))
+		for j, i := range idxs {
+			run[j] = tgts[i]
+		}
+		m.abortRun(ctx, nid, run)
+	}
+}
+
+// abortRun aborts one same-node run of marked targets.
+func (m *Manager) abortRun(ctx context.Context, nid string, run []journalTarget) {
+	if len(run) == 1 || run[0].Ref.User == m.self || !m.batchEnabled() {
+		for _, t := range run {
+			m.abortTarget(ctx, nid, t.Ref, t.Token)
+		}
+		return
+	}
+	ctx, span := trace.Start(ctx, "links.AbortBatch")
+	if span != nil {
+		span.Annotate(trace.String("node", run[0].Ref.User), trace.Int("targets", len(run)))
+		defer span.Finish()
+	}
+	entries := make([]batchEntry, len(run))
+	for i, t := range run {
+		entries[i] = batchEntry{Entity: t.Ref.Entity, Token: t.Token}
+	}
+	err := m.eng.Invoke(ctx, ServiceFor(run[0].Ref.User), "AbortBatch", wire.Args{
+		"entries": entries, "nid": nid,
+	}, nil)
+	if wire.CodeOf(err) == wire.CodeNoMethod {
+		for _, t := range run {
+			m.abortTarget(ctx, nid, t.Ref, t.Token)
+		}
+	}
+}
+
+// groupByUser collects tgts indices into per-user groups, preserving
+// first-seen order (And targets arrive user-major sorted, so groups
+// are the contiguous runs; Or/Xor targets group across positions).
+func groupByUser(tgts []journalTarget) [][]int {
+	var order [][]int
+	byUser := make(map[string]int, len(tgts))
+	for i, t := range tgts {
+		g, ok := byUser[t.Ref.User]
+		if !ok {
+			g = len(order)
+			byUser[t.Ref.User] = g
+			order = append(order, nil)
+		}
+		order[g] = append(order[g], i)
+	}
+	return order
+}
+
+// ---------------------------------------------------------------------
+// Participant side.
+
+// registerBatch installs the per-node batch RPC handlers next to their
+// per-entity siblings. Each entry runs the exact per-entity protocol
+// (markLocal + pending-mark recording, the commitLocalToken decision
+// table, unlock + decided-abort) and reports its own outcome, so a
+// batch is observationally a pipelined sequence of the per-entity
+// RPCs minus the per-entity round trips.
+func (m *Manager) registerBatch(obj *listener.Object, argsOf func(*listener.Call) wire.Args) {
+	// MarkBatch: phase-1 lock + check for every entity in one round
+	// trip. With stop set (And), entries after the first failure are
+	// skipped — the constraint is already doomed, and the per-entity
+	// path would not have marked them either.
+	obj.Handle("MarkBatch", func(ctx context.Context, call *listener.Call) (any, error) {
+		action := call.Args.String("action")
+		entities := call.Args.Strings("entities")
+		if action == "" || len(entities) == 0 {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "MarkBatch needs action and entities"}
+		}
+		nid := call.Args.String("nid")
+		stop := call.Args.Bool("stop")
+		args := argsOf(call)
+		results := make([]batchMarkResult, len(entities))
+		failed := false
+		for i, entity := range entities {
+			if failed && stop {
+				results[i] = batchMarkResult{Error: errSkippedMark().Error(), Code: wire.CodeConflict}
+				continue
+			}
+			tok, err := m.markLocal(entity, action, args)
+			if err != nil {
+				results[i] = batchMarkResult{Error: err.Error(), Code: wire.CodeOf(err)}
+				failed = true
+				continue
+			}
+			if nid != "" && call.Caller != "" {
+				p := &pendingMark{
+					Token: tok, Entity: entity, Action: action, Args: args,
+					NID: nid, Coordinator: call.Caller, Created: m.clk.Now(),
+				}
+				if span := trace.FromContext(ctx); span != nil {
+					p.TraceID, p.SpanID = span.TraceID, span.SpanID
+				}
+				m.notePendingMark(p)
+			}
+			results[i] = batchMarkResult{Token: tok}
+		}
+		return map[string]any{"results": results}, nil
+	})
+
+	// CommitBatch: phase-2 apply + unlock for every entry, each through
+	// the full commitLocalToken decision table (duplicate ack, decided
+	// abort, stale token, late commit), safe to re-deliver.
+	obj.Handle("CommitBatch", func(ctx context.Context, call *listener.Call) (any, error) {
+		var entries []batchEntry
+		if err := call.Args.Decode("entries", &entries); err != nil || len(entries) == 0 {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "CommitBatch needs entries"}
+		}
+		nid := call.Args.String("nid")
+		action := call.Args.String("action")
+		args := argsOf(call)
+		results := make([]batchCommitResult, len(entries))
+		for i, e := range entries {
+			err := m.commitLocalToken(ctx, e.Entity, e.Token, nid, action, args, call.Caller)
+			if err != nil {
+				results[i] = batchCommitResult{Error: err.Error(), Code: wire.CodeOf(err)}
+				continue
+			}
+			results[i] = batchCommitResult{OK: true}
+		}
+		return map[string]any{"results": results}, nil
+	})
+
+	// AbortBatch: release every entry without change; duplicates are
+	// no-ops and later Commits for the tokens are rejected.
+	obj.Handle("AbortBatch", func(ctx context.Context, call *listener.Call) (any, error) {
+		var entries []batchEntry
+		if err := call.Args.Decode("entries", &entries); err != nil || len(entries) == 0 {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "AbortBatch needs entries"}
+		}
+		nid := call.Args.String("nid")
+		for _, e := range entries {
+			m.Locks.Unlock(lockKey(e.Entity), e.Token)
+			if e.Token != "" {
+				m.noteDecided(e.Token, nid, false)
+				trace.EventCtx(ctx, "links.decided", trace.String("kind", "abort"))
+			}
+		}
+		return true, nil
+	})
+}

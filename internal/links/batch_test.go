@@ -1,0 +1,230 @@
+package links_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/links"
+	"repro/internal/listener"
+	"repro/internal/wire"
+)
+
+// coLocatedSpec is an And negotiation whose five targets live on two
+// nodes — the shape per-node batching exists for.
+func coLocatedSpec(meeting string) links.Spec {
+	return links.Spec{
+		Action:     "reserve",
+		Args:       wire.Args{"meeting": meeting},
+		Targets:    refs("b", "s1", "b", "s2", "b", "s3", "c", "s1", "c", "s2"),
+		Constraint: links.And,
+	}
+}
+
+func refKey(r links.EntityRef) string { return r.User + "/" + r.Entity }
+
+func sortedKeys(rs []links.EntityRef) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = refKey(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameRefs(t *testing.T, what string, got, want []links.EntityRef) {
+	t.Helper()
+	g, w := sortedKeys(got), sortedKeys(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s = %v, want %v", what, g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s = %v, want %v", what, g, w)
+		}
+	}
+}
+
+// TestBatchedAndCoLocatedTargets: co-located And targets commit with
+// strictly fewer RPCs than the per-entity protocol and the identical
+// outcome.
+func TestBatchedAndCoLocatedTargets(t *testing.T) {
+	run := func(batch bool) (*links.Result, int) {
+		h := newHarness(t, "a", "b", "c")
+		h.nodes["a"].Links.SetBatchRPC(batch)
+		before := h.net.Stats().Requests
+		res, err := h.nodes["a"].Links.Negotiate(ctxBg(), coLocatedSpec("M1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range coLocatedSpec("M1").Targets {
+			if got := h.nodes[ref.User].status(ref.Entity); got != "M1" {
+				t.Fatalf("batch=%v: %s = %q, want M1", batch, refKey(ref), got)
+			}
+		}
+		return res, int(h.net.Stats().Requests - before)
+	}
+	serialRes, serialReqs := run(false)
+	batchRes, batchReqs := run(true)
+	if !batchRes.OK || batchRes.State != links.StateCommitted {
+		t.Fatalf("batched result = %+v", batchRes)
+	}
+	sameRefs(t, "Accepted", batchRes.Accepted, serialRes.Accepted)
+	if batchReqs >= serialReqs {
+		t.Fatalf("batched negotiation made %d requests, per-entity made %d; batching must cut round trips", batchReqs, serialReqs)
+	}
+}
+
+// TestBatchedAndConflictMatchesSerial: a conflict inside a batch run
+// produces exactly the per-entity outcome — same state, same rejected
+// set (including the skipped tail), nothing applied, locks released.
+func TestBatchedAndConflictMatchesSerial(t *testing.T) {
+	run := func(batch bool) *links.Result {
+		h := newHarness(t, "a", "b", "c")
+		h.nodes["a"].Links.SetBatchRPC(batch)
+		h.nodes["b"].setStatus("s2", "OTHER")
+		res, err := h.nodes["a"].Links.Negotiate(ctxBg(), coLocatedSpec("M2"))
+		if err == nil {
+			t.Fatalf("batch=%v: conflicting And negotiation succeeded", batch)
+		}
+		if wire.CodeOf(err) != wire.CodeConflict {
+			t.Fatalf("batch=%v: err = %v, want conflict", batch, err)
+		}
+		if got := h.nodes["b"].status("s1"); got != "" {
+			t.Fatalf("batch=%v: aborted negotiation left b/s1 = %q", batch, got)
+		}
+		// The aborted marks must have released their locks: a fresh
+		// negotiation over the same entities (minus the conflict) works.
+		if _, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+			Action: "reserve", Args: wire.Args{"meeting": "M3"},
+			Targets: refs("b", "s1", "b", "s3"), Constraint: links.And,
+		}); err != nil {
+			t.Fatalf("batch=%v: post-abort negotiation failed: %v", batch, err)
+		}
+		return res
+	}
+	serial := run(false)
+	batched := run(true)
+	if batched.State != serial.State {
+		t.Fatalf("state = %s, serial %s", batched.State, serial.State)
+	}
+	sameRefs(t, "Rejected", batched.Rejected, serial.Rejected)
+	sameRefs(t, "Accepted", batched.Accepted, serial.Accepted)
+}
+
+// TestBatchedOrPartial: Or(k=2) with one co-located conflict marks the
+// free entities via batches and commits just those.
+func TestBatchedOrPartial(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	h.nodes["b"].setStatus("s2", "OTHER")
+	res, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "M4"},
+		Targets:    refs("b", "s1", "b", "s2", "c", "s1"),
+		Constraint: links.Or, K: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("result = %+v", res)
+	}
+	sameRefs(t, "Accepted", res.Accepted, refs("b", "s1", "c", "s1"))
+	sameRefs(t, "Rejected", res.Rejected, refs("b", "s2"))
+	if h.nodes["b"].status("s1") != "M4" || h.nodes["c"].status("s1") != "M4" {
+		t.Fatalf("accepted targets not applied: b/s1=%q c/s1=%q",
+			h.nodes["b"].status("s1"), h.nodes["c"].status("s1"))
+	}
+	if h.nodes["b"].status("s2") != "OTHER" {
+		t.Fatalf("rejected target overwritten: b/s2=%q", h.nodes["b"].status("s2"))
+	}
+}
+
+// TestBatchFallbackLegacyPeer: a peer that answers no-method for the
+// batch RPCs (a fleet member predating them) transparently gets the
+// per-entity protocol, and the negotiation still commits.
+func TestBatchFallbackLegacyPeer(t *testing.T) {
+	h := newHarness(t, "a", "b", "c")
+	legacy := h.nodes["b"].Links.Object()
+	for _, mth := range []string{"MarkBatch", "CommitBatch", "AbortBatch"} {
+		mth := mth
+		legacy.Handle(mth, func(ctx context.Context, call *listener.Call) (any, error) {
+			return nil, &wire.RemoteError{Code: wire.CodeNoMethod, Msg: "links." + call.Caller + " has no method " + mth}
+		})
+	}
+	if err := h.nodes["b"].RegisterService(ctxBg(), links.ServiceFor("b"), legacy); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.nodes["a"].Links.Negotiate(ctxBg(), coLocatedSpec("M5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, ref := range coLocatedSpec("M5").Targets {
+		if got := h.nodes[ref.User].status(ref.Entity); got != "M5" {
+			t.Fatalf("%s = %q, want M5", refKey(ref), got)
+		}
+	}
+
+	// The abort fallback too: a constraint failure against the legacy
+	// peer must release its per-entity marks.
+	h.nodes["c"].setStatus("s3", "OTHER")
+	if _, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "M6"},
+		Targets: refs("b", "t1", "b", "t2", "c", "s3"), Constraint: links.And,
+	}); wire.CodeOf(err) != wire.CodeConflict {
+		t.Fatalf("err = %v, want conflict", err)
+	}
+	if _, err := h.nodes["a"].Links.Negotiate(ctxBg(), links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "M7"},
+		Targets: refs("b", "t1", "b", "t2"), Constraint: links.And,
+	}); err != nil {
+		t.Fatalf("legacy peer's aborted marks still locked: %v", err)
+	}
+}
+
+// TestBatchedRedrive: a coordinator that loses connectivity during
+// phase 2 of a co-located negotiation journals the decision; the retry
+// sweep later redrives it with one CommitBatch per node and the
+// participant converges.
+func TestBatchedRedrive(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	lm := h.nodes["a"].Links
+	lm.SetCommitFault(func(nid string, ref links.EntityRef) error {
+		if ref.User == "b" {
+			return &wire.RemoteError{Code: wire.CodeUnavailable, Msg: "injected crash"}
+		}
+		return nil
+	})
+	res, err := lm.Negotiate(ctxBg(), links.Spec{
+		Action: "reserve", Args: wire.Args{"meeting": "M8"},
+		Targets: refs("b", "s1", "b", "s2"), Constraint: links.And,
+	})
+	if !links.IsInDoubt(err) {
+		t.Fatalf("err = %v, want in-doubt", err)
+	}
+	if res.State != links.StateInDoubt || len(res.InDoubt) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if n := len(lm.JournalPending()); n != 1 {
+		t.Fatalf("journal rows = %d, want 1", n)
+	}
+
+	lm.SetCommitFault(nil)
+	h.clk.Advance(time.Second)
+	if n := lm.FaultSweep(ctxBg(), h.clk.Now()); n != 1 {
+		t.Fatalf("sweep resolved %d rows, want 1", n)
+	}
+	if n := len(lm.JournalPending()); n != 0 {
+		t.Fatalf("journal did not drain: %v", lm.JournalPending())
+	}
+	if h.nodes["b"].status("s1") != "M8" || h.nodes["b"].status("s2") != "M8" {
+		t.Fatalf("redrive did not apply: s1=%q s2=%q",
+			h.nodes["b"].status("s1"), h.nodes["b"].status("s2"))
+	}
+	if n := h.nodes["b"].Links.PendingMarks(); n != 0 {
+		t.Fatalf("participant still holds %d pending marks", n)
+	}
+}

@@ -1,0 +1,35 @@
+package links
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+)
+
+// Lock tokens and negotiation ids are minted constantly on the hot
+// negotiation path (one token per mark, one id per negotiation), and a
+// crypto/rand read per mint is measurable there. Instead the process
+// draws one 64-bit random prefix at startup and appends a monotonic
+// counter: ids stay unique across processes with the same probability
+// the old scheme had (the prefix collides as rarely as two random
+// tokens did) and unique within the process by construction, at the
+// cost of one small allocation.
+var (
+	idPrefix  = mintPrefix()
+	idCounter atomic.Uint64
+)
+
+func mintPrefix() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for the process.
+		panic("links: rand: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// mintID returns a process-unique opaque id.
+func mintID() string {
+	return idPrefix + "-" + strconv.FormatUint(idCounter.Add(1), 36)
+}

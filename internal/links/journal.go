@@ -2,8 +2,6 @@ package links
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -104,14 +102,9 @@ func (m *Manager) tune() Tuning {
 	return m.tuning
 }
 
-// NewNegotiationID mints a globally unique negotiation id.
-func NewNegotiationID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic("links: rand: " + err.Error())
-	}
-	return "N-" + hex.EncodeToString(b[:])
-}
+// NewNegotiationID mints a globally unique negotiation id (see ids.go
+// for the uniqueness scheme).
+func NewNegotiationID() string { return "N-" + mintID() }
 
 // journalTarget is one marked target awaiting its Commit ack.
 type journalTarget struct {
@@ -148,65 +141,27 @@ func mustJSON(v any) string {
 }
 
 func (r *journalRec) row() store.Row {
-	localJSON := ""
-	if r.Local != nil {
-		localJSON = mustJSON(r.Local)
-	}
-	done := int64(0)
-	if r.LocalDone {
-		done = 1
-	}
 	return store.Row{
 		"id":         r.ID,
-		"action":     r.Action,
-		"args":       mustJSON(r.Args),
-		"local":      localJSON,
-		"local_done": done,
-		"pending":    mustJSON(r.Pending),
-		"committed":  mustJSON(r.Committed),
-		"failed":     mustJSON(r.Failed),
-		"attempts":   int64(r.Attempts),
+		"rec":        mustJSON(r),
 		"next_retry": r.NextRetry,
-		"created":    r.Created,
-		"trace_id":   r.TraceID,
-		"span_id":    r.SpanID,
 	}
 }
 
 func journalFromRow(row store.Row) (*journalRec, error) {
-	r := &journalRec{
-		ID:        row["id"].(string),
-		Action:    row["action"].(string),
-		LocalDone: row["local_done"].(int64) != 0,
-		Attempts:  int(row["attempts"].(int64)),
-		NextRetry: row["next_retry"].(time.Time),
-		Created:   row["created"].(time.Time),
+	id := row["id"].(string)
+	s, _ := row["rec"].(string)
+	if s == "" {
+		return nil, fmt.Errorf("links: journal %s has no record body", id)
 	}
-	// Rows journaled before tracing existed lack these columns.
-	if s, ok := row["trace_id"].(string); ok {
-		r.TraceID = s
+	r := &journalRec{}
+	if err := json.Unmarshal([]byte(s), r); err != nil {
+		return nil, fmt.Errorf("links: journal %s: %w", id, err)
 	}
-	if s, ok := row["span_id"].(string); ok {
-		r.SpanID = s
-	}
-	if err := json.Unmarshal([]byte(row["args"].(string)), &r.Args); err != nil {
-		return nil, fmt.Errorf("links: journal %s args: %w", r.ID, err)
-	}
-	if s := row["local"].(string); s != "" {
-		r.Local = &LocalChange{}
-		if err := json.Unmarshal([]byte(s), r.Local); err != nil {
-			return nil, fmt.Errorf("links: journal %s local: %w", r.ID, err)
-		}
-	}
-	for col, dst := range map[string]any{
-		"pending": &r.Pending, "committed": &r.Committed, "failed": &r.Failed,
-	} {
-		if s := row[col].(string); s != "" {
-			if err := json.Unmarshal([]byte(s), dst); err != nil {
-				return nil, fmt.Errorf("links: journal %s %s: %w", r.ID, col, err)
-			}
-		}
-	}
+	r.ID = id
+	// The column is what the sweeper selected on; keep it authoritative
+	// over the blob's copy.
+	r.NextRetry = row["next_retry"].(time.Time)
 	return r, nil
 }
 
@@ -448,16 +403,10 @@ func (m *Manager) redriveJournal(ctx context.Context, rec *journalRec) bool {
 			}
 		}
 	}
-	errs := make([]error, len(rec.Pending))
-	var wg sync.WaitGroup
-	for i, tgt := range rec.Pending {
-		wg.Add(1)
-		go func(i int, tgt journalTarget) {
-			defer wg.Done()
-			errs[i] = m.commitTarget(ctx, rec.ID, tgt.Ref, tgt.Token, rec.Action, rec.Args, true)
-		}(i, tgt)
-	}
-	wg.Wait()
+	// One CommitBatch per owning node (commitGrouped fans the node
+	// groups out concurrently), so a redrive round still costs roughly
+	// one QoS round trip — now O(nodes) sends instead of O(entities).
+	errs := m.commitGrouped(ctx, rec.ID, rec.Pending, rec.Action, rec.Args, true)
 	var still []journalTarget
 	for i, tgt := range rec.Pending {
 		err := errs[i]

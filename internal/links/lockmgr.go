@@ -1,8 +1,6 @@
 package links
 
 import (
-	"crypto/rand"
-	"encoding/hex"
 	"sync"
 	"time"
 
@@ -65,15 +63,9 @@ func (lt *LockTable) TTL() time.Duration {
 	return lt.ttl
 }
 
-// newToken returns a fresh opaque lock token.
-func newToken() string {
-	var b [12]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is unrecoverable for the process.
-		panic("links: rand: " + err.Error())
-	}
-	return hex.EncodeToString(b[:])
-}
+// newToken returns a fresh opaque lock token (see ids.go for the
+// uniqueness scheme).
+func newToken() string { return mintID() }
 
 // TryLock marks entity for holder (recorded for diagnostics only). It
 // returns the lock token and true on success, or "" and false when a

@@ -218,9 +218,9 @@ func (m *Manager) negotiate(ctx context.Context, span *trace.Span, spec Spec) (*
 	})
 
 	if !satisfied {
+		m.abortMarked(ctx, res.NID, marks)
 		for _, mr := range marks {
 			if mr.err == nil {
-				m.abortTarget(ctx, res.NID, mr.ref, mr.token)
 				res.Trace = append(res.Trace, Step{Phase: "abort", Entity: mr.ref.String(), OK: true})
 			}
 		}
@@ -255,11 +255,7 @@ func (m *Manager) negotiate(ctx context.Context, span *trace.Span, spec Spec) (*
 		if err := m.journalBegin(rec); err != nil {
 			// Without a journal row recovery is impossible; abort
 			// while nothing has changed rather than risk divergence.
-			for _, mr := range marks {
-				if mr.err == nil {
-					m.abortTarget(ctx, res.NID, mr.ref, mr.token)
-				}
-			}
+			m.abortMarked(ctx, res.NID, marks)
 			m.count("outcome", wire.CodeInternal)
 			return res, fmt.Errorf("links: journal negotiation intent: %w", err)
 		}
@@ -281,11 +277,7 @@ func (m *Manager) negotiate(ctx context.Context, span *trace.Span, spec Spec) (*
 			// Local apply failed after its own check passed under
 			// lock — nothing has been committed anywhere yet, so the
 			// decision can still be flipped to abort everywhere.
-			for _, mr := range marks {
-				if mr.err == nil {
-					m.abortTarget(ctx, res.NID, mr.ref, mr.token)
-				}
-			}
+			m.abortMarked(ctx, res.NID, marks)
 			if rec != nil {
 				m.journalRetire(rec.ID)
 			}
@@ -298,28 +290,32 @@ func (m *Manager) negotiate(ctx context.Context, span *trace.Span, spec Spec) (*
 		}
 	}
 
+	marked := make([]journalTarget, 0, locked)
+	for _, mr := range marks {
+		if mr.err == nil {
+			marked = append(marked, journalTarget{Ref: mr.ref, Token: mr.token})
+		}
+	}
+	commitErrs := m.commitGrouped(ctx, res.NID, marked, spec.Action, spec.Args, false)
 	var pendingRefs, failedRefs []EntityRef
 	var stillPending []journalTarget
-	for _, mr := range marks {
-		if mr.err != nil {
-			continue
-		}
-		err := m.commitTarget(ctx, res.NID, mr.ref, mr.token, spec.Action, spec.Args, false)
-		res.Trace = append(res.Trace, Step{Phase: "change", Entity: mr.ref.String(), OK: err == nil, Detail: errDetail(err)})
+	for i, tgt := range marked {
+		err := commitErrs[i]
+		res.Trace = append(res.Trace, Step{Phase: "change", Entity: tgt.Ref.String(), OK: err == nil, Detail: errDetail(err)})
 		switch {
 		case err == nil:
-			res.Accepted = append(res.Accepted, mr.ref)
-			res.Trace = append(res.Trace, Step{Phase: "unlock", Entity: mr.ref.String(), OK: true})
+			res.Accepted = append(res.Accepted, tgt.Ref)
+			res.Trace = append(res.Trace, Step{Phase: "unlock", Entity: tgt.Ref.String(), OK: true})
 		case transientErr(err):
 			// The Commit (or its ack) was lost: the target may or may
 			// not have applied. The sweeper re-sends until it answers.
-			pendingRefs = append(pendingRefs, mr.ref)
-			stillPending = append(stillPending, journalTarget{Ref: mr.ref, Token: mr.token})
+			pendingRefs = append(pendingRefs, tgt.Ref)
+			stillPending = append(stillPending, tgt)
 		default:
 			// Definitive rejection (stale/stolen token, decided
 			// abort): re-sending cannot change it.
-			failedRefs = append(failedRefs, mr.ref)
-			res.Rejected = append(res.Rejected, mr.ref)
+			failedRefs = append(failedRefs, tgt.Ref)
+			res.Rejected = append(res.Rejected, tgt.Ref)
 		}
 	}
 
@@ -366,38 +362,62 @@ func errDetail(err error) string {
 	return err.Error()
 }
 
-// markSequential marks targets one at a time in the given order,
+// markSequential marks targets in the given (user-major sorted) order,
 // stopping at the first failure (And semantics: any failure already
-// dooms the constraint).
+// dooms the constraint). Contiguous same-node runs ride one MarkBatch
+// each; the run boundaries preserve the global entity order, so
+// overlapping negotiations still acquire locks in the same order as
+// the per-entity protocol and cannot deadlock.
 func (m *Manager) markSequential(ctx context.Context, nid string, targets []EntityRef, action string, args wire.Args, res *Result) []markResult {
 	marks := make([]markResult, 0, len(targets))
 	failed := false
-	for _, ref := range targets {
+	for start := 0; start < len(targets); {
+		end := start + 1
+		for end < len(targets) && targets[end].User == targets[start].User {
+			end++
+		}
 		if failed {
-			marks = append(marks, markResult{ref: ref, err: fmt.Errorf("links: skipped after earlier mark failure")})
+			for _, ref := range targets[start:end] {
+				marks = append(marks, markResult{ref: ref, err: errSkippedMark()})
+			}
+			start = end
 			continue
 		}
-		tok, err := m.markTarget(ctx, nid, ref, action, args)
-		res.appendMark(ref, err)
-		marks = append(marks, markResult{ref: ref, token: tok, err: err})
-		if err != nil {
-			failed = true
+		for _, mr := range m.markRun(ctx, nid, targets[start:end], action, args, true) {
+			marks = append(marks, mr)
+			if mr.err != nil {
+				failed = true
+			}
 		}
+		start = end
+	}
+	for _, mr := range marks {
+		res.appendMark(mr.ref, mr.err)
 	}
 	return marks
 }
 
-// markParallel marks all targets concurrently (Or/Xor semantics).
+// markParallel marks all targets concurrently (Or/Xor semantics), one
+// goroutine — and for co-located targets, one MarkBatch — per node.
 func (m *Manager) markParallel(ctx context.Context, nid string, targets []EntityRef, action string, args wire.Args, res *Result) []markResult {
 	marks := make([]markResult, len(targets))
-	var wg sync.WaitGroup
+	groups := make(map[string][]int, len(targets))
 	for i, ref := range targets {
+		groups[ref.User] = append(groups[ref.User], i)
+	}
+	var wg sync.WaitGroup
+	for _, idxs := range groups {
 		wg.Add(1)
-		go func(i int, ref EntityRef) {
+		go func(idxs []int) {
 			defer wg.Done()
-			tok, err := m.markTarget(ctx, nid, ref, action, args)
-			marks[i] = markResult{ref: ref, token: tok, err: err}
-		}(i, ref)
+			run := make([]EntityRef, len(idxs))
+			for j, i := range idxs {
+				run[j] = targets[i]
+			}
+			for j, mr := range m.markRun(ctx, nid, run, action, args, false) {
+				marks[idxs[j]] = mr
+			}
+		}(idxs)
 	}
 	wg.Wait()
 	for _, mr := range marks {

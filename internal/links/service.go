@@ -87,6 +87,13 @@ func (m *Manager) Object() *listener.Object {
 	obj := listener.NewObject()
 
 	argsOf := func(call *listener.Call) wire.Args {
+		// Fast path: a decoded frame (and the in-memory transport)
+		// already holds the inner args as a map — a shallow clone
+		// keeps the handler isolated from the caller's map without a
+		// JSON round trip.
+		if inner, ok := call.Args["args"].(map[string]any); ok {
+			return wire.Args(inner).Clone()
+		}
 		var inner map[string]any
 		if err := call.Args.Decode("args", &inner); err != nil || inner == nil {
 			return wire.Args{}
@@ -137,6 +144,10 @@ func (m *Manager) Object() *listener.Object {
 		}
 		return true, nil
 	})
+
+	// MarkBatch/CommitBatch/AbortBatch: the per-node batched forms of
+	// the three RPCs above (see batch.go).
+	m.registerBatch(obj, argsOf)
 
 	// Abort: release without change; duplicates are no-ops and later
 	// Commits for the token are rejected.

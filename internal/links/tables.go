@@ -118,19 +118,14 @@ func createLinkDB(db *store.DB) (links, waiting, methods, pending, journal, deci
 	journal, err = get(NegotiationJournal, store.Schema{
 		Name: NegotiationJournal,
 		Columns: []store.Column{
-			{Name: "id", Type: store.String},        // negotiation id
-			{Name: "action", Type: store.String},    // action name
-			{Name: "args", Type: store.String},      // JSON wire.Args
-			{Name: "local", Type: store.String},     // JSON LocalChange ("" = none)
-			{Name: "local_done", Type: store.Int},   // 1 once the local change applied
-			{Name: "pending", Type: store.String},   // JSON []journalTarget awaiting ack
-			{Name: "committed", Type: store.String}, // JSON []EntityRef acked
-			{Name: "failed", Type: store.String},    // JSON []EntityRef definitively rejected
-			{Name: "attempts", Type: store.Int},     // sweeper retry rounds so far
-			{Name: "next_retry", Type: store.Time},  // earliest next sweeper attempt
-			{Name: "created", Type: store.Time},     // decision time
-			{Name: "trace_id", Type: store.String},  // originating trace ("" = untraced)
-			{Name: "span_id", Type: store.String},   // Negotiate root span id
+			{Name: "id", Type: store.String}, // negotiation id
+			// The record body (action, args, targets, trace identity,
+			// attempt count) rides one JSON blob: the journal is written
+			// on every negotiation's hot path, and one encode beats the
+			// six per-column encodes the row used to take. next_retry
+			// stays a real column because the sweeper selects on it.
+			{Name: "rec", Type: store.String},      // JSON journalRec
+			{Name: "next_retry", Type: store.Time}, // earliest next sweeper attempt
 		},
 		Key: []string{"id"},
 	})

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -41,6 +42,17 @@ type Config struct {
 	// CountBytes, when true, JSON-encodes each message to account
 	// payload bytes in Stats (costs CPU; off by default).
 	CountBytes bool
+	// EncodeFrames, when true, routes every request, response, and
+	// event through a full wire-frame encode→decode round trip with
+	// FrameCodec before delivery. The in-memory transport normally
+	// hands the receiver the sender's pointer; with this on the
+	// receiver sees exactly what a socket peer would see — JSON's
+	// number widening, v3's tagged scalars — so chaos and idempotency
+	// suites can prove protocol semantics under each wire encoding.
+	EncodeFrames bool
+	// FrameCodec selects the encoding EncodeFrames uses
+	// (wire.CodecJSON by default).
+	FrameCodec wire.Codec
 }
 
 // Stats aggregates traffic counters. All fields are totals since the
@@ -268,9 +280,23 @@ func (n *Net) Call(ctx context.Context, addr string, req *transport.Request) (*t
 	n.requests.Add(1)
 	n.account(req)
 
+	if n.cfg.EncodeFrames {
+		env, err := n.roundTrip(&wire.Envelope{Kind: wire.KindRequest, Request: req})
+		if err != nil {
+			return nil, err
+		}
+		req = env.Request
+	}
 	resp := ep.handler.HandleRequest(ctx, req)
 	if resp == nil {
 		resp = transport.ErrorResponse(req, wire.CodeInternal, "handler returned no response")
+	}
+	if n.cfg.EncodeFrames {
+		env, err := n.roundTrip(&wire.Envelope{Kind: wire.KindResponse, Response: resp})
+		if err != nil {
+			return nil, err
+		}
+		resp = env.Response
 	}
 
 	if n.lose() {
@@ -283,6 +309,21 @@ func (n *Net) Call(ctx context.Context, addr string, req *transport.Request) (*t
 	n.responses.Add(1)
 	n.account(resp)
 	return resp, nil
+}
+
+// roundTrip encodes env with the configured frame codec and decodes it
+// back, yielding the envelope a real socket peer would have received.
+func (n *Net) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
+	f, err := wire.EncodeFrameCodec(env, n.cfg.FrameCodec)
+	if err != nil {
+		return nil, &wire.RemoteError{Code: wire.CodeInternal, Msg: fmt.Sprintf("sim: encode: %v", err)}
+	}
+	out, err := wire.NewFrameReader(bytes.NewReader(f.Bytes())).Read()
+	f.Release()
+	if err != nil {
+		return nil, &wire.RemoteError{Code: wire.CodeInternal, Msg: fmt.Sprintf("sim: decode: %v", err)}
+	}
+	return out, nil
 }
 
 // Send implements transport.Network.
@@ -305,6 +346,13 @@ func (n *Net) Send(ctx context.Context, addr string, ev *transport.Event) error 
 	}
 	n.events.Add(1)
 	n.account(ev)
+	if n.cfg.EncodeFrames {
+		env, err := n.roundTrip(&wire.Envelope{Kind: wire.KindEvent, Event: ev})
+		if err != nil {
+			return err
+		}
+		ev = env.Event
+	}
 	go ep.handler.HandleEvent(ev)
 	return nil
 }

@@ -15,7 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -288,18 +288,33 @@ func (t *Table) keyOf(r Row) (rowKey, error) {
 			return rowKey(s), nil
 		}
 	}
-	var b strings.Builder
+	var buf [64]byte
+	b := buf[:0]
 	for i, k := range t.schema.Key {
 		v, ok := r[k]
 		if !ok {
 			return "", fmt.Errorf("%w: %q", ErrMissingKey, k)
 		}
 		if i > 0 {
-			b.WriteByte(0x1f)
+			b = append(b, 0x1f)
 		}
-		fmt.Fprintf(&b, "%v", v)
+		b = appendKeyVal(b, v)
 	}
-	return rowKey(b.String()), nil
+	return rowKey(b), nil
+}
+
+// appendKeyVal encodes one key value. The typed cases must encode
+// exactly as fmt's %v does — keyOf and keyFromVals both rely on this
+// function so stored keys and probe keys always agree.
+func appendKeyVal(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return append(b, x...)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	default:
+		return fmt.Appendf(b, "%v", v)
+	}
 }
 
 // KeyOf exposes the encoded key for diagnostics and tests.
@@ -318,14 +333,18 @@ func (t *Table) keyFromVals(keyVals []any) (rowKey, error) {
 			return rowKey(s), nil
 		}
 	}
-	probe := make(Row, len(t.schema.Key))
-	for i, kc := range t.schema.Key {
-		if i >= len(keyVals) {
-			return "", fmt.Errorf("%w: need %d key values", ErrMissingKey, len(t.schema.Key))
-		}
-		probe[kc] = keyVals[i]
+	if len(keyVals) < len(t.schema.Key) {
+		return "", fmt.Errorf("%w: need %d key values", ErrMissingKey, len(t.schema.Key))
 	}
-	return t.keyOf(probe)
+	var buf [64]byte
+	b := buf[:0]
+	for i := range t.schema.Key {
+		if i > 0 {
+			b = append(b, 0x1f)
+		}
+		b = appendKeyVal(b, keyVals[i])
+	}
+	return rowKey(b), nil
 }
 
 func (t *Table) checkTypes(r Row, requireKey bool) error {
@@ -398,6 +417,10 @@ func (t *Table) DropTrigger(id string) {
 // fire is always called outside t.mu.
 func (t *Table) fire(timing Timing, op Op, old, new Row) error {
 	t.mu.RLock()
+	if len(t.triggers[timing]) == 0 {
+		t.mu.RUnlock()
+		return nil
+	}
 	list := make([]trigger, len(t.triggers[timing]))
 	copy(list, t.triggers[timing])
 	t.mu.RUnlock()
@@ -415,6 +438,30 @@ func (t *Table) fire(timing Timing, op Op, old, new Row) error {
 		}
 	}
 	return nil
+}
+
+// hasTrigger reports whether any trigger matches (timing, op), letting
+// the mutation paths skip the defensive row clones they would otherwise
+// build just to hand to fire. A trigger registered concurrently with a
+// mutation may miss that mutation either way — the check only moves the
+// race a few instructions earlier.
+func (t *Table) hasTrigger(timing Timing, op Op) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, tr := range t.triggers[timing] {
+		if tr.op == op {
+			return true
+		}
+	}
+	return false
+}
+
+// shouldLog reports whether a mutation logger is attached, so callers
+// can skip the log-row clone when nothing will consume it. Attaching a
+// logger concurrently with a mutation already races with whether that
+// mutation is logged; this moves the check outside t.mu, nothing more.
+func (t *Table) shouldLog(logit bool) bool {
+	return logit && t.db.currentLogger() != nil
 }
 
 // CreateIndex builds a secondary index on column col.
@@ -488,11 +535,12 @@ func (t *Table) insert(r Row, fire, logit bool) error {
 	if err != nil {
 		return err
 	}
-	if fire {
+	if fire && t.hasTrigger(Before, OpInsert) {
 		if err := t.fire(Before, OpInsert, nil, row.Clone()); err != nil {
 			return err
 		}
 	}
+	logit = t.shouldLog(logit)
 	t.mu.Lock()
 	if _, exists := t.rows[k]; exists {
 		t.mu.Unlock()
@@ -510,7 +558,7 @@ func (t *Table) insert(r Row, fire, logit bool) error {
 			return err
 		}
 	}
-	if fire {
+	if fire && t.hasTrigger(After, OpInsert) {
 		return t.fire(After, OpInsert, nil, row.Clone())
 	}
 	return nil
@@ -552,6 +600,19 @@ func (t *Table) View(fn func(Row), keyVals ...any) bool {
 	return true
 }
 
+// Has reports whether a row exists for keyVals, without cloning it the
+// way Get would.
+func (t *Table) Has(keyVals ...any) bool {
+	k, err := t.keyFromVals(keyVals)
+	if err != nil {
+		return false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.rows[k]
+	return ok
+}
+
 // Update applies changes to the row identified by keyVals. Primary-key
 // columns cannot change.
 func (t *Table) Update(changes Row, keyVals ...any) error {
@@ -583,15 +644,16 @@ func (t *Table) update(changes Row, keyVals []any, fire, logit bool) error {
 	if !ok {
 		return fmt.Errorf("%w: %s[%s]", ErrNoRow, t.schema.Name, k)
 	}
-	next := old.Clone()
-	for c, v := range changes {
-		next[c] = v
-	}
-	if fire {
-		if err := t.fire(Before, OpUpdate, old.Clone(), next.Clone()); err != nil {
+	if fire && t.hasTrigger(Before, OpUpdate) {
+		next := old.Clone()
+		for c, v := range changes {
+			next[c] = v
+		}
+		if err := t.fire(Before, OpUpdate, old.Clone(), next); err != nil {
 			return err
 		}
 	}
+	logit = t.shouldLog(logit)
 
 	t.mu.Lock()
 	cur, ok = t.rows[k]
@@ -616,7 +678,7 @@ func (t *Table) update(changes Row, keyVals []any, fire, logit bool) error {
 			return err
 		}
 	}
-	if fire {
+	if fire && t.hasTrigger(After, OpUpdate) {
 		return t.fire(After, OpUpdate, old, stored.Clone())
 	}
 	return nil
@@ -643,11 +705,12 @@ func (t *Table) delete(keyVals []any, fire, logit bool) error {
 	if !ok {
 		return fmt.Errorf("%w: %s[%s]", ErrNoRow, t.schema.Name, k)
 	}
-	if fire {
+	if fire && t.hasTrigger(Before, OpDelete) {
 		if err := t.fire(Before, OpDelete, old.Clone(), nil); err != nil {
 			return err
 		}
 	}
+	logit = t.shouldLog(logit)
 	t.mu.Lock()
 	cur, ok = t.rows[k]
 	if !ok {

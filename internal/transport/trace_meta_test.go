@@ -26,8 +26,21 @@ func traceMeta(i int) wire.Metadata {
 // context arrives byte-identical, never smeared across the frames that
 // shared a flush.
 func TestTraceMetadataSurvivesCoalescedFrames(t *testing.T) {
-	net, addr := newTCPPair(t, metaHandler{})
+	for _, codec := range []wire.Codec{wire.CodecJSON, wire.CodecV3} {
+		t.Run(codec.String(), func(t *testing.T) { testTraceMetaCoalesced(t, codec) })
+	}
+}
+
+func testTraceMetaCoalesced(t *testing.T, codec wire.Codec) {
+	net, addr := newTCPPairCodec(t, metaHandler{}, codec)
 	ctx := context.Background()
+
+	// With v3 configured, the first call negotiates the upgrade so the
+	// concurrent storm below exercises v3-encoded coalesced frames,
+	// not the JSON advertisement path.
+	if _, err := net.Call(ctx, addr, &Request{Service: "echo", Method: "meta", Meta: traceMeta(999)}); err != nil {
+		t.Fatal(err)
+	}
 
 	const n = 32
 	var wg sync.WaitGroup
@@ -69,8 +82,14 @@ func TestTraceMetadataSurvivesCoalescedFrames(t *testing.T) {
 // client connection dies, then asserts the transparent reconnect path
 // carries the trace context byte-identically too.
 func TestTraceMetadataSurvivesReconnect(t *testing.T) {
+	for _, codec := range []wire.Codec{wire.CodecJSON, wire.CodecV3} {
+		t.Run(codec.String(), func(t *testing.T) { testTraceMetaReconnect(t, codec) })
+	}
+}
+
+func testTraceMetaReconnect(t *testing.T, codec wire.Codec) {
 	h := metaHandler{}
-	net := NewTCP()
+	net := NewTCP(WithWireCodec(codec))
 	defer net.Close()
 	ln, err := net.Listen("127.0.0.1:0", h)
 	if err != nil {

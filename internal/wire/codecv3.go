@@ -1,0 +1,575 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire codec v3 (see DESIGN.md §10): a length-delimited binary encoding
+// for the hot envelope types. The frame layout is unchanged — 4-byte
+// big-endian length prefix — but the body starts with the magic byte
+// 0xB3 instead of '{', so a FrameReader distinguishes v3 and JSON
+// bodies per frame with no out-of-band state. JSON remains the wire
+// default and the permanent fallback: every decoder accepts both, and
+// a sender only emits v3 after the peer has shown it can decode it
+// (see internal/transport codec negotiation).
+//
+// Values that the tagged Args encoding cannot represent natively fall
+// back to an embedded JSON blob, so v3 is semantically lossless with
+// respect to the JSON codec for anything the JSON codec can carry.
+
+// magicV3 is the first body byte of a v3-encoded frame. A JSON body
+// always starts with '{' (0x7B), so the two are unambiguous.
+const magicV3 = 0xB3
+
+// Codec selects the frame body encoding a sender uses.
+type Codec uint8
+
+// Codecs.
+const (
+	CodecJSON Codec = iota // JSON body — wire default, universal fallback
+	CodecV3                // binary v3 body — negotiated per connection
+)
+
+// String returns the flag-friendly codec name.
+func (c Codec) String() string {
+	if c == CodecV3 {
+		return "v3"
+	}
+	return "json"
+}
+
+// ParseCodec parses a -wire-codec flag value.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "json":
+		return CodecJSON, nil
+	case "v3":
+		return CodecV3, nil
+	}
+	return CodecJSON, fmt.Errorf("wire: unknown codec %q (want json or v3)", s)
+}
+
+// MetaWireCodec is the metadata key a client stamps on requests to
+// advertise that it decodes v3 frames. A v3-capable server that sees
+// the advertisement may answer in v3 immediately; the binary response
+// itself is the client's evidence that the server speaks v3.
+const MetaWireCodec = "wire-codec"
+
+// WireCodecV3 is the MetaWireCodec value advertising v3 support.
+const WireCodecV3 = "v3"
+
+// ErrBadV3Frame reports a structurally invalid v3 body.
+var ErrBadV3Frame = errors.New("wire: malformed v3 frame")
+
+// v3 kind bytes.
+const (
+	v3KindRequest  = 1
+	v3KindResponse = 2
+	v3KindEvent    = 3
+)
+
+// v3 value tags for the Args encoding.
+const (
+	v3ValNil     = 0
+	v3ValString  = 1
+	v3ValFloat64 = 2
+	v3ValInt     = 3 // zigzag varint; covers int/int64
+	v3ValTrue    = 4
+	v3ValFalse   = 5
+	v3ValStrings = 6 // []string
+	v3ValSlice   = 7 // []any
+	v3ValMap     = 8 // map[string]any / Args
+	v3ValJSON    = 9 // embedded JSON blob (fallback for everything else)
+)
+
+// EncodeFrameCodec encodes env with the requested codec into a pooled
+// FrameBuffer. CodecJSON delegates to EncodeFrame; the two produce
+// frames any FrameReader decodes interchangeably.
+func EncodeFrameCodec(env *Envelope, c Codec) (*FrameBuffer, error) {
+	if c == CodecV3 {
+		return EncodeFrameV3(env)
+	}
+	return EncodeFrame(env)
+}
+
+// EncodeFrameV3 encodes env as a v3 binary frame: 4-byte length prefix
+// then the 0xB3-tagged body, appended into one pooled buffer so a warm
+// pool encodes a frame with zero intermediate allocations and the
+// transport issues a single Write.
+func EncodeFrameV3(env *Envelope) (*FrameBuffer, error) {
+	f := framePool.Get().(*FrameBuffer)
+	b := append(f.buf[:0], 0, 0, 0, 0) // length backpatched below
+	var err error
+	switch {
+	case env.Kind == KindRequest && env.Request != nil:
+		b = append(b, magicV3, v3KindRequest)
+		b, err = appendV3Request(b, env.Request)
+	case env.Kind == KindResponse && env.Response != nil:
+		b = append(b, magicV3, v3KindResponse)
+		b, err = appendV3Response(b, env.Response)
+	case env.Kind == KindEvent && env.Event != nil:
+		b = append(b, magicV3, v3KindEvent)
+		b, err = appendV3Event(b, env.Event)
+	default:
+		err = fmt.Errorf("wire: v3 encode: empty or inconsistent envelope kind %q", env.Kind)
+	}
+	if err != nil {
+		f.buf = b
+		f.Release()
+		return nil, err
+	}
+	n := len(b) - 4
+	if n > MaxFrameSize {
+		f.buf = b
+		f.Release()
+		return nil, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	f.buf = b
+	return f, nil
+}
+
+func appendV3Request(b []byte, r *Request) ([]byte, error) {
+	b = binary.AppendUvarint(b, r.ID)
+	b = appendV3String(b, r.Service)
+	b = appendV3String(b, r.Method)
+	b = appendV3String(b, r.Caller)
+	b = appendV3String(b, r.Credential)
+	b = appendV3Meta(b, r.Meta)
+	return appendV3Args(b, r.Args)
+}
+
+func appendV3Response(b []byte, r *Response) ([]byte, error) {
+	b = binary.AppendUvarint(b, r.ID)
+	if r.OK {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendV3String(b, r.Error)
+	b = appendV3String(b, string(r.Code))
+	b = appendV3Bytes(b, r.Result)
+	b = appendV3Meta(b, r.Meta)
+	return b, nil
+}
+
+func appendV3Event(b []byte, e *Event) ([]byte, error) {
+	b = appendV3String(b, e.Name)
+	b = appendV3String(b, e.Source)
+	return appendV3Args(b, e.Args)
+}
+
+func appendV3String(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendV3Bytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendV3Meta(b []byte, m Metadata) []byte {
+	b = binary.AppendUvarint(b, uint64(len(m)))
+	for k, v := range m {
+		b = appendV3String(b, k)
+		b = appendV3String(b, v)
+	}
+	return b
+}
+
+func appendV3Args(b []byte, a map[string]any) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(a)))
+	var err error
+	for k, v := range a {
+		b = appendV3String(b, k)
+		b, err = appendV3Value(b, v)
+		if err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+// appendV3Value encodes one Args value with a type tag. The calendar
+// services overwhelmingly send small scalar maps (entity names,
+// actions, ints, nested string maps), so those get dedicated tags; any
+// other type round-trips through an embedded JSON blob with identical
+// decode semantics to the JSON codec.
+func appendV3Value(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, v3ValNil), nil
+	case string:
+		b = append(b, v3ValString)
+		return appendV3String(b, x), nil
+	case float64:
+		b = append(b, v3ValFloat64)
+		return binary.BigEndian.AppendUint64(b, math.Float64bits(x)), nil
+	case int:
+		b = append(b, v3ValInt)
+		return appendV3Zigzag(b, int64(x)), nil
+	case int64:
+		b = append(b, v3ValInt)
+		return appendV3Zigzag(b, x), nil
+	case bool:
+		if x {
+			return append(b, v3ValTrue), nil
+		}
+		return append(b, v3ValFalse), nil
+	case []string:
+		b = append(b, v3ValStrings)
+		b = binary.AppendUvarint(b, uint64(len(x)))
+		for _, s := range x {
+			b = appendV3String(b, s)
+		}
+		return b, nil
+	case []any:
+		b = append(b, v3ValSlice)
+		b = binary.AppendUvarint(b, uint64(len(x)))
+		var err error
+		for _, e := range x {
+			b, err = appendV3Value(b, e)
+			if err != nil {
+				return b, err
+			}
+		}
+		return b, nil
+	case map[string]any:
+		b = append(b, v3ValMap)
+		return appendV3Args(b, x)
+	case Args:
+		b = append(b, v3ValMap)
+		return appendV3Args(b, x)
+	case json.RawMessage:
+		// Already JSON: embed verbatim, decode matches the JSON codec.
+		b = append(b, v3ValJSON)
+		return appendV3Bytes(b, x), nil
+	default:
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return b, fmt.Errorf("wire: v3 encode arg: %w", err)
+		}
+		b = append(b, v3ValJSON)
+		return appendV3Bytes(b, raw), nil
+	}
+}
+
+func appendV3Zigzag(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64(v<<1)^uint64(v>>63))
+}
+
+// --- decode ---------------------------------------------------------------
+
+// v3dec is a bounds-checked cursor over one v3 body. Decoded strings
+// and byte fields are copied out (the caller reuses the underlying
+// scratch buffer for the next frame), but the cursor itself performs no
+// intermediate allocation.
+type v3dec struct {
+	b   []byte
+	pos int
+}
+
+func (d *v3dec) fail() error { return ErrBadV3Frame }
+
+func (d *v3dec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, d.fail()
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *v3dec) zigzag() (int64, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+func (d *v3dec) byte() (byte, error) {
+	if d.pos >= len(d.b) {
+		return 0, d.fail()
+	}
+	c := d.b[d.pos]
+	d.pos++
+	return c, nil
+}
+
+// take returns the next n raw bytes, still aliasing the scratch buffer.
+func (d *v3dec) take(n uint64) ([]byte, error) {
+	if n > uint64(len(d.b)-d.pos) {
+		return nil, d.fail()
+	}
+	p := d.b[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return p, nil
+}
+
+func (d *v3dec) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	p, err := d.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+func (d *v3dec) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	p, err := d.take(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) == 0 {
+		return nil, nil
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out, nil
+}
+
+func (d *v3dec) meta() (Metadata, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(len(d.b)-d.pos) { // each entry takes ≥2 bytes; cheap sanity bound
+		return nil, d.fail()
+	}
+	m := make(Metadata, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+func (d *v3dec) args() (Args, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(len(d.b)-d.pos) {
+		return nil, d.fail()
+	}
+	a := make(Args, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.value()
+		if err != nil {
+			return nil, err
+		}
+		a[k] = v
+	}
+	return a, nil
+}
+
+func (d *v3dec) value() (any, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case v3ValNil:
+		return nil, nil
+	case v3ValString:
+		return d.string()
+	case v3ValFloat64:
+		p, err := d.take(8)
+		if err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(p)), nil
+	case v3ValInt:
+		return d.zigzag()
+	case v3ValTrue:
+		return true, nil
+	case v3ValFalse:
+		return false, nil
+	case v3ValStrings:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(d.b)-d.pos) {
+			return nil, d.fail()
+		}
+		out := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			s, err := d.string()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	case v3ValSlice:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(d.b)-d.pos) {
+			return nil, d.fail()
+		}
+		out := make([]any, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v, err := d.value()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case v3ValMap:
+		a, err := d.args()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any(a), nil
+	case v3ValJSON:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		p, err := d.take(n)
+		if err != nil {
+			return nil, err
+		}
+		var v any
+		if err := json.Unmarshal(p, &v); err != nil {
+			return nil, fmt.Errorf("wire: v3 embedded json: %w", err)
+		}
+		return v, nil
+	}
+	return nil, d.fail()
+}
+
+// decodeV3 decodes a v3 body (including the leading magic byte) into a
+// fresh Envelope that does not alias body.
+func decodeV3(body []byte) (*Envelope, error) {
+	if len(body) < 2 || body[0] != magicV3 {
+		return nil, ErrBadV3Frame
+	}
+	d := &v3dec{b: body, pos: 2}
+	env := new(Envelope)
+	var err error
+	switch body[1] {
+	case v3KindRequest:
+		env.Kind = KindRequest
+		env.Request, err = d.request()
+	case v3KindResponse:
+		env.Kind = KindResponse
+		env.Response, err = d.response()
+	case v3KindEvent:
+		env.Kind = KindEvent
+		env.Event, err = d.event()
+	default:
+		err = ErrBadV3Frame
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.b) {
+		return nil, ErrBadV3Frame
+	}
+	return env, nil
+}
+
+func (d *v3dec) request() (*Request, error) {
+	r := new(Request)
+	var err error
+	if r.ID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if r.Service, err = d.string(); err != nil {
+		return nil, err
+	}
+	if r.Method, err = d.string(); err != nil {
+		return nil, err
+	}
+	if r.Caller, err = d.string(); err != nil {
+		return nil, err
+	}
+	if r.Credential, err = d.string(); err != nil {
+		return nil, err
+	}
+	if r.Meta, err = d.meta(); err != nil {
+		return nil, err
+	}
+	if r.Args, err = d.args(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (d *v3dec) response() (*Response, error) {
+	r := new(Response)
+	var err error
+	if r.ID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	ok, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	r.OK = ok != 0
+	if r.Error, err = d.string(); err != nil {
+		return nil, err
+	}
+	var code string
+	if code, err = d.string(); err != nil {
+		return nil, err
+	}
+	r.Code = ErrCode(code)
+	if r.Result, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	if r.Meta, err = d.meta(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (d *v3dec) event() (*Event, error) {
+	e := new(Event)
+	var err error
+	if e.Name, err = d.string(); err != nil {
+		return nil, err
+	}
+	if e.Source, err = d.string(); err != nil {
+		return nil, err
+	}
+	if e.Args, err = d.args(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

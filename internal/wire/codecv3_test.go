@@ -1,0 +1,333 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func testEnvelopeV3(i int) *Envelope {
+	return &Envelope{Kind: KindRequest, Request: &Request{
+		ID: uint64(i), Service: "links.phil", Method: "Mark",
+		Args: Args{
+			"entity": "cal.phil/ev42",
+			"action": "book",
+			"args":   map[string]any{"day": "2003-04-21", "hour": i, "ok": true},
+			"nid":    "abc123",
+			"prio":   1.5,
+			"who":    []string{"phil", "andy"},
+			"mixed":  []any{"x", int64(7), false, nil},
+		},
+		Caller:     "andy",
+		Credential: "deadbeef",
+		Meta:       Metadata{MetaRequestID: "andy-1", MetaHops: "1"},
+	}}
+}
+
+// canonical re-encodes a decoded envelope as JSON: map keys sort, and
+// both int64 (v3 decode) and float64 (JSON decode) of the same integer
+// print identically, so two semantically equal envelopes canonicalize
+// to the same bytes.
+func canonical(t testing.TB, env *Envelope) []byte {
+	t.Helper()
+	b, err := json.Marshal(env)
+	if err != nil {
+		t.Fatalf("canonical: %v", err)
+	}
+	// Normalize escaping through a generic round trip: a replacement
+	// rune prints as "�" when the encoder coerces invalid UTF-8
+	// but as raw bytes when the string already holds U+FFFD — the
+	// same character either way.
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatalf("canonical reparse: %v", err)
+	}
+	b, err = json.Marshal(v)
+	if err != nil {
+		t.Fatalf("canonical re-marshal: %v", err)
+	}
+	return b
+}
+
+func decodeOneFrame(t testing.TB, frame []byte) *Envelope {
+	t.Helper()
+	env, err := NewFrameReader(bytes.NewReader(frame)).Read()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return env
+}
+
+func TestCodecV3RoundTripRequest(t *testing.T) {
+	env := testEnvelopeV3(7)
+	f, err := EncodeFrameV3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), f.Bytes()...)
+	f.Release()
+	if frame[4] != magicV3 {
+		t.Fatalf("body starts with %#x, want magic %#x", frame[4], magicV3)
+	}
+	got := decodeOneFrame(t, frame)
+	r := got.Request
+	if r == nil || r.ID != 7 || r.Service != "links.phil" || r.Method != "Mark" ||
+		r.Caller != "andy" || r.Credential != "deadbeef" {
+		t.Fatalf("round trip: %+v", r)
+	}
+	if r.Args.String("entity") != "cal.phil/ev42" || r.Meta.Get(MetaRequestID) != "andy-1" {
+		t.Fatalf("args/meta: %+v %+v", r.Args, r.Meta)
+	}
+	inner, ok := r.Args["args"].(map[string]any)
+	if !ok || inner["day"] != "2003-04-21" || Args(inner).Int("hour") != 7 || inner["ok"] != true {
+		t.Fatalf("nested args: %#v", r.Args["args"])
+	}
+	if got := r.Args.Strings("who"); len(got) != 2 || got[0] != "phil" {
+		t.Fatalf("[]string: %#v", got)
+	}
+}
+
+func TestCodecV3RoundTripResponse(t *testing.T) {
+	env := &Envelope{Kind: KindResponse, Response: &Response{
+		ID: 99, OK: false, Error: "locked by someone", Code: CodeConflict,
+		Result: json.RawMessage(`{"holder":"andy"}`),
+		Meta:   Metadata{MetaRequestID: "phil-4"},
+	}}
+	f, err := EncodeFrameV3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), f.Bytes()...)
+	f.Release()
+	got := decodeOneFrame(t, frame).Response
+	if got == nil || got.ID != 99 || got.OK || got.Code != CodeConflict ||
+		got.Error != "locked by someone" || string(got.Result) != `{"holder":"andy"}` ||
+		got.Meta.Get(MetaRequestID) != "phil-4" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestCodecV3RoundTripEvent(t *testing.T) {
+	env := &Envelope{Kind: KindEvent, Event: &Event{
+		Name: "cal.changed", Source: "phil", Args: Args{"entity": "ev1"},
+	}}
+	f, err := EncodeFrameV3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), f.Bytes()...)
+	f.Release()
+	got := decodeOneFrame(t, frame).Event
+	if got == nil || got.Name != "cal.changed" || got.Source != "phil" || got.Args.String("entity") != "ev1" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+// TestCodecV3EquivalentToJSON pins semantic equivalence: the same
+// envelope decoded from a v3 frame and from a JSON frame canonicalizes
+// to identical JSON.
+func TestCodecV3EquivalentToJSON(t *testing.T) {
+	envs := []*Envelope{
+		testEnvelopeV3(3),
+		{Kind: KindResponse, Response: &Response{ID: 1, OK: true, Result: json.RawMessage(`[1,2,3]`)}},
+		{Kind: KindResponse, Response: &Response{ID: 2, Error: "x", Code: CodeUnavailable}},
+		{Kind: KindEvent, Event: &Event{Name: "e", Args: Args{"n": nil, "f": 2.25, "neg": -12}}},
+		{Kind: KindRequest, Request: &Request{ID: 0, Service: "s", Method: "m"}}, // all-empty fields
+	}
+	for i, env := range envs {
+		jf, err := EncodeFrame(env)
+		if err != nil {
+			t.Fatalf("env %d: json encode: %v", i, err)
+		}
+		jframe := append([]byte(nil), jf.Bytes()...)
+		jf.Release()
+		vf, err := EncodeFrameV3(env)
+		if err != nil {
+			t.Fatalf("env %d: v3 encode: %v", i, err)
+		}
+		vframe := append([]byte(nil), vf.Bytes()...)
+		vf.Release()
+		fromJSON := canonical(t, decodeOneFrame(t, jframe))
+		fromV3 := canonical(t, decodeOneFrame(t, vframe))
+		if !bytes.Equal(fromJSON, fromV3) {
+			t.Fatalf("env %d: codecs diverge:\n json: %s\n   v3: %s", i, fromJSON, fromV3)
+		}
+	}
+}
+
+// TestFrameReaderMixedCodecs interleaves JSON and v3 frames on one
+// connection: the reader must auto-detect per frame, which is what
+// keeps mixed-version fleets byte-compatible mid-negotiation.
+func TestFrameReaderMixedCodecs(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 20; i++ {
+		codec := CodecJSON
+		if i%2 == 1 {
+			codec = CodecV3
+		}
+		f, err := EncodeFrameCodec(testEnvelopeV3(i), codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(f.Bytes())
+		f.Release()
+	}
+	fr := NewFrameReader(&buf)
+	for i := 0; i < 20; i++ {
+		env, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if env.Request.ID != uint64(i) {
+			t.Fatalf("frame %d decoded id %d", i, env.Request.ID)
+		}
+	}
+}
+
+// TestFrameReaderScratchShrinksAfterLargeFrame pins the fix for the
+// scratch-growth bug: one oversized frame must not pin a large buffer
+// on the connection, and the retained buffer must shrink back to the
+// pool cap (not to zero, which would force reallocation on the next
+// ordinary read).
+func TestFrameReaderScratchShrinksAfterLargeFrame(t *testing.T) {
+	big := &Envelope{Kind: KindRequest, Request: &Request{
+		ID: 1, Service: "s", Method: "m",
+		Args: Args{"blob": string(bytes.Repeat([]byte("x"), 4*poolBufCap))},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, testEnvelopeV3(2)); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	env, err := fr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Request.Args.String("blob")) != 4*poolBufCap {
+		t.Fatalf("big frame truncated: %d", len(env.Request.Args.String("blob")))
+	}
+	if cap(fr.scratch) > poolBufCap {
+		t.Fatalf("scratch cap %d still pinned above poolBufCap %d", cap(fr.scratch), poolBufCap)
+	}
+	if cap(fr.scratch) == 0 {
+		t.Fatal("scratch dropped to zero; next ordinary read reallocates")
+	}
+	if env, err = fr.Read(); err != nil || env.Request.ID != 2 {
+		t.Fatalf("read after shrink: %+v %v", env, err)
+	}
+}
+
+func TestDecodeV3RejectsTruncated(t *testing.T) {
+	f, err := EncodeFrameV3(testEnvelopeV3(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append([]byte(nil), f.Bytes()[4:]...)
+	f.Release()
+	for n := 0; n < len(body); n++ {
+		if _, err := decodeV3(body[:n]); err == nil {
+			t.Fatalf("truncated body of %d bytes decoded without error", n)
+		}
+	}
+	// Trailing garbage must be rejected too.
+	if _, err := decodeV3(append(body, 0xFF)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func FuzzCodecV3Roundtrip(f *testing.F) {
+	f.Add("cal.phil", "Book", "andy", "k", "v", int64(42), 1.5, true, uint64(7))
+	f.Add("", "", "", "", "", int64(-1), -0.0, false, uint64(0))
+	f.Add("links.u\x80ser", "M\xffark", "a", "\x00", "\xfe\xfd", int64(1<<40), 3.14159, true, uint64(1<<63))
+	f.Fuzz(func(t *testing.T, service, method, caller, key, sval string, ival int64, fval float64, bval bool, id uint64) {
+		env := &Envelope{Kind: KindRequest, Request: &Request{
+			ID: id, Service: service, Method: method, Caller: caller,
+			Args: Args{
+				key:    sval,
+				"i":    ival,
+				"f":    fval,
+				"b":    bval,
+				"deep": map[string]any{"s": sval, "list": []any{ival, sval, bval}},
+				"ss":   []string{sval, key},
+			},
+			Meta: Metadata{MetaRequestID: sval, key: caller},
+		}}
+		jf, err := EncodeFrame(env)
+		if err != nil {
+			t.Skip() // value JSON cannot carry (NaN/Inf); v3 equivalence is defined over JSON-encodable envelopes
+		}
+		jframe := append([]byte(nil), jf.Bytes()...)
+		jf.Release()
+		vf, err := EncodeFrameV3(env)
+		if err != nil {
+			t.Fatalf("v3 encode failed where json succeeded: %v", err)
+		}
+		vframe := append([]byte(nil), vf.Bytes()...)
+		vf.Release()
+
+		fromJSON := decodeOneFrame(t, jframe)
+		fromV3 := decodeOneFrame(t, vframe)
+		cj, cv := canonical(t, fromJSON), canonical(t, fromV3)
+		if !bytes.Equal(cj, cv) {
+			t.Fatalf("codecs diverge:\n json: %s\n   v3: %s", cj, cv)
+		}
+
+		// Re-encode the decoded envelope through v3 again: must be
+		// stable (decode→encode→decode is a fixed point).
+		vf2, err := EncodeFrameV3(fromV3)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		vframe2 := append([]byte(nil), vf2.Bytes()...)
+		vf2.Release()
+		again := decodeOneFrame(t, vframe2)
+		if c2 := canonical(t, again); !bytes.Equal(cv, c2) {
+			t.Fatalf("v3 re-encode unstable:\n first: %s\nsecond: %s", cv, c2)
+		}
+
+		// Every truncation of the v3 body must fail cleanly, never
+		// panic: a torn frame is a decode error, not a crash.
+		body := vframe[4:]
+		for n := 0; n < len(body); n++ {
+			if _, err := decodeV3(body[:n]); err == nil {
+				t.Fatalf("truncated v3 body (%d/%d bytes) decoded without error", n, len(body))
+			}
+		}
+	})
+}
+
+func BenchmarkEncodeFrameV3(b *testing.B) {
+	env := testEnvelopeV3(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := EncodeFrameV3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Release()
+	}
+}
+
+func BenchmarkFrameReaderV3(b *testing.B) {
+	f, err := EncodeFrameV3(testEnvelopeV3(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := append([]byte(nil), f.Bytes()...)
+	f.Release()
+	big := bytes.Repeat(frame, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fr *FrameReader
+	for i := 0; i < b.N; i++ {
+		if i%1000 == 0 {
+			fr = NewFrameReader(bytes.NewReader(big))
+		}
+		if _, err := fr.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -93,6 +93,11 @@ type FrameReader struct {
 	// transport layer feeds them into metrics.
 	Frames int64
 	Bytes  int64
+	// LastCodec reports the body encoding of the most recent
+	// successful Read. A received CodecV3 frame is the transport
+	// layer's evidence that the peer speaks v3 (see codec
+	// negotiation in internal/transport).
+	LastCodec Codec
 }
 
 // NewFrameReader creates a FrameReader over r. If r is already a
@@ -128,13 +133,29 @@ func (fr *FrameReader) Read() (*Envelope, error) {
 		return nil, err
 	}
 	if cap(fr.scratch) > poolBufCap {
-		// Do not let one oversized frame pin a huge scratch buffer
-		// for the connection's lifetime.
-		fr.scratch = nil
+		// Do not let one oversized frame pin its capacity for the
+		// connection's lifetime: shrink back to the pool cap so
+		// subsequent normal-sized reads are still allocation-free.
+		// body keeps the old array alive until the decode below
+		// copies what it needs.
+		fr.scratch = make([]byte, poolBufCap)
 	}
-	env := new(Envelope)
-	if err := json.Unmarshal(body, env); err != nil {
-		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	var env *Envelope
+	if n > 0 && body[0] == magicV3 {
+		// v3 binary body — auto-detected per frame, no connection
+		// state needed (a JSON body always starts with '{').
+		var err error
+		env, err = decodeV3(body)
+		if err != nil {
+			return nil, err
+		}
+		fr.LastCodec = CodecV3
+	} else {
+		fr.LastCodec = CodecJSON
+		env = new(Envelope)
+		if err := json.Unmarshal(body, env); err != nil {
+			return nil, fmt.Errorf("wire: unmarshal: %w", err)
+		}
 	}
 	fr.Frames++
 	fr.Bytes += int64(4 + n)

@@ -179,6 +179,9 @@ func ReadFrame(r io.Reader) (*Envelope, error) {
 		}
 		return nil, err
 	}
+	if n > 0 && body[0] == magicV3 {
+		return decodeV3(body)
+	}
 	env := new(Envelope)
 	if err := json.Unmarshal(body, env); err != nil {
 		return nil, fmt.Errorf("wire: unmarshal: %w", err)
