@@ -86,6 +86,11 @@ func BenchmarkMicro_MeetingLifecycle(b *testing.B) { bench.MicroMeetingLifecycle
 // receiver.
 func BenchmarkMicro_WALShip(b *testing.B) { bench.MicroWALShip(b) }
 
+// BenchmarkMicro_SyncReconnect measures one disconnected-operation
+// round trip: directory Touch, offline queue push through the real
+// negotiation path, and the relevance pull.
+func BenchmarkMicro_SyncReconnect(b *testing.B) { bench.MicroSyncReconnect(b) }
+
 // BenchmarkDirectoryCache contrasts the Invoke hot path with and
 // without the client-side route cache: "uncached" pays a directory
 // lookup per call, "cached" resolves once and then serves the route

@@ -43,6 +43,7 @@ import (
 	"repro/internal/links"
 	"repro/internal/metrics"
 	"repro/internal/notify"
+	"repro/internal/offline"
 	"repro/internal/replication"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -130,6 +131,9 @@ func main() {
 	replicasFlag := flag.String("replicas", "", "comma-separated follower addresses advertised on every lease renewal (the promotion candidate set)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "replication lease TTL; with -data-dir the node serves as a lease-holding primary (0 = replication off)")
 	wireCodec := flag.String("wire-codec", "json", "frame body codec to send: json or v3 (negotiated per connection; json stays the fallback)")
+	offlineQueue := flag.Int("offline-queue", 0, "enable disconnected operation with an op queue of this capacity (writes queue locally while partitioned and sync on reconnect; 0 disables)")
+	offlineOverflow := flag.String("offline-overflow", "drop-oldest", "with -offline-queue: at-capacity policy — drop-oldest or reject-new")
+	syncRelevance := flag.Bool("sync-relevance", true, "with -offline-queue: serve reconnect Pulls relevance-filtered (false ships full state — baseline for comparison)")
 	flag.Parse()
 
 	codec, err := wire.ParseCodec(*wireCodec)
@@ -174,6 +178,13 @@ func main() {
 	if *leaseTTL > 0 {
 		opts = append(opts, core.WithReplication(*leaseTTL, splitList(*replicasFlag)...))
 	}
+	if *offlineQueue > 0 {
+		policy := offline.Overflow(*offlineOverflow)
+		if policy != offline.DropOldest && policy != offline.RejectNew {
+			log.Fatalf("sydnode: bad -offline-overflow %q (want drop-oldest or reject-new)", *offlineOverflow)
+		}
+		opts = append(opts, core.WithOfflineMode(*offlineQueue, policy, *syncRelevance))
+	}
 	var tracer *trace.Tracer
 	if *traceSample > 0 || *traceSlow > 0 {
 		tracer = trace.New(*user,
@@ -209,6 +220,9 @@ func main() {
 	cal, err := calendar.New(context.Background(), node, calendar.WithNotifier(notify.NewWriter(os.Stdout)))
 	if err != nil {
 		log.Fatalf("sydnode: calendar: %v", err)
+	}
+	if node.Offline != nil {
+		cal.EnableSync(node.Offline)
 	}
 	if *statePath != "" && *dataDir != "" {
 		log.Printf("sydnode: -data-dir set; ignoring legacy -state %s", *statePath)

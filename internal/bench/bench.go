@@ -407,6 +407,81 @@ func F4FailoverRecovery(b *testing.B) {
 	}
 }
 
+// MicroSyncReconnect measures one disconnected-operation round trip:
+// a device in local mode with queued bookings (and one queued
+// cancellation) reconnects — directory Touch, queue push through the
+// real negotiation path, and the relevance pull are all inside the
+// timed region. World construction and the offline queuing itself are
+// excluded.
+func MicroSyncReconnect(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := sim.New(sim.Config{})
+		clk := clock.NewFake(time.Date(2003, 4, 21, 8, 0, 0, 0, time.UTC))
+		srv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(time.Hour))
+		if _, err := net.Listen("dir", srv.Handler()); err != nil {
+			b.Fatal(err)
+		}
+		nodes := map[string]*core.Node{}
+		cals := map[string]*calendar.Calendar{}
+		for _, u := range []string{"mob", "phil"} {
+			n, err := core.Start(ctx, core.Config{
+				User: u, Net: net, DirAddr: "dir", Clock: clk,
+				OfflineMode: true, OfflineQueueCap: 64,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := calendar.New(ctx, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.EnableSync(n.Offline)
+			nodes[u], cals[u] = n, c
+		}
+		// A shared meeting makes phil a sync peer and gives the pull
+		// phase state to scan.
+		if _, err := cals["phil"].SetupMeeting(ctx, calendar.Request{
+			Title: "seed", Day: "2003-04-22", Hour: 9, PinSlot: true, Priority: 1,
+			Must: []string{"mob"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		mob := cals["mob"]
+		nodes["mob"].Offline.GoOffline(ctx)
+		var last string
+		for k := 0; k < 4; k++ {
+			m, queued, err := mob.ScheduleOrQueue(ctx, calendar.Request{
+				Title: "offline", Day: "2003-04-23", Hour: 9 + k, PinSlot: true, Priority: 1,
+				Must: []string{"phil"},
+			})
+			if err != nil || !queued {
+				b.Fatalf("queue op %d: queued=%v err=%v", k, queued, err)
+			}
+			last = m.ID
+		}
+		if _, err := mob.CancelOrQueue(ctx, last); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := nodes["mob"].Offline.TryReconnect(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if got := nodes["mob"].Offline.Queue().Len(); got != 0 {
+			b.Fatalf("queue not drained: %d", got)
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		for _, n := range nodes {
+			_ = n.Close(cctx)
+		}
+		cancel()
+		b.StartTimer()
+	}
+}
+
 // Def names one benchmark in the trajectory suite.
 type Def struct {
 	Name string
@@ -429,6 +504,7 @@ func Trajectory() []Def {
 		{Name: "F3_DirectoryOps", Run: func(b *testing.B) { Experiment(b, "F3") }},
 		{Name: "F4_NegotiationOr", Run: func(b *testing.B) { Experiment(b, "F4") }},
 		{Name: "Micro_WALShip", Run: MicroWALShip},
+		{Name: "Micro_SyncReconnect", Run: MicroSyncReconnect},
 		{Name: "F4_FailoverRecovery", Run: F4FailoverRecovery},
 	}
 }

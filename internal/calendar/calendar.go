@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/links"
 	"repro/internal/notify"
+	"repro/internal/offline"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -49,6 +50,12 @@ type Calendar struct {
 
 	slots    *store.Table
 	meetings *store.Table
+
+	// offline/syncVers are set by EnableSync (before any concurrent
+	// use): the disconnected-operation manager and the per-entity
+	// version counters bumped on every meeting mutation.
+	offline  *offline.Manager
+	syncVers *offline.Versions
 
 	// meetMu serializes read-modify-write sequences on one meeting
 	// record (TryConfirm racing a dropout racing a bump). Keyed by
@@ -267,9 +274,14 @@ func (c *Calendar) putMeeting(m *Meeting) error {
 		return err
 	}
 	if _, ok := c.meetings.Get(m.ID); ok {
-		return c.meetings.Update(store.Row{"doc": string(doc)}, m.ID)
+		err = c.meetings.Update(store.Row{"doc": string(doc)}, m.ID)
+	} else {
+		err = c.meetings.Insert(store.Row{"id": m.ID, "doc": string(doc)})
 	}
-	return c.meetings.Insert(store.Row{"id": m.ID, "doc": string(doc)})
+	if err == nil && c.syncVers != nil {
+		c.syncVers.Bump(meetingEntity(m.ID))
+	}
+	return err
 }
 
 // Meeting fetches a meeting record by id.

@@ -146,8 +146,12 @@ func (c *Calendar) FindCommonSlots(ctx context.Context, req Request) ([]Slot, er
 // tentative with tentative back links queued at the unavailable
 // participants.
 func (c *Calendar) SetupMeeting(ctx context.Context, req Request) (*Meeting, error) {
+	id := req.ID
+	if id == "" {
+		id = newMeetingID()
+	}
 	m := &Meeting{
-		ID:          newMeetingID(),
+		ID:          id,
 		Title:       req.Title,
 		Initiator:   c.user,
 		Priority:    req.Priority,
@@ -334,6 +338,13 @@ func (c *Calendar) installMeetingLinks(ctx context.Context, m *Meeting, req Requ
 			continue
 		}
 		if err := c.installTentativeBackLink(ctx, m, u); err != nil {
+			// A disconnected participant cannot host the tentative link
+			// yet. The meeting stays tentative with them missing; their
+			// reconnect sync pulls the meeting record, and a later
+			// TryConfirm renegotiates for real.
+			if code := wire.CodeOf(err); code == wire.CodeUnavailable || code == wire.CodeNoService {
+				continue
+			}
 			return fmt.Errorf("calendar: tentative link at %s: %w", u, err)
 		}
 	}

@@ -1,0 +1,259 @@
+package calendar
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/offline"
+	"repro/internal/wire"
+)
+
+// Offline op kinds queued while disconnected and replayed on reconnect.
+const (
+	opSchedule = "schedule"
+	opCancel   = "cancel"
+)
+
+// meetingEntity returns the sync entity id of a meeting record.
+func meetingEntity(meetingID string) string { return "meeting:" + meetingID }
+
+// EnableSync wires this calendar into the node's disconnected-operation
+// manager: the calendar becomes the sync source (meeting docs filtered
+// by participation), the applier for pulled docs, and the replayer for
+// queued ops — which drain through SetupMeeting/CancelMeeting so that
+// conflicting offline bookings reconcile via the normal tentative-link
+// promotion machinery rather than an ad-hoc merge.
+func (c *Calendar) EnableSync(om *offline.Manager) {
+	c.offline = om
+	c.syncVers = om.Versions()
+	ad := &syncAdapter{c: c}
+	om.SetSource(ad)
+	om.SetApplier(ad)
+	om.SetReplayer(c.ReplayOp)
+	om.SetPeers(c.syncPeers)
+	// Seed versions for meetings created before sync was enabled, so
+	// the first Pull against this device sees them.
+	for _, m := range c.Meetings() {
+		if c.syncVers.Get(meetingEntity(m.ID)) == 0 {
+			c.syncVers.Bump(meetingEntity(m.ID))
+		}
+	}
+}
+
+// syncPeers lists every other user this calendar shares a meeting with
+// — the set worth pulling from after a disconnect.
+func (c *Calendar) syncPeers() []string {
+	seen := map[string]bool{c.user: true}
+	var out []string
+	for _, m := range c.Meetings() {
+		for _, u := range m.Participants() {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScheduleOrQueue sets up a meeting when online. In local mode it
+// pre-mints the meeting id, parks the request in the offline op queue,
+// and records the meeting locally as tentative (occupying a pinned slot
+// so local reads reflect the intent). Returns queued=true when the op
+// was deferred.
+func (c *Calendar) ScheduleOrQueue(ctx context.Context, req Request) (m *Meeting, queued bool, err error) {
+	if c.offline == nil || c.offline.State() == offline.StateOnline {
+		m, err = c.SetupMeeting(ctx, req)
+		if err == nil || !offline.IsLocalMode(err) {
+			return m, false, err
+		}
+		// The manager flipped to local mode mid-setup; fall through and
+		// queue instead.
+	}
+	if req.ID == "" {
+		req.ID = newMeetingID()
+	}
+	if req.PinSlot || req.Day != "" {
+		slot := Slot{Day: req.Day, Hour: req.Hour}
+		if !slot.Valid() {
+			return nil, false, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: fmt.Sprintf("calendar: bad slot %v", slot)}
+		}
+		// Local validation: an offline booking may not double-book this
+		// device's own calendar.
+		if info := c.slotInfo(slot); info.Meeting != "" && info.Meeting != req.ID {
+			return nil, false, &wire.RemoteError{Code: wire.CodeConflict,
+				Msg: fmt.Sprintf("calendar: %s/%s holds %s", c.user, slot, info.Meeting)}
+		}
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := c.offline.EnqueueOp(opSchedule, req.ID, payload); err != nil {
+		return nil, false, err // queue full under RejectNew
+	}
+	// Record the intent locally: tentative, no LinkID (the replay that
+	// runs SetupMeeting stamps one — that is the idempotency marker).
+	m = &Meeting{
+		ID:          req.ID,
+		Title:       req.Title,
+		Initiator:   c.user,
+		Status:      StatusTentative,
+		Priority:    req.Priority,
+		Must:        append([]string(nil), req.Must...),
+		Supervisors: append([]string(nil), req.Supervisors...),
+		OrGroups:    append([]OrGroup(nil), req.OrGroups...),
+		Missing:     append([]string(nil), req.Must...),
+	}
+	if req.PinSlot || req.Day != "" {
+		m.Slot = Slot{Day: req.Day, Hour: req.Hour}
+		if err := c.setSlot(m.Slot, m.ID, m.Priority); err != nil {
+			return nil, false, err
+		}
+	}
+	if err := c.putMeeting(m); err != nil {
+		return nil, false, err
+	}
+	return m, true, nil
+}
+
+// CancelOrQueue cancels a meeting when online; in local mode it queues
+// the cancellation and marks the local record cancelled (freeing the
+// local slot) so disconnected reads see it gone.
+func (c *Calendar) CancelOrQueue(ctx context.Context, meetingID string) (queued bool, err error) {
+	if c.offline == nil || c.offline.State() == offline.StateOnline {
+		err = c.CancelMeeting(ctx, meetingID)
+		if err == nil || !offline.IsLocalMode(err) {
+			return false, err
+		}
+	}
+	m, ok := c.Meeting(meetingID)
+	if !ok {
+		return false, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("calendar: unknown meeting %s", meetingID)}
+	}
+	if _, err := c.offline.EnqueueOp(opCancel, meetingID, nil); err != nil {
+		return false, err
+	}
+	if info := c.slotInfo(m.Slot); info.Meeting == meetingID {
+		_ = c.setSlot(m.Slot, "", 0)
+	}
+	m.Status = StatusCancelled
+	m.Reserved = nil
+	if err := c.putMeeting(m); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// ReplayOp drains one queued op during the reconnect push phase (the
+// manager's replayer; exported so a re-delivered drain can be tested
+// directly).
+func (c *Calendar) ReplayOp(ctx context.Context, op offline.Op) error {
+	switch op.Kind {
+	case opSchedule:
+		// Idempotency: the local offline stub has no LinkID; a meeting
+		// that already carries one was set up by an earlier (interrupted)
+		// drain of this same op.
+		if m, ok := c.Meeting(op.ID); ok {
+			if m.LinkID != "" {
+				return nil
+			}
+			if m.Status == StatusCancelled {
+				return nil // cancelled while still offline; nothing to push
+			}
+		}
+		var req Request
+		if err := json.Unmarshal(op.Payload, &req); err != nil {
+			return err
+		}
+		req.ID = op.ID
+		_, err := c.SetupMeeting(ctx, req)
+		return err
+	case opCancel:
+		m, ok := c.Meeting(op.ID)
+		if !ok {
+			return nil // never materialized; nothing to cancel anywhere
+		}
+		if m.LinkID == "" {
+			return nil // offline-only stub: cancelled before it was ever pushed
+		}
+		// The local record is already StatusCancelled (CancelOrQueue), so
+		// cancelMeetingAs would return before the cascade. Run the remote
+		// teardown directly: deleting the coordination link releases every
+		// participant's slot and promotes waiting tentative meetings, and
+		// the doc push propagates the cancelled record. DeleteLink is
+		// idempotent, so a duplicate drain is safe.
+		if _, err := c.lm.DeleteLink(ctx, m.LinkID, nil); err != nil {
+			return err
+		}
+		c.pushMeetingUpdate(ctx, m)
+		c.notifyParticipants(ctx, m,
+			fmt.Sprintf("Meeting %s (%s) cancelled", m.ID, m.Title),
+			fmt.Sprintf("%s at %s was cancelled by %s.", m.Title, m.Slot, c.user))
+		return nil
+	default:
+		return fmt.Errorf("calendar: unknown offline op kind %q", op.Kind)
+	}
+}
+
+// syncAdapter adapts the calendar's meeting table to the offline
+// package's Source/Applier interfaces.
+type syncAdapter struct{ c *Calendar }
+
+// Relevant implements the relevance predicate: a meeting concerns the
+// requester iff they participate in it (initiator, must, supervisor, or
+// or-group member). Everything else never leaves this device.
+func (a *syncAdapter) Relevant(requester, entity string) bool {
+	id, ok := strings.CutPrefix(entity, "meeting:")
+	if !ok {
+		return false
+	}
+	m, ok := a.c.Meeting(id)
+	if !ok {
+		return false
+	}
+	return containsString(m.Participants(), requester)
+}
+
+// Snapshot returns the meeting's current document.
+func (a *syncAdapter) Snapshot(entity string) (json.RawMessage, bool) {
+	id, ok := strings.CutPrefix(entity, "meeting:")
+	if !ok {
+		return nil, false
+	}
+	r, ok := a.c.meetings.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return json.RawMessage(r["doc"].(string)), true
+}
+
+// Apply lands a pulled meeting doc. The initiator's record is
+// authoritative (same trust model as the MeetingUpdate push), so a
+// pulled doc simply replaces the local copy — and releases/occupies the
+// local slot to match, as linkHook would have done had we been online.
+func (a *syncAdapter) Apply(entity string, _ int64, doc json.RawMessage) error {
+	id, ok := strings.CutPrefix(entity, "meeting:")
+	if !ok {
+		return fmt.Errorf("calendar: bad sync entity %q", entity)
+	}
+	var m Meeting
+	if err := json.Unmarshal(doc, &m); err != nil || m.ID == "" || m.ID != id {
+		return fmt.Errorf("calendar: bad meeting doc for %q", entity)
+	}
+	if m.Initiator == a.c.user {
+		// Our own meetings are authoritative locally; a peer's stale
+		// copy must not roll back what the push phase just negotiated.
+		return nil
+	}
+	if m.Status == StatusCancelled {
+		if info := a.c.slotInfo(m.Slot); info.Meeting == m.ID {
+			_ = a.c.setSlot(m.Slot, "", 0)
+		}
+	}
+	return a.c.putMeeting(&m)
+}

@@ -85,6 +85,11 @@ type OrGroup struct {
 // and design criteria such as "A and B are must-attendees, but one of
 // C, D, E would suffice").
 type Request struct {
+	// ID optionally pins the meeting id. Offline replay pre-mints it
+	// when the op is queued, so a drain interrupted mid-push can retry
+	// without creating a second meeting.
+	ID string `json:"id,omitempty"`
+
 	Title string `json:"title"`
 
 	// Search window used when Day/Hour are not pinned.

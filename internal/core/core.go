@@ -22,6 +22,7 @@ import (
 	"repro/internal/links"
 	"repro/internal/listener"
 	"repro/internal/metrics"
+	"repro/internal/offline"
 	"repro/internal/replication"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -115,6 +116,22 @@ type Config struct {
 	// listen address). A promoted follower passes the holder id it won
 	// the lease under so its renewals keep matching.
 	LeaseHolder string
+	// OfflineMode enables disconnected operation: an offline.Manager
+	// with a durable bounded op queue, an engine interceptor that
+	// fast-fails remote calls in local mode and feeds partition
+	// detection, the published sync.<User> service, and heartbeat-driven
+	// reconnect sessions.
+	OfflineMode bool
+	// OfflineQueueCap bounds the op queue (0 = offline package default).
+	OfflineQueueCap int
+	// OfflineOverflow selects the queue's at-capacity policy.
+	OfflineOverflow offline.Overflow
+	// SyncFullPull disables the relevance predicate on served Pulls
+	// (full-state baseline; leave false in production).
+	SyncFullPull bool
+	// OfflineFailureThreshold overrides how many consecutive
+	// unavailable sends flip the node to local mode.
+	OfflineFailureThreshold int
 }
 
 // Option mutates a Config before the node boots — the functional-
@@ -168,6 +185,20 @@ func WithDurability(dataDir string, sync wal.SyncPolicy, checkpointEvery time.Du
 	}
 }
 
+// WithOfflineMode enables disconnected operation: writes queue in a
+// durable bounded op queue while partitioned (capacity queueCap,
+// overflow policy at capacity), and reconnect sessions pull
+// relevance-filtered state (relevance=false pulls everything — the
+// comparative baseline).
+func WithOfflineMode(queueCap int, overflow offline.Overflow, relevance bool) Option {
+	return func(c *Config) {
+		c.OfflineMode = true
+		c.OfflineQueueCap = queueCap
+		c.OfflineOverflow = overflow
+		c.SyncFullPull = !relevance
+	}
+}
+
 // WithReplication turns on WAL shipping and lease-based failover:
 // the node holds the directory lease for its user, renewing every
 // leaseTTL/3, and ships its log to the followers at replicas.
@@ -195,6 +226,9 @@ type Node struct {
 	// Repl is the node's replication primary when Config.LeaseTTL was
 	// set (nil otherwise).
 	Repl *replication.Primary
+	// Offline is the disconnected-operation manager when
+	// Config.OfflineMode was set (nil otherwise).
+	Offline *offline.Manager
 	// Tracer is the node's span recorder (nil when tracing is off).
 	Tracer *trace.Tracer
 
@@ -281,7 +315,7 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		}
 	}
 
-	var dirOpts []directory.ClientOption
+	dirOpts := []directory.ClientOption{directory.WithCallerID(cfg.User)}
 	if cfg.DirCacheTTL > 0 {
 		dirOpts = append(dirOpts, directory.WithCacheTTL(cfg.DirCacheTTL))
 	}
@@ -317,6 +351,32 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 	eng := engine.New(cfg.Net, dir, cfg.User, engOpts...)
 	events := event.New(cfg.User, cfg.Net, clk)
 	lis.SetEventSink(events.Dispatch)
+
+	// Disconnected operation: the manager's interceptor sits innermost
+	// in the client chain (metrics and user interceptors still observe
+	// the local-mode fast-fails it returns).
+	var om *offline.Manager
+	if cfg.OfflineMode {
+		om, err = offline.NewManager(offline.Config{
+			User:             cfg.User,
+			DB:               db,
+			Engine:           eng,
+			Dir:              dir,
+			Clock:            clk,
+			QueueCap:         cfg.OfflineQueueCap,
+			Overflow:         cfg.OfflineOverflow,
+			FullPull:         cfg.SyncFullPull,
+			FailureThreshold: cfg.OfflineFailureThreshold,
+			Metrics:          cfg.Metrics,
+			Tracer:           tracer,
+		})
+		if err != nil {
+			ln.Close()
+			closeDurable()
+			return nil, fmt.Errorf("core: offline mode: %w", err)
+		}
+		eng.Use(om.Interceptor())
+	}
 
 	lm, err := links.NewManager(cfg.User, db, eng, clk)
 	if err != nil {
@@ -386,6 +446,7 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		Clock:    clk,
 		Durable:  durable,
 		Repl:     repl,
+		Offline:  om,
 		Tracer:   tracer,
 		cfg:      cfg,
 		ln:       ln,
@@ -406,6 +467,13 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		ln.Close()
 		closeDurable()
 		return nil, err
+	}
+	if om != nil {
+		if err := n.RegisterService(ctx, offline.ServiceFor(cfg.User), om.SyncObject()); err != nil {
+			ln.Close()
+			closeDurable()
+			return nil, err
+		}
 	}
 	if cfg.PublishIntrospection {
 		if err := n.RegisterService(ctx, IntrospectionService(cfg.User), listener.Introspection(lis, cfg.Metrics, tracer)); err != nil {
@@ -433,7 +501,16 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 		events.Every(cfg.HeartbeatEvery, func(time.Time) {
 			hbCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
-			_ = dir.Heartbeat(hbCtx, cfg.User)
+			// In local mode the heartbeat tick doubles as the reconnect
+			// probe: each tick attempts the full sync session, which
+			// no-ops fast if the directory is still unreachable.
+			if om != nil && om.State() != offline.StateOnline {
+				_ = om.TryReconnect(hbCtx)
+				return
+			}
+			if err := dir.Heartbeat(hbCtx, cfg.User); err != nil && om != nil {
+				om.NoteFailure()
+			}
 		})
 	}
 	if cfg.ExpireEvery > 0 {

@@ -31,9 +31,10 @@ import (
 // between pull and call) is redirected by the shard's CodeWrongShard
 // reply and retried once against the refreshed table.
 type Client struct {
-	net  transport.Network
-	addr string               // single directory server ("" in sharded mode)
-	cp   *controlplane.Client // control plane (nil in single-server mode)
+	net    transport.Network
+	addr   string               // single directory server ("" in sharded mode)
+	cp     *controlplane.Client // control plane (nil in single-server mode)
+	caller string               // stamped on requests when set (WithCallerID)
 
 	cacheTTL time.Duration
 	mu       sync.Mutex
@@ -70,6 +71,14 @@ type ClientOption func(*Client)
 // WithCacheTTL sets the service-lookup cache TTL (0 disables caching).
 func WithCacheTTL(d time.Duration) ClientOption {
 	return func(c *Client) { c.cacheTTL = d }
+}
+
+// WithCallerID stamps user as the caller on every directory request.
+// The simulated network keys partitions by (caller, destination), so a
+// node that identifies itself lets tests cut one device off from the
+// directory — the scenario disconnected operation is built around.
+func WithCallerID(user string) ClientOption {
+	return func(c *Client) { c.caller = user }
 }
 
 // NewClient creates a directory client for the single directory
@@ -195,6 +204,7 @@ func (c *Client) callAddr(ctx context.Context, addr, method string, args wire.Ar
 	resp, err := c.net.Call(ctx, addr, &transport.Request{
 		Service: ServiceName,
 		Method:  method,
+		Caller:  c.caller,
 		Args:    args,
 	})
 	if err != nil {
@@ -300,6 +310,18 @@ func (c *Client) Heartbeat(ctx context.Context, id string) error {
 // SetOffline marks a user deliberately offline (true) or back online.
 func (c *Client) SetOffline(ctx context.Context, id string, offline bool) error {
 	return c.call(ctx, id, "SetOffline", wire.Args{"id": id, "offline": offline}, nil)
+}
+
+// Touch is the reconnect handshake: in one directory transaction it
+// clears the user's offline flag, refreshes lastSeen, and releases any
+// proxy binding, returning the *pre-touch* record so the caller knows
+// which proxy was covering for it. On a sharded directory the call
+// routes to the shard owning the user and follows wrong-shard
+// redirects, so it works immediately after an epoch bump.
+func (c *Client) Touch(ctx context.Context, id string) (UserInfo, error) {
+	var info UserInfo
+	err := c.call(ctx, id, "Touch", wire.Args{"id": id}, &info)
+	return info, err
 }
 
 // --- service ops -----------------------------------------------------------

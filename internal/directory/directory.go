@@ -272,14 +272,47 @@ func (s *Server) heartbeat(id string) error {
 }
 
 func (s *Server) setOffline(id string, offline bool) error {
-	if _, ok := s.users.Get(id); !ok {
+	r, ok := s.users.Get(id)
+	if !ok {
 		return &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("unknown user %q", id)}
 	}
 	ch := store.Row{"offline": offline}
 	if !offline {
 		ch["lastSeen"] = s.clock.Now()
+	} else if r["proxy"].(string) == "" {
+		// A previous Touch released the proxy binding; a deliberate
+		// disconnect needs one again for the engine failover path.
+		if p := s.pickProxy(); p != "" {
+			ch["proxy"] = p
+		}
 	}
 	return s.users.Update(ch, id)
+}
+
+// touch is the reconnect handshake. It atomically clears the offline
+// flag, refreshes lastSeen, and releases any proxy binding in ONE store
+// transaction: a concurrent lookup sees either the proxied-offline
+// record or the online-unproxied one, never a half-updated row, so a
+// sync session starting right after Touch cannot race a stale proxy
+// redirect. The pre-touch info is returned so the device learns which
+// proxy (if any) was holding state it still has to drain.
+func (s *Server) touch(id string) (UserInfo, error) {
+	r, ok := s.users.Get(id)
+	if !ok {
+		return UserInfo{}, &wire.RemoteError{Code: wire.CodeNoService, Msg: fmt.Sprintf("unknown user %q", id)}
+	}
+	prev := s.userInfo(r)
+	tx := s.db.Begin()
+	if err := tx.Update("users", store.Row{
+		"offline": false, "lastSeen": s.clock.Now(), "proxy": "",
+	}, id); err != nil {
+		tx.Rollback()
+		return UserInfo{}, err
+	}
+	if err := tx.Commit(); err != nil {
+		return UserInfo{}, err
+	}
+	return prev, nil
 }
 
 func (s *Server) registerService(name, owner, addr string, methods []string) error {
@@ -468,7 +501,7 @@ func (s *Server) Handler() transport.Handler {
 // ResolveBatch).
 func routingKey(method string, a wire.Args) string {
 	switch method {
-	case "RegisterUser", "LookupUser", "Heartbeat", "SetOffline":
+	case "RegisterUser", "LookupUser", "Heartbeat", "SetOffline", "Touch":
 		return a.String("id")
 	case "RegisterService", "UnregisterService", "LookupService", "ResolveService":
 		return ShardKey(a.String("name"))
@@ -548,6 +581,12 @@ func (s *Server) dispatch(ctx context.Context, req *transport.Request) *transpor
 			return fail(err)
 		}
 		return ok(true)
+	case "Touch":
+		info, err := s.touch(a.String("id"))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(info)
 	case "RegisterService":
 		if err := s.registerService(a.String("name"), a.String("owner"), a.String("addr"), a.Strings("methods")); err != nil {
 			return fail(err)

@@ -125,6 +125,75 @@ func TestSetOfflineExplicit(t *testing.T) {
 	}
 }
 
+func TestTouchClearsOfflineAndReleasesProxyAtomically(t *testing.T) {
+	c, _, _ := newDirectory(t)
+	ctx := ctxT(t)
+	if err := c.RegisterProxy(ctx, "p1", "proxy-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterUser(ctx, "phil", "node-phil", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterService(ctx, "cal.phil", "phil", "node-phil", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetOffline(ctx, "phil", true); err != nil {
+		t.Fatal(err)
+	}
+	// While offline, service resolution offers the proxy fallback.
+	svc, err := c.LookupService(ctx, "cal.phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.OwnerOnline || svc.Proxy != "proxy-1" {
+		t.Fatalf("offline service = %+v", svc)
+	}
+
+	// Touch reports the pre-reconnect state (so the device can drain
+	// its proxy) and flips the record in one transaction.
+	prev, err := c.Touch(ctx, "phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.Online || prev.Proxy != "proxy-1" {
+		t.Fatalf("pre-touch info = %+v", prev)
+	}
+	info, err := c.LookupUser(ctx, "phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Online || info.Proxy != "" {
+		t.Fatalf("post-touch info = %+v", info)
+	}
+	// The stale proxy redirect is gone: a sync session resolving the
+	// user's services right after Touch goes straight to the device.
+	c.Invalidate("cal.phil")
+	svc, err = c.LookupService(ctx, "cal.phil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.OwnerOnline || svc.Proxy != "" {
+		t.Fatalf("post-touch service = %+v", svc)
+	}
+
+	// The next deliberate disconnect re-assigns a proxy even though
+	// Touch released the old binding.
+	if err := c.SetOffline(ctx, "phil", true); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = c.LookupUser(ctx, "phil")
+	if info.Proxy == "" {
+		t.Fatalf("re-disconnect did not re-assign a proxy: %+v", info)
+	}
+}
+
+func TestTouchUnknownUser(t *testing.T) {
+	c, _, _ := newDirectory(t)
+	if _, err := c.Touch(ctxT(t), "ghost"); wire.CodeOf(err) != wire.CodeNoService {
+		t.Fatalf("err = %v", err)
+	}
+}
+
 func TestReRegistrationKeepsProxy(t *testing.T) {
 	c, _, _ := newDirectory(t)
 	ctx := ctxT(t)

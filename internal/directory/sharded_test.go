@@ -11,6 +11,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/controlplane"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -220,6 +221,82 @@ func TestWrongShardRedirectRetriesOnce(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("record for %q not on owning shard %s", moved, d.shards[ownerIdx].ID)
+	}
+}
+
+func TestShardedTouchAfterEpochBump(t *testing.T) {
+	d := newShardedDirectory(t, 4)
+	ctx := ctxT(t)
+	// A proxy and an offline user, registered at epoch 1.
+	if err := d.client.RegisterProxy(ctx, "p1", "proxy-1"); err != nil {
+		t.Fatal(err)
+	}
+	// Find a user key shard3 owns at epoch 1 but loses when the
+	// topology shrinks — the interesting reconnect case.
+	old := d.ctl.Current()
+	user := ""
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("mob%03d", i)
+		if old.Owner(k).ID == "shard3" {
+			user = k
+			break
+		}
+	}
+	if user == "" {
+		t.Fatal("no key owned by shard3")
+	}
+	if err := d.client.RegisterUser(ctx, user, "node-"+user, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.client.SetOffline(ctx, user, true); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := d.client.LookupUser(ctx, user)
+	if before.Online || before.Proxy != "proxy-1" {
+		t.Fatalf("offline user = %+v", before)
+	}
+	// The user's record migrates: shard3 leaves, epoch bumps to 2.
+	// (Records move via snapshot restore in production; here we
+	// re-insert on the new owner to model the migrated row.)
+	row := store.Row{}
+	for _, r := range d.servers[3].users.Select(nil) {
+		if r["id"] == user {
+			row = r
+		}
+	}
+	if len(row) == 0 {
+		t.Fatalf("user %q not on shard3", user)
+	}
+	if e := d.ctl.SetShards(d.shards[:3]); e != 2 {
+		t.Fatalf("SetShards = %d", e)
+	}
+	newOwner := d.ctl.Current().Owner(user).ID
+	for i, s := range d.shards[:3] {
+		if s.ID == newOwner {
+			if err := d.servers[i].users.Insert(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The device reconnects AFTER the epoch bump while the client
+	// still holds the epoch-1 table: Touch must survive the
+	// wrong-shard redirect and still be atomic on the new owner.
+	prev, err := d.client.Touch(ctx, user)
+	if err != nil {
+		t.Fatalf("touch after epoch bump: %v", err)
+	}
+	if prev.Online || prev.Proxy != "proxy-1" {
+		t.Fatalf("pre-touch info = %+v", prev)
+	}
+	if d.client.Epoch() != 2 {
+		t.Fatalf("client epoch after touch = %d, want 2", d.client.Epoch())
+	}
+	info, err := d.client.LookupUser(ctx, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Online || info.Proxy != "" {
+		t.Fatalf("post-touch info = %+v", info)
 	}
 }
 

@@ -1,0 +1,193 @@
+package offline
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/directory"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// newTestManager builds a Manager whose directory has no server behind
+// it — enough for the state machine, interceptor, and servePull, none
+// of which need a live deployment.
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	net := sim.New(sim.Config{})
+	cfg.User = "phil"
+	cfg.DB = store.NewDB()
+	cfg.Dir = directory.NewClient(net, "dir")
+	cfg.Engine = engine.New(net, cfg.Dir, "phil")
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerValidatesConfig(t *testing.T) {
+	if _, err := NewManager(Config{}); err == nil {
+		t.Fatal("want error for missing required config")
+	}
+}
+
+func TestInterceptorFastFailsInLocalMode(t *testing.T) {
+	m := newTestManager(t, Config{})
+	calls := 0
+	inv := m.Interceptor()(func(ctx context.Context, call *engine.Call, out any) error {
+		calls++
+		return nil
+	})
+	call := &engine.Call{Service: "cal.andy", Method: "GetFreeSlots"}
+
+	if err := inv(context.Background(), call, nil); err != nil || calls != 1 {
+		t.Fatalf("online invoke: err=%v calls=%d", err, calls)
+	}
+
+	m.GoOffline(context.Background())
+	if m.State() != StateOffline {
+		t.Fatalf("state = %s, want offline", m.State())
+	}
+	err := inv(context.Background(), call, nil)
+	if !IsLocalMode(err) {
+		t.Fatalf("local-mode error = %v, want IsLocalMode", err)
+	}
+	if !strings.Contains(err.Error(), "cal.andy.GetFreeSlots") {
+		t.Fatalf("error should name the blocked call: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("local mode must not touch the network: calls = %d", calls)
+	}
+}
+
+func TestIsLocalModeRejectsOtherUnavailable(t *testing.T) {
+	if IsLocalMode(&wire.RemoteError{Code: wire.CodeUnavailable, Msg: "partition between a and b"}) {
+		t.Fatal("plain unavailable must not look like local mode")
+	}
+	if IsLocalMode(nil) {
+		t.Fatal("nil is not local mode")
+	}
+}
+
+func TestFailureThresholdFlipsOffline(t *testing.T) {
+	var transitions []State
+	m := newTestManager(t, Config{
+		FailureThreshold: 3,
+		OnState:          func(s State) { transitions = append(transitions, s) },
+	})
+	unavailable := &wire.RemoteError{Code: wire.CodeUnavailable, Msg: "gone"}
+	inv := m.Interceptor()(func(ctx context.Context, call *engine.Call, out any) error {
+		return unavailable
+	})
+	call := &engine.Call{Service: "cal.andy", Method: "X"}
+
+	for i := 0; i < 2; i++ {
+		inv(context.Background(), call, nil)
+	}
+	if m.State() != StateOnline {
+		t.Fatalf("state after 2 failures = %s, want online", m.State())
+	}
+	inv(context.Background(), call, nil)
+	if m.State() != StateOffline {
+		t.Fatalf("state after 3 failures = %s, want offline", m.State())
+	}
+	if len(transitions) != 1 || transitions[0] != StateOffline {
+		t.Fatalf("transitions = %v, want [offline]", transitions)
+	}
+}
+
+func TestNoteSuccessResetsFailureCount(t *testing.T) {
+	m := newTestManager(t, Config{FailureThreshold: 2})
+	m.NoteFailure()
+	m.NoteSuccess()
+	m.NoteFailure()
+	if m.State() != StateOnline {
+		t.Fatalf("state = %s, want online (success between failures resets the count)", m.State())
+	}
+	m.NoteFailure()
+	if m.State() != StateOffline {
+		t.Fatalf("state = %s, want offline", m.State())
+	}
+}
+
+// mapSource is a fake application adapter: docs keyed by entity, with
+// an explicit relevance set per requester.
+type mapSource struct {
+	docs     map[string]string
+	relevant map[string]map[string]bool
+}
+
+func (s *mapSource) Relevant(requester, entity string) bool { return s.relevant[requester][entity] }
+func (s *mapSource) Snapshot(entity string) (json.RawMessage, bool) {
+	d, ok := s.docs[entity]
+	return json.RawMessage(d), ok
+}
+
+func TestServePullFiltersByRelevanceAndVersion(t *testing.T) {
+	met := metrics.NewRegistry()
+	m := newTestManager(t, Config{Metrics: met})
+	src := &mapSource{
+		docs: map[string]string{
+			"meeting:m1": `{"id":"m1"}`,
+			"meeting:m2": `{"id":"m2"}`,
+			"meeting:m3": `{"id":"m3"}`,
+		},
+		relevant: map[string]map[string]bool{
+			"andy": {"meeting:m1": true, "meeting:m2": true},
+		},
+	}
+	m.SetSource(src)
+	m.Versions().Bump("meeting:m1")
+	m.Versions().Bump("meeting:m2")
+	m.Versions().Bump("meeting:m2") // m2 at version 2
+	m.Versions().Bump("meeting:m3")
+
+	// First pull: andy has nothing; m3 is not relevant to andy.
+	res := m.servePull(context.Background(), "andy", nil, false)
+	if res.Total != 3 || res.Sent != 2 || res.Irrelevant != 1 || res.Unchanged != 0 {
+		t.Fatalf("first pull = %+v", res)
+	}
+
+	// Second pull with an up-to-date vector: zero entities shipped.
+	res = m.servePull(context.Background(), "andy", map[string]int64{"meeting:m1": 1, "meeting:m2": 2}, false)
+	if res.Sent != 0 || res.Unchanged != 2 {
+		t.Fatalf("caught-up pull = %+v, want 0 sent / 2 unchanged", res)
+	}
+
+	// A stale entry re-ships only the changed entity.
+	res = m.servePull(context.Background(), "andy", map[string]int64{"meeting:m1": 1, "meeting:m2": 1}, false)
+	if res.Sent != 1 || res.Entities[0].Entity != "meeting:m2" || res.Entities[0].Version != 2 {
+		t.Fatalf("stale pull = %+v, want only meeting:m2@2", res)
+	}
+
+	// all=true bypasses relevance: the full-pull baseline ships m3 too.
+	res = m.servePull(context.Background(), "andy", nil, true)
+	if res.Sent != 3 || res.Irrelevant != 0 {
+		t.Fatalf("full pull = %+v, want 3 sent", res)
+	}
+
+	if e := met.Snapshot().Find(metrics.LayerSync, ServiceFor("phil"), "Pull.serve", ""); e == nil || e.Count != 4 {
+		t.Fatalf("Pull.serve metric = %+v, want count 4", e)
+	}
+}
+
+func TestSyncObjectPullValidatesArgs(t *testing.T) {
+	m := newTestManager(t, Config{})
+	obj := m.SyncObject()
+	if obj == nil {
+		t.Fatal("nil sync object")
+	}
+	// EnqueueOp feeds the durable queue through the manager.
+	if _, err := m.EnqueueOp("schedule", "m1", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Queue().Len() != 1 {
+		t.Fatalf("queue len = %d, want 1", m.Queue().Len())
+	}
+}

@@ -1,0 +1,450 @@
+package offline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/directory"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// State is the manager's connectivity state.
+type State string
+
+// States. The machine is online → offline (send failures or explicit
+// GoOffline) → syncing (directory Touch succeeded, session running) →
+// online (session complete) — with syncing falling back to offline if
+// the partition returns mid-session.
+const (
+	StateOnline  State = "online"
+	StateOffline State = "offline"
+	StateSyncing State = "syncing"
+)
+
+// localModeMsg prefixes the fast-fail error the interceptor returns for
+// remote invocations attempted in local mode.
+const localModeMsg = "offline: local mode"
+
+// IsLocalMode reports whether err is the interceptor's local-mode
+// fast-fail — the caller's cue to park the operation in the op queue.
+func IsLocalMode(err error) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) && re.Code == wire.CodeUnavailable && strings.HasPrefix(re.Msg, localModeMsg)
+}
+
+// Config configures a Manager.
+type Config struct {
+	// User is the device's SyD identity (required).
+	User string
+	// DB is the node's store; the op queue and version tables live in
+	// it, so they are WAL-backed whenever the node runs with
+	// durability (required).
+	DB *store.DB
+	// Engine performs the reconnect session's RPCs (required).
+	Engine *engine.Engine
+	// Dir is the directory client used for Touch (required).
+	Dir *directory.Client
+	// Clock defaults to clock.System.
+	Clock clock.Clock
+	// QueueCap bounds the op queue (default 1024).
+	QueueCap int
+	// Overflow selects the at-capacity policy (default DropOldest).
+	Overflow Overflow
+	// FullPull disables the server-side relevance predicate on Pull —
+	// the full-state baseline the comparative sync test measures
+	// against. Leave false in production.
+	FullPull bool
+	// FailureThreshold is how many consecutive unavailable sends flip
+	// the device to local mode (default 3).
+	FailureThreshold int
+	// Metrics and Tracer are optional observability sinks.
+	Metrics *metrics.Registry
+	Tracer  *trace.Tracer
+	// OnState is invoked (synchronously) after every state change.
+	OnState func(State)
+}
+
+// Manager owns a device's disconnected-operation machinery: the state
+// machine, the durable op queue, the version tables, and both halves
+// of the sync session. Safe for concurrent use.
+type Manager struct {
+	user      string
+	eng       *engine.Engine
+	dir       *directory.Client
+	clock     clock.Clock
+	met       *metrics.Registry
+	tracer    *trace.Tracer
+	fullPull  bool
+	threshold int32
+	onState   func(State)
+
+	q        *Queue
+	versions *Versions
+	peerVers *store.Table
+
+	state        atomic.Value // State
+	failures     atomic.Int32
+	reconnecting atomic.Bool
+
+	mu      sync.Mutex
+	source  Source
+	applier Applier
+	replay  func(ctx context.Context, op Op) error
+	peers   func() []string
+}
+
+// NewManager builds a Manager over the node's store.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.User == "" || cfg.DB == nil || cfg.Engine == nil || cfg.Dir == nil {
+		return nil, fmt.Errorf("offline: User, DB, Engine, and Dir are required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	q, err := NewQueue(cfg.DB, cfg.User, cfg.QueueCap, cfg.Overflow, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	vers, err := NewVersions(cfg.DB)
+	if err != nil {
+		return nil, err
+	}
+	pv, err := cfg.DB.Table(peerVersionsSchema.Name)
+	if err != nil {
+		if pv, err = cfg.DB.CreateTable(peerVersionsSchema); err != nil {
+			return nil, err
+		}
+	}
+	m := &Manager{
+		user:      cfg.User,
+		eng:       cfg.Engine,
+		dir:       cfg.Dir,
+		clock:     cfg.Clock,
+		met:       cfg.Metrics,
+		tracer:    cfg.Tracer,
+		fullPull:  cfg.FullPull,
+		threshold: int32(cfg.FailureThreshold),
+		onState:   cfg.OnState,
+		q:         q,
+		versions:  vers,
+		peerVers:  pv,
+	}
+	m.state.Store(StateOnline)
+	return m, nil
+}
+
+// State returns the current connectivity state.
+func (m *Manager) State() State { return m.state.Load().(State) }
+
+// Queue returns the outbound op queue.
+func (m *Manager) Queue() *Queue { return m.q }
+
+// Versions returns the local per-entity version table. The application
+// bumps an entity's version on every local mutation.
+func (m *Manager) Versions() *Versions { return m.versions }
+
+// SetSource wires the application adapter the sync server reads from.
+func (m *Manager) SetSource(s Source) {
+	m.mu.Lock()
+	m.source = s
+	m.mu.Unlock()
+}
+
+// SetApplier wires the adapter that applies pulled entities.
+func (m *Manager) SetApplier(a Applier) {
+	m.mu.Lock()
+	m.applier = a
+	m.mu.Unlock()
+}
+
+// SetReplayer wires the function that replays one queued op during the
+// push phase.
+func (m *Manager) SetReplayer(f func(ctx context.Context, op Op) error) {
+	m.mu.Lock()
+	m.replay = f
+	m.mu.Unlock()
+}
+
+// SetPeers wires the function listing the peers a reconnect session
+// pulls from (the users this device shares meetings or links with).
+func (m *Manager) SetPeers(f func() []string) {
+	m.mu.Lock()
+	m.peers = f
+	m.mu.Unlock()
+}
+
+func (m *Manager) getSource() Source {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.source
+}
+
+func (m *Manager) getApplier() Applier {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applier
+}
+
+func (m *Manager) getReplayer() func(ctx context.Context, op Op) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replay
+}
+
+func (m *Manager) getPeers() func() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peers
+}
+
+func (m *Manager) setState(s State) {
+	if m.state.Swap(s) == s {
+		return
+	}
+	m.observe("state."+string(s), "", 0)
+	if m.onState != nil {
+		m.onState(s)
+	}
+}
+
+// EnqueueOp parks an outbound op in the durable queue.
+func (m *Manager) EnqueueOp(kind, id string, payload []byte) (int64, error) {
+	return m.q.Enqueue(Op{ID: id, Kind: kind, Payload: payload, Queued: m.clock.Now()})
+}
+
+// GoOffline flips the device to local mode explicitly (the deliberate
+// half of partition detection). The directory is told best-effort — if
+// the network is already gone, liveness TTL expiry covers it.
+func (m *Manager) GoOffline(ctx context.Context) {
+	m.setState(StateOffline)
+	_ = m.dir.SetOffline(ctx, m.user, true)
+}
+
+// NoteFailure records one unavailable send. After FailureThreshold
+// consecutive failures the device flips to local mode.
+func (m *Manager) NoteFailure() {
+	if m.failures.Add(1) >= m.threshold && m.State() == StateOnline {
+		m.setState(StateOffline)
+	}
+}
+
+// NoteSuccess records a successful send, resetting failure detection.
+func (m *Manager) NoteSuccess() { m.failures.Store(0) }
+
+// Interceptor returns the engine stage that (a) fast-fails remote
+// invocations in local mode without touching the network, and (b)
+// feeds send outcomes into partition detection.
+func (m *Manager) Interceptor() engine.Interceptor {
+	return func(next engine.Invoker) engine.Invoker {
+		return func(ctx context.Context, call *engine.Call, out any) error {
+			if m.State() == StateOffline {
+				return &wire.RemoteError{Code: wire.CodeUnavailable,
+					Msg: fmt.Sprintf("%s: %s cannot reach %s.%s", localModeMsg, m.user, call.Service, call.Method)}
+			}
+			err := next(ctx, call, out)
+			if err == nil {
+				m.NoteSuccess()
+			} else if isUnavailable(err) {
+				m.NoteFailure()
+			}
+			return err
+		}
+	}
+}
+
+// TryReconnect probes the directory and, if reachable, runs the full
+// two-way sync session: Touch (atomically un-proxies us), drain the
+// proxy's update queue, push queued ops, pull relevant state. Single-
+// flight: concurrent calls while a session runs are no-ops. Returns
+// nil when already online.
+func (m *Manager) TryReconnect(ctx context.Context) error {
+	if m.State() == StateOnline {
+		return nil
+	}
+	if !m.reconnecting.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer m.reconnecting.Store(false)
+	start := m.clock.Now()
+	ctx, span := m.tracer.StartSpan(ctx, "offline.reconnect")
+	prev, err := m.dir.Touch(ctx, m.user)
+	if err != nil {
+		span.FinishErr(err)
+		m.observe("Reconnect", wire.CodeUnavailable, m.clock.Now().Sub(start))
+		return err
+	}
+	m.setState(StateSyncing)
+	if prev.Proxy != "" {
+		m.drainProxy(ctx, prev.Proxy)
+	}
+	if err := m.push(ctx); err != nil {
+		m.abortSync(ctx, span, err)
+		m.observe("Reconnect", wire.CodeUnavailable, m.clock.Now().Sub(start))
+		return err
+	}
+	if err := m.pull(ctx); err != nil {
+		m.abortSync(ctx, span, err)
+		m.observe("Reconnect", wire.CodeUnavailable, m.clock.Now().Sub(start))
+		return err
+	}
+	m.failures.Store(0)
+	m.setState(StateOnline)
+	span.Finish()
+	m.observe("Reconnect", "", m.clock.Now().Sub(start))
+	return nil
+}
+
+// abortSync returns to local mode after a mid-session failure and
+// best-effort re-marks the directory record offline (we Touch'd it
+// online, but the session did not complete).
+func (m *Manager) abortSync(ctx context.Context, span *trace.Span, err error) {
+	m.setState(StateOffline)
+	_ = m.dir.SetOffline(ctx, m.user, true)
+	span.FinishErr(err)
+}
+
+// proxyUpdate mirrors the proxy host's queued-update wire shape.
+type proxyUpdate struct {
+	Service string    `json:"service"`
+	Method  string    `json:"method"`
+	Args    wire.Args `json:"args,omitempty"`
+}
+
+// drainProxy empties the bounded update queue our proxy accumulated
+// while covering for us and replays each update through the engine's
+// normal invocation path. Touch already re-pointed our services at the
+// device, so the updates land exactly as if the peers had delivered
+// them directly — same handlers, same reconciliation rules. Best
+// effort: a failure here is recoverable (peers re-push meeting docs on
+// the next change, and the pull phase re-reads their state).
+func (m *Manager) drainProxy(ctx context.Context, proxyAddr string) {
+	ctx, span := trace.Start(ctx, "sync.proxy.drain")
+	var out struct {
+		Updates []proxyUpdate `json:"updates,omitempty"`
+		Dropped int64         `json:"dropped"`
+	}
+	if err := m.eng.InvokeAddr(ctx, proxyAddr, "proxy.control", "DrainUpdates",
+		wire.Args{"user": m.user}, &out); err != nil {
+		span.FinishErr(err)
+		return
+	}
+	for _, u := range out.Updates {
+		_ = m.eng.Invoke(ctx, u.Service, u.Method, u.Args, nil)
+	}
+	span.Annotate(trace.Int("updates", len(out.Updates)), trace.Int64("dropped", out.Dropped))
+	span.Finish()
+	m.observe("ProxyDrain", "", 0)
+}
+
+// push drains the op queue in sequence order through the application's
+// replayer. Each op that lands (or is definitively rejected) is acked
+// out of the queue; an unavailable error aborts the session with the
+// remaining ops still queued.
+func (m *Manager) push(ctx context.Context) error {
+	start := m.clock.Now()
+	ctx, span := trace.Start(ctx, "sync.push")
+	replay := m.getReplayer()
+	ops := m.q.Ops()
+	span.Annotate(trace.Int("ops", len(ops)))
+	rejected := 0
+	for _, op := range ops {
+		if replay != nil {
+			if err := replay(ctx, op); err != nil {
+				if isUnavailable(err) {
+					span.FinishErr(err)
+					m.observe("Push", wire.CodeUnavailable, m.clock.Now().Sub(start))
+					return err
+				}
+				// Definitive rejection: the op can never succeed
+				// (malformed, permission). Shed it, but visibly.
+				rejected++
+				m.observe("queue.rejected", wire.CodeOf(err), 0)
+			}
+		}
+		if err := m.q.Ack(op.Seq); err != nil {
+			span.FinishErr(err)
+			return err
+		}
+	}
+	span.Annotate(trace.Int("rejected", rejected))
+	span.Finish()
+	m.observe("Push", "", m.clock.Now().Sub(start))
+	return nil
+}
+
+// pull fetches relevant newer-than-known entities from every peer and
+// applies them locally. A peer that is itself unreachable (or predates
+// the sync service) is skipped — the next session covers it.
+func (m *Manager) pull(ctx context.Context) error {
+	start := m.clock.Now()
+	ctx, span := trace.Start(ctx, "sync.pull")
+	defer span.Finish()
+	var peers []string
+	if f := m.getPeers(); f != nil {
+		peers = f()
+	}
+	applier := m.getApplier()
+	applied := 0
+	for _, p := range peers {
+		if p == m.user {
+			continue
+		}
+		var res PullResult
+		err := m.eng.Invoke(ctx, ServiceFor(p), "Pull", wire.Args{
+			"subscriber": m.user,
+			"versions":   m.knownVersions(p),
+			"all":        m.fullPull,
+		}, &res)
+		if err != nil {
+			continue
+		}
+		for _, e := range res.Entities {
+			if applier == nil {
+				break
+			}
+			if err := applier.Apply(e.Entity, e.Version, e.Doc); err != nil {
+				continue
+			}
+			m.setKnownVersion(p, e.Entity, e.Version)
+			applied++
+		}
+	}
+	span.Annotate(trace.Int("peers", len(peers)), trace.Int("applied", applied))
+	m.observe("Pull", "", m.clock.Now().Sub(start))
+	return nil
+}
+
+// knownVersions returns the version vector this device holds for
+// peer's entities.
+func (m *Manager) knownVersions(peer string) map[string]int64 {
+	out := map[string]int64{}
+	for _, r := range m.peerVers.SelectEq("peer", peer) {
+		out[r["entity"].(string)] = r["ver"].(int64)
+	}
+	return out
+}
+
+func (m *Manager) setKnownVersion(peer, entity string, ver int64) {
+	if _, ok := m.peerVers.Get(peer, entity); ok {
+		_ = m.peerVers.Update(store.Row{"ver": ver}, peer, entity)
+		return
+	}
+	_ = m.peerVers.Insert(store.Row{"peer": peer, "entity": entity, "ver": ver})
+}
+
+func isUnavailable(err error) bool {
+	return errors.Is(err, transport.ErrUnreachable) || wire.CodeOf(err) == wire.CodeUnavailable
+}

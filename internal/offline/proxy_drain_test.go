@@ -1,0 +1,96 @@
+package offline_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/metrics"
+	"repro/internal/offline"
+	"repro/internal/proxy"
+	"repro/internal/sim"
+)
+
+// TestReconnectDrainsProxyQueue covers the third leg of the reconnect
+// session: a proxy absorbed MeetingUpdate notifications for the
+// disconnected device, and the session drains them before push/pull.
+// The queue is deliberately tiny so some updates drop — those are
+// recovered by the relevance pull, which is the point of keeping the
+// proxy queue bounded.
+func TestReconnectDrainsProxyQueue(t *testing.T) {
+	net := sim.New(sim.Config{})
+	clk := clock.NewFake(time.Date(2003, 4, 21, 8, 0, 0, 0, time.UTC))
+	srv := directory.NewServer(directory.WithClock(clk), directory.WithTTL(time.Hour))
+	if _, err := net.Listen("dir", srv.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	met := metrics.NewRegistry()
+	ctx := context.Background()
+
+	// The proxy must exist before users register so the directory binds
+	// it to them.
+	ph, err := proxy.StartHost(ctx, proxy.HostConfig{
+		ID: "p1", Net: net, DirAddr: "dir",
+		QueueMethods:   []string{"MeetingUpdate"},
+		UpdateQueueCap: 2,
+		Metrics:        met,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ph.Close()
+
+	w := &world{
+		net: net, clk: clk,
+		dir:   directory.NewClient(net, "dir"),
+		met:   met,
+		nodes: map[string]*core.Node{},
+		cals:  map[string]*calendar.Calendar{},
+	}
+	w.addUser(t, "andy")
+	w.addUser(t, "mob")
+	andy, mob := w.cals["andy"], w.cals["mob"]
+
+	// mob drops off; andy schedules three meetings that include mob.
+	// Each schedule pushes a MeetingUpdate at cal.mob, which fails over
+	// to the proxy and lands in the bounded queue (cap 2 → one drop).
+	w.cut("mob")
+	w.nodes["mob"].Offline.GoOffline(ctx)
+	days := []string{"2003-04-23", "2003-04-24", "2003-04-25"}
+	ids := make([]string, len(days))
+	for i, d := range days {
+		m, err := andy.SetupMeeting(ctx, pinned("sync", d, 10, 1, "mob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = m.ID
+	}
+	if got := len(ph.QueuedUpdates("mob")); got != 2 {
+		t.Fatalf("proxy queued %d updates, want 2 (cap)", got)
+	}
+	if e := met.Snapshot().Find(metrics.LayerSync, proxy.ControlServiceFor("p1"), "proxy_queue_dropped", ""); e == nil || e.Count != 1 {
+		t.Fatalf("proxy_queue_dropped = %+v, want count 1", e)
+	}
+
+	// Reconnect: the session drains the proxy queue, then pulls — so
+	// even the dropped update's meeting reaches mob.
+	w.heal("mob")
+	if err := w.nodes["mob"].Offline.TryReconnect(ctx); err != nil {
+		t.Fatalf("TryReconnect: %v", err)
+	}
+	if got := len(ph.QueuedUpdates("mob")); got != 0 {
+		t.Fatalf("proxy queue not drained: %d left", got)
+	}
+	for _, id := range ids {
+		if _, ok := mob.Meeting(id); !ok {
+			t.Fatalf("meeting %s missing at mob after reconnect", id)
+		}
+	}
+	if e := met.Snapshot().Find(metrics.LayerSync, offline.ServiceFor("mob"), "ProxyDrain", ""); e == nil || e.Count != 1 {
+		t.Fatalf("ProxyDrain metric = %+v, want count 1", e)
+	}
+}

@@ -1,0 +1,193 @@
+// Package offline implements disconnected operation (paper §5.2, §7):
+// a device that loses the network keeps serving local calendar reads
+// and keeps *accepting* writes, parking them in a durable outbound op
+// queue. On reconnect it runs a two-way sync session over the
+// sync.<user> RPC object — replaying queued ops through the normal
+// coordination-link machinery (so conflicting bookings reconcile via
+// tentative-link priority promotion, not ad-hoc merge code) and pulling
+// only the peers' entities that are relevant to it, filtered
+// server-side with per-entity version vectors so unchanged rows cost
+// zero bytes (the data-relevance sync model of PAPERS.md).
+package offline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Overflow selects what Enqueue does when the queue is at capacity.
+type Overflow string
+
+// Overflow policies.
+const (
+	// DropOldest evicts the oldest queued op to admit the new one.
+	// The device stays writable at the cost of shedding stale intent —
+	// the right trade for a PDA that may be gone for days.
+	DropOldest Overflow = "drop-oldest"
+	// RejectNew refuses the new op with CodeUnavailable, preserving
+	// everything already acknowledged into the queue.
+	RejectNew Overflow = "reject-new"
+)
+
+// opsSchema is the durable op-queue table. It lives in the node's own
+// store DB, so with core.WithDurability every enqueue/ack is logged to
+// the WAL and the queue survives a crash mid-disconnect.
+var opsSchema = store.Schema{
+	Name: "SyD_OfflineOps",
+	Columns: []store.Column{
+		{Name: "seq", Type: store.Int},
+		{Name: "id", Type: store.String},
+		{Name: "kind", Type: store.String},
+		{Name: "payload", Type: store.String},
+		{Name: "queued", Type: store.Time},
+	},
+	Key: []string{"seq"},
+}
+
+// Op is one queued outbound operation.
+type Op struct {
+	// Seq orders ops; assigned by Enqueue.
+	Seq int64
+	// ID is the op's idempotency key (e.g. a pre-minted meeting id) so
+	// a replay interrupted mid-drain can be retried without double
+	// effect.
+	ID string
+	// Kind names the application operation ("schedule", "cancel", ...).
+	Kind string
+	// Payload is the kind-specific document (JSON).
+	Payload []byte
+	// Queued is when the op was accepted.
+	Queued time.Time
+}
+
+// Queue is the durable, bounded outbound op queue. Safe for concurrent
+// use.
+type Queue struct {
+	user string
+	t    *store.Table
+	met  *metrics.Registry
+
+	mu      sync.Mutex
+	nextSeq int64
+	cap     int
+	policy  Overflow
+}
+
+// NewQueue opens (or creates) the op-queue table in db. capacity <= 0
+// defaults to 1024; an empty policy defaults to DropOldest. Reopening
+// over a recovered DB resumes the sequence after the highest surviving
+// op.
+func NewQueue(db *store.DB, user string, capacity int, policy Overflow, met *metrics.Registry) (*Queue, error) {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	switch policy {
+	case "":
+		policy = DropOldest
+	case DropOldest, RejectNew:
+	default:
+		return nil, fmt.Errorf("offline: unknown overflow policy %q", policy)
+	}
+	t, err := db.Table(opsSchema.Name)
+	if err != nil {
+		if t, err = db.CreateTable(opsSchema); err != nil {
+			return nil, err
+		}
+	}
+	q := &Queue{user: user, t: t, met: met, cap: capacity, policy: policy}
+	for _, r := range t.Select(nil) {
+		if s := r["seq"].(int64); s >= q.nextSeq {
+			q.nextSeq = s + 1
+		}
+	}
+	return q, nil
+}
+
+// Cap returns the queue's capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Enqueue accepts an op, applying the overflow policy at capacity, and
+// returns the assigned sequence number.
+func (q *Queue) Enqueue(op Op) (int64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.t.Count() >= q.cap {
+		if q.policy == RejectNew {
+			q.observe("queue.reject")
+			return 0, &wire.RemoteError{Code: wire.CodeUnavailable,
+				Msg: fmt.Sprintf("offline: %s op queue full (%d ops)", q.user, q.cap)}
+		}
+		// DropOldest: evict the lowest sequence number.
+		oldest := int64(-1)
+		for _, r := range q.t.Select(nil) {
+			if s := r["seq"].(int64); oldest < 0 || s < oldest {
+				oldest = s
+			}
+		}
+		if oldest >= 0 {
+			if err := q.t.Delete(oldest); err != nil {
+				return 0, err
+			}
+			q.observe("queue.drop")
+		}
+	}
+	seq := q.nextSeq
+	q.nextSeq++
+	err := q.t.Insert(store.Row{
+		"seq": seq, "id": op.ID, "kind": op.Kind,
+		"payload": string(op.Payload), "queued": op.Queued,
+	})
+	if err != nil {
+		return 0, err
+	}
+	q.observe("queue.enqueue")
+	return seq, nil
+}
+
+// Ops returns all queued ops in sequence order.
+func (q *Queue) Ops() []Op {
+	rows := q.t.Select(nil)
+	out := make([]Op, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Op{
+			Seq:     r["seq"].(int64),
+			ID:      r["id"].(string),
+			Kind:    r["kind"].(string),
+			Payload: []byte(r["payload"].(string)),
+			Queued:  r["queued"].(time.Time),
+		})
+	}
+	sortOps(out)
+	return out
+}
+
+func sortOps(ops []Op) {
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].Seq < ops[j-1].Seq; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+}
+
+// Ack removes a drained op.
+func (q *Queue) Ack(seq int64) error {
+	if err := q.t.Delete(seq); err != nil {
+		return err
+	}
+	q.observe("queue.drain")
+	return nil
+}
+
+// Len returns the number of queued ops.
+func (q *Queue) Len() int { return q.t.Count() }
+
+func (q *Queue) observe(what string) {
+	if q.met != nil {
+		q.met.Observe(metrics.LayerSync, ServiceFor(q.user), what, "", 0)
+	}
+}

@@ -1,0 +1,83 @@
+package offline
+
+import (
+	"sync"
+
+	"repro/internal/store"
+)
+
+// versionsSchema tracks a per-entity monotonic version counter on the
+// serving side: bumped on every local mutation, it is what lets a Pull
+// skip unchanged entities entirely.
+var versionsSchema = store.Schema{
+	Name: "SyD_SyncVersions",
+	Columns: []store.Column{
+		{Name: "entity", Type: store.String},
+		{Name: "ver", Type: store.Int},
+	},
+	Key: []string{"entity"},
+}
+
+// peerVersionsSchema is the puller's side of the version vector: the
+// highest version of each remote entity this device has already
+// applied, keyed per origin peer. Sending it with Pull makes unchanged
+// rows cost zero bytes.
+var peerVersionsSchema = store.Schema{
+	Name: "SyD_SyncPeerVersions",
+	Columns: []store.Column{
+		{Name: "peer", Type: store.String},
+		{Name: "entity", Type: store.String},
+		{Name: "ver", Type: store.Int},
+	},
+	Key: []string{"peer", "entity"},
+}
+
+// Versions is the per-entity version table. Safe for concurrent use;
+// durable when the DB is WAL-backed.
+type Versions struct {
+	mu sync.Mutex
+	t  *store.Table
+}
+
+// NewVersions opens (or creates) the version table in db.
+func NewVersions(db *store.DB) (*Versions, error) {
+	t, err := db.Table(versionsSchema.Name)
+	if err != nil {
+		if t, err = db.CreateTable(versionsSchema); err != nil {
+			return nil, err
+		}
+	}
+	return &Versions{t: t}, nil
+}
+
+// Bump increments entity's version and returns the new value.
+func (v *Versions) Bump(entity string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if r, ok := v.t.Get(entity); ok {
+		next := r["ver"].(int64) + 1
+		_ = v.t.Update(store.Row{"ver": next}, entity)
+		return next
+	}
+	_ = v.t.Insert(store.Row{"entity": entity, "ver": int64(1)})
+	return 1
+}
+
+// Get returns entity's current version (0 when never bumped).
+func (v *Versions) Get(entity string) int64 {
+	r, ok := v.t.Get(entity)
+	if !ok {
+		return 0
+	}
+	return r["ver"].(int64)
+}
+
+// All returns a copy of the full entity→version map.
+func (v *Versions) All() map[string]int64 {
+	rows := v.t.Select(nil)
+	out := make(map[string]int64, len(rows))
+	for _, r := range rows {
+		out[r["entity"].(string)] = r["ver"].(int64)
+	}
+	return out
+}

@@ -20,10 +20,12 @@ import (
 	"encoding/base64"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/directory"
 	"repro/internal/listener"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -56,6 +58,27 @@ type HostConfig struct {
 	ListenAddr string
 	// Adopter rebuilds services from snapshots (required to adopt).
 	Adopter Adopter
+	// QueueMethods lists the methods the host may absorb into the
+	// per-user update queue when a request names a service it does not
+	// host (an offline user it never adopted — an unplanned partition).
+	// Only idempotent notification-style updates belong here; two-phase
+	// negotiation RPCs must keep failing so the caller's recovery
+	// machinery handles them. Empty disables the fallback queue.
+	QueueMethods []string
+	// UpdateQueueCap bounds each user's update queue (default 64);
+	// overflow drops the oldest update and counts it in the
+	// proxy_queue_dropped metric.
+	UpdateQueueCap int
+	// Metrics optionally records queue drops.
+	Metrics *metrics.Registry
+}
+
+// Update is one queued update addressed to an offline user, replayed by
+// the device's reconnect session (DrainUpdates).
+type Update struct {
+	Service string    `json:"service"`
+	Method  string    `json:"method"`
+	Args    wire.Args `json:"args,omitempty"`
 }
 
 // Host is a running proxy server.
@@ -68,8 +91,16 @@ type Host struct {
 
 	adopter Adopter
 
+	queueable map[string]bool
+	updCap    int
+	met       *metrics.Registry
+
 	mu      sync.Mutex
 	adopted map[string]*adoption
+
+	updMu   sync.Mutex
+	updates map[string][]Update
+	dropped map[string]int64
 }
 
 type adoption struct {
@@ -83,10 +114,21 @@ func StartHost(ctx context.Context, cfg HostConfig) (*Host, error) {
 		return nil, fmt.Errorf("proxy: ID and Net are required")
 	}
 	h := &Host{
-		id:      cfg.ID,
-		net:     cfg.Net,
-		adopter: cfg.Adopter,
-		adopted: make(map[string]*adoption),
+		id:        cfg.ID,
+		net:       cfg.Net,
+		adopter:   cfg.Adopter,
+		adopted:   make(map[string]*adoption),
+		queueable: make(map[string]bool),
+		updCap:    cfg.UpdateQueueCap,
+		met:       cfg.Metrics,
+		updates:   make(map[string][]Update),
+		dropped:   make(map[string]int64),
+	}
+	if h.updCap <= 0 {
+		h.updCap = 64
+	}
+	for _, m := range cfg.QueueMethods {
+		h.queueable[m] = true
 	}
 	h.lis = listener.New(cfg.ID, nil)
 	addr := cfg.ListenAddr
@@ -109,6 +151,9 @@ func StartHost(ctx context.Context, cfg HostConfig) (*Host, error) {
 	ctl := h.controlObject()
 	h.lis.Register(ControlServiceFor(cfg.ID), ctl)
 	h.lis.Register(ControlService, ctl)
+	if len(h.queueable) > 0 {
+		h.lis.SetFallback(h.queueFallback)
+	}
 	if err := h.lis.PublishGlobal(ctx, h.dir, ControlServiceFor(cfg.ID), ln.Addr()); err != nil {
 		ln.Close()
 		return nil, err
@@ -185,6 +230,63 @@ func (h *Host) Handback(user string) ([]byte, error) {
 // Close unbinds the host.
 func (h *Host) Close() error { return h.ln.Close() }
 
+// --- offline-user update queue ----------------------------------------------
+
+// queueFallback absorbs a request for a service this host does not
+// serve: if the method is queueable and the service names a user
+// ("cal.phil" → "phil"), the update is parked in that user's bounded
+// queue for the device's reconnect session to drain. Everything else
+// falls through to the stock no-service error.
+func (h *Host) queueFallback(_ context.Context, req *transport.Request) (any, bool, error) {
+	if !h.queueable[req.Method] {
+		return nil, false, nil
+	}
+	dot := strings.LastIndexByte(req.Service, '.')
+	if dot < 0 || dot == len(req.Service)-1 {
+		return nil, false, nil
+	}
+	h.QueueUpdate(req.Service[dot+1:], Update{Service: req.Service, Method: req.Method, Args: req.Args})
+	return true, true, nil
+}
+
+// QueueUpdate parks an update for user, evicting the oldest entry (and
+// counting it in the proxy_queue_dropped metric) when the bounded
+// queue is full.
+func (h *Host) QueueUpdate(user string, u Update) {
+	h.updMu.Lock()
+	q := append(h.updates[user], u)
+	if drop := len(q) - h.updCap; drop > 0 {
+		q = append([]Update(nil), q[drop:]...)
+		h.dropped[user] += int64(drop)
+		if h.met != nil {
+			for i := 0; i < drop; i++ {
+				h.met.Observe(metrics.LayerSync, ControlServiceFor(h.id), "proxy_queue_dropped", "", 0)
+			}
+		}
+	}
+	h.updates[user] = q
+	h.updMu.Unlock()
+}
+
+// DrainUpdates pops and returns user's queued updates plus how many
+// were dropped to the bound since the last drain.
+func (h *Host) DrainUpdates(user string) ([]Update, int64) {
+	h.updMu.Lock()
+	defer h.updMu.Unlock()
+	ups := h.updates[user]
+	n := h.dropped[user]
+	delete(h.updates, user)
+	delete(h.dropped, user)
+	return ups, n
+}
+
+// QueuedUpdates returns a copy of user's pending updates.
+func (h *Host) QueuedUpdates(user string) []Update {
+	h.updMu.Lock()
+	defer h.updMu.Unlock()
+	return append([]Update(nil), h.updates[user]...)
+}
+
 // controlObject exposes Adopt/Handback/Adopted over the wire so a
 // device can push its state before disconnecting and pull it back on
 // return.
@@ -213,6 +315,30 @@ func (h *Host) controlObject() *listener.Object {
 	})
 	obj.Handle("Adopted", func(ctx context.Context, call *listener.Call) (any, error) {
 		return h.Adopted(), nil
+	})
+	obj.Handle("QueueUpdate", func(ctx context.Context, call *listener.Call) (any, error) {
+		user := call.Args.String("user")
+		svc := call.Args.String("service")
+		method := call.Args.String("method")
+		if user == "" || svc == "" || method == "" {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "QueueUpdate needs user, service, and method"}
+		}
+		args := wire.Args{}
+		if _, ok := call.Args["args"]; ok {
+			if err := call.Args.Decode("args", &args); err != nil {
+				return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "bad args: " + err.Error()}
+			}
+		}
+		h.QueueUpdate(user, Update{Service: svc, Method: method, Args: args})
+		return true, nil
+	})
+	obj.Handle("DrainUpdates", func(ctx context.Context, call *listener.Call) (any, error) {
+		user := call.Args.String("user")
+		if user == "" {
+			return nil, &wire.RemoteError{Code: wire.CodeBadArgs, Msg: "DrainUpdates needs a user"}
+		}
+		ups, dropped := h.DrainUpdates(user)
+		return map[string]any{"updates": ups, "dropped": dropped}, nil
 	})
 	return obj
 }

@@ -1,0 +1,127 @@
+package proxy
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+
+	"repro/internal/directory"
+)
+
+func startQueueHost(t *testing.T, cap int) (*Host, *sim.Net, *metrics.Registry) {
+	t.Helper()
+	net := sim.New(sim.Config{})
+	srv := directory.NewServer()
+	if _, err := net.Listen("dir", srv.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	met := metrics.NewRegistry()
+	h, err := StartHost(context.Background(), HostConfig{
+		ID: "p1", Net: net, DirAddr: "dir",
+		QueueMethods:   []string{"MeetingUpdate"},
+		UpdateQueueCap: cap,
+		Metrics:        met,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h, net, met
+}
+
+func TestFallbackQueuesOfflineUserUpdates(t *testing.T) {
+	h, net, _ := startQueueHost(t, 8)
+	ctx := context.Background()
+
+	// A MeetingUpdate for a user the host never adopted is absorbed.
+	resp, err := net.Call(ctx, h.Addr(), &transport.Request{
+		Service: "cal.phil", Method: "MeetingUpdate", Caller: "andy",
+		Args: wire.Args{"meeting": map[string]any{"id": "M-1"}},
+	})
+	if err != nil || !resp.OK {
+		t.Fatalf("queueable update rejected: err=%v resp=%+v", err, resp)
+	}
+	ups := h.QueuedUpdates("phil")
+	if len(ups) != 1 || ups[0].Service != "cal.phil" || ups[0].Method != "MeetingUpdate" {
+		t.Fatalf("queued = %+v", ups)
+	}
+
+	// Non-queueable methods keep failing: a negotiation RPC must not be
+	// blind-acked.
+	resp, err = net.Call(ctx, h.Addr(), &transport.Request{
+		Service: "links.phil", Method: "Install", Caller: "andy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != wire.CodeNoService {
+		t.Fatalf("negotiation RPC was absorbed: %+v", resp)
+	}
+	if got := h.QueuedUpdates("phil"); len(got) != 1 {
+		t.Fatalf("non-queueable method was queued: %+v", got)
+	}
+}
+
+func TestUpdateQueueBoundedDropOldest(t *testing.T) {
+	h, _, met := startQueueHost(t, 2)
+	for _, id := range []string{"a", "b", "c"} {
+		h.QueueUpdate("phil", Update{Service: "cal.phil", Method: "MeetingUpdate",
+			Args: wire.Args{"meeting": map[string]any{"id": id}}})
+	}
+	ups, dropped := h.DrainUpdates("phil")
+	if len(ups) != 2 || dropped != 1 {
+		t.Fatalf("drain = %d updates, %d dropped; want 2 / 1", len(ups), dropped)
+	}
+	var first struct {
+		ID string `json:"id"`
+	}
+	if err := ups[0].Args.Decode("meeting", &first); err != nil || first.ID != "b" {
+		t.Fatalf("oldest not evicted: head = %+v (err %v)", first, err)
+	}
+	if e := met.Snapshot().Find(metrics.LayerSync, ControlServiceFor("p1"), "proxy_queue_dropped", ""); e == nil || e.Count != 1 {
+		t.Fatalf("proxy_queue_dropped = %+v, want count 1", e)
+	}
+	// Drain resets the queue and the drop counter.
+	if ups, dropped := h.DrainUpdates("phil"); len(ups) != 0 || dropped != 0 {
+		t.Fatalf("second drain = %d / %d, want empty", len(ups), dropped)
+	}
+}
+
+func TestDrainUpdatesOverControlRPC(t *testing.T) {
+	h, net, _ := startQueueHost(t, 8)
+	ctx := context.Background()
+
+	// Queue one explicitly over the control RPC, one via fallback.
+	resp, err := net.Call(ctx, h.Addr(), &transport.Request{
+		Service: ControlService, Method: "QueueUpdate", Caller: "andy",
+		Args: wire.Args{"user": "phil", "service": "cal.phil", "method": "MeetingUpdate",
+			"args": wire.Args{"meeting": map[string]any{"id": "M-9"}}},
+	})
+	if err != nil || !resp.OK {
+		t.Fatalf("QueueUpdate RPC: err=%v resp=%+v", err, resp)
+	}
+	resp, err = net.Call(ctx, h.Addr(), &transport.Request{
+		Service: ControlService, Method: "DrainUpdates", Caller: "phil",
+		Args: wire.Args{"user": "phil"},
+	})
+	if err != nil || !resp.OK {
+		t.Fatalf("DrainUpdates RPC: err=%v resp=%+v", err, resp)
+	}
+	var out struct {
+		Updates []Update `json:"updates"`
+		Dropped int64    `json:"dropped"`
+	}
+	if err := wire.Unmarshal(resp.Result, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Updates) != 1 || out.Updates[0].Service != "cal.phil" || out.Dropped != 0 {
+		t.Fatalf("drained = %+v", out)
+	}
+	if got := h.QueuedUpdates("phil"); len(got) != 0 {
+		t.Fatalf("queue not emptied by RPC drain: %+v", got)
+	}
+}

@@ -73,6 +73,7 @@ type Net struct {
 	endpoints map[string]*endpoint
 	down      map[string]bool
 	parts     map[[2]string]bool // unordered pair, stored with a<=b
+	oneway    map[[2]string]bool // ordered [src, dst]: src cannot reach dst
 
 	// Mutable fault config; rngMu guards these together with rng so a
 	// mid-test SetLoss/SetLatency is seen by in-flight deliveries.
@@ -105,6 +106,7 @@ func New(cfg Config) *Net {
 		endpoints:   make(map[string]*endpoint),
 		down:        make(map[string]bool),
 		parts:       make(map[[2]string]bool),
+		oneway:      make(map[[2]string]bool),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		lossProb:    cfg.LossProb,
 		baseLatency: cfg.BaseLatency,
@@ -185,11 +187,57 @@ func (n *Net) Partition(a, b string) {
 	n.parts[pairKey(a, b)] = true
 }
 
-// Heal removes a partition between a and b.
+// PartitionOneWay blocks traffic from src to dst only; dst can still
+// reach src. Asymmetric partitions model the weak-connectivity story of
+// §7 — a PDA that can hear the fixed network but not be heard.
+func (n *Net) PartitionOneWay(src, dst string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.oneway[[2]string{src, dst}] = true
+}
+
+// Heal removes any partition between a and b: the symmetric pair and
+// both one-way directions.
 func (n *Net) Heal(a, b string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.parts, pairKey(a, b))
+	delete(n.oneway, [2]string{a, b})
+	delete(n.oneway, [2]string{b, a})
+}
+
+// FlapPartition alternately partitions and heals the a↔b pair every
+// period, starting partitioned immediately. It returns a stop function
+// (idempotent) that halts the flapping and heals the pair. Chaos tests
+// script an intermittently-connected device with this.
+func (n *Net) FlapPartition(a, b string, period time.Duration) (stop func()) {
+	done := make(chan struct{})
+	n.Partition(a, b)
+	go func() {
+		t := time.NewTicker(period)
+		defer t.Stop()
+		cut := true
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				cut = !cut
+				if cut {
+					n.Partition(a, b)
+				} else {
+					n.Heal(a, b)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			n.Heal(a, b)
+		})
+	}
 }
 
 // reachable reports whether dst is currently deliverable from src and
@@ -202,6 +250,9 @@ func (n *Net) reachable(src, dst string) (*endpoint, error) {
 	}
 	if n.parts[pairKey(src, dst)] {
 		return nil, unavailable("partition between %s and %s", src, dst)
+	}
+	if n.oneway[[2]string{src, dst}] {
+		return nil, unavailable("one-way partition %s -> %s", src, dst)
 	}
 	ep, ok := n.endpoints[dst]
 	if !ok {

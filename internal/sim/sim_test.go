@@ -116,6 +116,67 @@ func TestPartitionBlocksPairOnly(t *testing.T) {
 	}
 }
 
+func TestPartitionOneWayBlocksSingleDirection(t *testing.T) {
+	n := New(Config{})
+	if _, err := n.Listen("phil", &okHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("andy", &okHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	n.PartitionOneWay("andy", "phil")
+
+	// andy -> phil blocked.
+	_, err := n.Call(context.Background(), "phil", &transport.Request{Service: "s", Method: "m", Caller: "andy"})
+	if wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("one-way-partitioned call went through: %v", err)
+	}
+	// phil -> andy still works (the asymmetric half).
+	if _, err := n.Call(context.Background(), "andy", &transport.Request{Service: "s", Method: "m", Caller: "phil"}); err != nil {
+		t.Fatalf("reverse direction blocked: %v", err)
+	}
+	// Heal clears one-way state regardless of argument order.
+	n.Heal("phil", "andy")
+	if _, err := n.Call(context.Background(), "phil", &transport.Request{Service: "s", Method: "m", Caller: "andy"}); err != nil {
+		t.Fatalf("healed one-way partition still blocks: %v", err)
+	}
+}
+
+func TestFlapPartition(t *testing.T) {
+	n := New(Config{})
+	if _, err := n.Listen("phil", &okHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	call := func() error {
+		_, err := n.Call(context.Background(), "phil", &transport.Request{Service: "s", Method: "m", Caller: "andy"})
+		return err
+	}
+	stop := n.FlapPartition("andy", "phil", 5*time.Millisecond)
+	// Starts partitioned.
+	if err := call(); wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("flap did not start partitioned: %v", err)
+	}
+	// Over a few periods both states must be observed.
+	var sawUp, sawDown bool
+	deadline := time.Now().Add(2 * time.Second)
+	for (!sawUp || !sawDown) && time.Now().Before(deadline) {
+		if call() == nil {
+			sawUp = true
+		} else {
+			sawDown = true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawUp || !sawDown {
+		t.Fatalf("flapping not observed: up=%v down=%v", sawUp, sawDown)
+	}
+	stop()
+	stop() // idempotent
+	if err := call(); err != nil {
+		t.Fatalf("stop did not heal the pair: %v", err)
+	}
+}
+
 func TestLossIsDeterministicPerSeed(t *testing.T) {
 	run := func(seed int64) int64 {
 		n := New(Config{LossProb: 0.5, Seed: seed})
