@@ -11,9 +11,21 @@
 // present on one side only are reported but never fatal, so adding a
 // benchmark does not require touching the gate.
 //
-// To refresh the baseline after an intentional change, run
-// `go run ./cmd/sydbench -bench-json BENCH_rpc.json` on a quiet
-// machine and commit the result (see DESIGN.md §4).
+// With -scale-current the gate runs in scale mode instead, comparing a
+// fresh sydbench -scale run against the committed BENCH_scale.json:
+//
+//	sydbench -scale all -devices 256 -scale-json fresh.json
+//	benchgate -scale-baseline BENCH_scale.json -scale-current fresh.json
+//
+// Scale mode gates the SLO surface per scenario×topology — p95/p99
+// schedule latency and the negotiation abort rate — under the same
+// soft/hard policy. Scale reports are deterministic virtual-time
+// measurements (wall time is excluded), so on unchanged code the two
+// files agree exactly; any drift at all is a real behavior change.
+//
+// To refresh a baseline after an intentional change, rerun the
+// matching sydbench command on a quiet machine and commit the result
+// (see DESIGN.md §4 and §12).
 package main
 
 import (
@@ -23,6 +35,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/scale"
 )
 
 // trajectory mirrors the document sydbench -bench-json writes.
@@ -112,14 +125,109 @@ func compare(baseline, current *trajectory, softFrac, hardRatio float64) (rows [
 	return rows, onlyBase, onlyCur
 }
 
+// scaleFile mirrors the document sydbench -scale-json writes.
+type scaleFile struct {
+	Date    string          `json:"date"`
+	Reports []*scale.Report `json:"reports"`
+}
+
+func loadScale(path string) (*scaleFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f scaleFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Reports) == 0 {
+		return nil, fmt.Errorf("%s: no scale reports", path)
+	}
+	return &f, nil
+}
+
+// compareScale produces rows for the gated SLO metrics of every
+// scenario×topology present in both files. Wall time is never compared
+// — it is the one machine-dependent field in a scale report.
+func compareScale(baseline, current *scaleFile, softFrac, hardRatio float64) (rows []line, onlyBase, onlyCur []string) {
+	key := func(r *scale.Report) string { return r.Scenario + "/" + string(r.Topology) }
+	baseBy := make(map[string]*scale.Report, len(baseline.Reports))
+	for _, r := range baseline.Reports {
+		baseBy[key(r)] = r
+	}
+	seen := make(map[string]bool, len(current.Reports))
+	for _, cur := range current.Reports {
+		k := key(cur)
+		seen[k] = true
+		base, found := baseBy[k]
+		if !found {
+			onlyCur = append(onlyCur, k)
+			continue
+		}
+		rows = append(rows,
+			line{k, "p95_ms", base.Latency.P95MS, cur.Latency.P95MS,
+				classify(base.Latency.P95MS, cur.Latency.P95MS, softFrac, hardRatio)},
+			line{k, "p99_ms", base.Latency.P99MS, cur.Latency.P99MS,
+				classify(base.Latency.P99MS, cur.Latency.P99MS, softFrac, hardRatio)},
+			line{k, "abort_rate", base.AbortRate(), cur.AbortRate(),
+				classify(base.AbortRate(), cur.AbortRate(), softFrac, hardRatio)})
+	}
+	for _, r := range baseline.Reports {
+		if !seen[key(r)] {
+			onlyBase = append(onlyBase, key(r))
+		}
+	}
+	return rows, onlyBase, onlyCur
+}
+
+func runScaleGate(baselinePath, currentPath string, softFrac, hardRatio float64) int {
+	baseline, err := loadScale(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	current, err := loadScale(currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	rows, onlyBase, onlyCur := compareScale(baseline, current, softFrac, hardRatio)
+	fails := 0
+	for _, l := range rows {
+		fmt.Println(l)
+		if l.v == hard {
+			fails++
+		}
+	}
+	for _, name := range onlyBase {
+		fmt.Printf("note  %-24s only in baseline (removed?)\n", name)
+	}
+	for _, name := range onlyCur {
+		fmt.Printf("note  %-24s only in current run (new scenario; refresh the baseline)\n", name)
+	}
+	fmt.Printf("scale baseline %s (%s) vs current (%s): %d comparisons, %d hard regressions\n",
+		baselinePath, baseline.Date, current.Date, len(rows), fails)
+	if fails > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d SLO metric(s) regressed past %.1fx — if intentional, refresh %s\n",
+			fails, hardRatio, baselinePath)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_rpc.json", "committed baseline trajectory file")
 	currentPath := flag.String("current", "", "fresh sydbench -bench-json output to gate")
+	scaleBaselinePath := flag.String("scale-baseline", "BENCH_scale.json", "committed scale-harness baseline file")
+	scaleCurrentPath := flag.String("scale-current", "", "fresh sydbench -scale-json output to gate (enables scale mode)")
 	softPct := flag.Float64("soft", 30, "warn when a metric drifts more than this percent either way")
 	hardRatio := flag.Float64("hard", 2.0, "fail when a metric exceeds baseline by more than this ratio")
 	flag.Parse()
+	if *scaleCurrentPath != "" {
+		os.Exit(runScaleGate(*scaleBaselinePath, *scaleCurrentPath, *softPct/100, *hardRatio))
+	}
 	if *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		fmt.Fprintln(os.Stderr, "benchgate: -current or -scale-current is required")
 		os.Exit(2)
 	}
 

@@ -11,9 +11,17 @@
 //	                              # writing ns/op, allocs/op, B/op per benchmark
 //	sydbench -bench-json out.json -bench Micro  # filter by name prefix
 //
+//	sydbench -scale storm -devices 10000          # time-compressed fleet run
+//	sydbench -scale all -scale-json BENCH_scale.json  # full catalog, write report
+//	sydbench -scale churn -topo sharded4          # one scenario × one topology
+//
 // The trajectory suite (internal/bench) is the same set of bodies
 // `go test -bench` measures; committing its output as BENCH_rpc.json
-// tracks the RPC hot path's cost across PRs.
+// tracks the RPC hot path's cost across PRs. The scale suite
+// (internal/scale) boots thousands of simulated devices under an
+// auto-advancing fake clock; its reports are deterministic for a given
+// seed, so the committed BENCH_scale.json is gated exactly by
+// cmd/benchgate.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/scale"
 	"repro/internal/trace"
 )
 
@@ -72,6 +81,64 @@ func runBenchJSON(path, filter string) int {
 	return 0
 }
 
+// scaleFile is the JSON document -scale-json writes (and benchgate
+// gates as BENCH_scale.json). Only Reports matters to the gate; the
+// header records provenance.
+type scaleFile struct {
+	Date    string          `json:"date"`
+	GoOS    string          `json:"goos"`
+	GoArch  string          `json:"goarch"`
+	Devices int             `json:"devices"`
+	Seed    int64           `json:"seed"`
+	Reports []*scale.Report `json:"reports"`
+}
+
+func runScale(scenario, topo string, devices int, seed int64, outPath string) int {
+	scns := []string{scenario}
+	if scenario == "all" {
+		scns = scale.Scenarios()
+	}
+	topos := scale.Topologies()
+	if topo != "all" {
+		topos = []scale.Topology{scale.Topology(topo)}
+	}
+	out := scaleFile{
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		Devices: devices,
+		Seed:    seed,
+	}
+	for _, scn := range scns {
+		for _, tp := range topos {
+			r, err := scale.Run(scale.Config{Scenario: scn, Topology: tp, Devices: devices, Seed: seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sydbench: scale %s/%s: %v\n", scn, tp, err)
+				return 1
+			}
+			fmt.Printf("%-7s %-10s %6d dev  p50 %8.1fms  p95 %8.1fms  p99 %8.1fms  commit %5d  abort %5d  queued %4d  in-doubt %d  (%d timer fires, %.1fs wall)\n",
+				r.Scenario, r.Topology, r.Devices,
+				r.Latency.P50MS, r.Latency.P95MS, r.Latency.P99MS,
+				r.Outcomes.Committed, r.Outcomes.Aborted, r.Outcomes.Queued, r.Outcomes.InDoubt,
+				r.ClockFired, float64(r.WallMS)/1000)
+			out.Reports = append(out.Reports, r)
+		}
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sydbench: encode scale reports: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sydbench: write %s: %v\n", outPath, err)
+			return 1
+		}
+		fmt.Printf("wrote %d scale reports to %s\n", len(out.Reports), outPath)
+	}
+	return 0
+}
+
 func main() {
 	runFilter := flag.String("run", "", "experiment id or id prefix to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -79,10 +146,18 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run the benchmark trajectory suite and write JSON results to this file")
 	benchFilter := flag.String("bench", "", "with -bench-json: benchmark name prefix filter")
 	traceN := flag.Int("trace", 0, "trace the experiments and print the N slowest stitched traces as flame trees")
+	scaleScn := flag.String("scale", "", "run the time-compressed scale harness: a scenario name or 'all'")
+	scaleTopo := flag.String("topo", "all", "with -scale: topology (single, sharded4, replicated) or 'all'")
+	scaleDevices := flag.Int("devices", 500, "with -scale: simulated fleet size")
+	scaleSeed := flag.Int64("seed", 1, "with -scale: workload seed (same seed, same report bytes)")
+	scaleJSON := flag.String("scale-json", "", "with -scale: write the reports as JSON to this file")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		os.Exit(runBenchJSON(*benchJSON, *benchFilter))
+	}
+	if *scaleScn != "" {
+		os.Exit(runScale(*scaleScn, *scaleTopo, *scaleDevices, *scaleSeed, *scaleJSON))
 	}
 
 	if *traceN > 0 {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -152,13 +153,26 @@ func (c *Calendar) User() string { return c.user }
 // Links exposes the underlying link manager (tests, diagnostics).
 func (c *Calendar) Links() *links.Manager { return c.lm }
 
-// newMeetingID mints a meeting id.
-func newMeetingID() string {
+// Meeting ids follow the links id scheme: a random per-process prefix
+// for cross-device uniqueness plus a zero-padded counter so ids sort
+// in mint order — meeting ids are store keys, and deterministic
+// iteration order keeps same-seed simulation runs reproducible.
+var (
+	meetingPrefix  = newMeetingPrefix()
+	meetingCounter atomic.Uint64
+)
+
+func newMeetingPrefix() string {
 	var b [6]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		panic("calendar: rand: " + err.Error())
 	}
-	return "M-" + hex.EncodeToString(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// newMeetingID mints a meeting id.
+func newMeetingID() string {
+	return fmt.Sprintf("M-%s-%012d", meetingPrefix, meetingCounter.Add(1))
 }
 
 // --- slot state --------------------------------------------------------------

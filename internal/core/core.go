@@ -275,6 +275,7 @@ func Start(ctx context.Context, cfg Config, opts ...Option) (*Node, error) {
 			FlushEvery: cfg.WALFlushEvery,
 			Metrics:    cfg.Metrics,
 			Tracer:     tracer,
+			Clock:      clk,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: open data dir: %w", err)

@@ -174,15 +174,31 @@ func (h *Handler) Every(interval time.Duration, fn func(now time.Time)) (cancel 
 	h.stops = append(h.stops, cancel)
 	h.mu.Unlock()
 	h.wg.Add(1)
+	// On an auto-advancing clock the schedule registers before its
+	// goroutine launches — synchronously with the caller — so a paused
+	// clock's gate counts it from the instant Every returns (and the
+	// loop withdraws its pending waiter on exit so the gate is not
+	// skewed by a stale deadline).
+	ar, auto := h.clk.(clock.AutoRegistrar)
+	if auto {
+		ar.RegisterGoroutine()
+	}
 	go func() {
 		defer h.wg.Done()
 		for {
+			ch := h.clk.After(interval)
 			select {
 			case <-stop:
+				if auto {
+					ar.UnregisterGoroutine(ch)
+				}
 				return
-			case now := <-h.clk.After(interval):
+			case now := <-ch:
 				select {
 				case <-stop:
+					if auto {
+						ar.UnregisterGoroutine()
+					}
 					return
 				default:
 				}

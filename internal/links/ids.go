@@ -3,6 +3,7 @@ package links
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"fmt"
 	"strconv"
 	"sync/atomic"
 )
@@ -15,9 +16,21 @@ import (
 // the old scheme had (the prefix collides as rarely as two random
 // tokens did) and unique within the process by construction, at the
 // cost of one small allocation.
+//
+// Two counters, not one. Link and negotiation ids are primary keys:
+// store.Table iterates them in key order, the journal sweep processes
+// negotiations in id order, and promoteWaiters breaks priority ties by
+// id — so their mint order must be reproducible for a same-seed
+// simulation run to replay identically. Those ids are only minted from
+// serially executed paths (a coordinator drives one negotiation at a
+// time). Lock tokens, by contrast, are minted concurrently (the commit
+// fan-out and late-commit paths) and are only ever compared for
+// equality — sharing one counter would let token traffic perturb the
+// id sequence.
 var (
-	idPrefix  = mintPrefix()
-	idCounter atomic.Uint64
+	idPrefix   = mintPrefix()
+	tokCounter atomic.Uint64
+	seqCounter atomic.Uint64
 )
 
 func mintPrefix() string {
@@ -29,7 +42,14 @@ func mintPrefix() string {
 	return hex.EncodeToString(b[:])
 }
 
-// mintID returns a process-unique opaque id.
+// mintID returns a process-unique opaque id (lock tokens).
 func mintID() string {
-	return idPrefix + "-" + strconv.FormatUint(idCounter.Add(1), 36)
+	return idPrefix + "-" + strconv.FormatUint(tokCounter.Add(1), 36)
+}
+
+// mintOrdered returns a process-unique id whose lexicographic order
+// equals mint order (the counter is zero-padded), so store keys built
+// from it iterate in creation order.
+func mintOrdered() string {
+	return fmt.Sprintf("%s-%012d", idPrefix, seqCounter.Add(1))
 }

@@ -104,7 +104,7 @@ func (m *Manager) tune() Tuning {
 
 // NewNegotiationID mints a globally unique negotiation id (see ids.go
 // for the uniqueness scheme).
-func NewNegotiationID() string { return "N-" + mintID() }
+func NewNegotiationID() string { return "N-" + mintOrdered() }
 
 // journalTarget is one marked target awaiting its Commit ack.
 type journalTarget struct {

@@ -23,6 +23,24 @@ type LockTable struct {
 
 	mu    sync.Mutex
 	locks map[string]lockEntry
+
+	// Contention counters (see LockStats).
+	acquired  uint64
+	conflicts uint64
+	steals    uint64
+}
+
+// LockStats is a snapshot of a table's cumulative contention counters.
+// The scale harness aggregates these across a fleet: under skewed load
+// the conflict rate on the hot entities is the leading indicator of
+// the nonlinear abort-rate regime.
+type LockStats struct {
+	// Acquired counts successful TryLock grants (including steals).
+	Acquired uint64 `json:"acquired"`
+	// Conflicts counts TryLock rejections by a live lock.
+	Conflicts uint64 `json:"conflicts"`
+	// Steals counts grants that displaced an expired entry.
+	Steals uint64 `json:"steals"`
 }
 
 type lockEntry struct {
@@ -76,12 +94,24 @@ func (lt *LockTable) TryLock(entity, holder string) (string, bool) {
 	now := lt.clk.Now()
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
-	if e, ok := lt.locks[entity]; ok && now.Before(e.deadline) {
-		return "", false
+	if e, ok := lt.locks[entity]; ok {
+		if now.Before(e.deadline) {
+			lt.conflicts++
+			return "", false
+		}
+		lt.steals++
 	}
 	e := lockEntry{token: newToken(), holder: holder, deadline: now.Add(lt.ttl)}
 	lt.locks[entity] = e
+	lt.acquired++
 	return e.token, true
+}
+
+// Stats returns a snapshot of the table's contention counters.
+func (lt *LockTable) Stats() LockStats {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return LockStats{Acquired: lt.acquired, Conflicts: lt.conflicts, Steals: lt.steals}
 }
 
 // Unlock releases entity if token matches the live lock. Unlocking

@@ -154,3 +154,25 @@ func TestTokensUnique(t *testing.T) {
 		lt.Unlock("e", tok)
 	}
 }
+
+// TestLockStatsCounters: grants, live-lock conflicts, and expiry
+// steals are each counted exactly once per TryLock outcome.
+func TestLockStatsCounters(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	lt := NewLockTable(fake, 10*time.Second)
+	if _, ok := lt.TryLock("cal.a", "phil"); !ok {
+		t.Fatal("first lock failed")
+	}
+	if _, ok := lt.TryLock("cal.a", "andy"); ok {
+		t.Fatal("conflicting lock granted")
+	}
+	fake.Advance(11 * time.Second)
+	if _, ok := lt.TryLock("cal.a", "andy"); !ok {
+		t.Fatal("expired lock not stolen")
+	}
+	got := lt.Stats()
+	want := LockStats{Acquired: 2, Conflicts: 1, Steals: 1}
+	if got != want {
+		t.Fatalf("Stats = %+v, want %+v", got, want)
+	}
+}

@@ -2,8 +2,6 @@ package links
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -241,13 +239,11 @@ func (m *Manager) isInflight(nid string) bool {
 // Self returns the owning user id.
 func (m *Manager) Self() string { return m.self }
 
-// NewLinkID mints a globally unique link id.
+// NewLinkID mints a globally unique link id. Ids sort in mint order:
+// link ids are store keys, and deterministic iteration order is what
+// makes same-seed simulation runs replay identically.
 func NewLinkID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic("links: rand: " + err.Error())
-	}
-	return "L-" + hex.EncodeToString(b[:])
+	return "L-" + mintOrdered()
 }
 
 // RegisterAction registers (or replaces) an entity action.

@@ -62,7 +62,7 @@ type FollowerConfig struct {
 	// (DefaultCheckpointBytes when 0).
 	CheckpointBytes int64
 	// PullEvery and LeaseCheckEvery, when > 0, run the pull and
-	// lease-watch loops on wall-clock tickers. Tests leave them 0 and
+	// lease-watch loops, timed through Clock. Tests leave them 0 and
 	// drive PullOnce/CheckLease by hand.
 	PullEvery       time.Duration
 	LeaseCheckEvery time.Duration
@@ -173,23 +173,12 @@ func (f *Follower) logf(format string, args ...any) {
 	}
 }
 
-// loop runs fn every interval until ctx is done. Wall-clock tickers
-// (clock.Clock has no ticker); tests drive the methods directly.
+// loop runs fn every interval until ctx is done, timing the waits
+// through the follower's clock so a fake (or auto-advancing) clock
+// compresses pull/lease cadences in simulation.
 func (f *Follower) loop(ctx context.Context, every time.Duration, fn func(context.Context)) {
 	f.wg.Add(1)
-	go func() {
-		defer f.wg.Done()
-		t := time.NewTicker(every)
-		defer t.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-t.C:
-				fn(ctx)
-			}
-		}
-	}()
+	clock.LoopGo(ctx, f.clk, every, fn, f.wg.Done)
 }
 
 // Addr returns the follower's bound address — the identity the

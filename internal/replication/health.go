@@ -147,22 +147,14 @@ func (s *Sweeper) remediate(ctx context.Context, lease directory.LeaseInfo) erro
 }
 
 // Start runs Sweep every interval until ctx is done (the
-// syddirectory -health-sweep loop).
+// syddirectory -health-sweep loop). Waits are timed through the
+// sweeper's clock, so a fake clock compresses the sweep cadence.
 func (s *Sweeper) Start(ctx context.Context, every time.Duration) {
-	go func() {
-		t := time.NewTicker(every)
-		defer t.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-t.C:
-				sctx, cancel := context.WithTimeout(ctx, every)
-				if err := s.Sweep(sctx); err != nil && s.cfg.Logf != nil {
-					s.cfg.Logf("replication: health sweep: %v", err)
-				}
-				cancel()
-			}
+	clock.LoopGo(ctx, s.clk, every, func(c context.Context) {
+		sctx, cancel := context.WithTimeout(c, every)
+		if err := s.Sweep(sctx); err != nil && s.cfg.Logf != nil {
+			s.cfg.Logf("replication: health sweep: %v", err)
 		}
-	}()
+		cancel()
+	}, nil)
 }

@@ -130,7 +130,8 @@ func TestFollowerSnapshotBootstrap(t *testing.T) {
 }
 
 // TestFollowerSelfDrivenLoops: PullEvery/LeaseCheckEvery run the
-// follower on wall-clock tickers (the sydnode -replica-of mode).
+// follower's own loops (the sydnode -replica-of mode). The loops wait
+// on the injected clock, so the test pumps the fake clock to tick them.
 func TestFollowerSelfDrivenLoops(t *testing.T) {
 	fx := newFixture(t)
 	d, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncNone})
@@ -168,6 +169,7 @@ func TestFollowerSelfDrivenLoops(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("pull loop never caught up: %d < %d", f.AppliedLSN(), d.LastLSN())
 		}
+		fx.clk.Advance(time.Millisecond) // tick the pull loop
 		time.Sleep(time.Millisecond)
 	}
 	if err := f.Close(); err != nil {
@@ -213,14 +215,26 @@ func TestFollowerSelfDrivenPromotion(t *testing.T) {
 	}
 	defer f.Close()
 
+	// Expire the lease, then keep ticking the fake clock so the
+	// lease-watch loop (which waits on it) observes the expiry.
 	fx.clk.Advance(leaseTTL + time.Second)
-	select {
-	case holder := <-booted:
-		if holder != "repl-p-1" {
-			t.Fatalf("promoted under holder %q, want repl-p-1", holder)
+	var holder string
+	deadline := time.Now().Add(5 * time.Second)
+waitBoot:
+	for {
+		select {
+		case holder = <-booted:
+			break waitBoot
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("lease-watch loop never promoted")
+			}
+			fx.clk.Advance(time.Millisecond)
+			time.Sleep(time.Millisecond)
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("lease-watch loop never promoted")
+	}
+	if holder != "repl-p-1" {
+		t.Fatalf("promoted under holder %q, want repl-p-1", holder)
 	}
 	info, err := fx.dirClient().LookupUser(context.Background(), "p")
 	if err != nil {

@@ -1,0 +1,201 @@
+package scale
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// stripWall zeroes the only machine-dependent field so reports can be
+// compared byte-for-byte.
+func stripWall(r *Report) *Report {
+	c := *r
+	c.WallMS = 0
+	return &c
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestScaleSmoke is the CI scale gate's inner loop: 500 devices, two
+// scenarios, each run twice with the same seed. The runs must be
+// byte-identical (minus wall time), finish their in-doubt ledger, and
+// produce finite percentiles.
+func TestScaleSmoke(t *testing.T) {
+	for _, scn := range []string{"storm", "flap"} {
+		scn := scn
+		t.Run(scn, func(t *testing.T) {
+			cfg := Config{Scenario: scn, Topology: Single, Devices: 500, Ops: 800, Seed: 1}
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ja, jb := mustJSON(t, stripWall(a)), mustJSON(t, stripWall(b))
+			if ja != jb {
+				t.Fatalf("same seed diverged:\n%s\n%s", ja, jb)
+			}
+			if a.Outcomes.InDoubt != 0 {
+				t.Fatalf("in-doubt ops on a lossless network: %+v", a.Outcomes)
+			}
+			if a.Outcomes.Committed == 0 {
+				t.Fatalf("nothing committed: %+v", a.Outcomes)
+			}
+			if a.Latency.P99MS <= 0 || a.Latency.P99MS < a.Latency.P50MS {
+				t.Fatalf("bad percentiles: %+v", a.Latency)
+			}
+			if a.ClockFired == 0 {
+				t.Fatal("virtual time never advanced")
+			}
+			t.Logf("%s: %s", scn, ja)
+		})
+	}
+}
+
+// TestRunAllTopologies sweeps the full scenario × topology catalog at a
+// small fleet size — the shape BENCH_scale.json is generated from.
+func TestRunAllTopologies(t *testing.T) {
+	reports, err := RunAll(48, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Scenarios()) * len(Topologies())
+	if len(reports) != want {
+		t.Fatalf("got %d reports, want %d", len(reports), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		key := r.Scenario + "/" + string(r.Topology)
+		if seen[key] {
+			t.Fatalf("duplicate report %s", key)
+		}
+		seen[key] = true
+		if r.Outcomes.InDoubt != 0 {
+			t.Errorf("%s: in-doubt ops: %+v", key, r.Outcomes)
+		}
+		if r.Ops <= 0 || r.Devices != 48 {
+			t.Errorf("%s: bad config echo %+v", key, r)
+		}
+		if r.VirtualMS != (8 * time.Hour).Milliseconds() {
+			t.Errorf("%s: virtual span %d", key, r.VirtualMS)
+		}
+	}
+}
+
+// TestStormContention: the storm scenario's Zipf head must actually
+// contend — lock conflicts and aborts are the signal the harness
+// exists to measure.
+func TestStormContention(t *testing.T) {
+	r, err := Run(Config{Scenario: "storm", Devices: 100, Ops: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Locks.Acquired == 0 {
+		t.Fatalf("no locks acquired: %+v", r.Locks)
+	}
+	if r.Outcomes.Aborted == 0 {
+		t.Fatalf("no contention aborts under a pinned-slot storm: %+v", r.Outcomes)
+	}
+	if rate := r.AbortRate(); rate <= 0 || rate >= 1 {
+		t.Fatalf("abort rate %f out of (0,1)", rate)
+	}
+}
+
+// TestFlapQueuesAndDrains: commuter writes issued out of range must
+// queue, and reconnect sessions must drain them.
+func TestFlapQueuesAndDrains(t *testing.T) {
+	r, err := Run(Config{Scenario: "flap", Devices: 100, Ops: 600, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcomes.Queued == 0 {
+		t.Fatalf("no ops queued while out of range: %+v", r.Outcomes)
+	}
+	if r.Outcomes.Drained == 0 {
+		t.Fatalf("no queued ops drained on reconnect: %+v", r.Outcomes)
+	}
+}
+
+// TestChurnShardedDeterminism: the directory-churn scenario across the
+// sharded control plane is deterministic too.
+func TestChurnShardedDeterminism(t *testing.T) {
+	cfg := Config{Scenario: "churn", Topology: Sharded4, Devices: 64, Ops: 300, Seed: 9}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja, jb := mustJSON(t, stripWall(a)), mustJSON(t, stripWall(b)); ja != jb {
+		t.Fatalf("sharded churn diverged:\n%s\n%s", ja, jb)
+	}
+	if a.Outcomes.Committed == 0 || a.Outcomes.Errors > a.Ops/10 {
+		t.Fatalf("churn outcomes off: %+v", a.Outcomes)
+	}
+}
+
+// TestReplicatedNoPromotion: under a healthy primary the warm standbys
+// must never promote — the harness wires Promote to fail the run.
+func TestReplicatedNoPromotion(t *testing.T) {
+	r, err := Run(Config{Scenario: "fanout", Topology: Replicated, Devices: 32, Ops: 100, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcomes.Committed == 0 {
+		t.Fatalf("fanout committed nothing: %+v", r.Outcomes)
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Topology != Single || c.Devices != 500 || c.Ops != 2000 || c.Horizon != 8*time.Hour {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if _, err := Run(Config{Scenario: "nope", Devices: 4}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := Run(Config{Scenario: "storm", Topology: Topology("weird"), Devices: 4, Ops: 4}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+// TestScaleFull10K is the acceptance run — 10k devices through an 8h
+// storm — kept out of routine CI by an env guard (run with
+// SCALE_FULL=1; must finish well under 5 minutes of wall time).
+func TestScaleFull10K(t *testing.T) {
+	if os.Getenv("SCALE_FULL") == "" {
+		t.Skip("set SCALE_FULL=1 to run the 10k-device acceptance sweep")
+	}
+	start := time.Now()
+	r, err := Run(Config{Scenario: "storm", Devices: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("10k storm in %v: %s", time.Since(start), mustJSON(t, stripWall(r)))
+	if r.Outcomes.InDoubt != 0 || r.Outcomes.Committed == 0 {
+		t.Fatalf("outcomes off: %+v", r.Outcomes)
+	}
+}
+
+func TestAbortRateEmpty(t *testing.T) {
+	var r Report
+	if r.AbortRate() != 0 {
+		t.Fatal("empty report abort rate")
+	}
+	r.Outcomes = Outcomes{Committed: 3, Aborted: 1}
+	if got := r.AbortRate(); got != 0.25 {
+		t.Fatalf("abort rate %f", got)
+	}
+}

@@ -1,0 +1,150 @@
+package scale
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Virtual service-time model. Operation latency is modeled, not
+// measured: wall time on the build machine must never leak into the
+// report or determinism dies. Each operation's service time is a fixed
+// overhead plus a per-RPC cost scaled by the number of simulated
+// requests the operation actually issued (so a 3-participant
+// negotiation is modeled slower than a cache-hit lookup), plus seeded
+// exponential noise.
+const (
+	opBaseService = 5 * time.Millisecond  // fixed per-op overhead
+	opPerRPC      = 12 * time.Millisecond // one wireless-LAN round trip (§7)
+	opNoiseMean   = 3 * time.Millisecond  // seeded exponential jitter
+)
+
+// opOutcome classifies one executed operation.
+type opOutcome struct {
+	// class is an Outcomes bucket: committed, tentative, aborted,
+	// in_doubt, queued, or error. Empty for infrastructure steps
+	// (partition cuts, reconnects) that are not operations.
+	class string
+	// drained counts offline-queue ops replayed by this step.
+	drained int
+	// measure includes the op in the latency/queue model.
+	measure bool
+}
+
+// recorder runs the virtual-time queueing model: per-device busy
+// periods, arrival-instant queue depths, and the latency sample set.
+type recorder struct {
+	rng       *rand.Rand
+	busyUntil map[string]time.Duration
+	pending   map[string][]time.Duration // per-device modeled finish times
+	latencies []time.Duration
+	outcomes  Outcomes
+	depthSum  int64
+	depthN    int64
+	maxDepth  int
+}
+
+func newRecorder(seed int64) *recorder {
+	return &recorder{
+		rng:       rand.New(rand.NewSource(seed ^ 0x5ca1e)),
+		busyUntil: make(map[string]time.Duration),
+		pending:   make(map[string][]time.Duration),
+	}
+}
+
+// record folds one operation into the model. at is the arrival offset
+// from the run start, rpcs the number of simulated requests the op
+// issued while executing.
+func (r *recorder) record(dev string, at time.Duration, rpcs int64, out opOutcome) {
+	r.outcomes.fold(out)
+	if !out.measure {
+		return
+	}
+	service := opBaseService + time.Duration(rpcs)*opPerRPC + workload.ExpDuration(r.rng, opNoiseMean)
+
+	// Queue depth seen on arrival: ops at this device whose modeled
+	// finish lies in the future.
+	q := r.pending[dev][:0]
+	for _, fin := range r.pending[dev] {
+		if fin > at {
+			q = append(q, fin)
+		}
+	}
+	depth := len(q)
+	if depth > r.maxDepth {
+		r.maxDepth = depth
+	}
+	r.depthSum += int64(depth)
+	r.depthN++
+
+	// FIFO single-server per device: wait for the busy period, then run.
+	start := at
+	if bu := r.busyUntil[dev]; bu > start {
+		start = bu
+	}
+	finish := start + service
+	r.busyUntil[dev] = finish
+	r.pending[dev] = append(q, finish)
+	r.latencies = append(r.latencies, finish-at)
+}
+
+func (o *Outcomes) fold(out opOutcome) {
+	o.Drained += out.drained
+	switch out.class {
+	case "committed":
+		o.Committed++
+	case "tentative":
+		o.Tentative++
+	case "aborted":
+		o.Aborted++
+	case "in_doubt":
+		o.InDoubt++
+	case "queued":
+		o.Queued++
+	case "error":
+		o.Errors++
+	}
+}
+
+// latencyStats computes exact percentiles over the sample set.
+func (r *recorder) latencyStats() LatencyStats {
+	n := len(r.latencies)
+	if n == 0 {
+		return LatencyStats{}
+	}
+	s := append([]time.Duration(nil), r.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pct := func(p float64) float64 {
+		idx := int(float64(n)*p/100+0.9999999) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		return ms(s[idx])
+	}
+	var sum time.Duration
+	for _, d := range s {
+		sum += d
+	}
+	return LatencyStats{
+		P50MS:  pct(50),
+		P95MS:  pct(95),
+		P99MS:  pct(99),
+		MaxMS:  ms(s[n-1]),
+		MeanMS: ms(sum / time.Duration(n)),
+	}
+}
+
+func (r *recorder) queueStats() QueueStats {
+	qs := QueueStats{MaxDepth: r.maxDepth}
+	if r.depthN > 0 {
+		qs.MeanDepth = float64(r.depthSum) / float64(r.depthN)
+	}
+	return qs
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -53,6 +54,10 @@ type Config struct {
 	// FrameCodec selects the encoding EncodeFrames uses
 	// (wire.CodecJSON by default).
 	FrameCodec wire.Codec
+	// Clock times latency sleeps and FlapPartition periods; nil = system
+	// clock. The scale harness injects its auto-advancing fake clock so
+	// simulated network delays compress along with every other timer.
+	Clock clock.Clock
 }
 
 // Stats aggregates traffic counters. All fields are totals since the
@@ -68,12 +73,14 @@ type Stats struct {
 // Net is an in-memory Network. Create with New; safe for concurrent use.
 type Net struct {
 	cfg Config
+	clk clock.Clock
 
 	mu        sync.RWMutex
 	endpoints map[string]*endpoint
 	down      map[string]bool
 	parts     map[[2]string]bool // unordered pair, stored with a<=b
 	oneway    map[[2]string]bool // ordered [src, dst]: src cannot reach dst
+	isolated  map[string]bool    // addr cut off in both directions
 
 	// Mutable fault config; rngMu guards these together with rng so a
 	// mid-test SetLoss/SetLatency is seen by in-flight deliveries.
@@ -101,12 +108,18 @@ type endpoint struct {
 
 // New creates a simulated network with the given config.
 func New(cfg Config) *Net {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
 	return &Net{
 		cfg:         cfg,
+		clk:         clk,
 		endpoints:   make(map[string]*endpoint),
 		down:        make(map[string]bool),
 		parts:       make(map[[2]string]bool),
 		oneway:      make(map[[2]string]bool),
+		isolated:    make(map[string]bool),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		lossProb:    cfg.LossProb,
 		baseLatency: cfg.BaseLatency,
@@ -180,6 +193,20 @@ func (n *Net) SetDown(addr string, down bool) {
 	}
 }
 
+// Isolate cuts addr off from the whole network in both directions (on
+// true) or reconnects it (on false). SetDown only blocks inbound
+// traffic; Isolate models a commuter device out of radio range — it can
+// neither be called nor call anyone, including the directory.
+func (n *Net) Isolate(addr string, on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if on {
+		n.isolated[addr] = true
+	} else {
+		delete(n.isolated, addr)
+	}
+}
+
 // Partition blocks traffic between a and b in both directions.
 func (n *Net) Partition(a, b string) {
 	n.mu.Lock()
@@ -213,15 +240,25 @@ func (n *Net) Heal(a, b string) {
 func (n *Net) FlapPartition(a, b string, period time.Duration) (stop func()) {
 	done := make(chan struct{})
 	n.Partition(a, b)
+	// Flap periods are timed through the network's clock; on an
+	// auto-advancing clock the flapper registers — before its goroutine
+	// launches, so a paused clock's gate counts it immediately — and
+	// virtual time single-steps through its waits.
+	ar, auto := n.clk.(clock.AutoRegistrar)
+	if auto {
+		ar.RegisterGoroutine()
+	}
 	go func() {
-		t := time.NewTicker(period)
-		defer t.Stop()
 		cut := true
 		for {
+			ch := n.clk.After(period)
 			select {
 			case <-done:
+				if auto {
+					ar.UnregisterGoroutine(ch)
+				}
 				return
-			case <-t.C:
+			case <-ch:
 				cut = !cut
 				if cut {
 					n.Partition(a, b)
@@ -247,6 +284,12 @@ func (n *Net) reachable(src, dst string) (*endpoint, error) {
 	defer n.mu.RUnlock()
 	if n.down[dst] {
 		return nil, unavailable("device %s is down", dst)
+	}
+	if n.isolated[dst] {
+		return nil, unavailable("device %s is isolated", dst)
+	}
+	if src != "" && n.isolated[src] {
+		return nil, unavailable("device %s is isolated", src)
 	}
 	if n.parts[pairKey(src, dst)] {
 		return nil, unavailable("partition between %s and %s", src, dst)
@@ -298,10 +341,8 @@ func (n *Net) sleep(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return nil
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
 	select {
-	case <-t.C:
+	case <-n.clk.After(d):
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -387,4 +388,78 @@ func TestRuntimeMutableFaults(t *testing.T) {
 	if got := time.Since(start); got > 10*time.Millisecond {
 		t.Fatalf("latency not removed: round trip %v", got)
 	}
+}
+
+func TestIsolateCutsBothDirections(t *testing.T) {
+	n := New(Config{})
+	if _, err := n.Listen("phil", &okHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("andy", &okHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	n.Isolate("phil", true)
+
+	// Inbound to the isolated device is blocked, even for
+	// infrastructure calls with no caller.
+	_, err := n.Call(context.Background(), "phil", &transport.Request{Service: "s", Method: "m", Caller: "andy"})
+	if wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("call into isolated device went through: %v", err)
+	}
+	_, err = n.Call(context.Background(), "phil", &transport.Request{Service: "s", Method: "m"})
+	if wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("callerless call into isolated device went through: %v", err)
+	}
+	// Outbound from the isolated device is blocked too — unlike SetDown.
+	_, err = n.Call(context.Background(), "andy", &transport.Request{Service: "s", Method: "m", Caller: "phil"})
+	if wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("call out of isolated device went through: %v", err)
+	}
+	// Unrelated traffic is unaffected.
+	if _, err := n.Call(context.Background(), "andy", &transport.Request{Service: "s", Method: "m", Caller: "suzy"}); err != nil {
+		t.Fatalf("unrelated call blocked: %v", err)
+	}
+	n.Isolate("phil", false)
+	if _, err := n.Call(context.Background(), "phil", &transport.Request{Service: "s", Method: "m", Caller: "andy"}); err != nil {
+		t.Fatalf("reconnected device unreachable: %v", err)
+	}
+}
+
+// TestFlapPartitionOnFakeClock: flap periods are timed through the
+// injected clock, so advancing a fake clock toggles the partition
+// without any wall-clock waiting.
+func TestFlapPartitionOnFakeClock(t *testing.T) {
+	clk := clock.NewFake(time.Date(2003, 4, 21, 8, 0, 0, 0, time.UTC))
+	n := New(Config{Clock: clk})
+	if _, err := n.Listen("phil", &okHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	call := func() error {
+		_, err := n.Call(context.Background(), "phil", &transport.Request{Service: "s", Method: "m", Caller: "andy"})
+		return err
+	}
+	stop := n.FlapPartition("andy", "phil", time.Minute)
+	defer stop()
+	if err := call(); wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("flap did not start partitioned: %v", err)
+	}
+	// One period heals, the next cuts again. The flapper re-arms its
+	// wait asynchronously, so poll for each state change.
+	await := func(wantUp bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			up := call() == nil
+			if up == wantUp {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("flap never reached up=%v", wantUp)
+			}
+			clk.Advance(time.Minute)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	await(true)
+	await(false)
 }

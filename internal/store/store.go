@@ -736,26 +736,38 @@ func (t *Table) delete(keyVals []any, fire, logit bool) error {
 }
 
 // Select returns clones of all rows matching pred (nil pred = all),
-// in an unspecified order.
+// in primary-key order. The deterministic order matters: sweeps and
+// cascade deletes iterate Select results, and simulation runs must
+// replay identically for a given seed.
 func (t *Table) Select(pred func(Row) bool) []Row {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var out []Row
-	for _, r := range t.rows {
+	keys := make([]rowKey, 0, len(t.rows))
+	for k, r := range t.rows {
 		if pred == nil || pred(r) {
-			out = append(out, r.Clone())
+			keys = append(keys, k)
 		}
 	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Row, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, t.rows[k].Clone())
+	}
+	t.mu.RUnlock()
 	return out
 }
 
-// SelectEq returns all rows with row[col] == v, using a secondary
-// index when one exists and a scan otherwise.
+// SelectEq returns all rows with row[col] == v in primary-key order,
+// using a secondary index when one exists and a scan otherwise.
 func (t *Table) SelectEq(col string, v any) []Row {
 	t.mu.RLock()
 	if idx, ok := t.indexes[col]; ok {
-		var out []Row
+		keys := make([]rowKey, 0, len(idx[v]))
 		for k := range idx[v] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		out := make([]Row, 0, len(keys))
+		for _, k := range keys {
 			out = append(out, t.rows[k].Clone())
 		}
 		t.mu.RUnlock()

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -89,11 +90,18 @@ type Options struct {
 	// Tracer, when set, records one "wal.flush" span per group-commit
 	// flush (batch size and LSN range annotated).
 	Tracer *trace.Tracer
+	// Clock times the FlushEvery batching wait; nil = system clock. A
+	// fake clock lets a simulated deployment compress group-commit
+	// windows along with the rest of its timers.
+	Clock clock.Clock
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 4 << 20
+	}
+	if o.Clock == nil {
+		o.Clock = clock.System
 	}
 	return o
 }
@@ -340,7 +348,7 @@ func (w *WAL) flushLoop() {
 			return
 		}
 		if w.opt.Sync == SyncGroup && w.opt.FlushEvery > 0 {
-			time.Sleep(w.opt.FlushEvery) // widen the batch
+			w.opt.Clock.Sleep(w.opt.FlushEvery) // widen the batch
 		}
 		w.flushOnce()
 	}

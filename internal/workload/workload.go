@@ -13,11 +13,19 @@ import (
 	"repro/internal/calendar"
 )
 
-// Users returns n synthetic user ids u00..u(n-1).
+// Users returns n synthetic user ids u00..u(n-1). Ids are zero-padded
+// to the width of the largest index (minimum two digits) so that
+// lexicographic order equals numeric order at any population size —
+// directory listings, shard range splits, and sorted test fixtures all
+// rely on that equivalence.
 func Users(n int) []string {
+	width := len(fmt.Sprint(n - 1))
+	if width < 2 {
+		width = 2
+	}
 	out := make([]string, n)
 	for i := range out {
-		out[i] = fmt.Sprintf("u%02d", i)
+		out[i] = fmt.Sprintf("u%0*d", width, i)
 	}
 	return out
 }
